@@ -1,0 +1,67 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Impact region on/off** — without the impact region, *every*
+   be-matching arrival pings the subscriber; the impact test is what
+   keeps the event-arrival channel small.
+2. **Example 2 strip expansion on/off** — the incremental impact update
+   must change construction time only, never the regions (equivalence is
+   unit-tested; here the speed effect is measured).
+"""
+
+from __future__ import annotations
+
+from config import DEFAULTS, format_table, run_strategy
+
+
+def _impact_onoff():
+    rows = []
+    for label, flag in (("with impact region", True), ("without impact region", False)):
+        row = run_strategy(DEFAULTS, "iGM", use_impact_region=flag)
+        row["variant"] = label
+        rows.append(row)
+    return rows
+
+
+def _strips_onoff():
+    rows = []
+    for label, flag in (("Example 2 strips", True), ("naive full-disk rescan", False)):
+        row = run_strategy(DEFAULTS, "iGM", incremental_impact=flag)
+        row["variant"] = label
+        row["server_ms"] = row["server_seconds"] * 1000
+        rows.append(row)
+    return rows
+
+
+def test_ablation_impact_region(benchmark, report):
+    rows = benchmark.pedantic(_impact_onoff, rounds=1, iterations=1)
+    report(
+        "ablation_impact",
+        format_table(
+            rows,
+            ("variant", "location_update", "event_arrival", "total"),
+            "Ablation: impact region filtering of event arrivals",
+        ),
+    )
+    with_impact, without_impact = rows
+    # dropping the impact region multiplies event-arrival communication
+    assert without_impact["event_arrival"] > 2.0 * with_impact["event_arrival"]
+    # and never helps the total
+    assert without_impact["total"] >= with_impact["total"]
+
+
+def test_ablation_incremental_impact(benchmark, report):
+    rows = benchmark.pedantic(_strips_onoff, rounds=1, iterations=1)
+    report(
+        "ablation_strips",
+        format_table(
+            rows,
+            ("variant", "total", "constructions", "server_ms"),
+            "Ablation: Example 2 incremental impact expansion",
+        ),
+    )
+    strips, naive = rows
+    # identical communication behaviour...
+    assert strips["total"] == naive["total"]
+    assert strips["constructions"] == naive["constructions"]
+    # ...with the strips at least as fast (the point of Example 2)
+    assert strips["server_ms"] <= naive["server_ms"] * 1.1

@@ -1,0 +1,87 @@
+"""Figure 10: adaptability of the cost model under dynamic conditions.
+
+The event arrival rate (10a) or the subscriber speed (10b) cycles
+0 -> peak -> 0 through the run.  iGM/idGM estimate the changing
+parameters from their own statistics; the "-opi" oracles are given the
+true parameters and refresh every safe region for free at each step.
+The paper's claim: the estimating methods land close to their oracles,
+and far below VM/GM.
+"""
+
+from __future__ import annotations
+
+from config import DEFAULTS, FAST, format_table, run_strategy
+
+PEAK_RATE = 40.0
+PEAK_SPEED = 100.0
+PLATEAU = 20  # timestamps per step of the cycle
+DATASETS = ("twitter",) if FAST else ("twitter", "foursquare")
+
+
+def _cycle(t: int, peak: float) -> float:
+    """0 -> peak -> 0 staircase, repeating (piecewise constant)."""
+    phase = (t // PLATEAU) % 4
+    return (0.0, peak / 2, peak, peak / 2)[phase]
+
+
+def _variants(config, schedule_kw):
+    rows = []
+    for name, strategy, extra in (
+        ("VM", "VM", {}),
+        ("GM", "GM", {}),
+        ("iGM", "iGM", {}),
+        ("idGM", "idGM", {}),
+        ("iGM-opi", "iGM", {"oracle_rebuild": True}),
+        ("idGM-opi", "idGM", {"oracle_rebuild": True}),
+    ):
+        row = run_strategy(config, strategy, **schedule_kw, **extra)
+        row["variant"] = name
+        rows.append(row)
+    return rows
+
+
+def _run_dynamic_rate():
+    rows = []
+    for dataset in DATASETS:
+        config = DEFAULTS.with_(dataset=dataset, event_rate=PEAK_RATE / 2)
+        for row in _variants(
+            config, {"rate_schedule": lambda t: _cycle(t, PEAK_RATE)}
+        ):
+            row["dataset"] = dataset
+            rows.append(row)
+    return rows
+
+
+def _run_dynamic_speed():
+    rows = []
+    for dataset in DATASETS:
+        config = DEFAULTS.with_(dataset=dataset)
+        for row in _variants(
+            config, {"speed_schedule": lambda t: _cycle(t, PEAK_SPEED)}
+        ):
+            row["dataset"] = dataset
+            rows.append(row)
+    return rows
+
+
+COLUMNS = ("dataset", "variant", "location_update", "event_arrival", "total")
+
+
+def test_fig10a_dynamic_event_rate(benchmark, report):
+    rows = benchmark.pedantic(_run_dynamic_rate, rounds=1, iterations=1)
+    report("fig10a", format_table(rows, COLUMNS, "Figure 10a (dynamic arrival rate)"))
+    for dataset in DATASETS:
+        by = {r["variant"]: r["total"] for r in rows if r["dataset"] == dataset}
+        # the estimating methods stay within a small factor of the oracle
+        assert by["iGM"] <= 2.0 * by["iGM-opi"] + 5
+        # and beat the baselines
+        assert by["iGM"] < by["GM"]
+
+
+def test_fig10b_dynamic_speed(benchmark, report):
+    rows = benchmark.pedantic(_run_dynamic_speed, rounds=1, iterations=1)
+    report("fig10b", format_table(rows, COLUMNS, "Figure 10b (dynamic speed)"))
+    for dataset in DATASETS:
+        by = {r["variant"]: r["total"] for r in rows if r["dataset"] == dataset}
+        assert by["iGM"] <= 2.0 * by["iGM-opi"] + 5
+        assert by["iGM"] < by["GM"]

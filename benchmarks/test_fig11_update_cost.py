@@ -1,0 +1,85 @@
+"""Figure 11: BEQ-Tree update cost.
+
+The paper inserts 10M events on top of a 20M-event tree (batch by batch)
+and then deletes back down, reporting the time per batch.  Scaled 1:1000:
+start from a 20k-event tree, insert ten 1k batches, then delete ten 1k
+batches from the 30k-event tree.
+
+Paper shape: per-batch insertion cost grows as the tree deepens;
+per-batch deletion cost falls as the tree shrinks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets import TwitterLikeGenerator
+from repro.geometry import Rect
+from repro.index import BEQTree
+
+from config import FAST, format_table
+
+SPACE = Rect(0, 0, 50_000, 50_000)
+BASE = 4_000 if FAST else 20_000
+BATCH = 200 if FAST else 1_000
+BATCHES = 10
+
+
+def _run():
+    generator = TwitterLikeGenerator(SPACE, seed=17)
+    events = generator.events(BASE + BATCHES * BATCH)
+    tree = BEQTree(SPACE, emax=512)
+    tree.insert_all(events[:BASE])
+
+    rows = []
+    for batch in range(BATCHES):
+        chunk = events[BASE + batch * BATCH : BASE + (batch + 1) * BATCH]
+        started = time.perf_counter()
+        for event in chunk:
+            tree.insert(event)
+        rows.append(
+            {
+                "batch": batch + 1,
+                "operation": "insert",
+                "tree_size": len(tree),
+                "ms_per_batch": (time.perf_counter() - started) * 1000,
+            }
+        )
+    for batch in range(BATCHES):
+        chunk = events[BASE + (BATCHES - 1 - batch) * BATCH : BASE + (BATCHES - batch) * BATCH]
+        started = time.perf_counter()
+        for event in chunk:
+            tree.delete(event)
+        rows.append(
+            {
+                "batch": batch + 1,
+                "operation": "delete",
+                "tree_size": len(tree),
+                "ms_per_batch": (time.perf_counter() - started) * 1000,
+            }
+        )
+    assert len(tree) == BASE
+    return rows
+
+
+def test_fig11_update_cost(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "fig11",
+        format_table(
+            rows,
+            ("operation", "batch", "tree_size", "ms_per_batch"),
+            "Figure 11 (BEQ-Tree insert/delete cost per batch)",
+        ),
+    )
+    import statistics
+
+    inserts = [r["ms_per_batch"] for r in rows if r["operation"] == "insert"]
+    deletes = [r["ms_per_batch"] for r in rows if r["operation"] == "delete"]
+    # trend on the halves' medians — robust against one-off split spikes
+    # (a batch that triggers a node split pays a visible redistribution)
+    assert statistics.median(inserts[5:]) >= 0.5 * statistics.median(inserts[:5])
+    assert statistics.median(deletes[5:]) <= 1.5 * statistics.median(deletes[:5])
+    # updates stay fast in absolute terms (paper: < 300 s per 1M events,
+    # i.e. < 0.3 ms per event; pure Python gets an order of magnitude slack)
+    assert statistics.median(inserts + deletes) / BATCH < 3.0

@@ -1,0 +1,57 @@
+"""Figure 12 (Appendix D.2): communication I/O on the Foursquare workload.
+
+The same three sweeps as Figure 7(a-c) — arrival rate, speed, radius —
+but over venue-style schema-rich events.  The paper reports the same
+ordering as on Twitter: iGM/idGM cut the event-arrival channel by an
+order of magnitude and match GM on location updates.
+"""
+
+from __future__ import annotations
+
+from config import (
+    DEFAULTS,
+    F_SWEEP,
+    R_SWEEP,
+    V_SWEEP,
+    communication_sweep,
+    format_table,
+)
+
+FOURSQUARE = DEFAULTS.with_(dataset="foursquare", initial_events=DEFAULTS.initial_events // 2)
+COLUMNS = ("strategy", "location_update", "event_arrival", "total")
+
+
+def _run(report, benchmark, name, parameter, values):
+    rows = benchmark.pedantic(
+        lambda: communication_sweep(FOURSQUARE, parameter, values),
+        rounds=1,
+        iterations=1,
+    )
+    report(name, format_table(rows, (parameter,) + COLUMNS, f"Figure {name} (Foursquare)"))
+    return rows
+
+
+def test_fig12a_event_rate(benchmark, report):
+    rows = _run(report, benchmark, "fig12a", "event_rate", F_SWEEP)
+    by = {(r["event_rate"], r["strategy"]): r for r in rows}
+    top = max(F_SWEEP)
+    assert by[(top, "iGM")]["event_arrival"] < by[(top, "GM")]["event_arrival"]
+    assert by[(top, "iGM")]["total"] < by[(top, "GM")]["total"]
+
+
+def test_fig12b_speed(benchmark, report):
+    rows = _run(report, benchmark, "fig12b", "speed", V_SWEEP)
+    by = {(r["speed"], r["strategy"]): r for r in rows}
+    assert (
+        by[(V_SWEEP[-1], "iGM")]["location_update"]
+        >= by[(V_SWEEP[0], "iGM")]["location_update"]
+    )
+
+
+def test_fig12c_radius(benchmark, report):
+    rows = _run(report, benchmark, "fig12c", "radius", R_SWEEP)
+    by = {(r["radius"], r["strategy"]): r for r in rows}
+    assert (
+        by[(R_SWEEP[-1], "GM")]["location_update"]
+        >= by[(R_SWEEP[0], "GM")]["location_update"]
+    )

@@ -1,0 +1,128 @@
+"""Figure 13 (Appendix D.3): server computation cost of safe-region and
+impact-region construction.
+
+Six variants: VM and GM (full-corpus matching), iGM-BE/idGM-BE (iGM/idGM
+fed by a full-corpus boolean match, the paper's k-index path) and
+iGM-BEQ/idGM-BEQ (on-demand matching through the BEQ-Tree).  Each run
+reports the accumulated construction time and the number of events the
+matching machinery had to scan.
+
+Paper shape: iGM/idGM an order of magnitude below VM/GM (they rebuild
+far less often), and the -BEQ variants below the -BE variants (they
+only touch the corpus near the region).
+"""
+
+from __future__ import annotations
+
+from config import DEFAULTS, FAST, F_SWEEP, format_table, run_strategy
+
+#: Figure 13 pays a full corpus scan per construction for the -BE
+#: variants, so the configuration is kept lean.
+BASE = DEFAULTS.with_(
+    subscribers=4 if FAST else 8,
+    timestamps=40 if FAST else 80,
+    initial_events=1_000 if FAST else 4_000,
+)
+
+VARIANTS = (
+    ("VM", "VM", "full"),
+    ("GM", "GM", "full"),
+    ("iGM-BE", "iGM", "full"),
+    ("idGM-BE", "idGM", "full"),
+    ("iGM-BEQ", "iGM", "ondemand"),
+    ("idGM-BEQ", "idGM", "ondemand"),
+)
+
+SWEEP = F_SWEEP[:3] if FAST else F_SWEEP
+V_SWEEP_13 = (20.0, 60.0, 100.0)
+R_SWEEP_13 = (1_000.0, 3_000.0, 5_000.0)
+E_SWEEP_13 = (1_000, 4_000, 8_000) if not FAST else (500, 1_000)
+
+
+def _sweep(parameter: str, values):
+    rows = []
+    for value in values:
+        for name, strategy, mode in VARIANTS:
+            row = run_strategy(
+                BASE.with_(**{parameter: value}), strategy, matching_mode=mode
+            )
+            row["variant"] = name
+            row[parameter] = value
+            row["server_ms"] = row["server_seconds"] * 1000
+            rows.append(row)
+    return rows
+
+
+COLUMNS = ("variant", "constructions", "events_scanned", "server_ms")
+
+
+def test_fig13a_event_rate(benchmark, report):
+    rows = benchmark.pedantic(lambda: _sweep("event_rate", SWEEP), rounds=1, iterations=1)
+    report(
+        "fig13a",
+        format_table(
+            rows,
+            ("event_rate",) + COLUMNS,
+            "Figure 13a (server computation cost vs event arrival rate)",
+        ),
+    )
+    top = max(SWEEP)
+    by = {(r["event_rate"], r["variant"]): r for r in rows}
+    # the -BEQ variants scan far fewer events than their -BE counterparts
+    assert (
+        by[(top, "iGM-BEQ")]["events_scanned"]
+        < 0.5 * by[(top, "iGM-BE")]["events_scanned"]
+    )
+    # GM rebuilds much more often than iGM at high arrival rates
+    assert by[(top, "GM")]["constructions"] > by[(top, "iGM-BEQ")]["constructions"]
+    # and the BEQ-backed construction is the cheapest in wall time
+    assert by[(top, "iGM-BEQ")]["server_ms"] < by[(top, "GM")]["server_ms"]
+
+
+def test_fig13b_speed(benchmark, report):
+    rows = benchmark.pedantic(lambda: _sweep("speed", V_SWEEP_13), rounds=1, iterations=1)
+    report(
+        "fig13b",
+        format_table(rows, ("speed",) + COLUMNS,
+                     "Figure 13b (server computation cost vs speed)"),
+    )
+    by = {(r["speed"], r["variant"]): r for r in rows}
+    for speed in V_SWEEP_13:
+        assert (
+            by[(speed, "iGM-BEQ")]["events_scanned"]
+            <= by[(speed, "iGM-BE")]["events_scanned"]
+        )
+
+
+def test_fig13c_radius(benchmark, report):
+    rows = benchmark.pedantic(lambda: _sweep("radius", R_SWEEP_13), rounds=1, iterations=1)
+    report(
+        "fig13c",
+        format_table(rows, ("radius",) + COLUMNS,
+                     "Figure 13c (server computation cost vs radius)"),
+    )
+    by = {(r["radius"], r["variant"]): r for r in rows}
+    for radius in R_SWEEP_13:
+        assert (
+            by[(radius, "iGM-BEQ")]["events_scanned"]
+            <= by[(radius, "iGM-BE")]["events_scanned"]
+        )
+
+
+def test_fig13d_corpus_size(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: _sweep("initial_events", E_SWEEP_13), rounds=1, iterations=1
+    )
+    report(
+        "fig13d",
+        format_table(rows, ("initial_events",) + COLUMNS,
+                     "Figure 13d (server computation cost vs corpus size)"),
+    )
+    by = {(r["initial_events"], r["variant"]): r for r in rows}
+    top = max(E_SWEEP_13)
+    # the on-demand advantage grows with the corpus (the paper's claim:
+    # "the advantage is more obvious when ... the number of events is larger")
+    assert (
+        by[(top, "iGM-BE")]["events_scanned"]
+        > 2 * by[(top, "iGM-BEQ")]["events_scanned"]
+    )

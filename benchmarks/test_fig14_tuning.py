@@ -1,0 +1,76 @@
+"""Figure 14 (Appendix D.1): parameter tuning for iGM and idGM.
+
+14a — grid resolution N: finer grids approximate the optimal safe region
+better (less communication) but cost more construction time; the paper
+picks N = 600 as the knee.  Scaled here to N in 60..180.
+
+14b — direction weight alpha for idGM on synthetic vs taxi trajectories:
+direction awareness helps up to a point; alpha ~ 1 backfires because the
+region collapses onto the predicted direction.
+"""
+
+from __future__ import annotations
+
+from config import DEFAULTS, FAST, format_table, run_strategy
+
+N_SWEEP = (60, 90, 120, 180) if not FAST else (60, 120)
+ALPHA_SWEEP = (0.0, 0.25, 0.5, 0.75, 1.0)
+MOVEMENTS = ("synthetic", "taxi")
+
+
+def _run_n_sweep():
+    rows = []
+    for n in N_SWEEP:
+        row = run_strategy(DEFAULTS.with_(grid_n=n), "iGM")
+        row["grid_n"] = n
+        row["construction_ms"] = (
+            row["server_seconds"] * 1000 / max(row["constructions"], 1)
+        )
+        rows.append(row)
+    return rows
+
+
+def _run_alpha_sweep():
+    rows = []
+    for movement in MOVEMENTS:
+        for alpha in ALPHA_SWEEP:
+            row = run_strategy(
+                DEFAULTS.with_(movement=movement), "idGM", alpha=alpha
+            )
+            row["movement"] = movement
+            row["alpha"] = alpha
+            rows.append(row)
+    return rows
+
+
+def test_fig14a_grid_resolution(benchmark, report):
+    rows = benchmark.pedantic(_run_n_sweep, rounds=1, iterations=1)
+    report(
+        "fig14a",
+        format_table(
+            rows,
+            ("grid_n", "total", "constructions", "construction_ms"),
+            "Figure 14a (grid resolution N: communication vs construction time)",
+        ),
+    )
+    by = {r["grid_n"]: r for r in rows}
+    # a finer grid costs more construction time per region
+    assert by[N_SWEEP[-1]]["construction_ms"] > by[N_SWEEP[0]]["construction_ms"]
+    # and does not hurt communication (coarse grids over-approximate)
+    assert by[N_SWEEP[-1]]["total"] <= by[N_SWEEP[0]]["total"] * 1.5
+
+
+def test_fig14b_direction_weight(benchmark, report):
+    rows = benchmark.pedantic(_run_alpha_sweep, rounds=1, iterations=1)
+    report(
+        "fig14b",
+        format_table(
+            rows,
+            ("movement", "alpha", "location_update", "event_arrival", "total"),
+            "Figure 14b (idGM direction weight alpha)",
+        ),
+    )
+    for movement in MOVEMENTS:
+        series = {r["alpha"]: r["total"] for r in rows if r["movement"] == movement}
+        # alpha = 1 (blind faith in the current direction) is never the best
+        assert series[1.0] >= min(series.values())

@@ -1,0 +1,75 @@
+"""Figure 15 (Appendix D.1): tuning the BEQ-Tree leaf capacity Emax.
+
+Larger leaves weaken the spatial pruning of the first layer (matching
+slows down) but shrink the tree (building and updating get cheaper).
+The paper picks Emax = 60K on a 20M corpus; scaled 1:1000 here.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets import TwitterLikeGenerator
+from repro.geometry import Rect
+from repro.index import BEQTree
+
+from config import FAST, format_table
+
+SPACE = Rect(0, 0, 50_000, 50_000)
+EVENTS = 2_000 if FAST else 10_000
+QUERIES = 10 if FAST else 40
+EMAX_SWEEP = (32, 128, 512) if FAST else (16, 64, 256, 1_024, 4_096)
+
+
+def _run():
+    generator = TwitterLikeGenerator(SPACE, seed=23)
+    events = generator.events(EVENTS)
+    subscriptions = generator.subscriptions(QUERIES, size=3, radius=3_000.0)
+    locations = [event.location for event in events[:QUERIES]]
+    rows = []
+    reference = None
+    for emax in EMAX_SWEEP:
+        tree = BEQTree(SPACE, emax=emax)
+        started = time.perf_counter()
+        tree.insert_all(events)
+        build_ms = (time.perf_counter() - started) * 1000
+        started = time.perf_counter()
+        results = [
+            sorted(e.event_id for e in tree.match(subscription, at))
+            for subscription, at in zip(subscriptions, locations)
+        ]
+        match_ms = (time.perf_counter() - started) * 1000 / QUERIES
+        if reference is None:
+            reference = results
+        else:
+            assert results == reference, f"emax={emax} changed the results"
+        rows.append(
+            {
+                "emax": emax,
+                "leaves": sum(1 for _ in tree.leaves()),
+                "depth": tree.depth(),
+                "build_ms": build_ms,
+                "match_ms": match_ms,
+            }
+        )
+    return rows
+
+
+def test_fig15_emax_tradeoff(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "fig15",
+        format_table(
+            rows,
+            ("emax", "leaves", "depth", "build_ms", "match_ms"),
+            "Figure 15 (BEQ-Tree Emax: matching time vs construction time)",
+        ),
+    )
+    by = {r["emax"]: r for r in rows}
+    smallest, largest = EMAX_SWEEP[0], EMAX_SWEEP[-1]
+    # 15a: bigger leaves weaken spatial pruning -> slower matching
+    assert by[largest]["match_ms"] >= by[smallest]["match_ms"]
+    # 15b: bigger leaves mean fewer splits -> cheaper construction
+    assert by[largest]["build_ms"] <= by[smallest]["build_ms"]
+    # structural sanity: deeper tree at smaller Emax
+    assert by[smallest]["depth"] >= by[largest]["depth"]

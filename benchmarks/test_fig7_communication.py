@@ -1,0 +1,106 @@
+"""Figure 7: communication I/O on the Twitter workload.
+
+Six subplots: the effect of event arrival rate f, moving speed vs,
+notification radius r and corpus size E on synthetic trajectories
+(7a-7d), plus f and r on taxi trajectories (7e-7f).  Each cell reports
+the paper's two stacked series — location-update rounds and
+event-arrival rounds per subscriber.
+
+Paper shape to reproduce: iGM/idGM lowest total everywhere; GM cheapest
+on location updates but dominated by event-arrival cost as f grows; VM
+the most location updates; the iGM/idGM advantage growing with f.
+"""
+
+from __future__ import annotations
+
+from config import (
+    DEFAULTS,
+    E_SWEEP,
+    F_SWEEP,
+    R_SWEEP,
+    V_SWEEP,
+    communication_sweep,
+    format_table,
+)
+
+COLUMNS = ("strategy", "location_update", "event_arrival", "total")
+
+
+def _run(report, benchmark, name: str, parameter: str, values, config=DEFAULTS):
+    rows = benchmark.pedantic(
+        lambda: communication_sweep(config, parameter, values),
+        rounds=1,
+        iterations=1,
+    )
+    report(name, format_table(rows, (parameter,) + COLUMNS, f"Figure {name}"))
+    return rows
+
+
+def test_fig7a_event_rate(benchmark, report):
+    rows = _run(report, benchmark, "fig7a", "event_rate", F_SWEEP)
+    by = {(r["event_rate"], r["strategy"]): r for r in rows}
+    top_f = max(F_SWEEP)
+    # GM's event-arrival channel must dominate at high f, and iGM must
+    # beat GM overall there (the paper's headline result).
+    assert by[(top_f, "GM")]["event_arrival"] > 3 * by[(top_f, "iGM")]["event_arrival"]
+    assert by[(top_f, "iGM")]["total"] < by[(top_f, "GM")]["total"]
+    # GM scales linearly-ish with f on the event channel.
+    assert by[(top_f, "GM")]["event_arrival"] > by[(min(F_SWEEP), "GM")]["event_arrival"]
+
+
+def test_fig7b_speed(benchmark, report):
+    rows = _run(report, benchmark, "fig7b", "speed", V_SWEEP)
+    by = {(r["speed"], r["strategy"]): r for r in rows}
+    # Above the default speed, faster movement costs more location
+    # updates for every method (the paper's mechanism).  Below it our
+    # scaled setting shows the opposite: slow walkers boundary-hug the
+    # unsafe zones and re-exit thin regions repeatedly (EXPERIMENTS.md),
+    # so the assertion covers the 60 -> 100 range only.
+    for strategy in ("VM", "iGM"):
+        assert (
+            by[(V_SWEEP[-1], strategy)]["location_update"]
+            >= by[(V_SWEEP[2], strategy)]["location_update"]
+        )
+
+
+def test_fig7c_radius(benchmark, report):
+    rows = _run(report, benchmark, "fig7c", "radius", R_SWEEP)
+    by = {(r["radius"], r["strategy"]): r for r in rows}
+    # larger r shrinks safe regions -> more location updates (all methods)
+    for strategy in ("iGM", "GM"):
+        assert (
+            by[(R_SWEEP[-1], strategy)]["location_update"]
+            >= by[(R_SWEEP[0], strategy)]["location_update"]
+        )
+
+
+def test_fig7d_corpus_size(benchmark, report):
+    rows = _run(report, benchmark, "fig7d", "initial_events", E_SWEEP)
+    by = {(r["initial_events"], r["strategy"]): r for r in rows}
+    # a denser corpus costs more location updates (smaller safe regions)
+    assert (
+        by[(E_SWEEP[-1], "iGM")]["location_update"]
+        >= by[(E_SWEEP[0], "iGM")]["location_update"]
+    )
+
+
+def test_fig7e_event_rate_taxi(benchmark, report):
+    rows = _run(
+        report, benchmark, "fig7e", "event_rate", F_SWEEP,
+        config=DEFAULTS.with_(movement="taxi"),
+    )
+    by = {(r["event_rate"], r["strategy"]): r for r in rows}
+    top_f = max(F_SWEEP)
+    assert by[(top_f, "iGM")]["total"] < by[(top_f, "GM")]["total"]
+
+
+def test_fig7f_radius_taxi(benchmark, report):
+    rows = _run(
+        report, benchmark, "fig7f", "radius", R_SWEEP,
+        config=DEFAULTS.with_(movement="taxi"),
+    )
+    by = {(r["radius"], r["strategy"]): r for r in rows}
+    assert (
+        by[(R_SWEEP[-1], "iGM")]["location_update"]
+        >= by[(R_SWEEP[0], "iGM")]["location_update"]
+    )

@@ -1,0 +1,96 @@
+"""Subscription-index scalability (the paper's Section 6.1 aside).
+
+The paper does not sweep the subscriber count — it argues subscribers do
+not affect each other's communication and defers subscription-index
+scalability to OpIndex/BE-Tree.  This bench covers that deferred claim
+for the three subscription indexes this repository ships: event-matching
+throughput as the subscription population grows.
+
+Expected: OpIndex's pivot partitioning and the BE-Tree's value clustering
+keep per-event matching cost sublinear in the population; the k-index
+variant degrades to linear here because its size prune never fires when
+every subscription has the same size (delta = 3) — the weakness the Elaps
+paper points at when it calls the size partitioning "not efficient".
+All three always return identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.datasets import TwitterLikeGenerator
+from repro.geometry import Rect
+from repro.index import BETreeIndex, KSubscriptionIndex, SubscriptionIndex
+
+from config import FAST, format_table
+
+SPACE = Rect(0, 0, 50_000, 50_000)
+POPULATIONS = (250, 1_000, 4_000) if FAST else (500, 2_000, 8_000)
+PROBE_EVENTS = 100 if FAST else 300
+
+
+def _run() -> List[Dict]:
+    generator = TwitterLikeGenerator(SPACE, seed=29)
+    probes = generator.events(PROBE_EVENTS)
+    rows: List[Dict] = []
+    for population in POPULATIONS:
+        subscriptions = generator.subscriptions(population, size=3)
+        indexes = {
+            "OpIndex-style": SubscriptionIndex(generator.frequency_hint()),
+            "k-index-style": KSubscriptionIndex(),
+            "BE-Tree-style": BETreeIndex(max_bucket=32),
+        }
+        reference = None
+        for name, index in indexes.items():
+            started = time.perf_counter()
+            for subscription in subscriptions:
+                index.insert(subscription)
+            build_ms = (time.perf_counter() - started) * 1000
+            started = time.perf_counter()
+            results = [
+                sorted(s.sub_id for s in index.match_event(event))
+                for event in probes
+            ]
+            match_us = (time.perf_counter() - started) * 1e6 / PROBE_EVENTS
+            if reference is None:
+                reference = results
+            else:
+                assert results == reference, f"{name} diverged at {population}"
+            rows.append(
+                {
+                    "population": population,
+                    "index": name,
+                    "build_ms": build_ms,
+                    "match_us_per_event": match_us,
+                }
+            )
+    return rows
+
+
+def test_subscription_index_scalability(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "subscription_scalability",
+        format_table(
+            rows,
+            ("population", "index", "build_ms", "match_us_per_event"),
+            "Subscription-index scalability (event-matching cost vs population)",
+        ),
+    )
+    population_growth = POPULATIONS[-1] / POPULATIONS[0]
+
+    def growth(name: str) -> float:
+        series = {
+            r["population"]: r["match_us_per_event"]
+            for r in rows
+            if r["index"] == name
+        }
+        return series[POPULATIONS[-1]] / max(series[POPULATIONS[0]], 1e-9)
+
+    # OpIndex and BE-Tree prune: sublinear growth
+    assert growth("OpIndex-style") < population_growth
+    assert growth("BE-Tree-style") < population_growth
+    # k-index's size prune is inert on a uniform-size population: (near-)
+    # linear growth, the inefficiency the paper calls out
+    assert growth("k-index-style") < population_growth * 1.5

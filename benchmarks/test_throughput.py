@@ -1,0 +1,87 @@
+"""End-to-end publish throughput (system claim, not a paper figure).
+
+The paper's bottom line is that Elaps "disseminates events to users in
+real-time": the publish path — subscription-index match, impact-index
+lookup, the occasional ping/rebuild — must keep up with the stream.
+This bench pushes a burst of events through a fully loaded server and
+reports events/second, with and without subscribers to separate the
+index cost from the subscriber-handling cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.core import IGM
+from repro.datasets import TwitterLikeGenerator
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree, SubscriptionIndex
+from repro.system import ElapsServer
+
+from config import FAST, format_table
+
+SPACE = Rect(0, 0, 50_000, 50_000)
+BURST = 500 if FAST else 2_000
+CORPUS = 2_000 if FAST else 6_000
+POPULATIONS = (0, 10, 50) if FAST else (0, 25, 100)
+
+
+def _loaded_server(generator, subscriber_count: int) -> ElapsServer:
+    server = ElapsServer(
+        Grid(120, SPACE),
+        IGM(max_cells=2_500),
+        event_index=BEQTree(SPACE, emax=512),
+        subscription_index=SubscriptionIndex(generator.frequency_hint()),
+        initial_rate=20.0,
+    )
+    server.bootstrap(generator.events(CORPUS))
+    subscriptions = generator.subscriptions(subscriber_count, size=3)
+    anchors = generator.events(subscriber_count, seed_offset=3)
+    for subscription, anchor in zip(subscriptions, anchors):
+        server.subscribe(subscription, anchor.location, Point(60, 10), now=0)
+    # stationary clients: the locator answers with the subscribe position
+    positions = {s.sub_id: a.location for s, a in zip(subscriptions, anchors)}
+    server.locator = lambda sub_id: (positions[sub_id], Point(60, 10))
+    return server
+
+
+def _run() -> List[Dict]:
+    generator = TwitterLikeGenerator(SPACE, seed=37)
+    burst = generator.events(BURST, start_id=10_000_000, seed_offset=7)
+    rows: List[Dict] = []
+    for population in POPULATIONS:
+        server = _loaded_server(generator, population)
+        started = time.perf_counter()
+        notifications = 0
+        for t, event in enumerate(burst, start=1):
+            notifications += len(server.publish(event, now=t))
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "subscribers": population,
+                "events": BURST,
+                "notifications": notifications,
+                "events_per_second": BURST / elapsed,
+            }
+        )
+    return rows
+
+
+def test_publish_throughput(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "throughput",
+        format_table(
+            rows,
+            ("subscribers", "events", "notifications", "events_per_second"),
+            "Publish throughput (events/s through the full server)",
+        ),
+    )
+    by = {r["subscribers"]: r for r in rows}
+    # the empty server bounds the pure index cost; it must be brisk even
+    # in pure Python
+    assert by[0]["events_per_second"] > 500
+    # with a full subscriber population the server must still outrun the
+    # paper's heaviest stream (500 events per 5 s timestamp = 100 ev/s)
+    assert by[POPULATIONS[-1]]["events_per_second"] > 100

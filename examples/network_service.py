@@ -1,0 +1,89 @@
+"""Elaps as a network service: subscriber and publisher over TCP.
+
+Starts an Elaps server on a loopback socket, connects a subscriber (who
+receives her WAH-compressed safe region) and a publisher (who announces
+flash events), and shows the pushes arriving over the wire — the binary
+protocol of ``repro.system.protocol`` end to end.
+
+Run:  python examples/network_service.py
+"""
+
+import asyncio
+
+from repro import (
+    BEQTree,
+    BooleanExpression,
+    ElapsNetworkClient,
+    ElapsServer,
+    ElapsTCPServer,
+    Grid,
+    IGM,
+    Operator,
+    Point,
+    Predicate,
+    Rect,
+    Subscription,
+)
+from repro.system.protocol import NotificationMessage, SafeRegionPush, message_bytes
+
+SPACE = Rect(0, 0, 20_000, 20_000)
+
+
+async def main() -> None:
+    core = ElapsServer(
+        Grid(80, SPACE),
+        IGM(max_cells=1_000),
+        event_index=BEQTree(SPACE, emax=128),
+        initial_rate=1.0,
+    )
+    service = ElapsTCPServer(core, port=0, timestamp_seconds=0.1)
+    await service.start()
+    print(f"Elaps listening on 127.0.0.1:{service.port}")
+
+    # a subscriber interested in espresso deals within 2 km
+    alice = ElapsNetworkClient("127.0.0.1", service.port)
+    await alice.connect()
+    interest = Subscription(
+        1,
+        BooleanExpression([
+            Predicate("category", Operator.EQ, "coffee"),
+            Predicate("price", Operator.LE, 4),
+        ]),
+        radius=2_000.0,
+    )
+    pushes = await alice.subscribe(interest, Point(10_000, 10_000), Point(30, 0))
+    region_push = pushes[-1]
+    assert isinstance(region_push, SafeRegionPush)
+    print(f"alice subscribed; safe region arrived: "
+          f"{len(region_push.bitmap.positions())} cells, "
+          f"{message_bytes(region_push)} bytes on the wire")
+
+    # a publisher announces three offers; one matches nearby
+    cafe = ElapsNetworkClient("127.0.0.1", service.port)
+    await cafe.connect()
+    await cafe.publish(1, {"category": "coffee", "price": 6}, Point(10_300, 10_000), ttl=600)
+    await cafe.publish(2, {"category": "books", "price": 3}, Point(10_200, 10_000), ttl=600)
+    await cafe.publish(3, {"category": "coffee", "price": 3}, Point(10_400, 10_100), ttl=600)
+
+    message = await alice.receive(timeout=3.0)
+    assert isinstance(message, NotificationMessage)
+    print(f"alice notified over TCP: {dict(message.attributes)} "
+          f"at ({message.location.x:.0f}, {message.location.y:.0f})")
+
+    # she drives off and reports when her region no longer covers her
+    from repro.system.protocol import LocationReport
+
+    await alice.send(LocationReport(1, Point(18_000, 18_000), Point(30, 0)))
+    fresh = await alice.receive(timeout=3.0)
+    assert isinstance(fresh, SafeRegionPush)
+    print(f"location report answered with a fresh region "
+          f"({message_bytes(fresh)} bytes)")
+
+    await alice.close()
+    await cafe.close()
+    await service.stop()
+    print("service stopped cleanly")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,96 @@
+"""Quickstart: a complete Elaps session in ~60 lines.
+
+A subscriber interested in discounted basketball shoes (the paper's
+Figure 1 scenario) drives east while shops publish events.  The example
+shows the full pub/sub loop: subscribe, receive a safe region, publish
+matching and non-matching events, watch the impact region do its job,
+and report a location update after leaving the safe region.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BEQTree,
+    BooleanExpression,
+    ElapsServer,
+    Event,
+    Grid,
+    IGM,
+    Operator,
+    Point,
+    Predicate,
+    Rect,
+    Subscription,
+)
+
+
+def main() -> None:
+    # A 50 km x 50 km city, gridded 120 x 120 for safe regions.
+    space = Rect(0, 0, 50_000, 50_000)
+    server = ElapsServer(
+        Grid(120, space),
+        IGM(max_cells=2_000),
+        event_index=BEQTree(space, emax=256),
+        initial_rate=1.0,
+    )
+
+    # Figure 1: "name = shoes AND model = Jordan AJ23 AND price < $1000".
+    interest = BooleanExpression([
+        Predicate("name", Operator.EQ, "shoes"),
+        Predicate("model", Operator.EQ, "Jordan AJ23"),
+        Predicate("price", Operator.LT, 1000),
+    ])
+    subscriber = Subscription(sub_id=1, expression=interest, radius=2_000.0)
+
+    # An event already in the store: a matching sale 1.5 km away.
+    server.bootstrap([
+        Event(100, {"name": "shoes", "model": "Jordan AJ23", "price": 899},
+              Point(26_500, 25_000)),
+    ])
+
+    position, velocity = Point(25_000, 25_000), Point(60.0, 0.0)
+    delivered, safe_region = server.subscribe(subscriber, position, velocity, now=0)
+    print(f"subscribed; {len(delivered)} event(s) already inside the circle:")
+    for notification in delivered:
+        print(f"  -> event {notification.event.event_id}: "
+              f"{dict(notification.event.attributes)}")
+    print(f"safe region: {safe_region.area_cells()} cells, "
+          f"{safe_region.encoded_bytes()} bytes on the wire (WAH bitmap)")
+
+    # A matching event far away: lands outside the impact region, silent.
+    far = Event(101, {"name": "shoes", "model": "Jordan AJ23", "price": 750},
+                Point(48_000, 48_000))
+    assert server.publish(far, now=1) == []
+    print("far matching event published: no communication (outside impact region)")
+
+    # A matching event right next to the subscriber: instant notification.
+    near = Event(102, {"name": "shoes", "model": "Jordan AJ23", "price": 650},
+                 Point(25_400, 25_200))
+    notifications = server.publish(near, now=2)
+    print(f"near matching event published: notified {[n.sub_id for n in notifications]}")
+
+    # An event that fails the boolean expression: never considered.
+    wrong = Event(103, {"name": "shoes", "model": "Air Max", "price": 500},
+                  Point(25_300, 25_000))
+    assert server.publish(wrong, now=3) == []
+    print("non-matching event published: silent")
+
+    # The subscriber keeps driving east; the client stays silent until its
+    # position leaves the safe region, then reports.
+    new_position = position
+    while safe_region.contains_point(new_position) and new_position.x < 49_000:
+        new_position = Point(new_position.x + 500.0, new_position.y)
+    notifications, new_region = server.report_location(
+        subscriber.sub_id, new_position, velocity, now=50
+    )
+    print(f"location update at x={new_position.x:.0f}: {len(notifications)} new "
+          f"notification(s), new safe region of {new_region.area_cells()} cells")
+
+    stats = server.metrics
+    print(f"\ncommunication so far: {stats.location_update_rounds} location-update "
+          f"round(s), {stats.event_arrival_rounds} event-arrival round(s), "
+          f"{stats.notifications} notification(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Bitmap substrate: WAH run-length compression for safe-region transfer."""
+
+from .wah import WAHBitmap
+
+__all__ = ["WAHBitmap"]

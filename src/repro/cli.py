@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``simulate`` — run one pub/sub simulation (a strategy, a workload, a
+  movement model) and print the per-subscriber communication figures;
+* ``compare``  — run the same world against VM, GM, iGM and idGM and
+  print the comparison table (the Figure 7 experiment at one point);
+* ``match``    — load a corpus into the four event indexes and time a
+  batch of subscription matches (the Figure 8 experiment at one point).
+
+Every run is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .datasets import TwitterLikeGenerator
+from .geometry import Rect
+from .index import BEQTree, KIndex, OpIndex, QuadTree
+from .system import ExperimentConfig, run_experiment
+
+
+def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("twitter", "foursquare"), default="twitter")
+    parser.add_argument("--movement", choices=("synthetic", "taxi"), default="synthetic")
+    parser.add_argument("--event-rate", type=float, default=20.0,
+                        help="f: events per timestamp (default 20)")
+    parser.add_argument("--speed", type=float, default=60.0,
+                        help="vs: metres per timestamp (default 60)")
+    parser.add_argument("--radius", type=float, default=3000.0,
+                        help="r: notification radius in metres (default 3000)")
+    parser.add_argument("--events", type=int, default=6000,
+                        help="E: initial event corpus size (default 6000)")
+    parser.add_argument("--subscribers", type=int, default=10)
+    parser.add_argument("--timestamps", type=int, default=120,
+                        help="simulation length; one timestamp = 5 s")
+    parser.add_argument("--sub-size", type=int, default=3,
+                        help="delta: predicates per subscription (default 3)")
+    parser.add_argument("--grid", type=int, default=120, help="N: grid resolution")
+    parser.add_argument("--ttl", type=int, default=50,
+                        help="event validity in timestamps (default 50)")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _config_from(args: argparse.Namespace, strategy: str, mode: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        strategy=strategy,
+        dataset=args.dataset,
+        movement=args.movement,
+        event_rate=args.event_rate,
+        speed=args.speed,
+        radius=args.radius,
+        initial_events=args.events,
+        subscription_size=args.sub_size,
+        subscribers=args.subscribers,
+        timestamps=args.timestamps,
+        grid_n=args.grid,
+        event_ttl=args.ttl,
+        matching_mode=mode,
+        seed=args.seed,
+    )
+
+
+def _print_header(args: argparse.Namespace) -> None:
+    print(
+        f"{args.subscribers} subscribers x {args.timestamps} timestamps on "
+        f"{args.dataset}/{args.movement}; f={args.event_rate:g}/tm, "
+        f"vs={args.speed:g} m/tm, r={args.radius / 1000:g} km, "
+        f"E={args.events}, seed={args.seed}"
+    )
+
+
+def _print_row(label: str, per: dict, seconds: float) -> None:
+    print(
+        f"{label:<6} {per['location_update']:>14.2f} {per['event_arrival']:>14.2f} "
+        f"{per['total']:>10.2f} {per['notifications']:>14.2f} {seconds:>9.1f}s"
+    )
+
+
+_TABLE_HEADER = (
+    f"{'method':<6} {'location upd.':>14} {'event arrival':>14} "
+    f"{'total I/O':>10} {'notifications':>14} {'wall':>10}"
+)
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    mode = "cached" if args.strategy in ("VM", "GM") else "ondemand"
+    _print_header(args)
+    started = time.perf_counter()
+    result = run_experiment(_config_from(args, args.strategy, mode))
+    print()
+    print(_TABLE_HEADER)
+    _print_row(args.strategy, result.per_subscriber(), time.perf_counter() - started)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    _print_header(args)
+    print()
+    print(_TABLE_HEADER)
+    totals = {}
+    for strategy in ("VM", "GM", "iGM", "idGM"):
+        mode = "cached" if strategy in ("VM", "GM") else "ondemand"
+        started = time.perf_counter()
+        result = run_experiment(_config_from(args, strategy, mode))
+        per = result.per_subscriber()
+        totals[strategy] = per["total"]
+        _print_row(strategy, per, time.perf_counter() - started)
+    best = min(totals, key=totals.get)
+    worst = max(totals, key=totals.get)
+    if totals[best] > 0:
+        print(
+            f"\n{best} uses {totals[worst] / totals[best]:.1f}x less "
+            f"communication than {worst}"
+        )
+    return 0
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    space = Rect(0, 0, 50_000, 50_000)
+    generator = TwitterLikeGenerator(space, seed=args.seed)
+    print(f"loading {args.events} events, matching {args.queries} subscriptions "
+          f"(delta={args.sub_size}, r={args.radius / 1000:g} km)")
+    events = generator.events(args.events)
+    subscriptions = generator.subscriptions(
+        args.queries, size=args.sub_size, radius=args.radius
+    )
+    locations = [event.location for event in events[: args.queries]]
+    indexes = {
+        "Quadtree": QuadTree(space, max_per_leaf=256),
+        "k-index": KIndex(),
+        "OpIndex": OpIndex(frequency_hint=generator.frequency_hint()),
+        "BEQ-Tree": BEQTree(space, emax=512),
+    }
+    print(f"\n{'index':<10} {'build (s)':>10} {'per query (ms)':>16} {'matches':>8}")
+    reference: Optional[List] = None
+    for name, index in indexes.items():
+        started = time.perf_counter()
+        index.insert_all(events)
+        build_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        results = [
+            sorted(e.event_id for e in index.match(subscription, at))
+            for subscription, at in zip(subscriptions, locations)
+        ]
+        elapsed_ms = (time.perf_counter() - started) * 1000 / args.queries
+        if reference is None:
+            reference = results
+        elif results != reference:
+            print(f"ERROR: {name} diverged from the reference results",
+                  file=sys.stderr)
+            return 1
+        print(f"{name:<10} {build_seconds:>10.2f} {elapsed_ms:>16.2f} "
+              f"{sum(len(r) for r in results):>8}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for `python -m repro`."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Elaps: location-aware pub/sub for moving queries over "
+                    "dynamic event streams (SIGMOD 2015 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run one strategy and print its communication figures"
+    )
+    simulate.add_argument("--strategy", choices=("VM", "GM", "iGM", "idGM"),
+                          default="iGM")
+    _add_simulation_arguments(simulate)
+    simulate.set_defaults(handler=_command_simulate)
+
+    compare = commands.add_parser(
+        "compare", help="run all four strategies on the same world"
+    )
+    _add_simulation_arguments(compare)
+    compare.set_defaults(handler=_command_compare)
+
+    match = commands.add_parser(
+        "match", help="time subscription matching on the four event indexes"
+    )
+    match.add_argument("--events", type=int, default=20_000)
+    match.add_argument("--queries", type=int, default=40)
+    match.add_argument("--sub-size", type=int, default=3)
+    match.add_argument("--radius", type=float, default=3_000.0)
+    match.add_argument("--seed", type=int, default=7)
+    match.set_defaults(handler=_command_match)
+
+    figure = commands.add_parser(
+        "figure", help="print a regenerated figure table (run the benchmarks first)"
+    )
+    figure.add_argument("name", nargs="?", default=None,
+                        help="figure id, e.g. fig7a; omit to list available tables")
+    figure.set_defaults(handler=_command_figure)
+
+    return parser
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    import pathlib
+
+    results = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    if not results.is_dir():
+        print("no benchmark results yet; run: pytest benchmarks/ --benchmark-only",
+              file=sys.stderr)
+        return 1
+    if args.name is None:
+        for path in sorted(results.glob("*.txt")):
+            print(path.stem)
+        return 0
+    path = results / f"{args.name}.txt"
+    if not path.is_file():
+        print(f"unknown figure {args.name!r}; available: "
+              + ", ".join(sorted(p.stem for p in results.glob('*.txt'))),
+              file=sys.stderr)
+        return 1
+    print(path.read_text())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The safe-region construction interface shared by VM, GM, iGM and idGM.
+
+A *construction request* bundles what every method needs: the subscriber's
+reported location and velocity, the notification radius, the grid, the
+matching-event field, and the system statistics.  A *region pair* is the
+result: the safe region (shipped to the client) and its impact region
+(kept in the server's impact index), plus the bookkeeping counters the
+evaluation reports (cells examined, events scanned).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..geometry import Grid, Point
+from .cost_model import SystemStats
+from .field import MatchingEventField
+from .regions import ImpactRegion, SafeRegion
+
+
+@dataclass
+class ConstructionRequest:
+    """Everything a safe-region constructor needs for one subscriber."""
+
+    location: Point
+    velocity: Point  # metres per timestamp; the norm is the speed ``vs``
+    radius: float
+    grid: Grid
+    matching_field: MatchingEventField
+    stats: SystemStats
+
+    @property
+    def speed(self) -> float:
+        """The scalar speed ``vs`` (metres per timestamp)."""
+        return self.velocity.norm()
+
+
+@dataclass
+class RegionPair:
+    """A freshly constructed safe region with its impact region."""
+
+    safe: SafeRegion
+    impact: ImpactRegion
+    cells_examined: int = 0
+
+
+class SafeRegionStrategy(abc.ABC):
+    """One of the four construction methods compared in Section 6."""
+
+    #: short label used in benchmark tables ("VM", "GM", "iGM", "idGM")
+    name: str = "?"
+
+    @abc.abstractmethod
+    def construct(self, request: ConstructionRequest) -> RegionPair:
+        """Build the safe and impact regions for one subscriber."""

@@ -1,0 +1,92 @@
+"""The communication cost model of Section 3.3.
+
+Two communication types exist for a continuous query over a dynamic
+stream:
+
+* **type I** — the subscriber leaves the safe region; expected after
+  ``ts(R) = d(s, R) / vs`` (Equation 3), so a *larger* safe region is
+  better;
+* **type II** — a new matching event lands in the impact region; expected
+  after ``ti(I) = n / (f * ne)`` (Equation 5), so a *smaller* impact
+  region (hence safe region, Lemma 3) is better.
+
+The construction maximises ``f_obj = min(ts, ti)`` (Equation 1).  The
+balance ratio ``bm = ts / ti`` (Equation 2) grows monotonically as the
+safe region expands (Lemma 5), and Lemmas 6-7 show the optimum sits where
+``bm`` crosses 1 — so iGM/idGM expand until the next cell would push
+``bm`` past the termination threshold (1 in the paper; Figure 9 sweeps
+the threshold ``beta`` to confirm the optimum).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """The stream/motion statistics the cost model consumes.
+
+    ``event_rate`` is the average number of *new events per timestamp*
+    (the paper's ``f``); ``total_events`` is the number of events
+    currently stored (``n``).  Both are system-wide statistics maintained
+    by the server, independent of any single safe region.
+    """
+
+    event_rate: float
+    total_events: int
+
+    def __post_init__(self) -> None:
+        if self.event_rate < 0:
+            raise ValueError(f"negative event rate: {self.event_rate}")
+        if self.total_events < 0:
+            raise ValueError(f"negative event count: {self.total_events}")
+
+
+class CostModel:
+    """Equations 1-6 with the degenerate cases made explicit."""
+
+    def __init__(self, stats: SystemStats) -> None:
+        self.stats = stats
+
+    def expected_exit_time(self, boundary_distance: float, speed: float) -> float:
+        """Equation 3: ``ts = d(s, R) / vs``; infinite for a parked user."""
+        if speed <= 0:
+            return math.inf
+        return boundary_distance / speed
+
+    def expected_impact_time(self, matching_in_impact: int) -> float:
+        """Equation 5: ``ti = n / (f * ne)``; infinite when nothing can hit."""
+        f, n = self.stats.event_rate, self.stats.total_events
+        if f <= 0 or matching_in_impact <= 0 or n <= 0:
+            return math.inf
+        return n / (f * matching_in_impact)
+
+    def balance(
+        self, boundary_distance: float, speed: float, matching_in_impact: int
+    ) -> float:
+        """Equation 6: ``bm = f * ne * d(s, R) / (n * vs)``.
+
+        Degenerate cases follow ``ts / ti`` limits: a parked user never
+        exits (``bm = 0`` unless ``ti`` is also infinite, then 0 too — a
+        parked user with no event pressure has nothing to trade off).
+        """
+        ts = self.expected_exit_time(boundary_distance, speed)
+        ti = self.expected_impact_time(matching_in_impact)
+        if math.isinf(ti):
+            return 0.0
+        if math.isinf(ts):
+            return math.inf
+        if ti == 0:
+            return math.inf
+        return ts / ti
+
+    def objective(
+        self, boundary_distance: float, speed: float, matching_in_impact: int
+    ) -> float:
+        """Equation 1: ``f_obj = min(ts, ti)``."""
+        return min(
+            self.expected_exit_time(boundary_distance, speed),
+            self.expected_impact_time(matching_in_impact),
+        )

@@ -1,0 +1,217 @@
+"""Matching-event fields: where the be-matching events are.
+
+Safe-region construction needs three queries about the subscriber's
+be-matching (and not yet delivered) events:
+
+* **safety** — is a grid cell farther than the notification radius from
+  every matching event? (the boolean array ``B`` of Algorithm 1);
+* **density** — how many matching events sit inside a grid cell? (the
+  per-cell counts ``phi`` feeding the ``ne`` estimate of the cost model);
+* **enumeration** — VM and GM need the full matching-event list.
+
+Safety is answered from an *unsafe-cell set*: every matching event is
+dilated by the notification radius once, after which each safety test is
+a set lookup.  Two implementations exist, mirroring the paper's two
+server modes (Appendix D.3):
+
+* :class:`StaticMatchingField` is built from a fully materialised list of
+  matching-event locations (the ``-BE`` variants: k-index finds all
+  matching events upfront; also VM and GM, which need the global list);
+* :class:`LazyBEQField` pulls matching events *on demand* from a BEQ-Tree
+  (Section 4.2, "BEQ-Tree used in iGM and idGM").  It maintains a covered
+  rectangle of grid cells that grows with the expansion; tree leaves are
+  scanned at most once per construction, and freshly discovered events
+  are dilated into the unsafe set incrementally.
+
+Both keep an ``events_scanned`` counter so the benchmarks can report the
+server-side work (Figure 13).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..expressions import BooleanExpression
+from ..geometry import Cell, Grid, Point, Rect
+
+
+def dilate_point(grid: Grid, point: Point, radius: float, into: Set[Cell]) -> None:
+    """Add every cell within ``radius`` of ``point`` (closed) to ``into``."""
+    i, j = grid.cell_of(point)
+    for (di, dj) in grid.disk_offsets(radius, inclusive=True):
+        candidate = (i + di, j + dj)
+        if candidate in into or not grid.in_bounds(candidate):
+            continue
+        if grid.cell_rect(candidate).min_distance_to_point(point) <= radius:
+            into.add(candidate)
+
+
+class MatchingEventField:
+    """Interface shared by the static and the lazy field."""
+
+    grid: Grid
+    events_scanned: int = 0
+
+    def count_in_cell(self, cell: Cell) -> int:
+        """phi[cell]: the number of matching events located in the cell."""
+        raise NotImplementedError
+
+    def is_cell_safe(self, cell: Cell, radius: float) -> bool:
+        """True iff every point of ``cell`` is > ``radius`` from every event."""
+        raise NotImplementedError
+
+    def unsafe_cells(self, radius: float) -> FrozenSet[Cell]:
+        """All cells within ``radius`` of some matching event (GM's input)."""
+        raise NotImplementedError
+
+    def all_points(self) -> List[Point]:
+        """Every matching-event location (VM/GM need the global list)."""
+        raise NotImplementedError
+
+
+class StaticMatchingField(MatchingEventField):
+    """A field over an upfront list of matching-event locations."""
+
+    def __init__(self, grid: Grid, points: Iterable[Point]) -> None:
+        self.grid = grid
+        self._counts: Dict[Cell, int] = defaultdict(int)
+        self._points: List[Point] = []
+        self._unsafe: Dict[float, FrozenSet[Cell]] = {}
+        self.events_scanned = 0
+        for point in points:
+            self._points.append(point)
+            self._counts[grid.cell_of(point)] += 1
+
+    def count_in_cell(self, cell: Cell) -> int:
+        """phi[cell]: matching events located in the cell."""
+        return self._counts.get(cell, 0)
+
+    def unsafe_cells(self, radius: float) -> FrozenSet[Cell]:
+        """All cells within the radius of some matching event (cached)."""
+        cached = self._unsafe.get(radius)
+        if cached is None:
+            unsafe: Set[Cell] = set()
+            for point in self._points:
+                dilate_point(self.grid, point, radius, unsafe)
+            cached = frozenset(unsafe)
+            self._unsafe[radius] = cached
+        return cached
+
+    def is_cell_safe(self, cell: Cell, radius: float) -> bool:
+        """O(1) lookup against the precomputed unsafe set."""
+        return cell not in self.unsafe_cells(radius)
+
+    def all_points(self) -> List[Point]:
+        """Every matching-event location (a copy)."""
+        return list(self._points)
+
+
+class LazyBEQField(MatchingEventField):
+    """A field that discovers matching events leaf-by-leaf from a BEQ-Tree.
+
+    ``excluded_ids`` carries the already-delivered events (footnote 2 of
+    the paper: once notified, an event is never considered again for the
+    subscriber, so it must not constrain the safe region either).
+
+    Coverage grows as an axis-aligned cell rectangle: a safety query for a
+    cell extends the covered rectangle to include the cell's whole
+    ``radius``-neighbourhood, scanning only the BEQ-Tree leaves that
+    intersect the newly covered strip.  Because iGM/idGM expand outward
+    from the subscriber, the rectangle tracks the expansion closely and
+    the rest of the space is never touched.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        tree,
+        expression: BooleanExpression,
+        excluded_ids: Optional[Set[int]] = None,
+    ) -> None:
+        self.grid = grid
+        self._tree = tree
+        self._expression = expression
+        self._excluded = excluded_ids if excluded_ids is not None else set()
+        self._counts: Dict[Cell, int] = defaultdict(int)
+        self._points: List[Point] = []
+        self._unsafe: Dict[float, Set[Cell]] = defaultdict(set)
+        self._scanned_leaves: Set[int] = set()
+        # Covered cell rectangle (i_min, j_min, i_max, j_max), inclusive.
+        self._covered: Optional[Tuple[int, int, int, int]] = None
+        self.events_scanned = 0
+        self.leaves_scanned = 0
+
+    # ------------------------------------------------------------------
+    # Coverage
+    # ------------------------------------------------------------------
+    def _cover(self, i_min: int, j_min: int, i_max: int, j_max: int) -> None:
+        """Grow the covered rectangle to include the requested cell range."""
+        n = self.grid.n
+        i_min, j_min = max(i_min, 0), max(j_min, 0)
+        i_max, j_max = min(i_max, n - 1), min(j_max, n - 1)
+        if self._covered is not None:
+            ci_min, cj_min, ci_max, cj_max = self._covered
+            if ci_min <= i_min and cj_min <= j_min and i_max <= ci_max and j_max <= cj_max:
+                return
+            i_min, j_min = min(i_min, ci_min), min(j_min, cj_min)
+            i_max, j_max = max(i_max, ci_max), max(j_max, cj_max)
+        lo = self.grid.cell_rect((i_min, j_min))
+        hi = self.grid.cell_rect((i_max, j_max))
+        area = Rect(lo.x_min, lo.y_min, hi.x_max, hi.y_max)
+        for leaf in self._tree.leaves_intersecting_rect(area):
+            if leaf.cell_id in self._scanned_leaves:
+                continue
+            self._scanned_leaves.add(leaf.cell_id)
+            self.leaves_scanned += 1
+            self.events_scanned += len(leaf.events)
+            for event in leaf.be_match(self._expression):
+                if event.event_id in self._excluded:
+                    continue
+                self._points.append(event.location)
+                self._counts[self.grid.cell_of(event.location)] += 1
+                for radius, unsafe in self._unsafe.items():
+                    dilate_point(self.grid, event.location, radius, unsafe)
+        self._covered = (i_min, j_min, i_max, j_max)
+
+    def _reach(self, radius: float) -> int:
+        return int(radius / min(self.grid.cell_width, self.grid.cell_height)) + 2
+
+    def _ensure_neighbourhood(self, cell: Cell, radius: float) -> None:
+        reach = self._reach(radius)
+        self._cover(cell[0] - reach, cell[1] - reach, cell[0] + reach, cell[1] + reach)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count_in_cell(self, cell: Cell) -> int:
+        """phi[cell], covering the cell's leaves on demand."""
+        self._cover(cell[0], cell[1], cell[0], cell[1])
+        return self._counts.get(cell, 0)
+
+    def is_cell_safe(self, cell: Cell, radius: float) -> bool:
+        """Safety test; covers the cell's radius-neighbourhood on demand."""
+        if radius not in self._unsafe:
+            # First query with this radius: dilate everything known so far.
+            unsafe: Set[Cell] = set()
+            for point in self._points:
+                dilate_point(self.grid, point, radius, unsafe)
+            self._unsafe[radius] = unsafe
+        self._ensure_neighbourhood(cell, radius)
+        return cell not in self._unsafe[radius]
+
+    def unsafe_cells(self, radius: float) -> FrozenSet[Cell]:
+        """Full-coverage unsafe set (GM under on-demand matching)."""
+        self.all_points()  # full coverage
+        if radius not in self._unsafe:
+            unsafe: Set[Cell] = set()
+            for point in self._points:
+                dilate_point(self.grid, point, radius, unsafe)
+            self._unsafe[radius] = unsafe
+        return frozenset(self._unsafe[radius])
+
+    def all_points(self) -> List[Point]:
+        """Falls back to a full scan; defeats the purpose, use sparingly."""
+        n = self.grid.n
+        self._cover(0, 0, n - 1, n - 1)
+        return list(self._points)

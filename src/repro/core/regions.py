@@ -1,0 +1,141 @@
+"""Safe regions and impact regions (Definitions 1 and 2).
+
+Both region kinds are sets of grid cells.  The grid rendering keeps the
+paper's guarantees conservative:
+
+* a cell belongs to a **safe region** only if *every* point of the cell is
+  farther than the notification radius from every matching event
+  (Definition 1 holds pointwise);
+* the **impact region** of a safe region contains every cell holding at
+  least one point within the notification radius of the safe region, so an
+  event outside the impact cells provably cannot invalidate the safe
+  region (Definition 2 is over-approximated, never under-approximated).
+
+GM's safe region is usually "everything except a few cells", so regions
+support a complement representation: the stored cell set is then the
+*excluded* cells.  The WAH bitmap codec (Appendix B) handles both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator
+
+import numpy as np
+from scipy import ndimage
+
+from ..bitmap import WAHBitmap
+from ..geometry import Cell, Grid, Point, interleave
+
+
+@dataclass(frozen=True)
+class GridRegion:
+    """An immutable set of grid cells, optionally stored as a complement."""
+
+    grid: Grid
+    cells: FrozenSet[Cell]
+    complement: bool = False
+
+    @classmethod
+    def of(cls, grid: Grid, cells: Iterable[Cell], complement: bool = False) -> "GridRegion":
+        """Region over the given cells (or their complement)."""
+        return cls(grid, frozenset(cells), complement)
+
+    @classmethod
+    def empty(cls, grid: Grid) -> "GridRegion":
+        """The empty region."""
+        return cls(grid, frozenset(), complement=False)
+
+    @classmethod
+    def whole_space(cls, grid: Grid) -> "GridRegion":
+        """The region covering every cell of the grid."""
+        return cls(grid, frozenset(), complement=True)
+
+    def covers_cell(self, cell: Cell) -> bool:
+        """Membership test at cell granularity."""
+        if self.complement:
+            return self.grid.in_bounds(cell) and cell not in self.cells
+        return cell in self.cells
+
+    def contains_point(self, p: Point) -> bool:
+        """Membership test for a point (via its containing cell)."""
+        return self.covers_cell(self.grid.cell_of(p))
+
+    def is_empty(self) -> bool:
+        """True when no cell is covered."""
+        return self.area_cells() == 0
+
+    def area_cells(self) -> int:
+        """The number of covered cells."""
+        total = self.grid.n * self.grid.n
+        return total - len(self.cells) if self.complement else len(self.cells)
+
+    def iter_cells(self) -> Iterator[Cell]:
+        """All member cells; materialises the complement when needed."""
+        if not self.complement:
+            yield from self.cells
+            return
+        for cell in self.grid.all_cells():
+            if cell not in self.cells:
+                yield cell
+
+    # ------------------------------------------------------------------
+    # Wire encoding (Appendix B)
+    # ------------------------------------------------------------------
+    def to_bitmap(self) -> WAHBitmap:
+        """The z-ordered WAH bitmap a server would ship to the client.
+
+        Cells are laid out by Morton code so that spatially close cells get
+        adjacent bit positions, which is what makes the run-length encoding
+        effective (Appendix B).  A complement region encodes its *stored*
+        (excluded) cells — the complement flag travels beside the bitmap in
+        the wire protocol, so the client inverts the membership test rather
+        than the server shipping a nearly-all-ones bitmap.
+        """
+        side = 1 << max(self.grid.n - 1, 1).bit_length()
+        length = side * side
+        positions = (interleave(i, j) for (i, j) in self.cells)
+        return WAHBitmap.from_positions(positions, length)
+
+    def encoded_bytes(self) -> int:
+        """Bytes on the wire when shipping this region to a client."""
+        return self.to_bitmap().compressed_bytes()
+
+
+class SafeRegion(GridRegion):
+    """Definition 1 rendered on the grid; the client-side object."""
+
+
+class ImpactRegion(GridRegion):
+    """Definition 2 rendered on the grid; stays on the server."""
+
+
+def _structuring_element(grid: Grid, radius: float) -> np.ndarray:
+    """The disk-offsets mask as a boolean array centred on the origin."""
+    offsets = grid.disk_offsets(radius)
+    reach_i = max(abs(di) for (di, dj) in offsets)
+    reach_j = max(abs(dj) for (di, dj) in offsets)
+    mask = np.zeros((2 * reach_i + 1, 2 * reach_j + 1), dtype=bool)
+    for (di, dj) in offsets:
+        mask[di + reach_i, dj + reach_j] = True
+    return mask
+
+
+def impact_from_safe(safe: SafeRegion, radius: float) -> ImpactRegion:
+    """Dilate a safe region by the notification radius (Definition 2).
+
+    A complement-represented safe region (GM) covers most of the grid, so
+    its dilation is computed as a vectorised morphological dilation of the
+    full boolean mask; the result stays in complement form.
+    """
+    grid = safe.grid
+    if safe.complement:
+        mask = np.ones((grid.n, grid.n), dtype=bool)
+        for (i, j) in safe.cells:
+            mask[i, j] = False
+        dilated = ndimage.binary_dilation(mask, structure=_structuring_element(grid, radius))
+        excluded = frozenset(
+            (int(i), int(j)) for i, j in zip(*np.nonzero(~dilated))
+        )
+        return ImpactRegion(grid, excluded, complement=True)
+    return ImpactRegion(grid, frozenset(grid.dilate(safe.cells, radius)), complement=False)

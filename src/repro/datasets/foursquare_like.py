@@ -1,0 +1,190 @@
+"""The Foursquare-like workload (Appendix D.2).
+
+Foursquare venues are schema-rich events: the paper extracts attribute-
+value pairs from venues carrying ~50 attributes each, and generates
+subscriptions that follow the same attribute distribution, with operators
+and operands attached synthetically.
+
+The synthetic equivalent keeps those properties:
+
+* every venue carries a set of **core attributes** (category, rating,
+  price tier, opening hours, review count, ...) plus a random subset of
+  **amenity flags**, for roughly ``attributes_per_event`` attributes;
+* attribute popularity is skewed (core attributes appear everywhere,
+  amenities by Zipf weight), and **subscriptions sample attributes by that
+  same popularity**, as Appendix D.2 prescribes;
+* operators are attached synthetically: equality on categoricals, ranges
+  on numerics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from ..geometry import Rect
+from .locations import LocationSampler
+from .vocabulary import Vocabulary
+
+_CATEGORIES = (
+    "food", "coffee", "nightlife", "shop", "arts", "outdoors",
+    "gym", "hotel", "transport", "education", "office", "medical",
+)
+
+
+@dataclass(frozen=True)
+class FoursquareLikeConfig:
+    """Tunable knobs of the Foursquare-like generator."""
+
+    amenity_count: int = 40
+    amenity_skew: float = 0.8
+    min_amenities: int = 2
+    max_amenities: int = 8
+    hotspots: int = 10
+    uniform_fraction: float = 0.15
+
+
+class FoursquareLikeGenerator:
+    """Seeded generator of venue-style events and matching subscriptions."""
+
+    #: numeric core attributes: name -> (low, high, integer?)
+    _NUMERIC_CORE: Dict[str, Tuple[float, float, bool]] = {
+        "rating": (0.0, 10.0, False),
+        "price_tier": (1, 4, True),
+        "review_count": (0, 500, True),
+        "open_hour": (5, 12, True),
+        "close_hour": (14, 27, True),  # 27 = 3am next day
+        "capacity": (10, 400, True),
+    }
+
+    def __init__(
+        self,
+        space: Rect,
+        config: Optional[FoursquareLikeConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.config = config or FoursquareLikeConfig()
+        self.seed = seed
+        self._amenities = Vocabulary(
+            self.config.amenity_count, self.config.amenity_skew, prefix="amenity_"
+        )
+        self._locations = LocationSampler(
+            space,
+            hotspots=self.config.hotspots,
+            uniform_fraction=self.config.uniform_fraction,
+            seed=seed + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Events (venues)
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        count: int,
+        start_id: int = 0,
+        arrived_at: int = 0,
+        ttl: Optional[int] = None,
+        seed_offset: int = 0,
+    ) -> List[Event]:
+        """A batch of ``count`` venues with consecutive ids."""
+        return list(
+            itertools.islice(
+                self.event_stream(start_id, arrived_at, ttl, seed_offset), count
+            )
+        )
+
+    def event_stream(
+        self,
+        start_id: int = 0,
+        arrived_at: int = 0,
+        ttl: Optional[int] = None,
+        seed_offset: int = 0,
+    ) -> Iterator[Event]:
+        """An endless stream of venues; ``ttl`` sets the validity period."""
+        rng = random.Random(f"{self.seed}-venues-{seed_offset}")
+        for event_id in itertools.count(start_id):
+            attributes: Dict[str, object] = {"category": rng.choice(_CATEGORIES)}
+            for name, (low, high, integer) in self._NUMERIC_CORE.items():
+                if integer:
+                    attributes[name] = rng.randint(int(low), int(high))
+                else:
+                    attributes[name] = round(rng.uniform(low, high), 1)
+            amenity_count = rng.randint(self.config.min_amenities, self.config.max_amenities)
+            for amenity in self._amenities.sample_distinct(rng, amenity_count):
+                attributes[amenity] = 1
+            expires = None if ttl is None else arrived_at + ttl
+            yield Event(
+                event_id=event_id,
+                attributes=attributes,
+                location=self._locations.sample(rng),
+                arrived_at=arrived_at,
+                expires_at=expires,
+            )
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def subscriptions(
+        self,
+        count: int,
+        size: int = 3,
+        radius: float = 3000.0,
+        start_id: int = 0,
+        seed_offset: int = 0,
+    ) -> List[Subscription]:
+        """Subscriptions following the venue attribute distribution."""
+        rng = random.Random(f"{self.seed}-venue-subs-{seed_offset}")
+        result: List[Subscription] = []
+        numeric_names = list(self._NUMERIC_CORE)
+        for sub_id in range(start_id, start_id + count):
+            predicates: List[Predicate] = []
+            used = set()
+            while len(predicates) < size:
+                predicate = self._predicate(rng, numeric_names)
+                if predicate.attribute in used:
+                    continue
+                used.add(predicate.attribute)
+                predicates.append(predicate)
+            result.append(
+                Subscription(sub_id, BooleanExpression(predicates), radius=radius)
+            )
+        return result
+
+    def _predicate(self, rng: random.Random, numeric_names: List[str]) -> Predicate:
+        roll = rng.random()
+        if roll < 0.25:
+            # category equality, e.g. category = coffee
+            return Predicate("category", Operator.EQ, rng.choice(_CATEGORIES))
+        if roll < 0.75:
+            # a loose numeric range on a core attribute
+            name = rng.choice(numeric_names)
+            low, high, integer = self._NUMERIC_CORE[name]
+            span = high - low
+            if rng.random() < 0.5:
+                # one-sided: rating >= 6, price_tier <= 2, ...
+                cut = low + span * rng.uniform(0.2, 0.6)
+                operand = int(cut) if integer else round(cut, 1)
+                op = Operator.GE if rng.random() < 0.5 else Operator.LE
+                return Predicate(name, op, operand)
+            mid = low + span * rng.uniform(0.2, 0.8)
+            width = span * rng.uniform(0.3, 0.6)
+            lo = max(low, mid - width / 2)
+            hi = min(high, mid + width / 2)
+            if integer:
+                lo, hi = int(lo), max(int(lo), int(hi))
+            else:
+                lo, hi = round(lo, 1), round(max(lo, hi), 1)
+            return Predicate(name, Operator.BETWEEN, (lo, hi))
+        # an amenity flag must be present: wifi = 1
+        return Predicate(self._amenities.sample(rng), Operator.EQ, 1)
+
+    def frequency_hint(self) -> Dict[str, int]:
+        """Attribute frequencies for pivot-ordered indexes."""
+        hint = self._amenities.frequency_hint()
+        for name in ("category", *self._NUMERIC_CORE):
+            hint[name] = 10_000_000  # core attributes appear in every venue
+        return hint

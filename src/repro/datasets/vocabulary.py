@@ -1,0 +1,71 @@
+"""Zipf-distributed keyword vocabularies.
+
+The paper's Twitter workload turns each geo-tweet into attribute-value
+pairs whose attributes are the tweet's keywords.  Natural-language keyword
+frequencies are Zipfian, and the AOL-derived subscriptions follow the same
+skew, which is what correlates subscriptions with events.  This module
+provides a seeded Zipf vocabulary both generators share.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Dict, List
+
+
+class Vocabulary:
+    """``size`` words with Zipf(``skew``) sampling weights."""
+
+    def __init__(self, size: int, skew: float = 1.0, prefix: str = "kw") -> None:
+        if size <= 0:
+            raise ValueError(f"vocabulary size must be positive: {size}")
+        if skew < 0:
+            raise ValueError(f"zipf skew must be non-negative: {skew}")
+        self.words: List[str] = [f"{prefix}{i}" for i in range(size)]
+        weights = [1.0 / (rank + 1) ** skew for rank in range(size)]
+        total = sum(weights)
+        self.weights: List[float] = [w / total for w in weights]
+        self._cumulative = list(itertools.accumulate(self.weights))
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def sample(self, rng: random.Random) -> str:
+        """One word drawn by Zipf weight."""
+        return self.words[bisect.bisect_left(self._cumulative, rng.random())]
+
+    def sample_distinct(self, rng: random.Random, count: int) -> List[str]:
+        """``count`` distinct words, each drawn by Zipf weight."""
+        if count > len(self.words):
+            raise ValueError(
+                f"cannot draw {count} distinct words from {len(self.words)}"
+            )
+        chosen: List[str] = []
+        seen = set()
+        while len(chosen) < count:
+            word = self.sample(rng)
+            if word not in seen:
+                seen.add(word)
+                chosen.append(word)
+        return chosen
+
+    def top(self, count: int) -> "Vocabulary":
+        """A sub-vocabulary restricted to the ``count`` most frequent words.
+
+        Subscription generators bias towards popular keywords (people
+        search for common things), which is also what keeps boolean
+        selectivity realistic.
+        """
+        sub = Vocabulary.__new__(Vocabulary)
+        sub.words = self.words[:count]
+        weights = self.weights[:count]
+        total = sum(weights)
+        sub.weights = [w / total for w in weights]
+        sub._cumulative = list(itertools.accumulate(sub.weights))
+        return sub
+
+    def frequency_hint(self, scale: int = 1_000_000) -> Dict[str, int]:
+        """Integer frequencies for OpIndex-style pivot ordering."""
+        return {word: max(int(weight * scale), 1) for word, weight in zip(self.words, self.weights)}

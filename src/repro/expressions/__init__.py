@@ -1,0 +1,17 @@
+"""Boolean-expression substrate: predicates, expressions, events, subscriptions."""
+
+from .boolean import BooleanExpression
+from .dnf import DnfExpression, clauses_of
+from .event import Event
+from .predicate import Operator, Predicate
+from .subscription import Subscription
+
+__all__ = [
+    "BooleanExpression",
+    "DnfExpression",
+    "Event",
+    "Operator",
+    "Predicate",
+    "Subscription",
+    "clauses_of",
+]

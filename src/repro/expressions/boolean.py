@@ -1,0 +1,51 @@
+"""Boolean expressions: conjunctions of predicates.
+
+The paper models a subscription's interest as a conjunction of predicates
+(Section 4).  An event be-matches a subscription when *every* predicate of
+the subscription is satisfied by the event tuple carrying that attribute
+(Definition 3); events may carry extra attributes the subscription never
+mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from .predicate import Predicate
+
+
+@dataclass(frozen=True)
+class BooleanExpression:
+    """An immutable conjunction of :class:`Predicate` objects."""
+
+    predicates: Tuple[Predicate, ...]
+
+    def __init__(self, predicates: Iterable[Predicate]) -> None:
+        object.__setattr__(self, "predicates", tuple(predicates))
+        if not self.predicates:
+            raise ValueError("a boolean expression needs at least one predicate")
+
+    def __len__(self) -> int:
+        """The subscription size |s|: the number of predicates."""
+        return len(self.predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    @property
+    def attributes(self) -> frozenset:
+        """The distinct attributes constrained by this expression."""
+        return frozenset(p.attribute for p in self.predicates)
+
+    def matches(self, attributes: Mapping[str, object]) -> bool:
+        """Definition 3: every predicate satisfied by the event's tuples."""
+        for predicate in self.predicates:
+            if predicate.attribute not in attributes:
+                return False
+            if not predicate.matches(attributes[predicate.attribute]):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.predicates)

@@ -1,0 +1,85 @@
+"""DNF expressions: disjunctions of conjunctions.
+
+The paper models a subscription as a single conjunction of predicates and
+notes (via OpIndex) that the indexing schemes "can be extended to support
+more expressive subscriptions".  This module provides that extension: a
+:class:`DnfExpression` is an OR over conjunctive clauses, e.g.
+
+    (brand = samsung AND size >= 50) OR (brand = lg AND price < 800)
+
+Every component of the stack accepts a DNF wherever it accepts a plain
+:class:`~repro.expressions.BooleanExpression`:
+
+* the BEQ-Tree and the baseline event indexes match a DNF subscription by
+  matching each clause and unioning the results;
+* the subscription index registers one entry per clause and reports the
+  subscriber once *any* clause is satisfied;
+* safe-region construction treats the union of the clauses' matching
+  events as the matching set — an event matching any clause can trigger a
+  notification, so it must constrain the safe region.
+
+A plain conjunction is the 1-clause special case, so the DNF type also
+serves as the normal form for user-facing APIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from .boolean import BooleanExpression
+
+
+@dataclass(frozen=True)
+class DnfExpression:
+    """An immutable disjunction of :class:`BooleanExpression` clauses."""
+
+    clauses: Tuple[BooleanExpression, ...]
+
+    def __init__(self, clauses: Iterable[BooleanExpression]) -> None:
+        object.__setattr__(self, "clauses", tuple(clauses))
+        if not self.clauses:
+            raise ValueError("a DNF expression needs at least one clause")
+
+    def __len__(self) -> int:
+        """The total number of predicates across all clauses."""
+        return sum(len(clause) for clause in self.clauses)
+
+    def __iter__(self):
+        """Iterates the predicates of every clause (for size accounting)."""
+        for clause in self.clauses:
+            yield from clause
+
+    @property
+    def predicates(self) -> tuple:
+        """All predicates across clauses (clause structure flattened)."""
+        return tuple(p for clause in self.clauses for p in clause)
+
+    @property
+    def attributes(self) -> frozenset:
+        """Attributes constrained by *any* clause."""
+        result = frozenset()
+        for clause in self.clauses:
+            result |= clause.attributes
+        return result
+
+    def matches(self, attributes: Mapping[str, object]) -> bool:
+        """True if at least one clause is fully satisfied."""
+        return any(clause.matches(attributes) for clause in self.clauses)
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({clause})" for clause in self.clauses)
+
+
+def clauses_of(expression) -> Tuple[BooleanExpression, ...]:
+    """The conjunctive clauses of any supported expression type.
+
+    A plain :class:`BooleanExpression` is one clause; a
+    :class:`DnfExpression` contributes each of its clauses.  Index code
+    uses this to stay polymorphic over the two expression kinds.
+    """
+    if isinstance(expression, DnfExpression):
+        return expression.clauses
+    if isinstance(expression, BooleanExpression):
+        return (expression,)
+    raise TypeError(f"not a boolean expression: {expression!r}")

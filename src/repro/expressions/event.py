@@ -1,0 +1,54 @@
+"""Spatial events: geo-tagged attribute-value tuples published to Elaps.
+
+A spatial event (Section 4) is a conjunction of equality tuples
+``A1 = o1 AND ... AND A|e| = o|e|`` plus a location.  Events carry an
+arrival timestamp and an optional expiry timestamp; the event processor
+removes expired events (Appendix C) — by Lemma 4 an expiry never triggers
+client communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping, Optional
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable spatial event."""
+
+    event_id: int
+    attributes: Mapping[str, object]
+    location: Point
+    arrived_at: int = 0
+    expires_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("an event needs at least one attribute tuple")
+        # Freeze the attribute mapping so events stay hashable-by-identity safe.
+        object.__setattr__(self, "attributes", MappingProxyType(dict(self.attributes)))
+        if self.expires_at is not None and self.expires_at < self.arrived_at:
+            raise ValueError(
+                f"event {self.event_id} expires at {self.expires_at} "
+                f"before arriving at {self.arrived_at}"
+            )
+
+    def __len__(self) -> int:
+        """The event size |e|: the number of attribute tuples."""
+        return len(self.attributes)
+
+    def is_expired(self, now: int) -> bool:
+        """True once the validity period has ended at time ``now``."""
+        return self.expires_at is not None and now >= self.expires_at
+
+    def __hash__(self) -> int:  # attributes mapping is not hashable
+        return hash(self.event_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.event_id == other.event_id

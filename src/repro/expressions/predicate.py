@@ -1,0 +1,108 @@
+"""Predicates: the atoms of Elaps boolean-expression subscriptions.
+
+A predicate is a triple ``(attribute, operator, operand)`` (Section 4).
+Elaps supports the relational operators ``<, <=, =, !=, >=, >`` plus the
+interval operator ``[]`` and the set operators ``in`` / ``not in``.  A
+predicate accepts a candidate value (the value an event carries for the
+attribute) and answers whether the constraint holds.
+
+Values within one attribute must be mutually comparable (all numeric or
+all strings); the dataset generators guarantee this, and the sorted
+inverted lists of the indexes rely on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple, Union
+
+Scalar = Union[int, float, str]
+Operand = Union[Scalar, Tuple[Scalar, Scalar], FrozenSet[Scalar]]
+
+
+class Operator(enum.Enum):
+    """The predicate operators Elaps supports."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "[]"
+    IN = "in"
+    NOT_IN = "not in"
+
+
+_RANGE_OPERATORS = frozenset({Operator.LT, Operator.LE, Operator.GT, Operator.GE})
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single constraint ``attribute operator operand``."""
+
+    attribute: str
+    operator: Operator
+    operand: Operand
+
+    def __post_init__(self) -> None:
+        if self.operator is Operator.BETWEEN:
+            if not (isinstance(self.operand, tuple) and len(self.operand) == 2):
+                raise ValueError(
+                    f"BETWEEN operand must be a (low, high) pair, got {self.operand!r}"
+                )
+            low, high = self.operand
+            if low > high:
+                raise ValueError(f"empty interval [{low}, {high}]")
+        elif self.operator in (Operator.IN, Operator.NOT_IN):
+            if not isinstance(self.operand, frozenset):
+                # Accept any iterable but normalise to a frozenset so the
+                # predicate stays hashable.
+                object.__setattr__(self, "operand", frozenset(self.operand))
+        elif isinstance(self.operand, (tuple, frozenset, set, list)):
+            raise ValueError(
+                f"operator {self.operator.value!r} takes a scalar operand, "
+                f"got {self.operand!r}"
+            )
+
+    def matches(self, value: Any) -> bool:
+        """True if ``value`` satisfies this predicate."""
+        op = self.operator
+        if op is Operator.EQ:
+            return value == self.operand
+        if op is Operator.NE:
+            return value != self.operand
+        if op is Operator.LT:
+            return value < self.operand
+        if op is Operator.LE:
+            return value <= self.operand
+        if op is Operator.GT:
+            return value > self.operand
+        if op is Operator.GE:
+            return value >= self.operand
+        if op is Operator.BETWEEN:
+            low, high = self.operand
+            return low <= value <= high
+        if op is Operator.IN:
+            return value in self.operand
+        if op is Operator.NOT_IN:
+            return value not in self.operand
+        raise AssertionError(f"unhandled operator {op}")
+
+    def is_equality(self) -> bool:
+        """True for ``=`` predicates."""
+        return self.operator is Operator.EQ
+
+    def is_range(self) -> bool:
+        """True for the operators whose satisfying set is an interval."""
+        return self.operator in _RANGE_OPERATORS or self.operator is Operator.BETWEEN
+
+    def __str__(self) -> str:
+        if self.operator is Operator.BETWEEN:
+            low, high = self.operand
+            return f"{self.attribute} in [{low}, {high}]"
+        if self.operator in (Operator.IN, Operator.NOT_IN):
+            members = ", ".join(sorted(map(str, self.operand)))
+            return f"{self.attribute} {self.operator.value} {{{members}}}"
+        return f"{self.attribute} {self.operator.value} {self.operand}"

@@ -1,0 +1,49 @@
+"""Spatial subscriptions: a boolean expression plus a notification region.
+
+A spatial subscription (Section 4) extends a boolean expression with a
+circular notification region of radius ``r`` centred at the subscriber's
+*current* location.  Because the subscriber moves, the subscription object
+itself stores only the radius; match tests take the current location as an
+argument (or a prebuilt :class:`~repro.geometry.Circle`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Circle, Point
+from .boolean import BooleanExpression
+from .event import Event
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """An immutable spatial subscription."""
+
+    sub_id: int
+    expression: BooleanExpression
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"notification radius must be positive: {self.radius}")
+
+    def __len__(self) -> int:
+        """The subscription size |s|."""
+        return len(self.expression)
+
+    def notification_region(self, at: Point) -> Circle:
+        """The notification circle when the subscriber stands at ``at``."""
+        return Circle(at, self.radius)
+
+    def be_matches(self, event: Event) -> bool:
+        """Definition 3: boolean-expression match, ignoring locations."""
+        return self.expression.matches(event.attributes)
+
+    def spatial_matches(self, event: Event, at: Point) -> bool:
+        """Definition 4: the event lies inside the notification region."""
+        return at.distance_to(event.location) <= self.radius
+
+    def matches(self, event: Event, at: Point) -> bool:
+        """Definition 5: both the boolean-expression and the spatial match."""
+        return self.be_matches(event) and self.spatial_matches(event, at)

@@ -1,0 +1,18 @@
+"""Planar geometry substrate: points, rectangles, circles, grids, z-order."""
+
+from .circle import Circle
+from .grid import Cell, Grid
+from .point import ORIGIN, Point
+from .rect import Rect
+from .zorder import deinterleave, interleave
+
+__all__ = [
+    "Cell",
+    "Circle",
+    "Grid",
+    "ORIGIN",
+    "Point",
+    "Rect",
+    "deinterleave",
+    "interleave",
+]

@@ -1,0 +1,41 @@
+"""Circles: the notification regions of Elaps subscriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .point import Point
+from .rect import Rect
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A closed disk with ``center`` and ``radius`` (metres)."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"negative radius: {self.radius}")
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` is inside or on the circle."""
+        return self.center.distance_to(p) <= self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True if the disk and the rectangle share at least one point."""
+        return rect.min_distance_to_point(self.center) <= self.radius
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True if the rectangle lies entirely inside the disk."""
+        return rect.max_distance_to_point(self.center) <= self.radius
+
+    def contains_any_corner_of(self, rect: Rect) -> bool:
+        """True if at least one corner of ``rect`` is inside the disk.
+
+        Used by the BEQ-Tree spatial range match (Algorithm 2): when the
+        notification region covers a corner of the cell, the upper bound of
+        the iDistance interval is unbounded within that cell.
+        """
+        return any(self.contains(corner) for corner in rect.corners())

@@ -1,0 +1,215 @@
+"""The N x N uniform grid used by GM, iGM and idGM.
+
+The paper partitions the whole space into ``N x N`` unit cells (Section 3.4)
+and represents safe regions as sets of cells.  A cell is addressed by its
+integer coordinates ``(i, j)`` with ``i`` indexing the x axis and ``j`` the
+y axis, both in ``range(n)``.
+
+Two distance notions matter:
+
+* *point-to-cell* min distance — used for the safety test (a cell is safe
+  iff its min distance to every matching event exceeds the notification
+  radius) and for the heap ordering of iGM;
+* *cell-to-cell* min distance — used to dilate a safe region into its
+  impact region (Definition 2: every point within distance ``r`` of the
+  safe region).
+
+For uniform cells the cell-to-cell min distance only depends on the index
+offset, so the dilation structuring element (the "disk of offsets") is
+computed once per radius and cached.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from .circle import Circle
+from .point import Point
+from .rect import Rect
+
+Cell = Tuple[int, int]
+
+
+class Grid:
+    """A uniform ``n x n`` partition of a square space."""
+
+    def __init__(self, n: int, space: Rect) -> None:
+        if n <= 0:
+            raise ValueError(f"grid resolution must be positive, got {n}")
+        self.n = n
+        self.space = space
+        self.cell_width = space.width / n
+        self.cell_height = space.height / n
+        self._disk_offsets: Dict[Tuple[float, bool], FrozenSet[Cell]] = {}
+        self._strips: Dict[float, Dict[Cell, FrozenSet[Cell]]] = {}
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def cell_of(self, p: Point) -> Cell:
+        """The cell containing ``p``; points outside the space are clamped."""
+        i = int((p.x - self.space.x_min) / self.cell_width)
+        j = int((p.y - self.space.y_min) / self.cell_height)
+        return (min(max(i, 0), self.n - 1), min(max(j, 0), self.n - 1))
+
+    def in_bounds(self, cell: Cell) -> bool:
+        """True when the cell index lies inside the grid."""
+        return 0 <= cell[0] < self.n and 0 <= cell[1] < self.n
+
+    def cell_rect(self, cell: Cell) -> Rect:
+        """The rectangle a cell covers."""
+        i, j = cell
+        return Rect(
+            self.space.x_min + i * self.cell_width,
+            self.space.y_min + j * self.cell_height,
+            self.space.x_min + (i + 1) * self.cell_width,
+            self.space.y_min + (j + 1) * self.cell_height,
+        )
+
+    def cell_center(self, cell: Cell) -> Point:
+        """The centre point of a cell."""
+        i, j = cell
+        return Point(
+            self.space.x_min + (i + 0.5) * self.cell_width,
+            self.space.y_min + (j + 0.5) * self.cell_height,
+        )
+
+    def cell_index(self, cell: Cell) -> int:
+        """Row-major linear id of a cell; used for bitmap encoding."""
+        i, j = cell
+        return j * self.n + i
+
+    def cell_from_index(self, index: int) -> Cell:
+        """Inverse of :meth:`cell_index`."""
+        return (index % self.n, index // self.n)
+
+    def all_cells(self) -> Iterator[Cell]:
+        """Every cell, row-major."""
+        for j in range(self.n):
+            for i in range(self.n):
+                yield (i, j)
+
+    # ------------------------------------------------------------------
+    # Neighbourhood
+    # ------------------------------------------------------------------
+    def neighbors(self, cell: Cell) -> List[Cell]:
+        """The 8-connected in-bounds neighbours of ``cell``.
+
+        iGM expands the safe region over adjacent cells; 8-connectivity makes
+        the circular expansion of Algorithm 1 reach diagonal cells directly.
+        """
+        i, j = cell
+        result = []
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                neighbor = (i + di, j + dj)
+                if self.in_bounds(neighbor):
+                    result.append(neighbor)
+        return result
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_distance_point_cell(self, p: Point, cell: Cell) -> float:
+        """Min distance from ``p`` to any point of ``cell`` (0 when inside)."""
+        return self.cell_rect(cell).min_distance_to_point(p)
+
+    def min_distance_cell_cell(self, a: Cell, b: Cell) -> float:
+        """Min distance between any two points of cells ``a`` and ``b``."""
+        dx = max(abs(a[0] - b[0]) - 1, 0) * self.cell_width
+        dy = max(abs(a[1] - b[1]) - 1, 0) * self.cell_height
+        return math.hypot(dx, dy)
+
+    # ------------------------------------------------------------------
+    # Dilation (impact-region structuring element)
+    # ------------------------------------------------------------------
+    def disk_offsets(self, radius: float, inclusive: bool = False) -> FrozenSet[Cell]:
+        """Index offsets ``(di, dj)`` whose cell-to-cell min distance < radius.
+
+        Dilating a cell set by this structuring element yields exactly the
+        set of cells containing at least one point within distance ``radius``
+        of the set — the grid rendering of Definition 2's impact region.
+
+        With ``inclusive=True`` offsets at distance exactly ``radius`` are
+        kept too; the safety test needs that closed variant (a cell is unsafe
+        already when a matching event sits at distance exactly ``r``).
+        """
+        key = (radius, inclusive)
+        cached = self._disk_offsets.get(key)
+        if cached is not None:
+            return cached
+        reach_x = int(radius / self.cell_width) + 2
+        reach_y = int(radius / self.cell_height) + 2
+        offsets = set()
+        for di in range(-reach_x, reach_x + 1):
+            for dj in range(-reach_y, reach_y + 1):
+                dx = max(abs(di) - 1, 0) * self.cell_width
+                dy = max(abs(dj) - 1, 0) * self.cell_height
+                distance = math.hypot(dx, dy)
+                if distance < radius or (inclusive and distance == radius):
+                    offsets.add((di, dj))
+        result = frozenset(offsets)
+        self._disk_offsets[key] = result
+        return result
+
+    def dilation_strips(self, radius: float) -> Dict[Cell, FrozenSet[Cell]]:
+        """Per-direction dilation deltas (the Example 2 optimisation).
+
+        When a cell ``c`` joins a safe region that already contains its
+        neighbour ``n = c + d``, the impact cells newly introduced by ``c``
+        are contained in ``dilate({c}) - dilate({n})`` — a thin strip on the
+        far side of ``c``.  The strip only depends on the direction ``d``,
+        so the eight strips are precomputed per radius:
+        ``strips[d] = {off in disk_offsets(radius) : off - d not in it}``.
+        """
+        cached = self._strips.get(radius)
+        if cached is not None:
+            return cached
+        offsets = self.disk_offsets(radius)
+        strips: Dict[Cell, FrozenSet[Cell]] = {}
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                strips[(di, dj)] = frozenset(
+                    (oi, oj) for (oi, oj) in offsets if (oi - di, oj - dj) not in offsets
+                )
+        self._strips[radius] = strips
+        return strips
+
+    def dilate(self, cells: FrozenSet[Cell] | set, radius: float) -> set:
+        """All in-bounds cells within ``radius`` of the given cell set."""
+        offsets = self.disk_offsets(radius)
+        result = set()
+        for (i, j) in cells:
+            for (di, dj) in offsets:
+                candidate = (i + di, j + dj)
+                if self.in_bounds(candidate):
+                    result.add(candidate)
+        return result
+
+    def cells_within_radius(
+        self, cell: Cell, radius: float, inclusive: bool = False
+    ) -> Iterator[Cell]:
+        """In-bounds cells whose min distance to ``cell`` is below ``radius``."""
+        i, j = cell
+        for (di, dj) in self.disk_offsets(radius, inclusive=inclusive):
+            candidate = (i + di, j + dj)
+            if self.in_bounds(candidate):
+                yield candidate
+
+    # ------------------------------------------------------------------
+    # Circle coverage
+    # ------------------------------------------------------------------
+    def cells_intersecting_circle(self, circle: Circle) -> Iterator[Cell]:
+        """All cells sharing at least one point with the disk."""
+        lo = self.cell_of(Point(circle.center.x - circle.radius, circle.center.y - circle.radius))
+        hi = self.cell_of(Point(circle.center.x + circle.radius, circle.center.y + circle.radius))
+        for i in range(lo[0], hi[0] + 1):
+            for j in range(lo[1], hi[1] + 1):
+                cell = (i, j)
+                if circle.intersects_rect(self.cell_rect(cell)):
+                    yield cell

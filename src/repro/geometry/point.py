@@ -1,0 +1,63 @@
+"""Planar points and elementary vector operations.
+
+Elaps works in a planar Euclidean space (the paper's experiments cover a
+metropolitan extent, where a local tangent-plane approximation is standard).
+Points are plain immutable value objects so they can be dictionary keys and
+heap payload without surprises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or free vector) in the plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """This point treated as a vector, scaled by ``factor``."""
+        return Point(self.x * factor, self.y * factor)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with ``other`` treated as vectors."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Point":
+        """Unit vector in this direction; the zero vector is returned as is."""
+        length = self.norm()
+        if length == 0.0:
+            return Point(0.0, 0.0)
+        return Point(self.x / length, self.y / length)
+
+    def angle_to(self, other: "Point") -> float:
+        """Cosine of the angle between this vector and ``other``.
+
+        Returns 0.0 when either vector is zero, which makes the direction
+        preference of idGM neutral for a stationary subscriber.
+        """
+        denom = self.norm() * other.norm()
+        if denom == 0.0:
+            return 0.0
+        return max(-1.0, min(1.0, self.dot(other) / denom))
+
+
+ORIGIN = Point(0.0, 0.0)

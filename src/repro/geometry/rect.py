@@ -1,0 +1,103 @@
+"""Axis-aligned rectangles with min/max distance queries.
+
+Rectangles are the workhorse of both the iGM grid (a cell is a rectangle)
+and the quadtree layers of the BEQ-Tree.  The min-distance primitives give
+the conservative containment tests the safe-region guarantee relies on:
+a grid cell is *safe* iff its min distance to every matching event exceeds
+the notification radius, i.e. every point of the cell is safe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.y_max - self.y_min
+
+    @property
+    def center(self) -> Point:
+        """The centre point."""
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        return self.x_min <= p.x <= self.x_max and self.y_min <= p.y <= self.y_max
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.x_min <= other.x_min
+            and self.y_min <= other.y_min
+            and other.x_max <= self.x_max
+            and other.y_max <= self.y_max
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two rectangles share at least a boundary point."""
+        return not (
+            other.x_min > self.x_max
+            or other.x_max < self.x_min
+            or other.y_min > self.y_max
+            or other.y_max < self.y_min
+        )
+
+    def min_distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the nearest point of the rectangle (0 inside)."""
+        dx = max(self.x_min - p.x, 0.0, p.x - self.x_max)
+        dy = max(self.y_min - p.y, 0.0, p.y - self.y_max)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the farthest point of the rectangle."""
+        dx = max(p.x - self.x_min, self.x_max - p.x)
+        dy = max(p.y - self.y_min, self.y_max - p.y)
+        return math.hypot(dx, dy)
+
+    def min_distance_to_rect(self, other: "Rect") -> float:
+        """Smallest distance between any two points of the rectangles."""
+        dx = max(other.x_min - self.x_max, self.x_min - other.x_max, 0.0)
+        dy = max(other.y_min - self.y_max, self.y_min - other.y_max, 0.0)
+        return math.hypot(dx, dy)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corner points, counter-clockwise from (x_min, y_min)."""
+        return (
+            Point(self.x_min, self.y_min),
+            Point(self.x_max, self.y_min),
+            Point(self.x_max, self.y_max),
+            Point(self.x_min, self.y_max),
+        )
+
+    def quadrants(self) -> tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into four equal quadrants: SW, SE, NW, NE."""
+        cx, cy = (self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0
+        return (
+            Rect(self.x_min, self.y_min, cx, cy),
+            Rect(cx, self.y_min, self.x_max, cy),
+            Rect(self.x_min, cy, cx, self.y_max),
+            Rect(cx, cy, self.x_max, self.y_max),
+        )

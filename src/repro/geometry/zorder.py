@@ -1,0 +1,47 @@
+"""Z-order (Morton) encoding of grid cells.
+
+Appendix B of the paper assigns each grid cell an id derived from the
+z-ordering of the cells so that spatially adjacent cells receive similar
+ids, which makes the run-length (WAH) compression of safe-region bitmaps
+effective.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def _part1by1(value: int) -> int:
+    """Spread the low 32 bits of ``value`` so each lands in an even position."""
+    value &= 0xFFFFFFFF
+    value = (value | (value << 16)) & 0x0000FFFF0000FFFF
+    value = (value | (value << 8)) & 0x00FF00FF00FF00FF
+    value = (value | (value << 4)) & 0x0F0F0F0F0F0F0F0F
+    value = (value | (value << 2)) & 0x3333333333333333
+    value = (value | (value << 1)) & 0x5555555555555555
+    return value
+
+
+def _compact1by1(value: int) -> int:
+    """Inverse of :func:`_part1by1`."""
+    value &= 0x5555555555555555
+    value = (value | (value >> 1)) & 0x3333333333333333
+    value = (value | (value >> 2)) & 0x0F0F0F0F0F0F0F0F
+    value = (value | (value >> 4)) & 0x00FF00FF00FF00FF
+    value = (value | (value >> 8)) & 0x0000FFFF0000FFFF
+    value = (value | (value >> 16)) & 0x00000000FFFFFFFF
+    return value
+
+
+def interleave(i: int, j: int) -> int:
+    """Morton code of the cell ``(i, j)``: bits of i and j interleaved."""
+    if i < 0 or j < 0:
+        raise ValueError(f"cell coordinates must be non-negative: ({i}, {j})")
+    return _part1by1(i) | (_part1by1(j) << 1)
+
+
+def deinterleave(code: int) -> Tuple[int, int]:
+    """The cell ``(i, j)`` whose Morton code is ``code``."""
+    if code < 0:
+        raise ValueError(f"Morton code must be non-negative: {code}")
+    return _compact1by1(code), _compact1by1(code >> 1)

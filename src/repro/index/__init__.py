@@ -1,0 +1,29 @@
+"""Index substrate: BEQ-Tree, the three Figure-8 baselines, and the
+server-side impact-region and subscription indexes."""
+
+from .base import EventIndex
+from .betree import BETreeIndex
+from .beq_tree import BEQTree, LeafCell, circle_rect_boundary_intersections
+from .impact_index import ImpactRegionIndex
+from .inverted import AttributeLists, SortedTupleList
+from .kindex import KIndex
+from .ksub_index import KSubscriptionIndex
+from .opindex import OpIndex
+from .quadtree import QuadTree
+from .subscription_index import SubscriptionIndex
+
+__all__ = [
+    "AttributeLists",
+    "BETreeIndex",
+    "BEQTree",
+    "EventIndex",
+    "ImpactRegionIndex",
+    "KIndex",
+    "KSubscriptionIndex",
+    "LeafCell",
+    "OpIndex",
+    "QuadTree",
+    "SortedTupleList",
+    "SubscriptionIndex",
+    "circle_rect_boundary_intersections",
+]

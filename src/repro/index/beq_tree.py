@@ -1,0 +1,375 @@
+"""BEQ-Tree: Boolean Expression Quad-Tree (Section 4 of the paper).
+
+The BEQ-Tree is a two-layer index over spatial events:
+
+* **First layer** — a quadtree partitions the space; each leaf cell holds
+  at most ``emax`` events.
+* **Second layer** — inside each leaf cell ``G``:
+
+  - one sorted inverted list ``L<G, A>`` per attribute ``A`` holding the
+    ``(value, event)`` tuples of the cell's events;
+  - one *spatial list* ``L<G, y>`` holding, for each event, its iDistance
+    value ``y = dist(event, sigma)`` to the cell's reference point
+    ``sigma`` (the cell centre), sorted ascending;
+  - a counter array used by the counting algorithm.
+
+Subscription matching (Algorithm 2) visits only the leaf cells whose
+boundary intersects the notification circle, prunes cells missing any
+subscription attribute, runs the counting algorithm over the per-attribute
+lists (the BE phase), and then scans only the ``[dmin, dmax]`` interval of
+the spatial list (the spatial phase), verifying the exact distance for
+events whose counter reached |s|.
+
+The tree also serves iGM/idGM safe-region construction *on demand*: the
+constructor asks for be-matching events only in the leaf cells its grid
+expansion actually touches, so the rest of the space is never scanned
+(Section 4.2, "BEQ-Tree used in iGM and idGM").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterator, List, Optional
+
+from ..expressions import BooleanExpression, Event, Subscription
+from ..expressions.dnf import clauses_of
+from ..geometry import Circle, Point, Rect
+from .base import EventIndex
+from .inverted import AttributeLists, SortedTupleList
+
+
+def circle_rect_boundary_intersections(circle: Circle, rect: Rect) -> List[Point]:
+    """Intersection points of the circle's boundary with the rectangle's edges.
+
+    Used to tighten the ``dmax`` bound of the spatial range match when the
+    subscriber stands outside the cell and the notification circle does not
+    swallow any cell corner (Figure 5).
+    """
+    cx, cy, r = circle.center.x, circle.center.y, circle.radius
+    points: List[Point] = []
+
+    def add_vertical(x: float, y_low: float, y_high: float) -> None:
+        dx = x - cx
+        discriminant = r * r - dx * dx
+        if discriminant < 0:
+            return
+        root = math.sqrt(discriminant)
+        for y in (cy - root, cy + root):
+            if y_low <= y <= y_high:
+                points.append(Point(x, y))
+
+    def add_horizontal(y: float, x_low: float, x_high: float) -> None:
+        dy = y - cy
+        discriminant = r * r - dy * dy
+        if discriminant < 0:
+            return
+        root = math.sqrt(discriminant)
+        for x in (cx - root, cx + root):
+            if x_low <= x <= x_high:
+                points.append(Point(x, y))
+
+    add_vertical(rect.x_min, rect.y_min, rect.y_max)
+    add_vertical(rect.x_max, rect.y_min, rect.y_max)
+    add_horizontal(rect.y_min, rect.x_min, rect.x_max)
+    add_horizontal(rect.y_max, rect.x_min, rect.x_max)
+    return points
+
+
+class LeafCell:
+    """One leaf partition ``G`` with its second-layer structures."""
+
+    __slots__ = ("cell_id", "boundary", "reference", "lists", "spatial", "events")
+
+    def __init__(self, cell_id: int, boundary: Rect) -> None:
+        self.cell_id = cell_id
+        self.boundary = boundary
+        self.reference = boundary.center  # the reference point sigma
+        self.lists = AttributeLists()
+        self.spatial = SortedTupleList()
+        self.events: Dict[int, Event] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def add(self, event: Event) -> None:
+        """Index one event into the cell's three structures."""
+        self.events[event.event_id] = event
+        self.lists.insert_tuples(event.attributes.items(), event.event_id)
+        self.spatial.insert(self.reference.distance_to(event.location), event.event_id)
+
+    def remove(self, event: Event) -> None:
+        """Remove one event from the cell's three structures."""
+        del self.events[event.event_id]
+        self.lists.delete_tuples(event.attributes.items(), event.event_id)
+        self.spatial.delete(self.reference.distance_to(event.location), event.event_id)
+
+    def be_match(self, expression) -> List[Event]:
+        """Events of this cell be-matching the expression (counting only).
+
+        Accepts a plain conjunction or a DNF; a DNF unions the clauses'
+        counting results.
+        """
+        matched_ids: set = set()
+        for clause in clauses_of(expression):
+            matched_ids.update(self.lists.matching_payloads(clause.predicates))
+        return [self.events[event_id] for event_id in matched_ids]
+
+
+class _Node:
+    """A BEQ-Tree node: a leaf wraps a :class:`LeafCell`."""
+
+    __slots__ = ("boundary", "cell", "children")
+
+    def __init__(self, boundary: Rect, cell: Optional[LeafCell]) -> None:
+        self.boundary = boundary
+        self.cell = cell
+        self.children: Optional[List["_Node"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node holds a leaf cell."""
+        return self.children is None
+
+
+class BEQTree(EventIndex):
+    """The Boolean Expression Quad-Tree."""
+
+    def __init__(self, boundary: Rect, emax: int = 64, max_depth: int = 16) -> None:
+        if emax <= 0:
+            raise ValueError(f"emax must be positive: {emax}")
+        self.boundary = boundary
+        self.emax = emax
+        self.max_depth = max_depth
+        self._cell_ids = itertools.count()
+        self._root = _Node(boundary, LeafCell(next(self._cell_ids), boundary))
+        self._size = 0
+        self._event_ids: set = set()
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Updates (Appendix C)
+    # ------------------------------------------------------------------
+    def insert(self, event: Event) -> None:
+        """Insert an event; splits the leaf past ``emax`` (Appendix C)."""
+        if not self.boundary.contains_point(event.location):
+            raise ValueError(
+                f"event {event.event_id} at {event.location} is outside {self.boundary}"
+            )
+        if event.event_id in self._event_ids:
+            raise ValueError(f"duplicate event id {event.event_id}")
+        self._event_ids.add(event.event_id)
+        node, depth = self._descend(event.location)
+        node.cell.add(event)
+        self._size += 1
+        if len(node.cell) > self.emax and depth < self.max_depth:
+            self._split(node, depth)
+
+    def _descend(self, location: Point):
+        node, depth = self._root, 1
+        while not node.is_leaf:
+            node = self._child_for(node, location)
+            depth += 1
+        return node, depth
+
+    @staticmethod
+    def _child_for(node: _Node, location: Point) -> _Node:
+        cx = (node.boundary.x_min + node.boundary.x_max) / 2.0
+        cy = (node.boundary.y_min + node.boundary.y_max) / 2.0
+        index = (1 if location.x >= cx else 0) + (2 if location.y >= cy else 0)
+        return node.children[index]
+
+    def _split(self, node: _Node, depth: int) -> None:
+        """Partition a full leaf into four child cells (Appendix C)."""
+        events = list(node.cell.events.values())
+        node.cell = None
+        node.children = [
+            _Node(quad, LeafCell(next(self._cell_ids), quad))
+            for quad in node.boundary.quadrants()
+        ]
+        for event in events:
+            self._child_for(node, event.location).cell.add(event)
+        for child in node.children:
+            if len(child.cell) > self.emax and depth + 1 < self.max_depth:
+                self._split(child, depth + 1)
+
+    def delete(self, event: Event) -> None:
+        """Delete an event; merges empty sibling leaves (Appendix C)."""
+        path: List[_Node] = []
+        node = self._root
+        while not node.is_leaf:
+            path.append(node)
+            node = self._child_for(node, event.location)
+        if event.event_id not in node.cell.events:
+            raise KeyError(f"event {event.event_id} is not in the index")
+        node.cell.remove(event)
+        self._event_ids.discard(event.event_id)
+        self._size -= 1
+        # Merge empty sibling leaves back into the parent (Appendix C).
+        for parent in reversed(path):
+            children = parent.children
+            if all(child.is_leaf and len(child.cell) == 0 for child in children):
+                parent.children = None
+                parent.cell = LeafCell(next(self._cell_ids), parent.boundary)
+            else:
+                break
+
+    # ------------------------------------------------------------------
+    # Leaf traversal
+    # ------------------------------------------------------------------
+    def leaves(self) -> Iterator[LeafCell]:
+        """Every leaf cell of the tree."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node.cell
+            else:
+                stack.extend(node.children)
+
+    def leaves_intersecting_circle(self, circle: Circle) -> Iterator[LeafCell]:
+        """Leaf cells whose boundary intersects the disk."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not circle.intersects_rect(node.boundary):
+                continue
+            if node.is_leaf:
+                yield node.cell
+            else:
+                stack.extend(node.children)
+
+    def leaves_intersecting_rect(self, rect: Rect) -> Iterator[LeafCell]:
+        """Leaf cells whose boundary intersects the rectangle."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not rect.intersects(node.boundary):
+                continue
+            if node.is_leaf:
+                yield node.cell
+            else:
+                stack.extend(node.children)
+
+    def depth(self) -> int:
+        """The maximum leaf depth (1 for a single-leaf tree)."""
+        best = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, level = stack.pop()
+            if node.is_leaf:
+                best = max(best, level)
+            else:
+                stack.extend((child, level + 1) for child in node.children)
+        return best
+
+    def memory_stats(self) -> dict:
+        """Structure counts backing Appendix C's memory-cost analysis.
+
+        ``tuple_entries`` is |T| (one entry per event tuple in the
+        second-layer lists) and ``spatial_entries`` equals the event count
+        (one iDistance entry each); the total space is O(|T|), linear in
+        the stored tuples.
+        """
+        leaves = 0
+        tuple_entries = 0
+        spatial_entries = 0
+        attribute_lists = 0
+        for leaf in self.leaves():
+            leaves += 1
+            spatial_entries += len(leaf.spatial)
+            attribute_lists += len(leaf.lists)
+            tuple_entries += sum(len(lst) for lst in leaf.lists.lists.values())
+        return {
+            "events": self._size,
+            "leaves": leaves,
+            "depth": self.depth(),
+            "attribute_lists": attribute_lists,
+            "tuple_entries": tuple_entries,
+            "spatial_entries": spatial_entries,
+        }
+
+    # ------------------------------------------------------------------
+    # Matching (Algorithm 2)
+    # ------------------------------------------------------------------
+    def match(self, subscription: Subscription, at: Point) -> List[Event]:
+        """All stored events matching ``subscription`` at location ``at``."""
+        circle = subscription.notification_region(at)
+        matched: List[Event] = []
+        for leaf in self.leaves_intersecting_circle(circle):
+            matched.extend(self._match_in_leaf(leaf, subscription, circle))
+        return matched
+
+    def be_candidates(self, subscription: Subscription, at: Point) -> List[Event]:
+        """Events passing the BE phase in the circle-intersecting leaves."""
+        circle = subscription.notification_region(at)
+        candidates: List[Event] = []
+        for leaf in self.leaves_intersecting_circle(circle):
+            candidates.extend(leaf.be_match(subscription.expression))
+        return candidates
+
+    def _match_in_leaf(
+        self, leaf: LeafCell, subscription: Subscription, circle: Circle
+    ) -> List[Event]:
+        """Algorithm 2: BESpatialMatch within one cell partition ``G``."""
+        # Lines 2-10, per conjunctive clause: a clause whose attribute is
+        # missing from the cell prunes only itself; the counting algorithm
+        # collects the cell's be-matching events across clauses.
+        matched_ids: set = set()
+        for clause in clauses_of(subscription.expression):
+            predicates = clause.predicates
+            if any(p.attribute not in leaf.lists for p in predicates):
+                continue
+            counters = leaf.lists.count_matches(predicates)
+            needed = len(predicates)
+            matched_ids.update(
+                event_id for event_id, count in counters.items() if count == needed
+            )
+        if not matched_ids:
+            return []
+        # Lines 11-16: the iDistance interval of the spatial list.
+        y = circle.center.distance_to(leaf.reference)
+        r = circle.radius
+        d_min = max(y - r, 0.0)
+        if leaf.boundary.contains_point(circle.center):
+            d_max = y + r
+        elif circle.contains_any_corner_of(leaf.boundary):
+            d_max = math.inf
+        else:
+            crossings = circle_rect_boundary_intersections(circle, leaf.boundary)
+            if crossings:
+                d_max = max(leaf.reference.distance_to(p) for p in crossings)
+            else:
+                d_max = y + r  # tangent / degenerate overlap: safe fallback
+        # Lines 17-20: scan the interval and verify the exact distance.
+        matched: List[Event] = []
+        if math.isinf(d_max):
+            entries = leaf.spatial.iter_value_from(d_min)
+        else:
+            entries = leaf.spatial.iter_value_range(d_min, d_max)
+        for _, event_id in entries:
+            if event_id not in matched_ids:
+                continue
+            event = leaf.events[event_id]
+            if circle.contains(event.location):
+                matched.append(event)
+        return matched
+
+    # ------------------------------------------------------------------
+    # On-demand BE matching for safe-region construction (Section 4.2)
+    # ------------------------------------------------------------------
+    def be_match_in_rect(self, expression: BooleanExpression, rect: Rect) -> List[Event]:
+        """be-matching events in all leaf cells intersecting ``rect``."""
+        matched: List[Event] = []
+        for leaf in self.leaves_intersecting_rect(rect):
+            matched.extend(leaf.be_match(expression))
+        return matched
+
+    def be_match(self, expression: BooleanExpression) -> List[Event]:
+        """be-matching events over the whole space."""
+        matched: List[Event] = []
+        for leaf in self.leaves():
+            matched.extend(leaf.be_match(expression))
+        return matched

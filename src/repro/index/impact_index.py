@@ -1,0 +1,94 @@
+"""The impact-region index (Section 5).
+
+Safe regions travel to the clients; the matching *impact regions* stay on
+the server, stored in an inverted index keyed by grid-cell id.  When a new
+event arrives, the server looks up the event's cell and obtains exactly
+the subscribers whose impact region covers that cell — the subscribers
+whose safe region the event may invalidate (Definition 2).
+
+GM produces impact regions covering almost the whole space, stored in
+complement form.  Materialising those into the per-cell inverted index
+would explode it, so complement regions live in a side table consulted on
+every lookup — an honest rendering of GM's cost profile: with GM, *every*
+arriving matching event hits (nearly) every subscriber.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Set
+
+from ..geometry import Cell
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.regions import ImpactRegion
+
+
+class ImpactRegionIndex:
+    """Inverted index: grid cell -> subscribers whose impact region covers it."""
+
+    def __init__(self) -> None:
+        self._by_cell: Dict[Cell, Set[int]] = defaultdict(set)
+        self._by_subscriber: Dict[int, FrozenSet[Cell]] = {}
+        self._complement: Dict[int, "ImpactRegion"] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_subscriber) + len(self._complement)
+
+    def __contains__(self, sub_id: int) -> bool:
+        return sub_id in self._by_subscriber or sub_id in self._complement
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def replace(self, sub_id: int, impact_cells: Iterable[Cell]) -> None:
+        """Install (or overwrite) a subscriber's impact region as a cell set."""
+        self.remove(sub_id)
+        cells = frozenset(impact_cells)
+        self._by_subscriber[sub_id] = cells
+        for cell in cells:
+            self._by_cell[cell].add(sub_id)
+
+    def replace_region(self, sub_id: int, region: "ImpactRegion") -> None:
+        """Install an :class:`ImpactRegion`, honouring complement storage."""
+        if region.complement:
+            self.remove(sub_id)
+            self._complement[sub_id] = region
+        else:
+            self.replace(sub_id, region.cells)
+
+    def remove(self, sub_id: int) -> None:
+        """Drop a subscriber's impact region; no-op if absent."""
+        self._complement.pop(sub_id, None)
+        cells = self._by_subscriber.pop(sub_id, None)
+        if cells is None:
+            return
+        for cell in cells:
+            bucket = self._by_cell[cell]
+            bucket.discard(sub_id)
+            if not bucket:
+                del self._by_cell[cell]
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def covers(self, sub_id: int, cell: Cell) -> bool:
+        """Does this subscriber's impact region cover ``cell``?"""
+        region = self._complement.get(sub_id)
+        if region is not None:
+            return region.covers_cell(cell)
+        return sub_id in self._by_cell.get(cell, ())
+
+    def subscribers_covering(self, cell: Cell) -> FrozenSet[int]:
+        """All subscribers whose impact region covers ``cell``."""
+        direct = self._by_cell.get(cell, set())
+        via_complement = {
+            sub_id
+            for sub_id, region in self._complement.items()
+            if region.covers_cell(cell)
+        }
+        return frozenset(direct | via_complement)
+
+    def cells_of(self, sub_id: int) -> FrozenSet[Cell]:
+        """The stored impact cells of a directly-stored subscriber."""
+        return self._by_subscriber.get(sub_id, frozenset())

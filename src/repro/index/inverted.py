@@ -1,0 +1,187 @@
+"""Sorted inverted lists and the counting algorithm.
+
+Every index in this package (k-index, OpIndex, BEQ-Tree) stores event
+tuples in per-attribute lists *sorted by operand value* and answers
+subscription matches with the classic counting algorithm (Yan &
+Garcia-Molina; Fabret et al.): for each predicate, visit exactly the
+entries of the attribute list whose value satisfies the predicate and
+increment a per-event counter; an event be-matches when its counter
+reaches the subscription size |s|.
+
+The sort order makes each relational operator a contiguous range scan
+(binary search for the endpoints); only ``!=`` and ``not in`` degenerate
+to full scans with a skipped range, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Tuple, TypeVar
+
+from ..expressions import Operator, Predicate
+
+Payload = TypeVar("Payload")
+
+
+class SortedTupleList:
+    """A list of ``(value, payload)`` entries kept sorted by value.
+
+    Payloads are event identifiers (or local slots).  Duplicate values are
+    allowed; delete removes one matching ``(value, payload)`` entry.
+    """
+
+    __slots__ = ("_values", "_payloads")
+
+    def __init__(self) -> None:
+        self._values: List = []
+        self._payloads: List = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[object, object]]:
+        return zip(self._values, self._payloads)
+
+    def insert(self, value, payload) -> None:
+        """Insert keeping the value order (O(log n) search, O(n) shift)."""
+        index = bisect.bisect_right(self._values, value)
+        self._values.insert(index, value)
+        self._payloads.insert(index, payload)
+
+    def delete(self, value, payload) -> bool:
+        """Remove one ``(value, payload)`` entry; False if absent."""
+        index = bisect.bisect_left(self._values, value)
+        while index < len(self._values) and self._values[index] == value:
+            if self._payloads[index] == payload:
+                del self._values[index]
+                del self._payloads[index]
+                return True
+            index += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Range scans per operator
+    # ------------------------------------------------------------------
+    def range_for(self, predicate: Predicate) -> Tuple[int, int]:
+        """The half-open index range selected by a contiguous predicate.
+
+        Only valid for ``=, <, <=, >, >=, []`` — the operators whose
+        satisfying values form one contiguous run in the sorted order.
+        """
+        op, operand = predicate.operator, predicate.operand
+        if op is Operator.EQ:
+            return (
+                bisect.bisect_left(self._values, operand),
+                bisect.bisect_right(self._values, operand),
+            )
+        if op is Operator.LT:
+            return 0, bisect.bisect_left(self._values, operand)
+        if op is Operator.LE:
+            return 0, bisect.bisect_right(self._values, operand)
+        if op is Operator.GT:
+            return bisect.bisect_right(self._values, operand), len(self._values)
+        if op is Operator.GE:
+            return bisect.bisect_left(self._values, operand), len(self._values)
+        if op is Operator.BETWEEN:
+            low, high = operand
+            return (
+                bisect.bisect_left(self._values, low),
+                bisect.bisect_right(self._values, high),
+            )
+        raise ValueError(f"operator {op.value!r} does not select a contiguous range")
+
+    def iter_matching(self, predicate: Predicate) -> Iterator:
+        """Payloads of all entries whose value satisfies ``predicate``."""
+        op = predicate.operator
+        if op in (Operator.NE, Operator.NOT_IN):
+            # Full scan minus the excluded values; the paper notes these
+            # operators visit all entries except the operand's.
+            for value, payload in zip(self._values, self._payloads):
+                if predicate.matches(value):
+                    yield payload
+            return
+        if op is Operator.IN:
+            for member in sorted(predicate.operand):
+                lo = bisect.bisect_left(self._values, member)
+                hi = bisect.bisect_right(self._values, member)
+                yield from self._payloads[lo:hi]
+            return
+        lo, hi = self.range_for(predicate)
+        yield from self._payloads[lo:hi]
+
+    def iter_value_range(self, low, high) -> Iterator[Tuple[object, object]]:
+        """``(value, payload)`` entries with ``low <= value <= high``."""
+        lo = bisect.bisect_left(self._values, low)
+        hi = bisect.bisect_right(self._values, high)
+        return iter(list(zip(self._values[lo:hi], self._payloads[lo:hi])))
+
+    def iter_value_from(self, low) -> Iterator[Tuple[object, object]]:
+        """``(value, payload)`` entries with ``value >= low``."""
+        lo = bisect.bisect_left(self._values, low)
+        return iter(list(zip(self._values[lo:], self._payloads[lo:])))
+
+    def values(self) -> List:
+        """The sorted values (a copy)."""
+        return list(self._values)
+
+
+class AttributeLists:
+    """A bundle of per-attribute :class:`SortedTupleList` objects."""
+
+    __slots__ = ("lists",)
+
+    def __init__(self) -> None:
+        self.lists: Dict[str, SortedTupleList] = {}
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.lists
+
+    def __len__(self) -> int:
+        return len(self.lists)
+
+    def list_for(self, attribute: str) -> SortedTupleList:
+        """The attribute's list, created on first use."""
+        existing = self.lists.get(attribute)
+        if existing is None:
+            existing = SortedTupleList()
+            self.lists[attribute] = existing
+        return existing
+
+    def insert_tuples(self, attributes: Iterable[Tuple[str, object]], payload) -> None:
+        """Index one item's attribute-value tuples under ``payload``."""
+        for attribute, value in attributes:
+            self.list_for(attribute).insert(value, payload)
+
+    def delete_tuples(self, attributes: Iterable[Tuple[str, object]], payload) -> None:
+        """Remove one item's tuples; empty lists are pruned."""
+        for attribute, value in attributes:
+            lst = self.lists.get(attribute)
+            if lst is not None:
+                lst.delete(value, payload)
+                if not lst:
+                    del self.lists[attribute]
+
+    def count_matches(self, predicates: Iterable[Predicate]) -> Dict:
+        """The counting algorithm: payload -> number of satisfied predicates.
+
+        Returns an empty dict as soon as one predicate's attribute is
+        missing — no event here can reach the full count then.
+        """
+        counters: Dict = defaultdict(int)
+        predicates = list(predicates)
+        for predicate in predicates:
+            if predicate.attribute not in self.lists:
+                return {}
+        for predicate in predicates:
+            lst = self.lists[predicate.attribute]
+            for payload in lst.iter_matching(predicate):
+                counters[payload] += 1
+        return counters
+
+    def matching_payloads(self, predicates: Iterable[Predicate]) -> List:
+        """Payloads satisfying *all* predicates (full counter value)."""
+        predicates = list(predicates)
+        counters = self.count_matches(predicates)
+        needed = len(predicates)
+        return [payload for payload, count in counters.items() if count == needed]

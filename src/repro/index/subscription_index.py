@@ -1,0 +1,204 @@
+"""The subscription index: OpIndex over boolean-expression subscriptions.
+
+Section 5 of the paper adopts an existing subscription index (OpIndex) for
+the event-arrival path: given a freshly published event, find every stored
+subscription whose boolean expression the event satisfies.  This module
+implements that index natively:
+
+* **First layer** — subscriptions are partitioned by their *pivot
+  attribute*, the least frequent of their own attributes under a fixed
+  global frequency order.  A subscription's pivot is one of its own
+  attributes, and a matching event must carry every subscription
+  attribute, so only the partitions pivoted on one of the *event's*
+  attributes can contain matches — the signature OpIndex prune.
+* **Second layer** — inside a partition, predicates are grouped by
+  attribute and by operator class so that each event value probes the
+  relevant predicates with binary search where the operator allows it
+  (equality buckets; operand-sorted lists for the inequalities).
+
+The counting algorithm then reports every subscription whose satisfied-
+predicate counter reaches its size |s|.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..expressions import Event, Operator, Predicate, Subscription
+from ..expressions.dnf import clauses_of
+
+
+class _AttributePredicates:
+    """All predicates on one attribute within one pivot partition."""
+
+    __slots__ = ("equals", "less", "greater", "linear")
+
+    def __init__(self) -> None:
+        # operand -> subscription ids (EQ probes are hash lookups)
+        self.equals: Dict[object, List[int]] = defaultdict(list)
+        # (operand, strict, sub_id) for < / <= : satisfied when value < operand
+        # (or <=); kept sorted by operand so a probe is a suffix scan.
+        self.less: List[Tuple[object, bool, int]] = []
+        # (operand, strict, sub_id) for > / >= : prefix scan.
+        self.greater: List[Tuple[object, bool, int]] = []
+        # everything else (BETWEEN, NE, IN, NOT_IN): linear probe.
+        self.linear: List[Tuple[Predicate, int]] = []
+
+    def add(self, predicate: Predicate, sub_id: int) -> None:
+        """Register one predicate under its operator group."""
+        op = predicate.operator
+        if op is Operator.EQ:
+            self.equals[predicate.operand].append(sub_id)
+        elif op in (Operator.LT, Operator.LE):
+            entry = (predicate.operand, op is Operator.LT, sub_id)
+            bisect.insort(self.less, entry, key=lambda e: _operand_key(e[0]))
+        elif op in (Operator.GT, Operator.GE):
+            entry = (predicate.operand, op is Operator.GT, sub_id)
+            bisect.insort(self.greater, entry, key=lambda e: _operand_key(e[0]))
+        else:
+            self.linear.append((predicate, sub_id))
+
+    def remove(self, predicate: Predicate, sub_id: int) -> None:
+        """Remove one registered predicate."""
+        op = predicate.operator
+        if op is Operator.EQ:
+            bucket = self.equals[predicate.operand]
+            bucket.remove(sub_id)
+            if not bucket:
+                del self.equals[predicate.operand]
+        elif op in (Operator.LT, Operator.LE):
+            self.less.remove((predicate.operand, op is Operator.LT, sub_id))
+        elif op in (Operator.GT, Operator.GE):
+            self.greater.remove((predicate.operand, op is Operator.GT, sub_id))
+        else:
+            self.linear.remove((predicate, sub_id))
+
+    def __len__(self) -> int:
+        return (
+            sum(len(bucket) for bucket in self.equals.values())
+            + len(self.less)
+            + len(self.greater)
+            + len(self.linear)
+        )
+
+    def probe(self, value, counters: Dict[int, int]) -> None:
+        """Count every predicate on this attribute that ``value`` satisfies."""
+        for sub_id in self.equals.get(value, ()):
+            counters[sub_id] += 1
+        # A < o is satisfied iff o > value: the suffix of the operand-sorted
+        # list starting just above value (plus the o == value run for <=).
+        key = _operand_key(value)
+        start = bisect.bisect_left(self.less, key, key=lambda e: _operand_key(e[0]))
+        for operand, strict, sub_id in self.less[start:]:
+            # operand >= value here; a strict < with operand == value fails.
+            if not strict or operand != value:
+                counters[sub_id] += 1
+        # A > o is satisfied iff o < value: the prefix strictly below value
+        # (plus the o == value run for >=).
+        stop = bisect.bisect_right(self.greater, key, key=lambda e: _operand_key(e[0]))
+        for operand, strict, sub_id in self.greater[:stop]:
+            if not strict or operand != value:
+                counters[sub_id] += 1
+        for predicate, sub_id in self.linear:
+            if predicate.matches(value):
+                counters[sub_id] += 1
+
+
+def _operand_key(value) -> Tuple[str, object]:
+    """A total order across mixed operand types (numbers vs strings)."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", value)
+    return (type(value).__name__, value)
+
+
+class SubscriptionIndex:
+    """OpIndex over subscriptions: event -> be-matching subscription ids."""
+
+    def __init__(self, frequency_hint: Optional[Mapping[str, int]] = None) -> None:
+        self._order: Dict[str, int] = dict(frequency_hint or {})
+        self._partitions: Dict[str, Dict[str, _AttributePredicates]] = {}
+        # sub_id -> (subscription, per-clause pivots in clause order)
+        self._subscriptions: Dict[int, Tuple[Subscription, Tuple[str, ...]]] = {}
+        # (sub_id, clause index) -> number of predicates in the clause
+        self._clause_sizes: Dict[Tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, sub_id: int) -> bool:
+        return sub_id in self._subscriptions
+
+    def _pivot_of(self, clause) -> str:
+        return min(
+            clause.attributes,
+            key=lambda a: (self._order.get(a, 0), a),
+        )
+
+    def insert(self, subscription: Subscription) -> None:
+        """Register a subscription; a DNF registers one entry per clause."""
+        if subscription.sub_id in self._subscriptions:
+            raise ValueError(f"duplicate subscription id {subscription.sub_id}")
+        pivots = []
+        for clause_index, clause in enumerate(clauses_of(subscription.expression)):
+            key = (subscription.sub_id, clause_index)
+            pivot = self._pivot_of(clause)
+            pivots.append(pivot)
+            partition = self._partitions.setdefault(pivot, {})
+            for predicate in clause:
+                layer = partition.get(predicate.attribute)
+                if layer is None:
+                    layer = _AttributePredicates()
+                    partition[predicate.attribute] = layer
+                layer.add(predicate, key)
+            self._clause_sizes[key] = len(clause.predicates)
+        self._subscriptions[subscription.sub_id] = (subscription, tuple(pivots))
+
+    def delete(self, subscription: Subscription) -> None:
+        """Remove a subscription's clauses; empty layers are pruned."""
+        stored = self._subscriptions.pop(subscription.sub_id, None)
+        if stored is None:
+            raise KeyError(f"subscription {subscription.sub_id} is not in the index")
+        stored_sub, pivots = stored
+        for clause_index, (clause, pivot) in enumerate(
+            zip(clauses_of(stored_sub.expression), pivots)
+        ):
+            key = (stored_sub.sub_id, clause_index)
+            partition = self._partitions[pivot]
+            for predicate in clause:
+                layer = partition[predicate.attribute]
+                layer.remove(predicate, key)
+                if not len(layer):
+                    del partition[predicate.attribute]
+            if not partition:
+                del self._partitions[pivot]
+            del self._clause_sizes[key]
+
+    def match_event(self, event: Event) -> List[Subscription]:
+        """All stored subscriptions whose expression ``event`` satisfies.
+
+        A subscription matches when any of its clauses is fully counted;
+        each subscription is reported once.
+        """
+        matched: List[Subscription] = []
+        matched_ids: set = set()
+        for attribute in event.attributes:
+            partition = self._partitions.get(attribute)
+            if partition is None:
+                continue
+            counters: Dict[Tuple[int, int], int] = defaultdict(int)
+            for event_attribute, value in event.attributes.items():
+                layer = partition.get(event_attribute)
+                if layer is not None:
+                    layer.probe(value, counters)
+            for key, count in counters.items():
+                sub_id = key[0]
+                if sub_id in matched_ids:
+                    continue
+                if count == self._clause_sizes[key]:
+                    matched_ids.add(sub_id)
+                    matched.append(self._subscriptions[sub_id][0])
+        return matched

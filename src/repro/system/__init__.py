@@ -1,0 +1,26 @@
+"""System layer: the Elaps server (Figure 6), the client/server
+simulation, the experiment runner, and the metrics they report."""
+
+from .client import MobileClient
+from .experiment import ExperimentConfig, STRATEGIES, build_simulation, build_strategy, run_experiment
+from .metrics import CommunicationStats
+from .network import ElapsNetworkClient, ElapsTCPServer
+from .server import ElapsServer, Notification, SubscriberRecord
+from .simulation import Simulation, SimulationResult
+
+__all__ = [
+    "CommunicationStats",
+    "ElapsNetworkClient",
+    "ElapsServer",
+    "ElapsTCPServer",
+    "MobileClient",
+    "ExperimentConfig",
+    "Notification",
+    "STRATEGIES",
+    "Simulation",
+    "SimulationResult",
+    "SubscriberRecord",
+    "build_simulation",
+    "build_strategy",
+    "run_experiment",
+]

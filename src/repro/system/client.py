@@ -1,0 +1,79 @@
+"""The mobile client: the subscriber-side half of the protocol.
+
+The client owns exactly three things (Section 3): its subscription, its
+current safe region, and its GPS readings.  Its contract is minimal —
+and it is the whole point of the safe-region machinery:
+
+* while the current position stays inside the safe region, the client is
+  **silent** (it may even disconnect);
+* the moment the position leaves the region (or no region is held, or an
+  empty region was received because the subscriber's own cell is unsafe),
+  the client reports its location and velocity;
+* when the server pings (an event arrived in the impact region), the
+  client answers with its location;
+* safe-region pushes replace the held region.
+
+The client never sees events it was not notified about and never learns
+the impact region — that stays on the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core import SafeRegion
+from ..expressions import Event, Subscription
+from ..geometry import Point
+
+
+@dataclass
+class MobileClient:
+    """Client-side state machine for one subscriber."""
+
+    subscription: Subscription
+    location: Point
+    velocity: Point = field(default_factory=lambda: Point(0.0, 0.0))
+    safe_region: Optional[SafeRegion] = None
+    received_events: List[Event] = field(default_factory=list)
+    reports_sent: int = 0
+
+    # ------------------------------------------------------------------
+    # Movement
+    # ------------------------------------------------------------------
+    def move_to(self, location: Point, velocity: Point) -> bool:
+        """Advance one timestamp; returns True if a report is due.
+
+        A report is due when no usable safe region is held or the new
+        position left it — the client-side check of Section 3.
+        """
+        self.location = location
+        self.velocity = velocity
+        return self.must_report()
+
+    def must_report(self) -> bool:
+        """Client-side check: is the held safe region still usable here?"""
+        region = self.safe_region
+        if region is None or region.is_empty():
+            return True
+        return not region.contains_point(self.location)
+
+    def report(self) -> tuple:
+        """The (location, velocity) payload of a location report."""
+        self.reports_sent += 1
+        return self.location, self.velocity
+
+    # ------------------------------------------------------------------
+    # Server pushes
+    # ------------------------------------------------------------------
+    def receive_region(self, region: SafeRegion) -> None:
+        """Install a pushed safe region."""
+        self.safe_region = region
+
+    def receive_notification(self, event: Event) -> None:
+        """Record a delivered event."""
+        self.received_events.append(event)
+
+    def answer_ping(self) -> tuple:
+        """The client's reply to a server location ping."""
+        return self.location, self.velocity

@@ -1,0 +1,175 @@
+"""One-call experiment runner used by the examples and every benchmark.
+
+An :class:`ExperimentConfig` captures the paper's evaluation knobs
+(Table 2) plus the scaled-down sizes of this reproduction; ``run_experiment``
+builds the whole stack — dataset, trajectories, indexes, server, simulation
+— deterministically from the seed, runs it, and returns the per-subscriber
+figures the paper plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core import (
+    GridMethod,
+    IDGM,
+    IGM,
+    SafeRegionStrategy,
+    SystemStats,
+    VoronoiMethod,
+)
+from ..datasets import FoursquareLikeGenerator, TwitterLikeGenerator
+from ..geometry import Grid, Rect
+from ..index import BEQTree, SubscriptionIndex
+from ..trajectories import (
+    RoadNetwork,
+    SyntheticTrajectoryGenerator,
+    TaxiTrajectoryGenerator,
+)
+from .server import ElapsServer
+from .simulation import Simulation, SimulationResult
+
+#: strategy factory registry: name -> (max_cells -> strategy)
+STRATEGIES: Dict[str, Callable[[Optional[int]], SafeRegionStrategy]] = {
+    "VM": lambda max_cells: VoronoiMethod(max_cells=max_cells),
+    "GM": lambda max_cells: GridMethod(),
+    "iGM": lambda max_cells: IGM(max_cells=max_cells),
+    "idGM": lambda max_cells: IDGM(max_cells=max_cells),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """The knobs of one communication-overhead experiment.
+
+    Defaults mirror Table 2's bold values, scaled down for a pure-Python
+    substrate (see DESIGN.md): the paper's 30M-event corpus becomes
+    ``initial_events``, its 10,000 trajectories become ``subscribers``,
+    its 1000 timestamps become ``timestamps``.
+    """
+
+    strategy: str = "iGM"
+    dataset: str = "twitter"  # or "foursquare"
+    movement: str = "synthetic"  # or "taxi"
+    event_rate: float = 2.0  # f, events per timestamp
+    speed: float = 60.0  # vs, metres per timestamp
+    radius: float = 3000.0  # r, notification radius in metres
+    initial_events: int = 20_000  # E, corpus size
+    subscription_size: int = 3  # delta
+    subscribers: int = 40
+    timestamps: int = 250
+    grid_n: int = 120  # N
+    space_size: float = 50_000.0
+    emax: int = 512  # BEQ-Tree leaf capacity
+    event_ttl: Optional[int] = None
+    matching_mode: str = "ondemand"
+    max_cells: Optional[int] = 2500  # safe-region cap (deviation, DESIGN.md)
+    seed: int = 7
+    measure_bytes: bool = False
+    stats_override: Optional[Callable[[int], SystemStats]] = None
+    alpha: Optional[float] = None  # idGM direction weight override
+    beta: Optional[float] = None  # termination threshold override (Fig 9)
+    rate_schedule: Optional[Callable[[int], float]] = None  # dynamic f (Fig 10a)
+    speed_schedule: Optional[Callable[[int], float]] = None  # dynamic vs (Fig 10b)
+    oracle_rebuild: bool = False  # the "-opi" free-refresh oracle (Fig 10)
+    use_impact_region: bool = True  # ablation: False pings on every match
+    incremental_impact: bool = True  # ablation: Example 2 strips on/off
+
+    def with_(self, **changes) -> "ExperimentConfig":
+        """A copy of this configuration with fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def build_strategy(config: ExperimentConfig) -> SafeRegionStrategy:
+    """Instantiate the configured strategy, honouring alpha/beta overrides."""
+    name = config.strategy
+    if name not in STRATEGIES:
+        raise ValueError(f"unknown strategy {name!r}; pick one of {sorted(STRATEGIES)}")
+    overridden = (
+        config.alpha is not None
+        or config.beta is not None
+        or not config.incremental_impact
+    )
+    if name in ("iGM", "idGM") and overridden:
+        if name == "iGM":
+            return IGM(
+                beta=config.beta if config.beta is not None else 1.0,
+                max_cells=config.max_cells,
+                incremental_impact=config.incremental_impact,
+            )
+        return IDGM(
+            alpha=config.alpha if config.alpha is not None else 0.5,
+            beta=config.beta if config.beta is not None else 1.0,
+            max_cells=config.max_cells,
+            incremental_impact=config.incremental_impact,
+        )
+    return STRATEGIES[name](config.max_cells)
+
+
+def build_simulation(config: ExperimentConfig) -> Simulation:
+    """Assemble the full Elaps stack for one experiment."""
+    space = Rect(0.0, 0.0, config.space_size, config.space_size)
+    grid = Grid(config.grid_n, space)
+
+    if config.dataset == "twitter":
+        generator = TwitterLikeGenerator(space, seed=config.seed)
+    elif config.dataset == "foursquare":
+        generator = FoursquareLikeGenerator(space, seed=config.seed)
+    else:
+        raise ValueError(f"unknown dataset {config.dataset!r}")
+
+    event_index = BEQTree(space, emax=config.emax)
+    stream = generator.event_stream(start_id=config.initial_events, seed_offset=1)
+
+    subscriptions = generator.subscriptions(
+        config.subscribers, size=config.subscription_size, radius=config.radius
+    )
+
+    network = RoadNetwork(space, grid_size=12, seed=config.seed)
+    if config.movement == "synthetic":
+        trajectory_gen = SyntheticTrajectoryGenerator(
+            network,
+            speed=config.speed,
+            seed=config.seed,
+            speed_schedule=config.speed_schedule,
+        )
+    elif config.movement == "taxi":
+        trajectory_gen = TaxiTrajectoryGenerator(
+            network, base_speed=config.speed, seed=config.seed
+        )
+    else:
+        raise ValueError(f"unknown movement {config.movement!r}")
+    trajectories = trajectory_gen.trajectories(config.subscribers, config.timestamps + 1)
+
+    server = ElapsServer(
+        grid,
+        build_strategy(config),
+        event_index=event_index,
+        subscription_index=SubscriptionIndex(generator.frequency_hint()),
+        matching_mode=config.matching_mode,
+        initial_rate=config.event_rate,
+        stats_override=config.stats_override,
+        measure_bytes=config.measure_bytes,
+        use_impact_region=config.use_impact_region,
+    )
+    server.bootstrap(generator.events(config.initial_events))
+    return Simulation(
+        server,
+        subscriptions,
+        trajectories,
+        stream,
+        event_rate=config.event_rate,
+        event_ttl=config.event_ttl,
+        rate_schedule=config.rate_schedule,
+        oracle_rebuild=config.oracle_rebuild,
+        oracle_signal=config.rate_schedule or config.speed_schedule,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> SimulationResult:
+    """Build and run one experiment end to end."""
+    simulation = build_simulation(config)
+    return simulation.run(config.timestamps)

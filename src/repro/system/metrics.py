@@ -1,0 +1,71 @@
+"""Communication and server-cost accounting.
+
+The paper's headline metric is the average *communication I/O* per
+subscriber, split into the two types of Section 3.3:
+
+* **location-update rounds** — the subscriber leaves the safe region,
+  reports its location, and receives a new safe region;
+* **event-arrival rounds** — a new matching event lands in the impact
+  region; the server pings the subscriber, receives the location, and
+  answers with either a notification or a new safe region.
+
+The secondary metrics cover Appendix B (bytes shipped per safe region,
+raw vs compressed) and Appendix D.3 (server computation cost of safe-
+region construction, plus the work counters of the matching machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class CommunicationStats:
+    """Mutable accumulator; one per simulation run."""
+
+    location_update_rounds: int = 0
+    event_arrival_rounds: int = 0
+    notifications: int = 0
+    constructions: int = 0
+    cells_examined: int = 0
+    events_scanned: int = 0
+    safe_region_bytes: int = 0
+    raw_region_bytes: int = 0
+    #: full wire-protocol bytes (frames included), split by direction;
+    #: populated only when byte measurement is enabled
+    wire_bytes_up: int = 0
+    wire_bytes_down: int = 0
+    server_seconds: float = 0.0
+
+    @property
+    def total_rounds(self) -> int:
+        """Both communication types combined."""
+        return self.location_update_rounds + self.event_arrival_rounds
+
+    def per_subscriber(self, subscriber_count: int) -> Dict[str, float]:
+        """The per-subscriber averages the paper's figures report."""
+        if subscriber_count <= 0:
+            raise ValueError(f"subscriber count must be positive: {subscriber_count}")
+        return {
+            "location_update": self.location_update_rounds / subscriber_count,
+            "event_arrival": self.event_arrival_rounds / subscriber_count,
+            "total": self.total_rounds / subscriber_count,
+            "notifications": self.notifications / subscriber_count,
+        }
+
+    def merged_with(self, other: "CommunicationStats") -> "CommunicationStats":
+        """Field-wise sum with another accumulator (inputs untouched)."""
+        return CommunicationStats(
+            location_update_rounds=self.location_update_rounds + other.location_update_rounds,
+            event_arrival_rounds=self.event_arrival_rounds + other.event_arrival_rounds,
+            notifications=self.notifications + other.notifications,
+            constructions=self.constructions + other.constructions,
+            cells_examined=self.cells_examined + other.cells_examined,
+            events_scanned=self.events_scanned + other.events_scanned,
+            safe_region_bytes=self.safe_region_bytes + other.safe_region_bytes,
+            raw_region_bytes=self.raw_region_bytes + other.raw_region_bytes,
+            wire_bytes_up=self.wire_bytes_up + other.wire_bytes_up,
+            wire_bytes_down=self.wire_bytes_down + other.wire_bytes_down,
+            server_seconds=self.server_seconds + other.server_seconds,
+        )

@@ -1,0 +1,260 @@
+"""Elaps over TCP: the wire protocol served on a real socket.
+
+The simulation drives the server through in-process callbacks; this
+module exposes the same server as a network service so that real clients
+(mobile devices, publishers) can speak the binary protocol of
+:mod:`repro.system.protocol` over TCP:
+
+* **subscribers** connect, send a :class:`SubscribeMessage`, receive the
+  already-matching events and their first :class:`SafeRegionPush`, then
+  report with :class:`LocationReport` whenever they leave the region;
+  notifications and new regions are pushed down the same connection;
+* **publishers** connect and send :class:`EventPublishMessage` frames;
+  the server stamps arrival times from its own clock and fans out
+  notifications to the affected subscriber connections.
+
+One simplification versus the paper's synchronous ping: when an arriving
+event lands in a subscriber's impact region, the server answers the
+"ping" from the subscriber's most recent report instead of blocking the
+publish on a network round-trip (clients report whenever they leave
+their safe region, so the freshness guarantee is the same as the
+simulation's: one report round per region exit).  A
+:class:`~repro.system.protocol.LocationPing` is still pushed so the
+client knows to report promptly.
+
+The implementation is a single-threaded ``asyncio`` server; the wrapped
+:class:`~repro.system.ElapsServer` is not thread-safe and all handling
+runs on the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import struct
+import time
+from typing import Dict, Optional
+
+from ..expressions import Event
+from ..geometry import Point
+from .protocol import (
+    EventPublishMessage,
+    LocationReport,
+    SubscribeMessage,
+    UnsubscribeMessage,
+    decode_message,
+    encode_message,
+    notification_for,
+    region_push_for,
+)
+from .server import ElapsServer
+
+_FRAME_HEADER = ">BI"
+_HEADER_SIZE = struct.calcsize(_FRAME_HEADER)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one length-prefixed frame; None on a clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER_SIZE)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (_, length) = struct.unpack(_FRAME_HEADER, header)
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return header + payload
+
+
+class ElapsTCPServer:
+    """Serve an :class:`ElapsServer` on a TCP port."""
+
+    def __init__(
+        self,
+        server: ElapsServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timestamp_seconds: float = 5.0,
+    ) -> None:
+        if timestamp_seconds <= 0:
+            raise ValueError(f"timestamp length must be positive: {timestamp_seconds}")
+        self.server = server
+        self.host = host
+        self.port = port
+        self.timestamp_seconds = timestamp_seconds
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._event_ids = itertools.count(1)
+        self._started_at = time.monotonic()
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+        # the wrapped server's callbacks feed the connected clients
+        server.locator = self._last_known_location
+        server.region_sink = self._push_region
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._tcp_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close every connection."""
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+
+    def now(self) -> int:
+        """The server clock in timestamps since start."""
+        return int((time.monotonic() - self._started_at) / self.timestamp_seconds)
+
+    # ------------------------------------------------------------------
+    # Server-callback plumbing
+    # ------------------------------------------------------------------
+    def _last_known_location(self, sub_id: int):
+        record = self.server.subscribers[sub_id]
+        return record.location, record.velocity
+
+    def _push_region(self, sub_id: int, region) -> None:
+        writer = self._writers.get(sub_id)
+        if writer is not None:
+            writer.write(encode_message(region_push_for(sub_id, region)))
+
+    def _push_notifications(self, notifications) -> None:
+        for notification in notifications:
+            writer = self._writers.get(notification.sub_id)
+            if writer is not None:
+                writer.write(
+                    encode_message(
+                        notification_for(notification.sub_id, notification.event)
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection_subs: set = set()
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                message = decode_message(frame)
+                if isinstance(message, SubscribeMessage):
+                    self._writers[message.sub_id] = writer
+                    connection_subs.add(message.sub_id)
+                    from ..expressions import Subscription
+
+                    subscription = Subscription(
+                        message.sub_id, message.expression, message.radius
+                    )
+                    notifications, _ = self.server.subscribe(
+                        subscription, message.location, message.velocity, self.now()
+                    )
+                    # the initial region push went out via the region sink;
+                    # deliver the already-matching events
+                    self._push_notifications(notifications)
+                elif isinstance(message, LocationReport):
+                    if message.sub_id in self.server.subscribers:
+                        notifications, _ = self.server.report_location(
+                            message.sub_id, message.location, message.velocity, self.now()
+                        )
+                        self._push_notifications(notifications)
+                elif isinstance(message, UnsubscribeMessage):
+                    if message.sub_id in self.server.subscribers:
+                        self.server.unsubscribe(message.sub_id)
+                    self._writers.pop(message.sub_id, None)
+                    connection_subs.discard(message.sub_id)
+                elif isinstance(message, EventPublishMessage):
+                    now = self.now()
+                    event = Event(
+                        next(self._event_ids) << 32 | (message.event_id & 0xFFFFFFFF),
+                        dict(message.attributes),
+                        message.location,
+                        arrived_at=now,
+                        expires_at=None if message.ttl <= 0 else now + message.ttl,
+                    )
+                    self.server.expire_due_events(now)
+                    notifications = self.server.publish(event, now)
+                    self._push_notifications(notifications)
+                await writer.drain()
+        finally:
+            for sub_id in connection_subs:
+                if sub_id in self.server.subscribers:
+                    self.server.unsubscribe(sub_id)
+                self._writers.pop(sub_id, None)
+            writer.close()
+
+
+class ElapsNetworkClient:
+    """A minimal subscriber/publisher client for :class:`ElapsTCPServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        """Open the TCP connection."""
+        self.reader, self.writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        """Close the connection."""
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except ConnectionResetError:  # pragma: no cover - platform noise
+                pass
+
+    async def send(self, message) -> None:
+        """Send one protocol message."""
+        assert self.writer is not None, "connect() first"
+        self.writer.write(encode_message(message))
+        await self.writer.drain()
+
+    async def receive(self, timeout: float = 5.0):
+        """Receive one pushed message (decoded), or None on EOF."""
+        assert self.reader is not None, "connect() first"
+        frame = await asyncio.wait_for(read_frame(self.reader), timeout)
+        if frame is None:
+            return None
+        return decode_message(frame)
+
+    # convenience wrappers ------------------------------------------------
+    async def subscribe(self, subscription, location: Point, velocity: Point):
+        """Subscribe and collect the pushes until the first region arrives."""
+        await self.send(
+            SubscribeMessage(
+                subscription.sub_id,
+                subscription.radius,
+                subscription.expression,
+                location,
+                velocity,
+            )
+        )
+        received = []
+        while True:
+            message = await self.receive()
+            received.append(message)
+            if message is None or message.TYPE == 5:  # SafeRegionPush
+                return received
+
+    async def publish(self, event_id: int, attributes: dict, location: Point,
+                      ttl: int = 0) -> None:
+        """Publish one event."""
+        await self.send(
+            EventPublishMessage(
+                event_id, location, tuple(sorted(attributes.items())), ttl
+            )
+        )

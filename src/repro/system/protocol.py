@@ -1,0 +1,446 @@
+"""The Elaps wire protocol: compact binary encodings for every message.
+
+The paper's communication analysis counts message *rounds* and, in
+Appendix B, the bytes of the safe-region push (z-ordered WAH bitmaps).
+This module pins the whole protocol down so byte-level accounting is
+possible for every flow of Figure 6:
+
+======================  =========  =====================================
+message                 direction  payload
+======================  =========  =====================================
+``SubscribeMessage``    C -> S     sub id, radius, boolean expression,
+                                   location, velocity
+``UnsubscribeMessage``  C -> S     sub id
+``LocationReport``      C -> S     sub id, location, velocity
+``LocationPing``        S -> C     sub id (the event-arrival ping)
+``SafeRegionPush``      S -> C     sub id, grid size, complement flag,
+                                   WAH-compressed cell bitmap
+``NotificationMessage`` S -> C     sub id, event id, location, attributes
+======================  =========  =====================================
+
+Frames are ``[1-byte type][4-byte big-endian payload length][payload]``.
+Values inside payloads are tagged scalars (int / float / str), strings
+are length-prefixed UTF-8, and expressions serialise clause by clause so
+DNF subscriptions travel unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from ..bitmap import WAHBitmap
+from ..expressions import (
+    BooleanExpression,
+    DnfExpression,
+    Operator,
+    Predicate,
+    clauses_of,
+)
+from ..geometry import Point
+
+# ----------------------------------------------------------------------
+# Scalar tagging
+# ----------------------------------------------------------------------
+_TAG_INT = 0
+_TAG_FLOAT = 1
+_TAG_STR = 2
+
+
+def _encode_scalar(value) -> bytes:
+    if isinstance(value, bool):
+        raise TypeError("booleans are not part of the wire format; use 0/1")
+    if isinstance(value, int):
+        return struct.pack(">Bq", _TAG_INT, value)
+    if isinstance(value, float):
+        return struct.pack(">Bd", _TAG_FLOAT, value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return struct.pack(">BI", _TAG_STR, len(raw)) + raw
+    raise TypeError(f"unsupported scalar type: {type(value).__name__}")
+
+
+def _decode_scalar(buffer: bytes, offset: int):
+    (tag,) = struct.unpack_from(">B", buffer, offset)
+    offset += 1
+    if tag == _TAG_INT:
+        (value,) = struct.unpack_from(">q", buffer, offset)
+        return value, offset + 8
+    if tag == _TAG_FLOAT:
+        (value,) = struct.unpack_from(">d", buffer, offset)
+        return value, offset + 8
+    if tag == _TAG_STR:
+        (length,) = struct.unpack_from(">I", buffer, offset)
+        offset += 4
+        return buffer[offset : offset + length].decode("utf-8"), offset + length
+    raise ValueError(f"unknown scalar tag {tag}")
+
+
+def _encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return struct.pack(">I", len(raw)) + raw
+
+
+def _decode_str(buffer: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from(">I", buffer, offset)
+    offset += 4
+    return buffer[offset : offset + length].decode("utf-8"), offset + length
+
+
+# ----------------------------------------------------------------------
+# Expression encoding
+# ----------------------------------------------------------------------
+_OPERATOR_CODES: Dict[Operator, int] = {op: i for i, op in enumerate(Operator)}
+_CODES_OPERATOR: Dict[int, Operator] = {i: op for op, i in _OPERATOR_CODES.items()}
+
+
+def _encode_predicate(predicate: Predicate) -> bytes:
+    parts = [
+        _encode_str(predicate.attribute),
+        struct.pack(">B", _OPERATOR_CODES[predicate.operator]),
+    ]
+    if predicate.operator is Operator.BETWEEN:
+        low, high = predicate.operand
+        parts.append(_encode_scalar(low))
+        parts.append(_encode_scalar(high))
+    elif predicate.operator in (Operator.IN, Operator.NOT_IN):
+        members = sorted(predicate.operand, key=repr)
+        parts.append(struct.pack(">I", len(members)))
+        parts.extend(_encode_scalar(member) for member in members)
+    else:
+        parts.append(_encode_scalar(predicate.operand))
+    return b"".join(parts)
+
+
+def _decode_predicate(buffer: bytes, offset: int) -> Tuple[Predicate, int]:
+    attribute, offset = _decode_str(buffer, offset)
+    (code,) = struct.unpack_from(">B", buffer, offset)
+    offset += 1
+    operator = _CODES_OPERATOR[code]
+    if operator is Operator.BETWEEN:
+        low, offset = _decode_scalar(buffer, offset)
+        high, offset = _decode_scalar(buffer, offset)
+        return Predicate(attribute, operator, (low, high)), offset
+    if operator in (Operator.IN, Operator.NOT_IN):
+        (count,) = struct.unpack_from(">I", buffer, offset)
+        offset += 4
+        members = []
+        for _ in range(count):
+            member, offset = _decode_scalar(buffer, offset)
+            members.append(member)
+        return Predicate(attribute, operator, frozenset(members)), offset
+    operand, offset = _decode_scalar(buffer, offset)
+    return Predicate(attribute, operator, operand), offset
+
+
+Expression = Union[BooleanExpression, DnfExpression]
+
+
+def encode_expression(expression: Expression) -> bytes:
+    """Serialise a conjunction or DNF, clause by clause."""
+    clauses = clauses_of(expression)
+    parts = [struct.pack(">I", len(clauses))]
+    for clause in clauses:
+        parts.append(struct.pack(">I", len(clause.predicates)))
+        parts.extend(_encode_predicate(p) for p in clause.predicates)
+    return b"".join(parts)
+
+
+def decode_expression(buffer: bytes, offset: int = 0) -> Tuple[Expression, int]:
+    """Inverse of :func:`encode_expression`; returns (expression, offset)."""
+    (clause_count,) = struct.unpack_from(">I", buffer, offset)
+    offset += 4
+    clauses: List[BooleanExpression] = []
+    for _ in range(clause_count):
+        (predicate_count,) = struct.unpack_from(">I", buffer, offset)
+        offset += 4
+        predicates = []
+        for _ in range(predicate_count):
+            predicate, offset = _decode_predicate(buffer, offset)
+            predicates.append(predicate)
+        clauses.append(BooleanExpression(predicates))
+    if len(clauses) == 1:
+        return clauses[0], offset
+    return DnfExpression(clauses), offset
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubscribeMessage:
+    """C->S: register a subscription with its start location."""
+
+    TYPE = 1
+    sub_id: int
+    radius: float
+    expression: Expression
+    location: Point
+    velocity: Point
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        return (
+            struct.pack(
+                ">Qddddd",
+                self.sub_id,
+                self.radius,
+                self.location.x,
+                self.location.y,
+                self.velocity.x,
+                self.velocity.y,
+            )
+            + encode_expression(self.expression)
+        )
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "SubscribeMessage":
+        """Inverse of :meth:`encode_payload`."""
+        sub_id, radius, x, y, vx, vy = struct.unpack_from(">Qddddd", payload, 0)
+        expression, _ = decode_expression(payload, struct.calcsize(">Qddddd"))
+        return cls(sub_id, radius, expression, Point(x, y), Point(vx, vy))
+
+
+@dataclass(frozen=True)
+class UnsubscribeMessage:
+    """C->S: drop a subscription."""
+
+    TYPE = 2
+    sub_id: int
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        return struct.pack(">Q", self.sub_id)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "UnsubscribeMessage":
+        """Inverse of :meth:`encode_payload`."""
+        (sub_id,) = struct.unpack(">Q", payload)
+        return cls(sub_id)
+
+
+@dataclass(frozen=True)
+class LocationReport:
+    """C->S: position and velocity after a safe-region exit or ping."""
+
+    TYPE = 3
+    sub_id: int
+    location: Point
+    velocity: Point
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        return struct.pack(
+            ">Qdddd",
+            self.sub_id,
+            self.location.x,
+            self.location.y,
+            self.velocity.x,
+            self.velocity.y,
+        )
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "LocationReport":
+        """Inverse of :meth:`encode_payload`."""
+        sub_id, x, y, vx, vy = struct.unpack(">Qdddd", payload)
+        return cls(sub_id, Point(x, y), Point(vx, vy))
+
+
+@dataclass(frozen=True)
+class LocationPing:
+    """S->C: request a location (event-arrival flow)."""
+
+    TYPE = 4
+    sub_id: int
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        return struct.pack(">Q", self.sub_id)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "LocationPing":
+        """Inverse of :meth:`encode_payload`."""
+        (sub_id,) = struct.unpack(">Q", payload)
+        return cls(sub_id)
+
+
+@dataclass(frozen=True)
+class SafeRegionPush:
+    """S->C: a freshly constructed safe region as a WAH bitmap."""
+
+    TYPE = 5
+    sub_id: int
+    grid_n: int
+    complement: bool
+    bitmap: WAHBitmap
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        words = self.bitmap.words
+        header = struct.pack(
+            ">QIBII", self.sub_id, self.grid_n, int(self.complement),
+            self.bitmap.length, len(words),
+        )
+        return header + struct.pack(f">{len(words)}I", *words)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "SafeRegionPush":
+        """Inverse of :meth:`encode_payload`."""
+        sub_id, grid_n, complement, length, word_count = struct.unpack_from(
+            ">QIBII", payload, 0
+        )
+        offset = struct.calcsize(">QIBII")
+        words = struct.unpack_from(f">{word_count}I", payload, offset)
+        return cls(sub_id, grid_n, bool(complement), WAHBitmap(length, list(words)))
+
+
+@dataclass(frozen=True)
+class NotificationMessage:
+    """S->C: deliver one matching event."""
+
+    TYPE = 6
+    sub_id: int
+    event_id: int
+    location: Point
+    attributes: Tuple[Tuple[str, object], ...]
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        parts = [
+            struct.pack(
+                ">QQddI",
+                self.sub_id,
+                self.event_id,
+                self.location.x,
+                self.location.y,
+                len(self.attributes),
+            )
+        ]
+        for name, value in self.attributes:
+            parts.append(_encode_str(name))
+            parts.append(_encode_scalar(value))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "NotificationMessage":
+        """Inverse of :meth:`encode_payload`."""
+        sub_id, event_id, x, y, count = struct.unpack_from(">QQddI", payload, 0)
+        offset = struct.calcsize(">QQddI")
+        attributes = []
+        for _ in range(count):
+            name, offset = _decode_str(payload, offset)
+            value, offset = _decode_scalar(payload, offset)
+            attributes.append((name, value))
+        return cls(sub_id, event_id, Point(x, y), tuple(attributes))
+
+
+@dataclass(frozen=True)
+class EventPublishMessage:
+    """P->S: a publisher announces a spatial event (optionally expiring)."""
+
+    TYPE = 7
+    event_id: int
+    location: Point
+    attributes: Tuple[Tuple[str, object], ...]
+    ttl: int  # validity in timestamps; 0 means never expires
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        parts = [
+            struct.pack(
+                ">QddiI",
+                self.event_id,
+                self.location.x,
+                self.location.y,
+                self.ttl,
+                len(self.attributes),
+            )
+        ]
+        for name, value in self.attributes:
+            parts.append(_encode_str(name))
+            parts.append(_encode_scalar(value))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "EventPublishMessage":
+        """Inverse of :meth:`encode_payload`."""
+        event_id, x, y, ttl, count = struct.unpack_from(">QddiI", payload, 0)
+        offset = struct.calcsize(">QddiI")
+        attributes = []
+        for _ in range(count):
+            name, offset = _decode_str(payload, offset)
+            value, offset = _decode_scalar(payload, offset)
+            attributes.append((name, value))
+        return cls(event_id, Point(x, y), tuple(attributes), ttl)
+
+
+_MESSAGE_TYPES = {
+    cls.TYPE: cls
+    for cls in (
+        SubscribeMessage,
+        UnsubscribeMessage,
+        LocationReport,
+        LocationPing,
+        SafeRegionPush,
+        NotificationMessage,
+        EventPublishMessage,
+    )
+}
+
+Message = Union[
+    SubscribeMessage,
+    UnsubscribeMessage,
+    LocationReport,
+    LocationPing,
+    SafeRegionPush,
+    NotificationMessage,
+    EventPublishMessage,
+]
+
+_FRAME_HEADER = ">BI"
+
+
+def encode_message(message: Message) -> bytes:
+    """One framed message: type byte, payload length, payload."""
+    payload = message.encode_payload()
+    return struct.pack(_FRAME_HEADER, message.TYPE, len(payload)) + payload
+
+
+def decode_message(frame: bytes) -> Message:
+    """Decode one framed message; trailing bytes are an error."""
+    message_type, length = struct.unpack_from(_FRAME_HEADER, frame, 0)
+    header = struct.calcsize(_FRAME_HEADER)
+    if len(frame) != header + length:
+        raise ValueError(
+            f"frame length mismatch: header says {length}, got {len(frame) - header}"
+        )
+    cls = _MESSAGE_TYPES.get(message_type)
+    if cls is None:
+        raise ValueError(f"unknown message type {message_type}")
+    return cls.decode_payload(frame[header:])
+
+
+def message_bytes(message: Message) -> int:
+    """Wire size of one message, frame header included."""
+    return len(encode_message(message))
+
+
+def notification_for(sub_id: int, event) -> NotificationMessage:
+    """The wire message delivering ``event`` to ``sub_id``."""
+    return NotificationMessage(
+        sub_id,
+        event.event_id,
+        event.location,
+        tuple(sorted(event.attributes.items())),
+    )
+
+
+def region_push_for(sub_id: int, safe_region) -> SafeRegionPush:
+    """The wire message shipping a safe region to its client."""
+    return SafeRegionPush(
+        sub_id,
+        safe_region.grid.n,
+        safe_region.complement,
+        safe_region.to_bitmap(),
+    )

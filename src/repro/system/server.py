@@ -1,0 +1,436 @@
+"""The Elaps server (Section 5, Figure 6).
+
+The server wires together every piece of the paper's framework:
+
+* the **event index** (a BEQ-Tree) holding the current event corpus and
+  answering subscription matches and on-demand be-matching;
+* the **subscription index** (OpIndex over subscriptions) answering, for
+  each arriving event, which subscribers' boolean expressions it
+  satisfies;
+* the **impact-region index** mapping grid cells to the subscribers whose
+  impact region covers them;
+* the **safe-region constructor** (one of VM/GM/iGM/idGM) invoked by the
+  subscription processor and the location-update handler.
+
+Message flows implemented exactly as Section 5 describes:
+
+*Subscription arrival* — match the event corpus (BEQ-Tree), deliver the
+events already inside the notification region, construct the safe/impact
+regions, ship the safe region.
+
+*Event arrival* — insert into the event index; find be-matching
+subscribers; those whose impact region covers the event's cell get a
+location ping (one event-arrival round): if the event is within the
+notification radius, it is delivered; otherwise new regions are built and
+the safe region is shipped.
+
+*Event expiration* — drop the event from the event index; by Lemma 4 no
+client communication is needed.
+
+*Location update* — the client reports after leaving its safe region (one
+location-update round); matching events that the move brought inside the
+notification circle are delivered, then new regions are built.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core import (
+    ConstructionRequest,
+    ImpactRegion,
+    LazyBEQField,
+    RegionPair,
+    SafeRegion,
+    SafeRegionStrategy,
+    StaticMatchingField,
+    SystemStats,
+)
+from ..expressions import Event, Subscription
+from ..geometry import Grid, Point
+from ..index import BEQTree, ImpactRegionIndex, SubscriptionIndex
+from .metrics import CommunicationStats
+from .protocol import (
+    LocationPing,
+    LocationReport,
+    SubscribeMessage,
+    message_bytes,
+    notification_for,
+    region_push_for,
+)
+
+#: locator callback: subscriber id -> (location, velocity)
+Locator = Callable[[int], Tuple[Point, Point]]
+
+
+@dataclass
+class SubscriberRecord:
+    """Server-side state for one subscriber."""
+
+    subscription: Subscription
+    location: Point
+    velocity: Point
+    safe: Optional[SafeRegion] = None
+    delivered: Set[int] = dataclass_field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One matching event delivered to one subscriber."""
+
+    sub_id: int
+    event: Event
+    timestamp: int
+
+
+class ElapsServer:
+    """The pub/sub server of Figure 6."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        strategy: SafeRegionStrategy,
+        *,
+        event_index: Optional[BEQTree] = None,
+        subscription_index: Optional[SubscriptionIndex] = None,
+        matching_mode: str = "ondemand",
+        rate_window: int = 50,
+        initial_rate: Optional[float] = None,
+        min_speed: float = 1.0,
+        stats_override: Optional[Callable[[int], SystemStats]] = None,
+        measure_bytes: bool = False,
+        use_impact_region: bool = True,
+    ) -> None:
+        if matching_mode not in ("ondemand", "full", "cached"):
+            raise ValueError(f"unknown matching mode: {matching_mode!r}")
+        self.grid = grid
+        self.strategy = strategy
+        self.event_index = event_index or BEQTree(grid.space, emax=256)
+        self.subscription_index = subscription_index or SubscriptionIndex()
+        self.impact_index = ImpactRegionIndex()
+        self.matching_mode = matching_mode
+        self.rate_window = rate_window
+        self.initial_rate = initial_rate
+        self.min_speed = min_speed
+        self.stats_override = stats_override
+        self.measure_bytes = measure_bytes
+        #: ablation switch: with False, *every* be-matching arrival pings
+        #: the subscriber, as if the impact region concept did not exist
+        self.use_impact_region = use_impact_region
+        self.locator: Optional[Locator] = None
+        #: called whenever a fresh safe region is shipped to a client
+        self.region_sink: Optional[Callable[[int, SafeRegion], None]] = None
+
+        self.subscribers: Dict[int, SubscriberRecord] = {}
+        self.metrics = CommunicationStats()
+        self._arrival_times: List[int] = []  # ring of recent arrival timestamps
+        self._expiry_heap: List[Tuple[int, int]] = []  # (expires_at, event_id)
+        self._events_by_id: Dict[int, Event] = {}
+        self._started_at: Optional[int] = None
+        # "cached" matching mode: per-subscriber be-matching event cache,
+        # maintained incrementally on publish and filtered lazily against
+        # the live corpus and the delivered set.  Communication behaviour
+        # is identical to "full" (tested); only server work differs.
+        self._matching_cache: Dict[int, Dict[int, Point]] = {}
+        self._field_cache: Dict[int, Tuple[FrozenSet[int], StaticMatchingField]] = {}
+        self._region_cache: Dict[int, Tuple[FrozenSet[int], "RegionPair"]] = {}
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap(self, events) -> None:
+        """Load the initial event database without arrival processing."""
+        for event in events:
+            self._store_event(event)
+
+    def _store_event(self, event: Event) -> None:
+        self.event_index.insert(event)
+        self._events_by_id[event.event_id] = event
+        if event.expires_at is not None:
+            heapq.heappush(self._expiry_heap, (event.expires_at, event.event_id))
+
+    # ------------------------------------------------------------------
+    # Statistics (the cost-model inputs)
+    # ------------------------------------------------------------------
+    def _estimated_rate(self, now: int) -> float:
+        window_start = now - self.rate_window
+        self._arrival_times = [t for t in self._arrival_times if t > window_start]
+        if self.initial_rate is not None and (
+            self._started_at is None or now - self._started_at < self.rate_window
+        ):
+            return self.initial_rate
+        return len(self._arrival_times) / self.rate_window
+
+    def system_stats(self, now: int) -> SystemStats:
+        """The cost-model inputs at time ``now`` (Equations 5-6)."""
+        if self.stats_override is not None:
+            return self.stats_override(now)
+        return SystemStats(
+            event_rate=self._estimated_rate(now),
+            total_events=len(self.event_index),
+        )
+
+    # ------------------------------------------------------------------
+    # Subscription arrival / expiration
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        subscription: Subscription,
+        location: Point,
+        velocity: Point,
+        now: int = 0,
+    ) -> Tuple[List[Notification], SafeRegion]:
+        """Register a subscriber; deliver current matches, ship a safe region."""
+        if self._started_at is None:
+            self._started_at = now
+        record = SubscriberRecord(subscription, location, velocity)
+        self.subscribers[subscription.sub_id] = record
+        self.subscription_index.insert(subscription)
+        if self.matching_mode == "cached":
+            self._matching_cache[subscription.sub_id] = {
+                event.event_id: event.location
+                for event in self.event_index.be_match(subscription.expression)
+            }
+        notifications = [
+            Notification(subscription.sub_id, event, now)
+            for event in self.event_index.match(subscription, location)
+        ]
+        for notification in notifications:
+            record.delivered.add(notification.event.event_id)
+        self.metrics.notifications += len(notifications)
+        if self.measure_bytes:
+            self.metrics.wire_bytes_up += message_bytes(
+                SubscribeMessage(
+                    subscription.sub_id, subscription.radius,
+                    subscription.expression, location, velocity,
+                )
+            )
+            self._account_notification_bytes(notifications)
+        self._construct(record, now)
+        return notifications, record.safe
+
+    def _account_notification_bytes(self, notifications: List[Notification]) -> None:
+        for notification in notifications:
+            self.metrics.wire_bytes_down += message_bytes(
+                notification_for(notification.sub_id, notification.event)
+            )
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Drop a subscriber from every index (subscription expiration)."""
+        record = self.subscribers.pop(sub_id, None)
+        if record is None:
+            raise KeyError(f"unknown subscriber {sub_id}")
+        self.subscription_index.delete(record.subscription)
+        self.impact_index.remove(sub_id)
+        self._matching_cache.pop(sub_id, None)
+        self._field_cache.pop(sub_id, None)
+        self._region_cache.pop(sub_id, None)
+
+    # ------------------------------------------------------------------
+    # Event arrival / expiration
+    # ------------------------------------------------------------------
+    def publish(self, event: Event, now: int) -> List[Notification]:
+        """Process one arriving event; returns the notifications sent."""
+        self._store_event(event)
+        self._arrival_times.append(now)
+        notifications: List[Notification] = []
+        event_cell = self.grid.cell_of(event.location)
+        for subscription in self.subscription_index.match_event(event):
+            record = self.subscribers.get(subscription.sub_id)
+            if record is None or event.event_id in record.delivered:
+                continue
+            if self.matching_mode == "cached":
+                self._matching_cache[subscription.sub_id][event.event_id] = event.location
+            if self.use_impact_region and not self.impact_index.covers(
+                subscription.sub_id, event_cell
+            ):
+                # Outside the impact region: the safe region stays valid
+                # (Definition 2) and no communication happens.
+                continue
+            # One event-arrival round: ping the client, read the location.
+            self.metrics.event_arrival_rounds += 1
+            self._refresh_location(record)
+            if self.measure_bytes:
+                self.metrics.wire_bytes_down += message_bytes(
+                    LocationPing(subscription.sub_id)
+                )
+                self.metrics.wire_bytes_up += message_bytes(
+                    LocationReport(subscription.sub_id, record.location, record.velocity)
+                )
+            distance = record.location.distance_to(event.location)
+            if distance <= subscription.radius:
+                record.delivered.add(event.event_id)
+                notification = Notification(subscription.sub_id, event, now)
+                notifications.append(notification)
+                self.metrics.notifications += 1
+                if self.measure_bytes:
+                    self._account_notification_bytes([notification])
+            else:
+                self._construct(record, now)
+        return notifications
+
+    def expire_due_events(self, now: int) -> int:
+        """Remove events whose validity ended; Lemma 4: no client traffic."""
+        removed = 0
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            _, event_id = heapq.heappop(self._expiry_heap)
+            event = self._events_by_id.pop(event_id, None)
+            if event is None:
+                continue
+            self.event_index.delete(event)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Location update
+    # ------------------------------------------------------------------
+    def report_location(
+        self, sub_id: int, location: Point, velocity: Point, now: int
+    ) -> Tuple[List[Notification], SafeRegion]:
+        """Handle a client report after it left its safe region."""
+        record = self.subscribers[sub_id]
+        self.metrics.location_update_rounds += 1
+        record.location = location
+        record.velocity = velocity
+        # The move may have brought matching events inside the circle.
+        notifications = [
+            Notification(sub_id, event, now)
+            for event in self.event_index.match(record.subscription, location)
+            if event.event_id not in record.delivered
+        ]
+        for notification in notifications:
+            record.delivered.add(notification.event.event_id)
+        self.metrics.notifications += len(notifications)
+        if self.measure_bytes:
+            self.metrics.wire_bytes_up += message_bytes(
+                LocationReport(sub_id, location, velocity)
+            )
+            self._account_notification_bytes(notifications)
+        self._construct(record, now)
+        return notifications, record.safe
+
+    def rebuild_all(self, now: int) -> None:
+        """Rebuild every subscriber's regions with fresh statistics.
+
+        Used by the Figure 10 oracle variants: the rebuild itself adds no
+        communication rounds (only construction work), matching the
+        paper's rule that oracle refreshes are not counted as I/O.
+        """
+        for record in self.subscribers.values():
+            self._refresh_location(record)
+            self._construct(record, now)
+
+    # ------------------------------------------------------------------
+    # Region construction
+    # ------------------------------------------------------------------
+    def _refresh_location(self, record: SubscriberRecord) -> None:
+        if self.locator is not None:
+            record.location, record.velocity = self.locator(record.subscription.sub_id)
+
+    def _matching_field(self, record: SubscriberRecord):
+        if self.matching_mode == "ondemand":
+            return LazyBEQField(
+                self.grid,
+                self.event_index,
+                record.subscription.expression,
+                excluded_ids=record.delivered,
+            )
+        if self.matching_mode == "cached":
+            signature = self._matching_signature(record)
+            cached = self._field_cache.get(record.subscription.sub_id)
+            if cached is not None and cached[0] == signature:
+                return cached[1]
+            cache = self._matching_cache[record.subscription.sub_id]
+            field = StaticMatchingField(
+                self.grid, [cache[event_id] for event_id in signature]
+            )
+            self._field_cache[record.subscription.sub_id] = (signature, field)
+            return field
+        # Full mode: materialise every be-matching event upfront (the
+        # paper's "-BE" variants route this through k-index; the work is
+        # equivalent — a full-corpus boolean match).
+        events = [
+            event
+            for event in self.event_index.be_match(record.subscription.expression)
+            if event.event_id not in record.delivered
+        ]
+        self.metrics.events_scanned += len(self.event_index)
+        return StaticMatchingField(self.grid, [event.location for event in events])
+
+    def _matching_signature(self, record: SubscriberRecord) -> frozenset:
+        """The live, undelivered be-matching event ids (cached mode)."""
+        cache = self._matching_cache[record.subscription.sub_id]
+        return frozenset(
+            event_id
+            for event_id in cache
+            if event_id in self._events_by_id and event_id not in record.delivered
+        )
+
+    def _construct(self, record: SubscriberRecord, now: int) -> None:
+        started = time.perf_counter()
+        # GM's regions do not depend on the subscriber's location, so in
+        # cached mode an unchanged matching set lets the previous region
+        # pair be re-shipped without rebuilding.
+        reusable = (
+            self.matching_mode == "cached"
+            and getattr(self.strategy, "location_independent", False)
+        )
+        if reusable:
+            signature = self._matching_signature(record)
+            cached_pair = self._region_cache.get(record.subscription.sub_id)
+            if cached_pair is not None and cached_pair[0] == signature:
+                record.safe = cached_pair[1].safe
+                if self.measure_bytes:
+                    push = region_push_for(record.subscription.sub_id, record.safe)
+                    self.metrics.safe_region_bytes += push.bitmap.compressed_bytes()
+                    self.metrics.raw_region_bytes += push.bitmap.raw_bytes()
+                    self.metrics.wire_bytes_down += message_bytes(push)
+                if self.region_sink is not None:
+                    self.region_sink(record.subscription.sub_id, record.safe)
+                return
+        speed = max(record.velocity.norm(), self.min_speed)
+        direction = record.velocity.normalized().scaled(speed)
+        if direction == Point(0.0, 0.0):
+            direction = Point(speed, 0.0)
+        field = self._matching_field(record)
+        request = ConstructionRequest(
+            location=record.location,
+            velocity=direction,
+            radius=record.subscription.radius,
+            grid=self.grid,
+            matching_field=field,
+            stats=self.system_stats(now),
+        )
+        pair = self.strategy.construct(request)
+        record.safe = pair.safe
+        impact = pair.impact
+        if pair.safe.is_empty():
+            # Degenerate case: the subscriber's own cell is unsafe, so the
+            # client reports every timestamp.  The impact region must still
+            # cover the notification circle (Lemma 1), so install the
+            # dilation of the subscriber's cell.
+            cell = self.grid.cell_of(record.location)
+            cells = set(
+                self.grid.cells_within_radius(
+                    cell, record.subscription.radius, inclusive=True
+                )
+            )
+            cells.add(cell)
+            impact = ImpactRegion(self.grid, frozenset(cells))
+        self.impact_index.replace_region(record.subscription.sub_id, impact)
+        if reusable:
+            self._region_cache[record.subscription.sub_id] = (signature, pair)
+        self.metrics.constructions += 1
+        self.metrics.cells_examined += pair.cells_examined
+        self.metrics.events_scanned += getattr(field, "events_scanned", 0)
+        if self.measure_bytes:
+            push = region_push_for(record.subscription.sub_id, record.safe)
+            self.metrics.safe_region_bytes += push.bitmap.compressed_bytes()
+            self.metrics.raw_region_bytes += push.bitmap.raw_bytes()
+            self.metrics.wire_bytes_down += message_bytes(push)
+        self.metrics.server_seconds += time.perf_counter() - started
+        if self.region_sink is not None:
+            self.region_sink(record.subscription.sub_id, record.safe)

@@ -1,0 +1,15 @@
+"""Movement substrate: road network, synthetic (Brinkhoff-style) and
+taxi-style trajectory generators."""
+
+from .motion import Trajectory, walk_polyline
+from .road import RoadNetwork
+from .synthetic import SyntheticTrajectoryGenerator
+from .taxi import TaxiTrajectoryGenerator
+
+__all__ = [
+    "RoadNetwork",
+    "SyntheticTrajectoryGenerator",
+    "TaxiTrajectoryGenerator",
+    "Trajectory",
+    "walk_polyline",
+]

@@ -1,0 +1,89 @@
+"""Trajectories: one position per timestamp.
+
+The paper samples GPS positions every timestamp (5 seconds) over 1000
+timestamps.  A trajectory here is exactly that: a sequence of points, one
+per timestamp, with finite-difference velocities (metres per timestamp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """An immutable per-timestamp position sequence."""
+
+    positions: Sequence[Point]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ValueError("a trajectory needs at least one position")
+        object.__setattr__(self, "positions", tuple(self.positions))
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def position_at(self, timestamp: int) -> Point:
+        """Position at ``timestamp``; parked at the end once finished."""
+        if timestamp < 0:
+            raise ValueError(f"negative timestamp: {timestamp}")
+        if timestamp >= len(self.positions):
+            return self.positions[-1]
+        return self.positions[timestamp]
+
+    def velocity_at(self, timestamp: int) -> Point:
+        """Velocity (m/tm) over the step starting at ``timestamp``."""
+        here = self.position_at(timestamp)
+        next_pos = self.position_at(timestamp + 1)
+        return next_pos - here
+
+    def average_speed(self) -> float:
+        """Mean per-step displacement in metres per timestamp."""
+        if len(self.positions) < 2:
+            return 0.0
+        total = sum(
+            self.positions[i].distance_to(self.positions[i + 1])
+            for i in range(len(self.positions) - 1)
+        )
+        return total / (len(self.positions) - 1)
+
+
+def walk_polyline(waypoints: Sequence[Point], step_lengths: Sequence[float]) -> List[Point]:
+    """Sample a polyline at the given per-step travel distances.
+
+    Returns one position per step (``len(step_lengths) + 1`` points,
+    starting at the first waypoint).  When the polyline is exhausted the
+    walker parks at its end.
+    """
+    if not waypoints:
+        raise ValueError("empty polyline")
+    positions = [waypoints[0]]
+    segment = 0
+    offset = 0.0  # distance already travelled along the current segment
+    current = waypoints[0]
+    for step in step_lengths:
+        remaining = step
+        while remaining > 0 and segment < len(waypoints) - 1:
+            seg_start, seg_end = waypoints[segment], waypoints[segment + 1]
+            seg_len = seg_start.distance_to(seg_end)
+            available = seg_len - offset
+            if remaining < available:
+                offset += remaining
+                remaining = 0.0
+            else:
+                remaining -= available
+                segment += 1
+                offset = 0.0
+        if segment >= len(waypoints) - 1:
+            current = waypoints[-1]
+        else:
+            seg_start, seg_end = waypoints[segment], waypoints[segment + 1]
+            seg_len = seg_start.distance_to(seg_end)
+            fraction = offset / seg_len if seg_len > 0 else 0.0
+            current = seg_start + (seg_end - seg_start).scaled(fraction)
+        positions.append(current)
+    return positions

@@ -1,0 +1,75 @@
+"""A synthetic road network for network-constrained movement.
+
+Brinkhoff's generator (used for the paper's synthetic trajectories) moves
+objects along a road network; the Singapore taxi traces are likewise
+network-bound.  This module builds a perturbed grid road graph over the
+simulation space with :mod:`networkx`, plus shortest-path routing between
+random nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..geometry import Point, Rect
+
+
+class RoadNetwork:
+    """A connected planar road graph with geometric edge lengths."""
+
+    def __init__(self, space: Rect, grid_size: int = 14, jitter: float = 0.3, seed: int = 0) -> None:
+        if grid_size < 2:
+            raise ValueError(f"grid_size must be at least 2: {grid_size}")
+        self.space = space
+        rng = random.Random(seed)
+        self.graph = nx.Graph()
+        self._positions: Dict[Tuple[int, int], Point] = {}
+        step_x = space.width / (grid_size - 1)
+        step_y = space.height / (grid_size - 1)
+        max_jitter_x = jitter * step_x
+        max_jitter_y = jitter * step_y
+        for i in range(grid_size):
+            for j in range(grid_size):
+                x = space.x_min + i * step_x + rng.uniform(-max_jitter_x, max_jitter_x)
+                y = space.y_min + j * step_y + rng.uniform(-max_jitter_y, max_jitter_y)
+                x = min(max(x, space.x_min), space.x_max)
+                y = min(max(y, space.y_min), space.y_max)
+                node = (i, j)
+                self._positions[node] = Point(x, y)
+                self.graph.add_node(node)
+        for i in range(grid_size):
+            for j in range(grid_size):
+                for neighbor in ((i + 1, j), (i, j + 1)):
+                    if neighbor in self._positions:
+                        length = self._positions[(i, j)].distance_to(self._positions[neighbor])
+                        # Congestion factor: how much slower than free flow
+                        # traffic moves on this road (taxi generator input).
+                        congestion = rng.uniform(0.4, 1.0)
+                        self.graph.add_edge(
+                            (i, j), neighbor, length=length, congestion=congestion
+                        )
+
+    def position_of(self, node: Tuple[int, int]) -> Point:
+        """The planar position of a road-network node."""
+        return self._positions[node]
+
+    def random_node(self, rng: random.Random) -> Tuple[int, int]:
+        """A uniformly random node (deterministic under the rng)."""
+        nodes = sorted(self.graph.nodes)
+        return nodes[rng.randrange(len(nodes))]
+
+    def route(self, origin: Tuple[int, int], destination: Tuple[int, int]) -> List[Point]:
+        """Shortest-path waypoints (by length) from origin to destination."""
+        nodes = nx.shortest_path(self.graph, origin, destination, weight="length")
+        return [self._positions[node] for node in nodes]
+
+    def congestion_along(self, origin: Tuple[int, int], destination: Tuple[int, int]) -> List[float]:
+        """Per-edge congestion factors along the shortest path."""
+        nodes = nx.shortest_path(self.graph, origin, destination, weight="length")
+        return [
+            self.graph.edges[nodes[k], nodes[k + 1]]["congestion"]
+            for k in range(len(nodes) - 1)
+        ]

@@ -1,0 +1,55 @@
+"""Shared fixtures: a small deterministic world for unit tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+
+
+@pytest.fixture
+def space() -> Rect:
+    return Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+@pytest.fixture
+def grid(space: Rect) -> Grid:
+    return Grid(50, space)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(42)
+
+
+def make_event(event_id: int, location: Point, **attributes) -> Event:
+    """Terse event constructor for tests."""
+    return Event(event_id, attributes or {"kind": "generic"}, location)
+
+
+def random_events(rng: random.Random, space: Rect, count: int, attributes: int = 6):
+    """Random events over a small integer attribute space."""
+    events = []
+    for event_id in range(count):
+        attrs = {
+            f"a{rng.randint(0, attributes - 1)}": rng.randint(0, 9)
+            for _ in range(rng.randint(1, 4))
+        }
+        location = Point(
+            rng.uniform(space.x_min, space.x_max),
+            rng.uniform(space.y_min, space.y_max),
+        )
+        events.append(Event(event_id, attrs, location))
+    return events
+
+
+def make_subscription(sub_id: int = 1, radius: float = 2_000.0, *predicates) -> Subscription:
+    if not predicates:
+        predicates = (
+            Predicate("a1", Operator.LE, 5),
+            Predicate("a2", Operator.GE, 2),
+        )
+    return Subscription(sub_id, BooleanExpression(predicates), radius=radius)

@@ -1,0 +1,186 @@
+"""BEQ-Tree specifics: Algorithm 2 internals, tree maintenance (Appendix C),
+the spatial-interval bounds of Figure 5, and the on-demand matching mode."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Circle, Point, Rect
+from repro.index import BEQTree, circle_rect_boundary_intersections
+
+from conftest import random_events
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+class TestBoundaryIntersections:
+    def test_circle_crossing_one_edge(self):
+        circle = Circle(Point(-3, 5), 5.0)
+        rect = Rect(0, 0, 10, 10)
+        points = circle_rect_boundary_intersections(circle, rect)
+        assert len(points) == 2
+        for p in points:
+            assert math.isclose(circle.center.distance_to(p), 5.0)
+            assert p.x == 0.0
+
+    def test_disjoint_circle_no_intersections(self):
+        circle = Circle(Point(-100, -100), 5.0)
+        assert circle_rect_boundary_intersections(circle, Rect(0, 0, 10, 10)) == []
+
+    def test_circle_inside_rect_no_intersections(self):
+        circle = Circle(Point(5, 5), 1.0)
+        assert circle_rect_boundary_intersections(circle, Rect(0, 0, 10, 10)) == []
+
+    def test_intersections_lie_on_circle_and_rect_boundary(self):
+        circle = Circle(Point(12, 5), 6.0)
+        rect = Rect(0, 0, 10, 10)
+        for p in circle_rect_boundary_intersections(circle, rect):
+            assert math.isclose(circle.center.distance_to(p), 6.0, abs_tol=1e-9)
+            on_edge = (
+                math.isclose(p.x, 0) or math.isclose(p.x, 10)
+                or math.isclose(p.y, 0) or math.isclose(p.y, 10)
+            )
+            assert on_edge and rect.contains_point(p)
+
+
+class TestTreeStructure:
+    def test_split_on_overflow(self):
+        tree = BEQTree(SPACE, emax=4)
+        events = random_events(random.Random(0), SPACE, 40)
+        tree.insert_all(events)
+        assert tree.depth() > 1
+        for leaf in tree.leaves():
+            assert len(leaf) <= 4 or tree.depth() >= tree.max_depth
+
+    def test_leaves_partition_events(self):
+        tree = BEQTree(SPACE, emax=8)
+        events = random_events(random.Random(1), SPACE, 100)
+        tree.insert_all(events)
+        seen = [e for leaf in tree.leaves() for e in leaf.events]
+        assert sorted(seen) == sorted(range(100))
+
+    def test_merge_on_empty_siblings(self):
+        tree = BEQTree(SPACE, emax=2)
+        events = random_events(random.Random(2), SPACE, 30)
+        tree.insert_all(events)
+        assert tree.depth() > 1
+        for event in events:
+            tree.delete(event)
+        assert tree.depth() == 1
+        assert len(tree) == 0
+
+    def test_out_of_bounds_insert_rejected(self):
+        tree = BEQTree(SPACE, emax=4)
+        with pytest.raises(ValueError):
+            tree.insert(Event(1, {"a": 1}, Point(-5, 0)))
+
+    def test_max_depth_bounds_colocation(self):
+        tree = BEQTree(SPACE, emax=2, max_depth=5)
+        # 20 events at the same location would split forever without the cap.
+        for event_id in range(20):
+            tree.insert(Event(event_id, {"a": 1}, Point(123.0, 456.0)))
+        assert tree.depth() <= 5
+        assert len(tree) == 20
+
+
+class TestSpatialList:
+    def test_spatial_list_sorted_by_reference_distance(self):
+        tree = BEQTree(SPACE, emax=64)
+        events = random_events(random.Random(3), SPACE, 50)
+        tree.insert_all(events)
+        for leaf in tree.leaves():
+            values = leaf.spatial.values()
+            assert values == sorted(values)
+            for distance, event_id in leaf.spatial:
+                actual = leaf.reference.distance_to(leaf.events[event_id].location)
+                assert math.isclose(distance, actual)
+
+
+class TestOnDemandMatching:
+    def test_be_match_in_rect_covers_rect_events(self):
+        tree = BEQTree(SPACE, emax=8)
+        events = random_events(random.Random(4), SPACE, 200)
+        tree.insert_all(events)
+        expr = BooleanExpression([Predicate("a1", Operator.LE, 5)])
+        rect = Rect(2000, 2000, 6000, 6000)
+        got_ids = {e.event_id for e in tree.be_match_in_rect(expr, rect)}
+        # every be-matching event inside the rect must be found (the leaf
+        # granularity may also return matches just outside the rect)
+        for event in events:
+            if expr.matches(event.attributes) and rect.contains_point(event.location):
+                assert event.event_id in got_ids
+
+    def test_be_match_full_space(self):
+        tree = BEQTree(SPACE, emax=8)
+        events = random_events(random.Random(5), SPACE, 200)
+        tree.insert_all(events)
+        expr = BooleanExpression([Predicate("a2", Operator.GE, 3)])
+        got = {e.event_id for e in tree.be_match(expr)}
+        expected = {e.event_id for e in events if expr.matches(e.attributes)}
+        assert got == expected
+
+    def test_be_candidates_superset_of_matches(self):
+        tree = BEQTree(SPACE, emax=8)
+        events = random_events(random.Random(6), SPACE, 200)
+        tree.insert_all(events)
+        sub = Subscription(
+            1, BooleanExpression([Predicate("a1", Operator.LE, 7)]), radius=2000
+        )
+        at = Point(5000, 5000)
+        matches = {e.event_id for e in tree.match(sub, at)}
+        candidates = {e.event_id for e in tree.be_candidates(sub, at)}
+        assert matches <= candidates
+
+
+class TestUpdateCostShape:
+    def test_deeper_trees_make_insertion_slower_not_wrong(self):
+        """Fig 11 shape precondition: the tree stays correct through heavy
+        insert/delete churn."""
+        tree = BEQTree(SPACE, emax=4)
+        rng = random.Random(7)
+        alive = {}
+        next_id = 0
+        for round_ in range(10):
+            batch = random_events(rng, SPACE, 30)
+            for event in batch:
+                renumbered = Event(next_id, dict(event.attributes), event.location)
+                tree.insert(renumbered)
+                alive[next_id] = renumbered
+                next_id += 1
+            for event_id in list(alive)[:10]:
+                tree.delete(alive.pop(event_id))
+        assert len(tree) == len(alive)
+        expr = BooleanExpression([Predicate("a0", Operator.GE, 0)])
+        got = {e.event_id for e in tree.be_match(expr)}
+        expected = {i for i, e in alive.items() if expr.matches(e.attributes)}
+        assert got == expected
+
+
+class TestMemoryStats:
+    def test_counts_are_consistent(self):
+        tree = BEQTree(SPACE, emax=8)
+        events = random_events(random.Random(8), SPACE, 150)
+        tree.insert_all(events)
+        stats = tree.memory_stats()
+        assert stats["events"] == 150
+        assert stats["spatial_entries"] == 150  # one iDistance entry per event
+        # one tuple entry per attribute-value pair (Appendix C: O(|T|))
+        assert stats["tuple_entries"] == sum(len(e) for e in events)
+        assert stats["leaves"] >= 1
+        assert stats["depth"] == tree.depth()
+
+    def test_stats_shrink_after_deletion(self):
+        tree = BEQTree(SPACE, emax=8)
+        events = random_events(random.Random(9), SPACE, 100)
+        tree.insert_all(events)
+        before = tree.memory_stats()
+        for event in events[:50]:
+            tree.delete(event)
+        after = tree.memory_stats()
+        assert after["events"] == 50
+        assert after["tuple_entries"] < before["tuple_entries"]
+        assert after["spatial_entries"] == 50

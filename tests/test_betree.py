@@ -1,0 +1,172 @@
+"""BETreeIndex: the BE-Tree-style subscription index must agree with the
+other two subscription indexes on every workload."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IGM
+from repro.expressions import (
+    BooleanExpression,
+    DnfExpression,
+    Event,
+    Operator,
+    Predicate,
+    Subscription,
+)
+from repro.geometry import Grid, Point, Rect
+from repro.index.betree import BETreeIndex, predicate_interval
+from repro.index import KSubscriptionIndex, SubscriptionIndex
+from repro.system import ElapsServer
+
+
+def make_sub(sub_id, *predicates, radius=1000.0):
+    return Subscription(sub_id, BooleanExpression(predicates), radius)
+
+
+class TestPredicateInterval:
+    @pytest.mark.parametrize(
+        "op,operand,expected",
+        [
+            (Operator.EQ, 5, (5.0, 5.0)),
+            (Operator.LE, 5, (float("-inf"), 5.0)),
+            (Operator.LT, 5, (float("-inf"), 5.0)),
+            (Operator.GE, 5, (5.0, float("inf"))),
+            (Operator.BETWEEN, (2, 7), (2.0, 7.0)),
+        ],
+    )
+    def test_interval_shapes(self, op, operand, expected):
+        assert predicate_interval(Predicate("a", op, operand)) == expected
+
+    def test_non_interval_predicates(self):
+        assert predicate_interval(Predicate("a", Operator.NE, 5)) is None
+        assert predicate_interval(Predicate("a", Operator.IN, frozenset({1}))) is None
+        assert predicate_interval(Predicate("a", Operator.EQ, "text")) is None
+
+
+class TestBETreeBasics:
+    def test_invalid_bucket_size_rejected(self):
+        with pytest.raises(ValueError):
+            BETreeIndex(max_bucket=0)
+
+    def test_match_after_splits(self):
+        index = BETreeIndex(max_bucket=2)
+        for sub_id in range(40):
+            index.insert(
+                make_sub(
+                    sub_id,
+                    Predicate("price", Operator.LE, sub_id * 10),
+                    Predicate("brand", Operator.EQ, f"b{sub_id % 4}"),
+                )
+            )
+        assert index.node_count() > 1  # partitioning actually happened
+        event = Event(1, {"price": 95, "brand": "b1"}, Point(0, 0))
+        expected = {
+            sub_id for sub_id in range(40)
+            if 95 <= sub_id * 10 and sub_id % 4 == 1
+        }
+        assert {s.sub_id for s in index.match_event(event)} == expected
+
+    def test_string_predicates_route_through_open_buckets(self):
+        index = BETreeIndex(max_bucket=1)
+        index.insert(make_sub(1, Predicate("name", Operator.EQ, "shoes")))
+        index.insert(make_sub(2, Predicate("name", Operator.EQ, "books")))
+        index.insert(make_sub(3, Predicate("name", Operator.NE, "shoes")))
+        matched = {s.sub_id for s in index.match_event(Event(1, {"name": "shoes"}, Point(0, 0)))}
+        assert matched == {1}
+
+    def test_delete_roundtrip(self):
+        index = BETreeIndex(max_bucket=2)
+        subs = [
+            make_sub(i, Predicate("a", Operator.LE, i), Predicate("b", Operator.GE, i))
+            for i in range(20)
+        ]
+        for sub in subs:
+            index.insert(sub)
+        for sub in subs[::2]:
+            index.delete(sub)
+        assert len(index) == 10
+        event = Event(1, {"a": 0, "b": 100}, Point(0, 0))
+        assert {s.sub_id for s in index.match_event(event)} == set(range(1, 20, 2))
+
+    def test_delete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            BETreeIndex().delete(make_sub(5, Predicate("a", Operator.EQ, 1)))
+
+    def test_duplicate_insert_rejected(self):
+        index = BETreeIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.EQ, 1)))
+        with pytest.raises(ValueError):
+            index.insert(make_sub(1, Predicate("a", Operator.EQ, 2)))
+
+    def test_late_insert_outside_cluster_range(self):
+        """Entries whose operand lies outside the directory's clustering
+        range must still be found (they fall to the open bucket)."""
+        index = BETreeIndex(max_bucket=2)
+        for sub_id in range(6):
+            index.insert(make_sub(sub_id, Predicate("x", Operator.EQ, sub_id)))
+        index.insert(make_sub(99, Predicate("x", Operator.EQ, -1000)))
+        matched = {s.sub_id for s in index.match_event(Event(1, {"x": -1000}, Point(0, 0)))}
+        assert matched == {99}
+
+    def test_dnf_reported_once(self):
+        index = BETreeIndex(max_bucket=2)
+        dnf = DnfExpression([
+            BooleanExpression([Predicate("a", Operator.GE, 0)]),
+            BooleanExpression([Predicate("a", Operator.GE, 1)]),
+        ])
+        index.insert(Subscription(1, dnf, 500.0))
+        matched = index.match_event(Event(1, {"a": 5}, Point(0, 0)))
+        assert [s.sub_id for s in matched] == [1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_property_all_three_subscription_indexes_agree(data):
+    rng = random.Random(data.draw(st.integers(0, 99999)))
+    indexes = [BETreeIndex(max_bucket=3), SubscriptionIndex(), KSubscriptionIndex()]
+    subs = []
+    for sub_id in range(data.draw(st.integers(1, 30))):
+        predicates = []
+        for _ in range(rng.randint(1, 3)):
+            attr = f"a{rng.randint(0, 4)}"
+            op = rng.choice(
+                [Operator.EQ, Operator.NE, Operator.LT, Operator.LE,
+                 Operator.GT, Operator.GE, Operator.BETWEEN]
+            )
+            if op is Operator.BETWEEN:
+                low = rng.randint(0, 8)
+                operand = (low, low + rng.randint(0, 4))
+            else:
+                operand = rng.randint(0, 9)
+            predicates.append(Predicate(attr, op, operand))
+        sub = Subscription(sub_id, BooleanExpression(predicates), 1000.0)
+        subs.append(sub)
+        for index in indexes:
+            index.insert(sub)
+    for _ in range(10):
+        attrs = {f"a{rng.randint(0, 4)}": rng.randint(0, 9) for _ in range(rng.randint(1, 5))}
+        event = Event(0, attrs, Point(0, 0))
+        expected = {s.sub_id for s in subs if s.be_matches(event)}
+        for index in indexes:
+            assert {s.sub_id for s in index.match_event(event)} == expected
+
+
+class TestServerOnBETree:
+    def test_end_to_end(self):
+        space = Rect(0, 0, 10_000, 10_000)
+        server = ElapsServer(
+            Grid(40, space),
+            IGM(max_cells=300),
+            subscription_index=BETreeIndex(max_bucket=4),
+            initial_rate=1.0,
+        )
+        sub = make_sub(1, Predicate("topic", Operator.EQ, "sale"), radius=1500.0)
+        server.subscribe(sub, Point(5000, 5000), Point(40, 0))
+        notifications = server.publish(
+            Event(10, {"topic": "sale"}, Point(5100, 5000)), now=1
+        )
+        assert [n.sub_id for n in notifications] == [1]

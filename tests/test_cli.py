@@ -1,0 +1,78 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL_SIM = [
+    "--events", "1500", "--subscribers", "4", "--timestamps", "30",
+    "--event-rate", "4", "--grid", "80", "--seed", "3",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.strategy == "iGM"
+        assert args.event_rate == 20.0
+        assert args.dataset == "twitter"
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--strategy", "magic"])
+
+
+class TestSimulate:
+    def test_runs_and_prints_figures(self, capsys):
+        assert main(["simulate", "--strategy", "iGM", *SMALL_SIM]) == 0
+        out = capsys.readouterr().out
+        assert "location upd." in out
+        assert "iGM" in out
+
+    def test_gm_uses_cached_mode(self, capsys):
+        assert main(["simulate", "--strategy", "GM", *SMALL_SIM]) == 0
+        assert "GM" in capsys.readouterr().out
+
+    def test_taxi_movement(self, capsys):
+        assert main(["simulate", "--movement", "taxi", *SMALL_SIM]) == 0
+        assert "taxi" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_all_strategies_in_output(self, capsys):
+        assert main(["compare", *SMALL_SIM]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("VM", "GM", "iGM", "idGM"):
+            assert strategy in out
+        assert "less communication" in out
+
+
+class TestMatch:
+    def test_indexes_agree_and_report(self, capsys):
+        assert main(["match", "--events", "2000", "--queries", "8"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Quadtree", "k-index", "OpIndex", "BEQ-Tree"):
+            assert name in out
+        assert "per query" in out
+
+
+class TestFigure:
+    def test_lists_available_tables(self, capsys):
+        # the benchmarks may or may not have run; both paths are valid
+        code = main(["figure"])
+        out = capsys.readouterr()
+        assert code in (0, 1)
+
+    def test_unknown_figure_errors(self):
+        code = main(["figure", "fig99z"])
+        assert code == 1

@@ -1,0 +1,81 @@
+"""The mobile client state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SafeRegion
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.system import MobileClient
+
+
+@pytest.fixture
+def grid():
+    return Grid(10, Rect(0, 0, 1000, 1000))
+
+
+def make_client():
+    subscription = Subscription(
+        1, BooleanExpression([Predicate("a", Operator.EQ, 1)]), radius=100.0
+    )
+    return MobileClient(subscription, Point(50, 50), Point(10, 0))
+
+
+class TestReporting:
+    def test_reports_without_region(self):
+        client = make_client()
+        assert client.must_report()
+        assert client.move_to(Point(60, 50), Point(10, 0))
+
+    def test_reports_with_empty_region(self, grid):
+        client = make_client()
+        client.receive_region(SafeRegion.empty(grid))
+        assert client.must_report()
+
+    def test_silent_inside_region(self, grid):
+        client = make_client()
+        client.receive_region(SafeRegion.of(grid, [grid.cell_of(Point(60, 50))]))
+        assert not client.move_to(Point(60, 50), Point(10, 0))
+
+    def test_reports_after_leaving_region(self, grid):
+        client = make_client()
+        client.receive_region(SafeRegion.of(grid, [grid.cell_of(Point(50, 50))]))
+        assert not client.move_to(Point(55, 55), Point(10, 0))
+        assert client.move_to(Point(500, 500), Point(10, 0))
+
+    def test_report_counts_and_payload(self):
+        client = make_client()
+        client.move_to(Point(70, 50), Point(20, 0))
+        location, velocity = client.report()
+        assert location == Point(70, 50)
+        assert velocity == Point(20, 0)
+        assert client.reports_sent == 1
+
+    def test_complement_region_membership(self, grid):
+        client = make_client()
+        excluded = grid.cell_of(Point(900, 900))
+        client.receive_region(SafeRegion.of(grid, [excluded], complement=True))
+        assert not client.move_to(Point(100, 100), Point(1, 0))
+        assert client.move_to(Point(900, 900), Point(1, 0))
+
+
+class TestPushes:
+    def test_region_replacement(self, grid):
+        client = make_client()
+        first = SafeRegion.of(grid, [(0, 0)])
+        second = SafeRegion.of(grid, [(5, 5)])
+        client.receive_region(first)
+        client.receive_region(second)
+        assert client.safe_region is second
+
+    def test_notifications_accumulate(self):
+        client = make_client()
+        event = Event(9, {"a": 1}, Point(10, 10))
+        client.receive_notification(event)
+        assert client.received_events == [event]
+
+    def test_answer_ping_returns_current_state(self):
+        client = make_client()
+        client.move_to(Point(33, 44), Point(5, 6))
+        assert client.answer_ping() == (Point(33, 44), Point(5, 6))

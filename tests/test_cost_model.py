@@ -1,0 +1,96 @@
+"""The cost model of Section 3.3 (Equations 1-6) and its lemmas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import CostModel, SystemStats
+
+positive = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+
+
+class TestSystemStats:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SystemStats(event_rate=-1.0, total_events=10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SystemStats(event_rate=1.0, total_events=-10)
+
+
+class TestEquations:
+    def setup_method(self):
+        self.model = CostModel(SystemStats(event_rate=2.0, total_events=1000))
+
+    def test_equation3_exit_time(self):
+        assert self.model.expected_exit_time(600.0, 60.0) == 10.0
+
+    def test_equation3_parked_user_never_exits(self):
+        assert math.isinf(self.model.expected_exit_time(600.0, 0.0))
+
+    def test_equation5_impact_time(self):
+        # ti = n / (f * ne) = 1000 / (2 * 10)
+        assert self.model.expected_impact_time(10) == 50.0
+
+    def test_equation5_no_pressure_is_infinite(self):
+        assert math.isinf(self.model.expected_impact_time(0))
+
+    def test_equation6_balance(self):
+        # bm = f*ne*d / (n*vs) = 2*10*600 / (1000*60)
+        assert self.model.balance(600.0, 60.0, 10) == pytest.approx(0.2)
+
+    def test_equation1_objective_is_min(self):
+        ts = self.model.expected_exit_time(600.0, 60.0)
+        ti = self.model.expected_impact_time(10)
+        assert self.model.objective(600.0, 60.0, 10) == min(ts, ti)
+
+    def test_balance_zero_when_no_matching_events(self):
+        assert self.model.balance(600.0, 60.0, 0) == 0.0
+
+    def test_balance_infinite_when_parked_with_pressure(self):
+        assert math.isinf(self.model.balance(600.0, 0.0, 5))
+
+    def test_balance_zero_event_rate(self):
+        model = CostModel(SystemStats(event_rate=0.0, total_events=1000))
+        assert model.balance(600.0, 60.0, 10) == 0.0
+
+
+class TestLemmas:
+    """Lemma 5: bm grows with the region (d and ne both monotone)."""
+
+    @given(
+        d1=positive, d2=positive, ne1=st.integers(0, 100), ne2=st.integers(0, 100),
+        speed=positive,
+    )
+    def test_lemma5_monotonicity(self, d1, d2, ne1, ne2, speed):
+        model = CostModel(SystemStats(event_rate=1.5, total_events=500))
+        d_small, d_large = sorted((d1, d2))
+        ne_small, ne_large = sorted((ne1, ne2))
+        assert model.balance(d_small, speed, ne_small) <= model.balance(
+            d_large, speed, ne_large
+        )
+
+    @given(d=positive, speed=positive, ne=st.integers(1, 100))
+    def test_objective_below_both_terms(self, d, speed, ne):
+        model = CostModel(SystemStats(event_rate=1.5, total_events=500))
+        objective = model.objective(d, speed, ne)
+        assert objective <= model.expected_exit_time(d, speed)
+        assert objective <= model.expected_impact_time(ne)
+
+    def test_lemma6_7_objective_peaks_at_balance_one(self):
+        """f_obj over a nested family of regions is maximised where bm
+        crosses 1 — the paper's termination rule."""
+        model = CostModel(SystemStats(event_rate=2.0, total_events=1000))
+        speed = 50.0
+        # nested candidate regions: d grows, ne grows
+        candidates = [(d, ne) for d, ne in zip(range(100, 2000, 100), range(1, 20))]
+        objectives = [model.objective(d, speed, ne) for d, ne in candidates]
+        balances = [model.balance(d, speed, ne) for d, ne in candidates]
+        best = max(range(len(candidates)), key=objectives.__getitem__)
+        # the maximiser sits where bm is nearest to 1
+        crossing = min(range(len(candidates)), key=lambda i: abs(balances[i] - 1.0))
+        assert abs(best - crossing) <= 1

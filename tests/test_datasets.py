@@ -1,0 +1,167 @@
+"""Workload generators: determinism, distribution shape, selectivity."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.datasets import (
+    FoursquareLikeGenerator,
+    LocationSampler,
+    TwitterLikeConfig,
+    TwitterLikeGenerator,
+    Vocabulary,
+)
+from repro.geometry import Rect
+
+SPACE = Rect(0, 0, 50_000, 50_000)
+
+
+class TestVocabulary:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Vocabulary(0)
+
+    def test_zipf_weights_decreasing_and_normalised(self):
+        vocab = Vocabulary(100, skew=1.0)
+        assert vocab.weights == sorted(vocab.weights, reverse=True)
+        assert sum(vocab.weights) == pytest.approx(1.0)
+
+    def test_sampling_follows_skew(self):
+        vocab = Vocabulary(50, skew=1.2)
+        rng = random.Random(0)
+        counts = {}
+        for _ in range(5000):
+            word = vocab.sample(rng)
+            counts[word] = counts.get(word, 0) + 1
+        assert counts.get("kw0", 0) > counts.get("kw40", 0)
+
+    def test_sample_distinct(self):
+        vocab = Vocabulary(20)
+        rng = random.Random(1)
+        words = vocab.sample_distinct(rng, 10)
+        assert len(words) == len(set(words)) == 10
+
+    def test_sample_distinct_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(5).sample_distinct(random.Random(0), 6)
+
+    def test_top_restriction(self):
+        vocab = Vocabulary(100)
+        head = vocab.top(10)
+        assert len(head) == 10
+        assert sum(head.weights) == pytest.approx(1.0)
+
+    def test_frequency_hint_positive(self):
+        hint = Vocabulary(10).frequency_hint()
+        assert all(v >= 1 for v in hint.values())
+        assert hint["kw0"] > hint["kw9"]
+
+
+class TestLocationSampler:
+    def test_samples_stay_in_space(self):
+        sampler = LocationSampler(SPACE, seed=3)
+        rng = random.Random(4)
+        for _ in range(500):
+            assert SPACE.contains_point(sampler.sample(rng))
+
+    def test_clustering_exists(self):
+        sampler = LocationSampler(SPACE, hotspots=4, uniform_fraction=0.0, seed=5)
+        rng = random.Random(6)
+        points = [sampler.sample(rng) for _ in range(400)]
+        # each point should be near one of the 4 hotspot centres
+        near = sum(
+            1
+            for p in points
+            if min(p.distance_to(h.center) for h in sampler.hotspots) < 10_000
+        )
+        assert near > 380
+
+    def test_uniform_fraction_validation(self):
+        with pytest.raises(ValueError):
+            LocationSampler(SPACE, uniform_fraction=1.5)
+
+
+class TestTwitterLike:
+    def test_determinism(self):
+        a = TwitterLikeGenerator(SPACE, seed=7).events(50)
+        b = TwitterLikeGenerator(SPACE, seed=7).events(50)
+        assert [(e.event_id, dict(e.attributes), e.location) for e in a] == [
+            (e.event_id, dict(e.attributes), e.location) for e in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = TwitterLikeGenerator(SPACE, seed=7).events(50)
+        b = TwitterLikeGenerator(SPACE, seed=8).events(50)
+        assert [dict(e.attributes) for e in a] != [dict(e.attributes) for e in b]
+
+    def test_keyword_counts_in_range(self):
+        config = TwitterLikeConfig(min_keywords=3, max_keywords=6)
+        events = TwitterLikeGenerator(SPACE, config, seed=1).events(200)
+        assert all(3 <= len(e) <= 6 for e in events)
+
+    def test_event_ids_consecutive(self):
+        events = TwitterLikeGenerator(SPACE, seed=1).events(10, start_id=100)
+        assert [e.event_id for e in events] == list(range(100, 110))
+
+    def test_ttl_stamps_expiry(self):
+        events = TwitterLikeGenerator(SPACE, seed=1).events(5, arrived_at=10, ttl=50)
+        assert all(e.expires_at == 60 for e in events)
+
+    def test_subscription_sizes(self):
+        subs = TwitterLikeGenerator(SPACE, seed=1).subscriptions(30, size=4)
+        assert all(len(s) == 4 for s in subs)
+
+    def test_selectivity_band(self):
+        """The tuned default workload: delta=3 subscriptions match a small
+        but non-trivial fraction of events."""
+        generator = TwitterLikeGenerator(SPACE, seed=1)
+        events = generator.events(4000)
+        subs = generator.subscriptions(30, size=3)
+        rates = [sum(s.be_matches(e) for e in events) / len(events) for s in subs]
+        assert 0.0005 < statistics.median(rates) < 0.05
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TwitterLikeConfig(min_keywords=5, max_keywords=3)
+        with pytest.raises(ValueError):
+            TwitterLikeConfig(vocabulary_size=10, subscription_pool=20)
+
+
+class TestFoursquareLike:
+    def test_determinism(self):
+        a = FoursquareLikeGenerator(SPACE, seed=2).events(30)
+        b = FoursquareLikeGenerator(SPACE, seed=2).events(30)
+        assert [dict(e.attributes) for e in a] == [dict(e.attributes) for e in b]
+
+    def test_core_schema_present(self):
+        events = FoursquareLikeGenerator(SPACE, seed=2).events(50)
+        for event in events:
+            assert "category" in event.attributes
+            assert "rating" in event.attributes
+            assert 1 <= event.attributes["price_tier"] <= 4
+
+    def test_attribute_richness(self):
+        events = FoursquareLikeGenerator(SPACE, seed=2).events(100)
+        mean_attrs = statistics.mean(len(e) for e in events)
+        assert mean_attrs > 9  # schema-rich venues
+
+    def test_subscriptions_match_some_venues(self):
+        generator = FoursquareLikeGenerator(SPACE, seed=2)
+        events = generator.events(2000)
+        subs = generator.subscriptions(20, size=3)
+        rates = [sum(s.be_matches(e) for e in events) / len(events) for s in subs]
+        assert statistics.median(rates) > 0.001
+
+    def test_subscription_attrs_unique_per_sub(self):
+        subs = FoursquareLikeGenerator(SPACE, seed=2).subscriptions(20, size=4)
+        for sub in subs:
+            attrs = [p.attribute for p in sub.expression]
+            assert len(attrs) == len(set(attrs))
+
+    def test_frequency_hint_ranks_core_highest(self):
+        generator = FoursquareLikeGenerator(SPACE, seed=2)
+        hint = generator.frequency_hint()
+        assert hint["category"] > hint["amenity_0"]

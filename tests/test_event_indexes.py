@@ -1,0 +1,151 @@
+"""Cross-index agreement: Quadtree, k-index, OpIndex and BEQ-Tree must all
+produce exactly the brute-force result (the paper: "all the approaches
+produce the same and complete results")."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Point, Rect
+from repro.index import BEQTree, KIndex, OpIndex, QuadTree
+
+from conftest import random_events
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+def brute_force(events, subscription, at):
+    return sorted(e.event_id for e in events if subscription.matches(e, at))
+
+
+def build_all(events):
+    quadtree = QuadTree(SPACE, max_per_leaf=16)
+    kindex = KIndex()
+    opindex = OpIndex()
+    beq = BEQTree(SPACE, emax=16)
+    for index in (quadtree, kindex, beq):
+        index.insert_all(events)
+    opindex.insert_all(events)
+    return {"quadtree": quadtree, "kindex": kindex, "opindex": opindex, "beq": beq}
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = random.Random(99)
+    events = random_events(rng, SPACE, 400)
+    return events, build_all(events)
+
+
+SUBSCRIPTIONS = [
+    Subscription(1, BooleanExpression([Predicate("a1", Operator.LE, 5)]), 2500),
+    Subscription(
+        2,
+        BooleanExpression(
+            [Predicate("a1", Operator.LE, 5), Predicate("a2", Operator.GE, 2)]
+        ),
+        3000,
+    ),
+    Subscription(
+        3,
+        BooleanExpression(
+            [Predicate("a0", Operator.BETWEEN, (2, 7)), Predicate("a3", Operator.NE, 4)]
+        ),
+        4000,
+    ),
+    Subscription(
+        4,
+        BooleanExpression([Predicate("a2", Operator.IN, frozenset({1, 3, 5}))]),
+        1500,
+    ),
+    Subscription(5, BooleanExpression([Predicate("zz", Operator.EQ, 1)]), 5000),
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("sub", SUBSCRIPTIONS, ids=lambda s: f"sub{s.sub_id}")
+    @pytest.mark.parametrize("at", [Point(5000, 5000), Point(100, 9000)], ids=["centre", "edge"])
+    def test_all_indexes_match_brute_force(self, world, sub, at):
+        events, indexes = world
+        expected = brute_force(events, sub, at)
+        for name, index in indexes.items():
+            got = sorted(e.event_id for e in index.match(sub, at))
+            assert got == expected, f"{name} diverged for sub {sub.sub_id}"
+
+    def test_sizes_agree(self, world):
+        events, indexes = world
+        for name, index in indexes.items():
+            assert len(index) == len(events), name
+
+
+class TestDeletion:
+    def test_delete_half_then_match(self):
+        rng = random.Random(5)
+        events = random_events(rng, SPACE, 200)
+        indexes = build_all(events)
+        for event in events[:100]:
+            for index in indexes.values():
+                index.delete(event)
+        sub = SUBSCRIPTIONS[1]
+        at = Point(5000, 5000)
+        expected = brute_force(events[100:], sub, at)
+        for name, index in indexes.items():
+            assert len(index) == 100, name
+            got = sorted(e.event_id for e in index.match(sub, at))
+            assert got == expected, name
+
+    def test_delete_unknown_raises(self):
+        indexes = build_all(random_events(random.Random(1), SPACE, 10))
+        ghost = Event(999, {"a": 1}, Point(1, 1))
+        for name, index in indexes.items():
+            with pytest.raises(KeyError):
+                index.delete(ghost)
+
+    def test_duplicate_insert_rejected(self):
+        events = random_events(random.Random(2), SPACE, 5)
+        indexes = build_all(events)
+        for name, index in indexes.items():
+            if name == "quadtree":
+                continue  # purely spatial; duplicates are the caller's business
+            with pytest.raises(ValueError):
+                index.insert(events[0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_property_agreement(data):
+    """Randomised workloads: the four indexes always agree with brute force."""
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    events = random_events(rng, SPACE, data.draw(st.integers(1, 120)))
+    indexes = build_all(events)
+    size = data.draw(st.integers(1, 3))
+    predicates = []
+    for k in range(size):
+        attr = f"a{data.draw(st.integers(0, 5))}"
+        op = data.draw(
+            st.sampled_from(
+                [Operator.EQ, Operator.LE, Operator.GE, Operator.BETWEEN, Operator.NE]
+            )
+        )
+        if op is Operator.BETWEEN:
+            low = data.draw(st.integers(0, 8))
+            operand = (low, low + data.draw(st.integers(0, 5)))
+        else:
+            operand = data.draw(st.integers(0, 9))
+        predicates.append(Predicate(attr, op, operand))
+    sub = Subscription(
+        1,
+        BooleanExpression(predicates),
+        radius=data.draw(st.floats(100, 8000)),
+    )
+    at = Point(
+        data.draw(st.floats(0, 10_000)),
+        data.draw(st.floats(0, 10_000)),
+    )
+    expected = brute_force(events, sub, at)
+    for name, index in indexes.items():
+        got = sorted(e.event_id for e in index.match(sub, at))
+        assert got == expected, name

@@ -1,0 +1,37 @@
+"""Smoke tests: the documented examples must keep running.
+
+Only the fast examples are executed end to end; the longer ones
+(taxi_monitoring, index_comparison, adaptive_regions) are compile-checked
+so a syntax or import break still fails fast.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "shopping_alerts.py", "taxi_monitoring.py",
+            "index_comparison.py", "flash_sales.py", "adaptive_regions.py",
+            "network_service.py"} <= names
+
+
+@pytest.mark.parametrize("name", sorted(p.name for p in EXAMPLES.glob("*.py")))
+def test_examples_compile(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "subscribed" in out
+    assert "notified [1]" in out
+    assert "location update" in out

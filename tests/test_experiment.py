@@ -1,0 +1,99 @@
+"""The experiment runner and metrics plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GridMethod, IDGM, IGM, VoronoiMethod
+from repro.system import CommunicationStats, ExperimentConfig, build_strategy
+from repro.system.experiment import STRATEGIES
+
+
+class TestBuildStrategy:
+    def test_registry_covers_the_four_methods(self):
+        assert set(STRATEGIES) == {"VM", "GM", "iGM", "idGM"}
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("VM", VoronoiMethod), ("GM", GridMethod), ("iGM", IGM), ("idGM", IDGM)],
+    )
+    def test_builds_the_right_class(self, name, cls):
+        strategy = build_strategy(ExperimentConfig(strategy=name))
+        assert isinstance(strategy, cls)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            build_strategy(ExperimentConfig(strategy="???"))
+
+    def test_beta_override_reaches_igm(self):
+        strategy = build_strategy(ExperimentConfig(strategy="iGM", beta=0.5))
+        assert strategy.beta == 0.5
+
+    def test_alpha_override_reaches_idgm(self):
+        strategy = build_strategy(ExperimentConfig(strategy="idGM", alpha=0.9))
+        assert strategy.alpha == 0.9
+
+    def test_incremental_impact_override(self):
+        strategy = build_strategy(
+            ExperimentConfig(strategy="iGM", incremental_impact=False)
+        )
+        assert strategy.incremental_impact is False
+
+    def test_max_cells_flows_through(self):
+        strategy = build_strategy(ExperimentConfig(strategy="iGM", max_cells=77))
+        assert strategy.max_cells == 77
+
+    def test_defaults_have_no_overrides(self):
+        strategy = build_strategy(ExperimentConfig(strategy="idGM"))
+        assert strategy.alpha == 0.5
+        assert strategy.beta == 1.0
+
+
+class TestConfig:
+    def test_with_replaces_fields(self):
+        config = ExperimentConfig()
+        changed = config.with_(event_rate=99.0, subscribers=3)
+        assert changed.event_rate == 99.0
+        assert changed.subscribers == 3
+        assert config.event_rate != 99.0  # the original is untouched
+
+    def test_defaults_mirror_table2(self):
+        config = ExperimentConfig()
+        assert config.speed == 60.0
+        assert config.radius == 3_000.0
+        assert config.subscription_size == 3
+
+
+class TestCommunicationStats:
+    def test_total_rounds(self):
+        stats = CommunicationStats(location_update_rounds=3, event_arrival_rounds=4)
+        assert stats.total_rounds == 7
+
+    def test_per_subscriber(self):
+        stats = CommunicationStats(
+            location_update_rounds=10, event_arrival_rounds=6, notifications=4
+        )
+        per = stats.per_subscriber(2)
+        assert per == {
+            "location_update": 5.0,
+            "event_arrival": 3.0,
+            "total": 8.0,
+            "notifications": 2.0,
+        }
+
+    def test_per_subscriber_rejects_zero(self):
+        with pytest.raises(ValueError):
+            CommunicationStats().per_subscriber(0)
+
+    def test_merged_with(self):
+        a = CommunicationStats(location_update_rounds=1, notifications=2,
+                               server_seconds=0.5, wire_bytes_up=10)
+        b = CommunicationStats(location_update_rounds=2, notifications=3,
+                               server_seconds=1.5, wire_bytes_up=20)
+        merged = a.merged_with(b)
+        assert merged.location_update_rounds == 3
+        assert merged.notifications == 5
+        assert merged.server_seconds == 2.0
+        assert merged.wire_bytes_up == 30
+        # inputs untouched
+        assert a.location_update_rounds == 1

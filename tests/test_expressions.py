@@ -1,0 +1,179 @@
+"""Expression substrate tests: predicates, boolean expressions, events,
+subscriptions and the three match definitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Point
+
+
+class TestPredicate:
+    @pytest.mark.parametrize(
+        "op,operand,value,expected",
+        [
+            (Operator.EQ, 5, 5, True),
+            (Operator.EQ, 5, 6, False),
+            (Operator.NE, 5, 6, True),
+            (Operator.NE, 5, 5, False),
+            (Operator.LT, 5, 4, True),
+            (Operator.LT, 5, 5, False),
+            (Operator.LE, 5, 5, True),
+            (Operator.LE, 5, 6, False),
+            (Operator.GT, 5, 6, True),
+            (Operator.GT, 5, 5, False),
+            (Operator.GE, 5, 5, True),
+            (Operator.GE, 5, 4, False),
+            (Operator.BETWEEN, (2, 5), 2, True),
+            (Operator.BETWEEN, (2, 5), 5, True),
+            (Operator.BETWEEN, (2, 5), 6, False),
+            (Operator.IN, frozenset({1, 3}), 3, True),
+            (Operator.IN, frozenset({1, 3}), 2, False),
+            (Operator.NOT_IN, frozenset({1, 3}), 2, True),
+            (Operator.NOT_IN, frozenset({1, 3}), 3, False),
+        ],
+    )
+    def test_operator_semantics(self, op, operand, value, expected):
+        assert Predicate("a", op, operand).matches(value) is expected
+
+    def test_string_equality(self):
+        assert Predicate("brand", Operator.EQ, "samsung").matches("samsung")
+        assert not Predicate("brand", Operator.EQ, "samsung").matches("sony")
+
+    def test_between_requires_pair(self):
+        with pytest.raises(ValueError):
+            Predicate("a", Operator.BETWEEN, 5)
+
+    def test_between_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            Predicate("a", Operator.BETWEEN, (5, 2))
+
+    def test_in_normalises_iterables(self):
+        predicate = Predicate("a", Operator.IN, [1, 2, 2])
+        assert isinstance(predicate.operand, frozenset)
+        assert predicate.matches(2)
+
+    def test_scalar_operator_rejects_collections(self):
+        with pytest.raises(ValueError):
+            Predicate("a", Operator.LT, (1, 2))
+
+    def test_is_equality_and_is_range(self):
+        assert Predicate("a", Operator.EQ, 1).is_equality()
+        assert Predicate("a", Operator.GE, 1).is_range()
+        assert Predicate("a", Operator.BETWEEN, (1, 2)).is_range()
+        assert not Predicate("a", Operator.IN, {1}).is_range()
+
+    def test_str_rendering(self):
+        assert str(Predicate("price", Operator.LT, 1000)) == "price < 1000"
+        assert "in [2, 5]" in str(Predicate("size", Operator.BETWEEN, (2, 5)))
+
+    @given(value=st.integers(), operand=st.integers())
+    def test_lt_ge_partition(self, value, operand):
+        lt = Predicate("a", Operator.LT, operand).matches(value)
+        ge = Predicate("a", Operator.GE, operand).matches(value)
+        assert lt != ge
+
+
+class TestBooleanExpression:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BooleanExpression([])
+
+    def test_conjunction_semantics(self):
+        expr = BooleanExpression(
+            [Predicate("a", Operator.GE, 2), Predicate("b", Operator.EQ, 1)]
+        )
+        assert expr.matches({"a": 3, "b": 1})
+        assert not expr.matches({"a": 1, "b": 1})
+        assert not expr.matches({"a": 3, "b": 2})
+
+    def test_missing_attribute_fails(self):
+        expr = BooleanExpression([Predicate("a", Operator.GE, 2)])
+        assert not expr.matches({"b": 5})
+
+    def test_extra_event_attributes_ignored(self):
+        expr = BooleanExpression([Predicate("a", Operator.GE, 2)])
+        assert expr.matches({"a": 3, "noise": "x"})
+
+    def test_size_and_attributes(self):
+        expr = BooleanExpression(
+            [Predicate("a", Operator.GE, 2), Predicate("a", Operator.LE, 8)]
+        )
+        assert len(expr) == 2
+        assert expr.attributes == frozenset({"a"})
+
+    def test_two_predicates_same_attribute(self):
+        expr = BooleanExpression(
+            [Predicate("a", Operator.GE, 2), Predicate("a", Operator.LE, 8)]
+        )
+        assert expr.matches({"a": 5})
+        assert not expr.matches({"a": 9})
+
+
+class TestEvent:
+    def test_requires_attributes(self):
+        with pytest.raises(ValueError):
+            Event(1, {}, Point(0, 0))
+
+    def test_attributes_frozen(self):
+        event = Event(1, {"a": 1}, Point(0, 0))
+        with pytest.raises(TypeError):
+            event.attributes["a"] = 2  # type: ignore[index]
+
+    def test_size_is_tuple_count(self):
+        assert len(Event(1, {"a": 1, "b": 2}, Point(0, 0))) == 2
+
+    def test_expiry_before_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Event(1, {"a": 1}, Point(0, 0), arrived_at=10, expires_at=5)
+
+    def test_is_expired(self):
+        event = Event(1, {"a": 1}, Point(0, 0), arrived_at=0, expires_at=10)
+        assert not event.is_expired(9)
+        assert event.is_expired(10)
+
+    def test_never_expires(self):
+        assert not Event(1, {"a": 1}, Point(0, 0)).is_expired(10**9)
+
+    def test_identity_by_id(self):
+        a = Event(1, {"a": 1}, Point(0, 0))
+        b = Event(1, {"b": 9}, Point(5, 5))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSubscription:
+    def test_positive_radius_required(self):
+        with pytest.raises(ValueError):
+            Subscription(1, BooleanExpression([Predicate("a", Operator.EQ, 1)]), 0)
+
+    def test_match_definitions(self):
+        sub = Subscription(
+            1,
+            BooleanExpression([Predicate("a", Operator.EQ, 1)]),
+            radius=100.0,
+        )
+        near_match = Event(1, {"a": 1}, Point(50, 0))
+        far_match = Event(2, {"a": 1}, Point(500, 0))
+        near_mismatch = Event(3, {"a": 2}, Point(50, 0))
+        at = Point(0, 0)
+        assert sub.be_matches(near_match) and sub.spatial_matches(near_match, at)
+        assert sub.matches(near_match, at)
+        assert sub.be_matches(far_match) and not sub.matches(far_match, at)
+        assert not sub.be_matches(near_mismatch) and not sub.matches(near_mismatch, at)
+
+    def test_spatial_match_boundary_inclusive(self):
+        sub = Subscription(
+            1, BooleanExpression([Predicate("a", Operator.EQ, 1)]), radius=100.0
+        )
+        assert sub.spatial_matches(Event(1, {"a": 1}, Point(100, 0)), Point(0, 0))
+
+    def test_notification_region(self):
+        sub = Subscription(
+            1, BooleanExpression([Predicate("a", Operator.EQ, 1)]), radius=100.0
+        )
+        region = sub.notification_region(Point(3, 4))
+        assert region.center == Point(3, 4)
+        assert region.radius == 100.0

@@ -1,0 +1,126 @@
+"""Matching-event fields: the static and lazy (BEQ-backed) implementations
+must agree on safety, counts and enumeration; the lazy field must not scan
+the whole tree for local constructions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstructionRequest,
+    IGM,
+    LazyBEQField,
+    StaticMatchingField,
+    SystemStats,
+)
+from repro.expressions import BooleanExpression, Operator, Predicate
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+
+from conftest import random_events
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+RADIUS = 700.0
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(21)
+    grid = Grid(40, SPACE)
+    events = random_events(rng, SPACE, 300)
+    tree = BEQTree(SPACE, emax=16)
+    tree.insert_all(events)
+    expression = BooleanExpression([Predicate("a1", Operator.LE, 6)])
+    matching = [e.location for e in events if expression.matches(e.attributes)]
+    return grid, tree, expression, matching
+
+
+class TestStaticField:
+    def test_counts(self, world):
+        grid, _, _, matching = world
+        field = StaticMatchingField(grid, matching)
+        for cell in grid.all_cells():
+            expected = sum(1 for p in matching if grid.cell_of(p) == cell)
+            assert field.count_in_cell(cell) == expected
+
+    def test_safety_matches_brute_force(self, world):
+        grid, _, _, matching = world
+        field = StaticMatchingField(grid, matching)
+        for cell in list(grid.all_cells())[::17]:
+            rect = grid.cell_rect(cell)
+            expected = all(rect.min_distance_to_point(p) > RADIUS for p in matching)
+            assert field.is_cell_safe(cell, RADIUS) == expected
+
+    def test_unsafe_cells_complement_of_safe(self, world):
+        grid, _, _, matching = world
+        field = StaticMatchingField(grid, matching)
+        unsafe = field.unsafe_cells(RADIUS)
+        for cell in list(grid.all_cells())[::13]:
+            assert (cell in unsafe) == (not field.is_cell_safe(cell, RADIUS))
+
+    def test_all_points(self, world):
+        grid, _, _, matching = world
+        field = StaticMatchingField(grid, matching)
+        assert sorted(map(repr, field.all_points())) == sorted(map(repr, matching))
+
+
+class TestLazyField:
+    def test_agrees_with_static_on_safety_and_counts(self, world):
+        grid, tree, expression, matching = world
+        static = StaticMatchingField(grid, matching)
+        lazy = LazyBEQField(grid, tree, expression)
+        for cell in list(grid.all_cells())[::11]:
+            assert lazy.is_cell_safe(cell, RADIUS) == static.is_cell_safe(cell, RADIUS)
+            assert lazy.count_in_cell(cell) == static.count_in_cell(cell)
+
+    def test_all_points_equals_static(self, world):
+        grid, tree, expression, matching = world
+        lazy = LazyBEQField(grid, tree, expression)
+        assert sorted(map(repr, lazy.all_points())) == sorted(
+            map(repr, StaticMatchingField(grid, matching).all_points())
+        )
+
+    def test_excluded_ids_are_invisible(self, world):
+        grid, tree, expression, _ = world
+        all_ids = {e.event_id for e in tree.be_match(expression)}
+        excluded = set(list(all_ids)[: len(all_ids) // 2])
+        lazy = LazyBEQField(grid, tree, expression, excluded_ids=excluded)
+        assert len(lazy.all_points()) == len(all_ids) - len(excluded)
+
+    def test_local_queries_do_not_scan_everything(self, world):
+        grid, tree, expression, _ = world
+        lazy = LazyBEQField(grid, tree, expression)
+        lazy.is_cell_safe((20, 20), RADIUS)
+        assert lazy.events_scanned < len(tree)
+
+    def test_leaves_scanned_at_most_once(self, world):
+        grid, tree, expression, _ = world
+        lazy = LazyBEQField(grid, tree, expression)
+        for cell in [(20, 20), (21, 20), (20, 21), (22, 22)]:
+            lazy.is_cell_safe(cell, RADIUS)
+        total_leaves = sum(1 for _ in tree.leaves())
+        assert lazy.leaves_scanned <= total_leaves
+
+
+class TestConstructionEquivalence:
+    def test_igm_identical_under_both_fields(self, world):
+        grid, tree, expression, matching = world
+        stats = SystemStats(event_rate=3.0, total_events=300)
+        results = []
+        for field in (
+            StaticMatchingField(grid, matching),
+            LazyBEQField(grid, tree, expression),
+        ):
+            request = ConstructionRequest(
+                location=Point(5000, 5000),
+                velocity=Point(50, 20),
+                radius=RADIUS,
+                grid=grid,
+                matching_field=field,
+                stats=stats,
+            )
+            results.append(IGM().construct(request))
+        assert set(results[0].safe.cells) == set(results[1].safe.cells)
+        assert set(results[0].impact.cells) == set(results[1].impact.cells)

@@ -1,0 +1,84 @@
+"""The cell-keyed impact-region index, including complement storage (GM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ImpactRegion
+from repro.geometry import Grid, Rect
+from repro.index import ImpactRegionIndex
+
+
+@pytest.fixture
+def grid():
+    return Grid(10, Rect(0, 0, 1000, 1000))
+
+
+class TestDirectStorage:
+    def test_replace_and_lookup(self):
+        index = ImpactRegionIndex()
+        index.replace(1, [(0, 0), (0, 1)])
+        index.replace(2, [(0, 1), (5, 5)])
+        assert index.subscribers_covering((0, 1)) == {1, 2}
+        assert index.subscribers_covering((5, 5)) == {2}
+        assert index.subscribers_covering((9, 9)) == frozenset()
+
+    def test_covers(self):
+        index = ImpactRegionIndex()
+        index.replace(1, [(3, 3)])
+        assert index.covers(1, (3, 3))
+        assert not index.covers(1, (4, 4))
+        assert not index.covers(99, (3, 3))
+
+    def test_replace_overwrites(self):
+        index = ImpactRegionIndex()
+        index.replace(1, [(0, 0)])
+        index.replace(1, [(1, 1)])
+        assert not index.covers(1, (0, 0))
+        assert index.covers(1, (1, 1))
+
+    def test_remove(self):
+        index = ImpactRegionIndex()
+        index.replace(1, [(0, 0)])
+        index.remove(1)
+        assert 1 not in index
+        assert index.subscribers_covering((0, 0)) == frozenset()
+        index.remove(1)  # idempotent
+
+    def test_cells_of(self):
+        index = ImpactRegionIndex()
+        index.replace(1, [(0, 0), (1, 1)])
+        assert index.cells_of(1) == {(0, 0), (1, 1)}
+        assert index.cells_of(2) == frozenset()
+
+
+class TestComplementStorage:
+    def test_complement_region_lookup(self, grid):
+        index = ImpactRegionIndex()
+        region = ImpactRegion(grid, frozenset({(0, 0)}), complement=True)
+        index.replace_region(7, region)
+        assert index.covers(7, (5, 5))
+        assert not index.covers(7, (0, 0))
+        assert 7 in index
+
+    def test_complement_in_subscribers_covering(self, grid):
+        index = ImpactRegionIndex()
+        index.replace(1, [(5, 5)])
+        index.replace_region(2, ImpactRegion(grid, frozenset({(5, 5)}), complement=True))
+        assert index.subscribers_covering((5, 5)) == {1}
+        assert index.subscribers_covering((4, 4)) == {2}
+
+    def test_replace_region_direct(self, grid):
+        index = ImpactRegionIndex()
+        index.replace_region(3, ImpactRegion(grid, frozenset({(2, 2)})))
+        assert index.covers(3, (2, 2))
+
+    def test_switch_between_representations(self, grid):
+        index = ImpactRegionIndex()
+        index.replace_region(4, ImpactRegion(grid, frozenset({(2, 2)})))
+        index.replace_region(4, ImpactRegion(grid, frozenset({(2, 2)}), complement=True))
+        assert not index.covers(4, (2, 2))
+        assert index.covers(4, (3, 3))
+        index.replace_region(4, ImpactRegion(grid, frozenset({(2, 2)})))
+        assert index.covers(4, (2, 2))
+        assert not index.covers(4, (3, 3))

@@ -1,0 +1,117 @@
+"""Sorted inverted lists and the counting algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expressions import Operator, Predicate
+from repro.index import AttributeLists, SortedTupleList
+
+
+class TestSortedTupleList:
+    def test_insert_keeps_order(self):
+        lst = SortedTupleList()
+        for value, payload in [(5, "a"), (1, "b"), (3, "c"), (3, "d")]:
+            lst.insert(value, payload)
+        assert [v for v, _ in lst] == [1, 3, 3, 5]
+
+    def test_delete_specific_payload(self):
+        lst = SortedTupleList()
+        lst.insert(3, "a")
+        lst.insert(3, "b")
+        assert lst.delete(3, "a")
+        assert list(lst) == [(3, "b")]
+
+    def test_delete_missing_returns_false(self):
+        lst = SortedTupleList()
+        lst.insert(1, "a")
+        assert not lst.delete(2, "a")
+        assert not lst.delete(1, "zz")
+
+    @pytest.mark.parametrize(
+        "op,operand,expected",
+        [
+            (Operator.EQ, 3, {"c", "d"}),
+            (Operator.NE, 3, {"a", "b", "e"}),
+            (Operator.LT, 3, {"b"}),
+            (Operator.LE, 3, {"b", "c", "d"}),
+            (Operator.GT, 3, {"a", "e"}),
+            (Operator.GE, 3, {"a", "c", "d", "e"}),
+            (Operator.BETWEEN, (2, 5), {"a", "c", "d"}),
+            (Operator.IN, frozenset({1, 7}), {"b", "e"}),
+            (Operator.NOT_IN, frozenset({1, 7}), {"a", "c", "d"}),
+        ],
+    )
+    def test_iter_matching_per_operator(self, op, operand, expected):
+        lst = SortedTupleList()
+        for value, payload in [(5, "a"), (1, "b"), (3, "c"), (3, "d"), (7, "e")]:
+            lst.insert(value, payload)
+        assert set(lst.iter_matching(Predicate("x", op, operand))) == expected
+
+    def test_range_for_rejects_noncontiguous(self):
+        lst = SortedTupleList()
+        with pytest.raises(ValueError):
+            lst.range_for(Predicate("x", Operator.NE, 3))
+
+    def test_iter_value_range(self):
+        lst = SortedTupleList()
+        for v in (1, 2, 3, 4, 5):
+            lst.insert(v, str(v))
+        assert [p for _, p in lst.iter_value_range(2, 4)] == ["2", "3", "4"]
+
+    def test_iter_value_from(self):
+        lst = SortedTupleList()
+        for v in (1, 2, 3):
+            lst.insert(v, str(v))
+        assert [p for _, p in lst.iter_value_from(2)] == ["2", "3"]
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=50), max_size=60),
+        operand=st.integers(min_value=0, max_value=50),
+        op=st.sampled_from([Operator.EQ, Operator.LT, Operator.LE, Operator.GT, Operator.GE]),
+    )
+    def test_matches_brute_force(self, values, operand, op):
+        lst = SortedTupleList()
+        for index, value in enumerate(values):
+            lst.insert(value, index)
+        predicate = Predicate("x", op, operand)
+        expected = {i for i, v in enumerate(values) if predicate.matches(v)}
+        assert set(lst.iter_matching(predicate)) == expected
+
+
+class TestAttributeLists:
+    def _loaded(self):
+        lists = AttributeLists()
+        lists.insert_tuples([("a", 1), ("b", 5)], "e1")
+        lists.insert_tuples([("a", 3), ("b", 2)], "e2")
+        lists.insert_tuples([("a", 3)], "e3")
+        return lists
+
+    def test_counting_algorithm(self):
+        lists = self._loaded()
+        predicates = [
+            Predicate("a", Operator.GE, 2),
+            Predicate("b", Operator.LE, 5),
+        ]
+        assert set(lists.matching_payloads(predicates)) == {"e2"}
+
+    def test_missing_attribute_short_circuits(self):
+        lists = self._loaded()
+        predicates = [Predicate("zz", Operator.EQ, 1)]
+        assert lists.count_matches(predicates) == {}
+
+    def test_delete_tuples_prunes_empty_lists(self):
+        lists = self._loaded()
+        lists.delete_tuples([("b", 5)], "e1")
+        lists.delete_tuples([("b", 2)], "e2")
+        assert "b" not in lists
+
+    def test_same_attribute_twice_counts_twice(self):
+        lists = AttributeLists()
+        lists.insert_tuples([("a", 5)], "e1")
+        predicates = [
+            Predicate("a", Operator.GE, 2),
+            Predicate("a", Operator.LE, 8),
+        ]
+        assert set(lists.matching_payloads(predicates)) == {"e1"}

@@ -1,0 +1,143 @@
+"""KSubscriptionIndex: the k-index alternative subscription index must
+behave exactly like the OpIndex-style default."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expressions import (
+    BooleanExpression,
+    DnfExpression,
+    Event,
+    Operator,
+    Predicate,
+    Subscription,
+)
+from repro.geometry import Point, Rect
+from repro.index import KSubscriptionIndex, SubscriptionIndex
+from repro.system import ElapsServer
+from repro.core import IGM
+from repro.geometry import Grid
+
+
+def make_sub(sub_id, *predicates, radius=1000.0):
+    return Subscription(sub_id, BooleanExpression(predicates), radius)
+
+
+class TestKSubscriptionIndex:
+    def test_basic_match(self):
+        index = KSubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.GE, 2)))
+        index.insert(make_sub(2, Predicate("a", Operator.GE, 9)))
+        assert {s.sub_id for s in index.match_event(Event(1, {"a": 5}, Point(0, 0)))} == {1}
+
+    def test_size_prune_never_loses_matches(self):
+        index = KSubscriptionIndex()
+        # a clause with both bounds on one attribute: size 2 but only one
+        # distinct attribute — must survive the size prune for |e| = 1
+        index.insert(
+            make_sub(1, Predicate("a", Operator.GE, 2), Predicate("a", Operator.LE, 8))
+        )
+        assert index.match_event(Event(1, {"a": 5}, Point(0, 0)))
+
+    def test_three_predicates_on_one_attribute(self):
+        # regression: the prune must key on distinct attributes, not on
+        # the raw predicate count (a clause may stack any number of
+        # predicates on one attribute)
+        index = KSubscriptionIndex()
+        index.insert(
+            make_sub(
+                1,
+                Predicate("a", Operator.GE, 2),
+                Predicate("a", Operator.LE, 8),
+                Predicate("a", Operator.NE, 5),
+            )
+        )
+        assert index.match_event(Event(1, {"a": 3}, Point(0, 0)))
+        assert not index.match_event(Event(2, {"a": 5}, Point(0, 0)))
+
+    def test_oversized_clauses_pruned(self):
+        index = KSubscriptionIndex()
+        index.insert(
+            make_sub(
+                1,
+                Predicate("a", Operator.GE, 0),
+                Predicate("b", Operator.GE, 0),
+                Predicate("c", Operator.GE, 0),
+            )
+        )
+        # |e| = 1 -> clauses of size 3 cannot match
+        assert not index.match_event(Event(1, {"a": 5}, Point(0, 0)))
+
+    def test_delete(self):
+        index = KSubscriptionIndex()
+        sub = make_sub(1, Predicate("a", Operator.GE, 2))
+        index.insert(sub)
+        index.delete(sub)
+        assert len(index) == 0
+        assert not index.match_event(Event(1, {"a": 5}, Point(0, 0)))
+
+    def test_delete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            KSubscriptionIndex().delete(make_sub(9, Predicate("a", Operator.GE, 2)))
+
+    def test_duplicate_insert_rejected(self):
+        index = KSubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.GE, 2)))
+        with pytest.raises(ValueError):
+            index.insert(make_sub(1, Predicate("b", Operator.EQ, 3)))
+
+    def test_dnf_any_clause(self):
+        index = KSubscriptionIndex()
+        dnf = DnfExpression([
+            BooleanExpression([Predicate("a", Operator.EQ, 1)]),
+            BooleanExpression([Predicate("b", Operator.EQ, 2)]),
+        ])
+        index.insert(Subscription(1, dnf, 500.0))
+        assert index.match_event(Event(1, {"b": 2}, Point(0, 0)))
+        assert not index.match_event(Event(2, {"b": 3}, Point(0, 0)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_property_agrees_with_opindex_variant(data):
+    """The two subscription indexes always return the same matches."""
+    rng = random.Random(data.draw(st.integers(0, 99999)))
+    kindex = KSubscriptionIndex()
+    opindex = SubscriptionIndex()
+    for sub_id in range(data.draw(st.integers(1, 20))):
+        predicates = []
+        for _ in range(rng.randint(1, 3)):
+            attr = f"a{rng.randint(0, 4)}"
+            op = rng.choice([Operator.EQ, Operator.LE, Operator.GE, Operator.NE])
+            predicates.append(Predicate(attr, op, rng.randint(0, 9)))
+        sub = Subscription(sub_id, BooleanExpression(predicates), 1000.0)
+        kindex.insert(sub)
+        opindex.insert(sub)
+    for _ in range(10):
+        attrs = {f"a{rng.randint(0, 4)}": rng.randint(0, 9) for _ in range(rng.randint(1, 5))}
+        event = Event(0, attrs, Point(0, 0))
+        assert (
+            {s.sub_id for s in kindex.match_event(event)}
+            == {s.sub_id for s in opindex.match_event(event)}
+        )
+
+
+class TestServerPluggability:
+    def test_server_runs_on_ksub_index(self):
+        space = Rect(0, 0, 10_000, 10_000)
+        server = ElapsServer(
+            Grid(40, space),
+            IGM(max_cells=300),
+            subscription_index=KSubscriptionIndex(),
+            initial_rate=1.0,
+        )
+        sub = make_sub(1, Predicate("topic", Operator.EQ, "sale"), radius=1500.0)
+        server.subscribe(sub, Point(5000, 5000), Point(40, 0))
+        notifications = server.publish(
+            Event(10, {"topic": "sale"}, Point(5100, 5000)), now=1
+        )
+        assert [n.sub_id for n in notifications] == [1]

@@ -1,0 +1,182 @@
+"""The TCP layer: subscribe, publish and report over a real socket."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import IGM
+from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import ElapsServer
+from repro.system.network import ElapsNetworkClient, ElapsTCPServer
+from repro.system.protocol import (
+    LocationReport,
+    NotificationMessage,
+    SafeRegionPush,
+    UnsubscribeMessage,
+)
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+def make_tcp_server() -> ElapsTCPServer:
+    server = ElapsServer(
+        Grid(40, SPACE),
+        IGM(max_cells=400),
+        event_index=BEQTree(SPACE, emax=32),
+        initial_rate=1.0,
+    )
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05)
+
+
+def make_sub(sub_id=1):
+    return Subscription(
+        sub_id,
+        BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),
+        radius=1_500.0,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_start_assigns_port(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            assert tcp.port > 0
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_invalid_timestamp_rejected(self):
+        server = ElapsServer(Grid(40, SPACE), IGM(max_cells=10))
+        with pytest.raises(ValueError):
+            ElapsTCPServer(server, timestamp_seconds=0)
+
+
+class TestSubscribeFlow:
+    def test_subscribe_receives_region_push(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            received = await client.subscribe(
+                make_sub(), Point(5_000, 5_000), Point(40, 0)
+            )
+            assert isinstance(received[-1], SafeRegionPush)
+            await client.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_publish_reaches_subscriber(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            subscriber = ElapsNetworkClient("127.0.0.1", tcp.port)
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await subscriber.connect()
+            await publisher.connect()
+            await subscriber.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            await publisher.publish(
+                1, {"topic": "sale", "price": 99}, Point(5_200, 5_000), ttl=100
+            )
+            message = await subscriber.receive()
+            assert isinstance(message, NotificationMessage)
+            assert dict(message.attributes)["topic"] == "sale"
+            await subscriber.close()
+            await publisher.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_non_matching_publish_is_silent(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            subscriber = ElapsNetworkClient("127.0.0.1", tcp.port)
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await subscriber.connect()
+            await publisher.connect()
+            await subscriber.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            await publisher.publish(2, {"topic": "weather"}, Point(5_100, 5_000))
+            with pytest.raises(asyncio.TimeoutError):
+                await subscriber.receive(timeout=0.3)
+            await subscriber.close()
+            await publisher.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_location_report_returns_fresh_region(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.subscribe(make_sub(), Point(2_000, 2_000), Point(40, 0))
+            await client.send(
+                LocationReport(1, Point(8_000, 8_000), Point(40, 0))
+            )
+            message = await client.receive()
+            assert isinstance(message, SafeRegionPush)
+            await client.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_unsubscribe_cleans_up(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            await client.send(UnsubscribeMessage(1))
+            await asyncio.sleep(0.1)
+            assert 1 not in tcp.server.subscribers
+            await client.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_disconnect_unsubscribes(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            assert 1 in tcp.server.subscribers
+            await client.close()
+            await asyncio.sleep(0.1)
+            assert 1 not in tcp.server.subscribers
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_expiring_events_leave_the_corpus(self):
+        async def scenario():
+            tcp = make_tcp_server()  # 0.05 s timestamps
+            await tcp.start()
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await publisher.connect()
+            await publisher.publish(3, {"topic": "sale"}, Point(9_000, 9_000), ttl=1)
+            await asyncio.sleep(0.01)
+            assert len(tcp.server.event_index) == 1
+            await asyncio.sleep(0.15)  # > 1 timestamp
+            # the next publish sweeps expired events first
+            await publisher.publish(4, {"topic": "sale"}, Point(9_000, 9_000), ttl=100)
+            await asyncio.sleep(0.05)
+            assert len(tcp.server.event_index) == 1
+            await publisher.close()
+            await tcp.stop()
+
+        run(scenario())

@@ -1,0 +1,155 @@
+"""Safe/impact region semantics: the paper's Lemmas 1-4, the complement
+representation, and the Appendix B wire encoding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstructionRequest,
+    GridRegion,
+    IGM,
+    ImpactRegion,
+    SafeRegion,
+    StaticMatchingField,
+    SystemStats,
+    impact_from_safe,
+)
+from repro.geometry import Grid, Point, Rect
+
+from conftest import make_subscription
+
+RADIUS = 700.0
+
+
+@pytest.fixture
+def small_grid():
+    return Grid(30, Rect(0, 0, 6000, 6000))
+
+
+class TestGridRegion:
+    def test_membership_direct(self, small_grid):
+        region = GridRegion.of(small_grid, [(1, 1), (2, 2)])
+        assert region.covers_cell((1, 1))
+        assert not region.covers_cell((3, 3))
+
+    def test_membership_complement(self, small_grid):
+        region = GridRegion.of(small_grid, [(1, 1)], complement=True)
+        assert not region.covers_cell((1, 1))
+        assert region.covers_cell((3, 3))
+        assert not region.covers_cell((-1, 0))  # out of bounds is never covered
+
+    def test_contains_point(self, small_grid):
+        region = GridRegion.of(small_grid, [small_grid.cell_of(Point(3000, 3000))])
+        assert region.contains_point(Point(3000, 3000))
+        assert not region.contains_point(Point(100, 100))
+
+    def test_area_cells(self, small_grid):
+        assert GridRegion.of(small_grid, [(0, 0), (1, 1)]).area_cells() == 2
+        total = small_grid.n * small_grid.n
+        assert GridRegion.of(small_grid, [(0, 0)], complement=True).area_cells() == total - 1
+        assert GridRegion.whole_space(small_grid).area_cells() == total
+        assert GridRegion.empty(small_grid).is_empty()
+
+    def test_iter_cells_complement(self, small_grid):
+        region = GridRegion.of(small_grid, [(0, 0)], complement=True)
+        cells = set(region.iter_cells())
+        assert (0, 0) not in cells
+        assert len(cells) == small_grid.n * small_grid.n - 1
+
+    def test_bitmap_roundtrip(self, small_grid):
+        rng = random.Random(1)
+        cells = {(rng.randrange(30), rng.randrange(30)) for _ in range(50)}
+        region = GridRegion.of(small_grid, cells)
+        bitmap = region.to_bitmap()
+        from repro.geometry import deinterleave
+
+        decoded = {deinterleave(position) for position in bitmap.positions()}
+        assert decoded == cells
+
+    def test_encoded_bytes_positive(self, small_grid):
+        region = GridRegion.of(small_grid, [(1, 1)])
+        assert region.encoded_bytes() > 0
+
+
+class TestImpactFromSafe:
+    def test_direct_dilation_matches_brute_force(self, small_grid):
+        safe = SafeRegion.of(small_grid, [(10, 10), (11, 10), (10, 11)])
+        impact = impact_from_safe(safe, RADIUS)
+        for cell in small_grid.all_cells():
+            expected = any(
+                small_grid.min_distance_cell_cell(cell, member) < RADIUS
+                for member in safe.cells
+            )
+            assert impact.covers_cell(cell) == expected
+
+    def test_complement_dilation_matches_direct(self, small_grid):
+        """GM path: dilating a complement region must equal dilating the
+        materialised cell set."""
+        rng = random.Random(3)
+        excluded = {(rng.randrange(30), rng.randrange(30)) for _ in range(250)}
+        safe_complement = SafeRegion.of(small_grid, excluded, complement=True)
+        safe_direct = SafeRegion.of(
+            small_grid,
+            [c for c in small_grid.all_cells() if c not in excluded],
+        )
+        impact_a = impact_from_safe(safe_complement, RADIUS)
+        impact_b = impact_from_safe(safe_direct, RADIUS)
+        for cell in small_grid.all_cells():
+            assert impact_a.covers_cell(cell) == impact_b.covers_cell(cell)
+
+    def test_lemma2_safe_subset_of_impact(self, small_grid):
+        safe = SafeRegion.of(small_grid, [(5, 5), (5, 6)])
+        impact = impact_from_safe(safe, RADIUS)
+        for cell in safe.cells:
+            assert impact.covers_cell(cell)
+
+    def test_lemma3_monotone_in_safe_region(self, small_grid):
+        smaller = SafeRegion.of(small_grid, [(5, 5)])
+        larger = SafeRegion.of(small_grid, [(5, 5), (6, 5), (7, 5)])
+        impact_small = impact_from_safe(smaller, RADIUS)
+        impact_large = impact_from_safe(larger, RADIUS)
+        for cell in impact_small.cells:
+            assert impact_large.covers_cell(cell)
+
+
+class TestConstructedRegionLemmas:
+    """Lemmas 1 and 4 on regions produced by an actual construction."""
+
+    def _construct(self, small_grid, events, at=Point(3000, 3000)):
+        field = StaticMatchingField(small_grid, events)
+        request = ConstructionRequest(
+            location=at,
+            velocity=Point(40, 10),
+            radius=RADIUS,
+            grid=small_grid,
+            matching_field=field,
+            stats=SystemStats(event_rate=1.0, total_events=200),
+        )
+        return IGM().construct(request)
+
+    def test_lemma1_notification_circle_inside_impact(self, small_grid):
+        rng = random.Random(9)
+        events = [Point(rng.uniform(0, 6000), rng.uniform(0, 6000)) for _ in range(12)]
+        at = Point(3000, 3000)
+        pair = self._construct(small_grid, events, at)
+        if pair.safe.is_empty():
+            pytest.skip("degenerate start cell")
+        # Lemma 1: while the subscriber is inside R, the circle cells are in I.
+        for cell in small_grid.cells_intersecting_circle(
+            make_subscription(1, RADIUS).notification_region(at)
+        ):
+            assert pair.impact.covers_cell(cell)
+
+    def test_lemma4_no_matching_event_strictly_inside_impact(self, small_grid):
+        """Matching events may touch boundary impact *cells* (the grid
+        over-approximates), but never lie within the true impact region:
+        every matching event is > r away from every safe-region point."""
+        rng = random.Random(10)
+        events = [Point(rng.uniform(0, 6000), rng.uniform(0, 6000)) for _ in range(12)]
+        pair = self._construct(small_grid, events)
+        for event in events:
+            for cell in pair.safe.cells:
+                assert small_grid.cell_rect(cell).min_distance_to_point(event) > RADIUS

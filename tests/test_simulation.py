@@ -1,0 +1,111 @@
+"""End-to-end integration: the full simulation must be deterministic,
+deliver every matching event (the paper's real-time guarantee), and the
+three matching modes must agree on communication behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import ExperimentConfig, build_simulation, run_experiment
+
+SMALL = ExperimentConfig(
+    initial_events=2500,
+    subscribers=6,
+    timestamps=50,
+    event_rate=4.0,
+    grid_n=80,
+    max_cells=1200,
+)
+
+
+class TestDeliveryGuarantee:
+    @pytest.mark.parametrize("strategy", ["iGM", "idGM", "VM", "GM"])
+    def test_no_missed_notifications(self, strategy):
+        mode = "cached" if strategy in ("VM", "GM") else "ondemand"
+        simulation = build_simulation(SMALL.with_(strategy=strategy, matching_mode=mode))
+        simulation.run(SMALL.timestamps)
+        assert simulation.verify_no_missed_notifications() == []
+
+    def test_no_missed_with_expiring_events(self):
+        simulation = build_simulation(SMALL.with_(event_ttl=10))
+        simulation.run(SMALL.timestamps)
+        assert simulation.verify_no_missed_notifications() == []
+
+    def test_no_missed_on_taxi_movement(self):
+        simulation = build_simulation(SMALL.with_(movement="taxi"))
+        simulation.run(SMALL.timestamps)
+        assert simulation.verify_no_missed_notifications() == []
+
+    def test_no_missed_on_foursquare(self):
+        simulation = build_simulation(SMALL.with_(dataset="foursquare", initial_events=1200))
+        simulation.run(SMALL.timestamps)
+        assert simulation.verify_no_missed_notifications() == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        a = run_experiment(SMALL)
+        b = run_experiment(SMALL)
+        assert a.per_subscriber() == b.per_subscriber()
+        assert a.notification_count == b.notification_count
+
+    def test_different_seed_differs(self):
+        a = run_experiment(SMALL)
+        b = run_experiment(SMALL.with_(seed=99))
+        assert a.per_subscriber() != b.per_subscriber()
+
+
+class TestMatchingModesAgree:
+    @pytest.mark.parametrize("strategy", ["iGM", "VM", "GM"])
+    def test_modes_identical_communication(self, strategy):
+        """'ondemand', 'full' and 'cached' change server work, never the
+        client-visible behaviour."""
+        outcomes = []
+        for mode in ("ondemand", "full", "cached"):
+            result = run_experiment(SMALL.with_(strategy=strategy, matching_mode=mode))
+            outcomes.append(
+                (
+                    result.stats.location_update_rounds,
+                    result.stats.event_arrival_rounds,
+                    result.stats.notifications,
+                    result.notification_count,
+                )
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestResultAccounting:
+    def test_per_subscriber_division(self):
+        result = run_experiment(SMALL)
+        per = result.per_subscriber()
+        assert per["total"] == pytest.approx(
+            result.stats.total_rounds / SMALL.subscribers
+        )
+        assert per["total"] == per["location_update"] + per["event_arrival"]
+
+    def test_notifications_counted_once(self):
+        result = run_experiment(SMALL)
+        assert result.notification_count == result.stats.notifications
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(SMALL.with_(strategy="nope"))
+        with pytest.raises(ValueError):
+            run_experiment(SMALL.with_(dataset="nope"))
+        with pytest.raises(ValueError):
+            run_experiment(SMALL.with_(movement="nope"))
+
+
+class TestCostModelResponses:
+    def test_higher_event_rate_increases_baseline_event_channel(self):
+        """GM's event-arrival channel must scale with f (the paper's core
+        observation motivating the cost model)."""
+        low = run_experiment(SMALL.with_(strategy="GM", matching_mode="cached", event_rate=2.0))
+        high = run_experiment(SMALL.with_(strategy="GM", matching_mode="cached", event_rate=16.0))
+        assert high.stats.event_arrival_rounds > low.stats.event_arrival_rounds
+
+    def test_igm_beats_gm_in_total_io_at_high_rate(self):
+        config = SMALL.with_(event_rate=16.0, timestamps=80)
+        igm = run_experiment(config.with_(strategy="iGM"))
+        gm = run_experiment(config.with_(strategy="GM", matching_mode="cached"))
+        assert igm.stats.total_rounds < gm.stats.total_rounds

@@ -1,0 +1,126 @@
+"""Stateful property tests (hypothesis rule-based state machines).
+
+Two long-lived mutable structures carry the system's correctness burden
+under churn: the BEQ-Tree (events arrive and expire constantly) and the
+impact-region index (regions are replaced on every reconstruction).
+These machines hammer them with random operation sequences and check
+them against a trivial model after every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Point, Rect
+from repro.index import BEQTree, ImpactRegionIndex
+
+SPACE = Rect(0, 0, 1000, 1000)
+
+QUERY = Subscription(
+    1,
+    BooleanExpression([Predicate("k", Operator.LE, 5)]),
+    radius=300.0,
+)
+
+
+class BEQTreeMachine(RuleBasedStateMachine):
+    """Insert/delete churn against a dict model, with match audits."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tree = BEQTree(SPACE, emax=4)
+        self.model: dict = {}
+        self.next_id = 0
+
+    @rule(
+        x=st.floats(min_value=0, max_value=1000),
+        y=st.floats(min_value=0, max_value=1000),
+        value=st.integers(min_value=0, max_value=9),
+    )
+    def insert(self, x, y, value):
+        event = Event(self.next_id, {"k": value}, Point(x, y))
+        self.next_id += 1
+        self.tree.insert(event)
+        self.model[event.event_id] = event
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if not self.model:
+            return
+        event_id = data.draw(st.sampled_from(sorted(self.model)))
+        event = self.model.pop(event_id)
+        self.tree.delete(event)
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def match_agrees_with_model(self):
+        at = Point(500, 500)
+        expected = sorted(
+            e.event_id
+            for e in self.model.values()
+            if QUERY.matches(e, at)
+        )
+        got = sorted(e.event_id for e in self.tree.match(QUERY, at))
+        assert got == expected
+
+    @invariant()
+    def leaf_capacity_respected(self):
+        for leaf in self.tree.leaves():
+            assert len(leaf) <= self.tree.emax or self.tree.depth() >= self.tree.max_depth
+
+
+class ImpactIndexMachine(RuleBasedStateMachine):
+    """Region replacement churn against a dict-of-sets model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.index = ImpactRegionIndex()
+        self.model: dict = {}
+
+    @rule(
+        sub_id=st.integers(min_value=0, max_value=8),
+        cells=st.sets(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=8
+        ),
+    )
+    def replace(self, sub_id, cells):
+        self.index.replace(sub_id, cells)
+        self.model[sub_id] = frozenset(cells)
+
+    @rule(sub_id=st.integers(min_value=0, max_value=8))
+    def remove(self, sub_id):
+        self.index.remove(sub_id)
+        self.model.pop(sub_id, None)
+
+    @invariant()
+    def lookups_agree_with_model(self):
+        for i in range(6):
+            for j in range(6):
+                cell = (i, j)
+                expected = {s for s, cells in self.model.items() if cell in cells}
+                assert set(self.index.subscribers_covering(cell)) == expected
+                for sub_id in range(9):
+                    assert self.index.covers(sub_id, cell) == (
+                        sub_id in self.model and cell in self.model[sub_id]
+                    )
+
+
+TestBEQTreeMachine = BEQTreeMachine.TestCase
+TestBEQTreeMachine.settings = settings(max_examples=20, stateful_step_count=30, deadline=None)
+
+TestImpactIndexMachine = ImpactIndexMachine.TestCase
+TestImpactIndexMachine.settings = settings(max_examples=15, stateful_step_count=20, deadline=None)

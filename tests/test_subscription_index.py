@@ -1,0 +1,123 @@
+"""SubscriptionIndex (OpIndex over subscriptions): event -> matching subs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Point
+from repro.index import SubscriptionIndex
+
+
+def make_sub(sub_id, *predicates, radius=1000.0):
+    return Subscription(sub_id, BooleanExpression(predicates), radius)
+
+
+class TestSubscriptionIndex:
+    def test_basic_match(self):
+        index = SubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.GE, 2)))
+        index.insert(make_sub(2, Predicate("a", Operator.GE, 9)))
+        event = Event(1, {"a": 5}, Point(0, 0))
+        assert {s.sub_id for s in index.match_event(event)} == {1}
+
+    def test_multi_predicate_conjunction(self):
+        index = SubscriptionIndex()
+        index.insert(
+            make_sub(1, Predicate("a", Operator.GE, 2), Predicate("b", Operator.EQ, 1))
+        )
+        assert not index.match_event(Event(1, {"a": 5}, Point(0, 0)))
+        assert not index.match_event(Event(2, {"a": 5, "b": 2}, Point(0, 0)))
+        assert index.match_event(Event(3, {"a": 5, "b": 1}, Point(0, 0)))
+
+    @pytest.mark.parametrize(
+        "op,operand,value,matches",
+        [
+            (Operator.EQ, 5, 5, True),
+            (Operator.LT, 5, 4, True),
+            (Operator.LT, 5, 5, False),
+            (Operator.LE, 5, 5, True),
+            (Operator.GT, 5, 6, True),
+            (Operator.GT, 5, 5, False),
+            (Operator.GE, 5, 5, True),
+            (Operator.NE, 5, 4, True),
+            (Operator.NE, 5, 5, False),
+            (Operator.BETWEEN, (2, 6), 4, True),
+            (Operator.BETWEEN, (2, 6), 7, False),
+            (Operator.IN, frozenset({1, 3}), 3, True),
+            (Operator.NOT_IN, frozenset({1, 3}), 2, True),
+        ],
+    )
+    def test_every_operator_path(self, op, operand, value, matches):
+        index = SubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", op, operand)))
+        got = index.match_event(Event(1, {"a": value}, Point(0, 0)))
+        assert bool(got) is matches
+
+    def test_delete_removes_subscription(self):
+        index = SubscriptionIndex()
+        sub = make_sub(1, Predicate("a", Operator.GE, 2))
+        index.insert(sub)
+        index.delete(sub)
+        assert len(index) == 0
+        assert not index.match_event(Event(1, {"a": 5}, Point(0, 0)))
+
+    def test_delete_unknown_raises(self):
+        index = SubscriptionIndex()
+        with pytest.raises(KeyError):
+            index.delete(make_sub(9, Predicate("a", Operator.GE, 2)))
+
+    def test_duplicate_insert_rejected(self):
+        index = SubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.GE, 2)))
+        with pytest.raises(ValueError):
+            index.insert(make_sub(1, Predicate("b", Operator.EQ, 3)))
+
+    def test_pivot_prune_with_frequency_hint(self):
+        # "rare" is the rarest attribute, so subscriptions containing it are
+        # pivoted there and events without "rare" skip that partition.
+        index = SubscriptionIndex(frequency_hint={"common": 1000, "rare": 1})
+        index.insert(
+            make_sub(1, Predicate("common", Operator.GE, 0), Predicate("rare", Operator.GE, 0))
+        )
+        index.insert(make_sub(2, Predicate("common", Operator.GE, 0)))
+        event_without_rare = Event(1, {"common": 5}, Point(0, 0))
+        assert {s.sub_id for s in index.match_event(event_without_rare)} == {2}
+        event_with_rare = Event(2, {"common": 5, "rare": 5}, Point(0, 0))
+        assert {s.sub_id for s in index.match_event(event_with_rare)} == {1, 2}
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_property_match_event_agrees_with_brute_force(data):
+    rng = random.Random(data.draw(st.integers(0, 99999)))
+    index = SubscriptionIndex()
+    subs = []
+    for sub_id in range(data.draw(st.integers(1, 25))):
+        predicates = []
+        for _ in range(rng.randint(1, 3)):
+            attr = f"a{rng.randint(0, 4)}"
+            op = rng.choice(
+                [Operator.EQ, Operator.NE, Operator.LT, Operator.LE,
+                 Operator.GT, Operator.GE, Operator.BETWEEN, Operator.IN]
+            )
+            if op is Operator.BETWEEN:
+                low = rng.randint(0, 8)
+                operand = (low, low + rng.randint(0, 4))
+            elif op is Operator.IN:
+                operand = frozenset(rng.sample(range(10), rng.randint(1, 3)))
+            else:
+                operand = rng.randint(0, 9)
+            predicates.append(Predicate(attr, op, operand))
+        sub = Subscription(sub_id, BooleanExpression(predicates), 1000.0)
+        subs.append(sub)
+        index.insert(sub)
+    for _ in range(10):
+        attrs = {f"a{rng.randint(0, 4)}": rng.randint(0, 9) for _ in range(rng.randint(1, 5))}
+        event = Event(0, attrs, Point(0, 0))
+        expected = {s.sub_id for s in subs if s.be_matches(event)}
+        got = {s.sub_id for s in index.match_event(event)}
+        assert got == expected

@@ -1,0 +1,80 @@
+"""WAH bitmap codec (Appendix B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitmap import WAHBitmap
+
+
+class TestRoundTrip:
+    def test_empty_bitmap(self):
+        bitmap = WAHBitmap.from_positions([], 100)
+        assert bitmap.positions() == []
+
+    def test_single_bit(self):
+        bitmap = WAHBitmap.from_positions([37], 100)
+        assert bitmap.positions() == [37]
+
+    def test_all_ones(self):
+        bitmap = WAHBitmap.from_positions(range(200), 200)
+        assert bitmap.positions() == list(range(200))
+
+    def test_duplicates_collapse(self):
+        bitmap = WAHBitmap.from_positions([5, 5, 5], 10)
+        assert bitmap.positions() == [5]
+
+    def test_from_bits(self):
+        bitmap = WAHBitmap.from_bits([True, False, True, True])
+        assert bitmap.positions() == [0, 2, 3]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WAHBitmap.from_positions([100], 100)
+        with pytest.raises(ValueError):
+            WAHBitmap.from_positions([-1], 100)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            WAHBitmap(-1, [])
+
+    @given(
+        length=st.integers(min_value=1, max_value=5000),
+        data=st.data(),
+    )
+    def test_roundtrip_property(self, length, data):
+        positions = data.draw(
+            st.lists(st.integers(min_value=0, max_value=length - 1), max_size=200)
+        )
+        bitmap = WAHBitmap.from_positions(positions, length)
+        assert bitmap.positions() == sorted(set(positions))
+
+
+class TestCompression:
+    def test_long_zero_runs_compress_well(self):
+        # one dense cluster inside a huge empty bitmap
+        positions = list(range(10_000, 10_100))
+        bitmap = WAHBitmap.from_positions(positions, 1_000_000)
+        assert bitmap.compressed_bytes() < 0.01 * bitmap.raw_bytes()
+
+    def test_long_one_runs_compress_well(self):
+        bitmap = WAHBitmap.from_positions(range(500_000), 1_000_000)
+        assert bitmap.compressed_bytes() < 0.01 * bitmap.raw_bytes()
+
+    def test_alternating_bits_do_not_compress(self):
+        bitmap = WAHBitmap.from_positions(range(0, 310, 2), 310)
+        # literals only: ~32/31 expansion over raw is expected
+        assert bitmap.compressed_bytes() >= bitmap.raw_bytes()
+
+    def test_compression_ratio_monotone_in_clustering(self):
+        scattered = WAHBitmap.from_positions(range(0, 31 * 64, 31), 31 * 64)
+        clustered = WAHBitmap.from_positions(range(64), 31 * 64)
+        assert clustered.compressed_bytes() < scattered.compressed_bytes()
+
+    def test_equality_and_hash(self):
+        a = WAHBitmap.from_positions([1, 2, 3], 100)
+        b = WAHBitmap.from_positions([3, 2, 1], 100)
+        c = WAHBitmap.from_positions([1, 2], 100)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
