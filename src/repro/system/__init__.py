@@ -3,23 +3,40 @@ simulation, the experiment runner, and the metrics they report."""
 
 from .client import MobileClient
 from .experiment import ExperimentConfig, STRATEGIES, build_simulation, build_strategy, run_experiment
+from .faults import ChaosProxy, FaultConfig, FaultInjector, FaultKind, FaultStats
 from .metrics import CommunicationStats
-from .network import ElapsNetworkClient, ElapsTCPServer
+from .network import (
+    ElapsNetworkClient,
+    ElapsTCPServer,
+    FrameError,
+    ReconnectPolicy,
+    ResilientElapsClient,
+    TruncatedFrameError,
+)
 from .server import ElapsServer, Notification, SubscriberRecord
 from .simulation import Simulation, SimulationResult
 
 __all__ = [
+    "ChaosProxy",
     "CommunicationStats",
     "ElapsNetworkClient",
     "ElapsServer",
     "ElapsTCPServer",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultKind",
+    "FaultStats",
+    "FrameError",
     "MobileClient",
     "ExperimentConfig",
     "Notification",
+    "ReconnectPolicy",
+    "ResilientElapsClient",
     "STRATEGIES",
     "Simulation",
     "SimulationResult",
     "SubscriberRecord",
+    "TruncatedFrameError",
     "build_simulation",
     "build_strategy",
     "run_experiment",

@@ -20,7 +20,7 @@ the impact region — that stays on the server.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Set, Tuple
 
 from ..core import SafeRegion
 from ..expressions import Event, Subscription
@@ -37,6 +37,13 @@ class MobileClient:
     safe_region: Optional[SafeRegion] = None
     received_events: List[Event] = field(default_factory=list)
     reports_sent: int = 0
+    #: ids of every event ever applied — the dedupe filter that makes
+    #: redelivery after a resync idempotent, and the payload of a
+    #: :class:`~repro.system.protocol.ResyncMessage`
+    seen_event_ids: Set[int] = field(default_factory=set)
+    #: notifications discarded because the event was already held
+    #: (a lossy network redelivering, or a resync overlapping a push)
+    duplicates_suppressed: int = 0
 
     # ------------------------------------------------------------------
     # Movement
@@ -70,10 +77,37 @@ class MobileClient:
         """Install a pushed safe region."""
         self.safe_region = region
 
-    def receive_notification(self, event: Event) -> None:
-        """Record a delivered event."""
+    def receive_notification(self, event: Event) -> bool:
+        """Record a delivered event; False if it was a duplicate.
+
+        At-most-once to the application: an event id seen before is
+        suppressed, so a hostile network (or an overlapping resync) may
+        redeliver freely without the client observing the event twice.
+        """
+        if event.event_id in self.seen_event_ids:
+            self.duplicates_suppressed += 1
+            return False
+        self.seen_event_ids.add(event.event_id)
         self.received_events.append(event)
+        return True
 
     def answer_ping(self) -> tuple:
         """The client's reply to a server location ping."""
         return self.location, self.velocity
+
+    # ------------------------------------------------------------------
+    # Reconnect support
+    # ------------------------------------------------------------------
+    def received_ids(self) -> Tuple[int, ...]:
+        """The resync payload: every event id this client holds."""
+        return tuple(sorted(self.seen_event_ids))
+
+    def reset_connection(self) -> None:
+        """Forget connection-scoped state after a lost connection.
+
+        The held safe region may be stale (pushes can be lost while the
+        connection was dying), so it is dropped — ``must_report`` then
+        answers True and the reconnect path reports/resyncs immediately.
+        Received events survive: they are the client's durable state.
+        """
+        self.safe_region = None

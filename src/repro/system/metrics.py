@@ -37,6 +37,30 @@ class CommunicationStats:
     wire_bytes_up: int = 0
     wire_bytes_down: int = 0
     server_seconds: float = 0.0
+    # ------------------------------------------------------------------
+    # Network-hardening counters (TCP layer only; the in-process
+    # simulation never touches them).  These are the observable half of
+    # the fault model in DESIGN.md §8: every hostile-network incident the
+    # server absorbs is counted instead of crashing the event loop.
+    # ------------------------------------------------------------------
+    #: frames that failed to parse (bad type byte, length mismatch,
+    #: corrupted payload); each one drops its connection
+    malformed_frames: int = 0
+    #: connections torn down by a peer reset (``ECONNRESET``) — distinct
+    #: from clean EOF since the hardened ``read_frame`` surfaces them
+    connection_resets: int = 0
+    #: connections reaped because no frame arrived within the read timeout
+    read_timeouts: int = 0
+    #: heartbeat frames received (and echoed) by the server
+    heartbeats: int = 0
+    #: SubscribeMessage arrivals for an already-known subscriber
+    #: (a reconnecting client re-registering)
+    resubscribes: int = 0
+    #: ResyncMessage arrivals (client reconciling its delivered set)
+    resyncs: int = 0
+    #: notifications re-shipped during a resync because the client
+    #: reported it never received them
+    redeliveries: int = 0
 
     @property
     def total_rounds(self) -> int:
@@ -68,4 +92,11 @@ class CommunicationStats:
             wire_bytes_up=self.wire_bytes_up + other.wire_bytes_up,
             wire_bytes_down=self.wire_bytes_down + other.wire_bytes_down,
             server_seconds=self.server_seconds + other.server_seconds,
+            malformed_frames=self.malformed_frames + other.malformed_frames,
+            connection_resets=self.connection_resets + other.connection_resets,
+            read_timeouts=self.read_timeouts + other.read_timeouts,
+            heartbeats=self.heartbeats + other.heartbeats,
+            resubscribes=self.resubscribes + other.resubscribes,
+            resyncs=self.resyncs + other.resyncs,
+            redeliveries=self.redeliveries + other.redeliveries,
         )

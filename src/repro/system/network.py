@@ -22,6 +22,16 @@ simulation's: one report round per region exit).  A
 :class:`~repro.system.protocol.LocationPing` is still pushed so the
 client knows to report promptly.
 
+The layer assumes a hostile network (DESIGN.md §8).  ``read_frame``
+distinguishes clean EOF from peer resets and truncated streams; the
+server enforces per-connection read timeouts and a frame-length cap,
+echoes client heartbeats, and degrades gracefully on malformed frames
+(count in :class:`~repro.system.metrics.CommunicationStats`, drop the
+connection — never the event loop).  :class:`ResilientElapsClient` is
+the subscriber built for that network: heartbeat keepalive, reconnect
+with exponential backoff + jitter, and resubscribe + resync after every
+reconnect so deliveries stay exactly-once end to end.
+
 The implementation is a single-threaded ``asyncio`` server; the wrapped
 :class:`~repro.system.ElapsServer` is not thread-safe and all handling
 runs on the event loop.
@@ -30,40 +40,86 @@ runs on the event loop.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import itertools
+import logging
+import math
+import random
 import struct
 import time
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from ..expressions import Event
-from ..geometry import Point
+from ..expressions import Event, Subscription
+from ..geometry import Grid, Point
+from .client import MobileClient
 from .protocol import (
     EventPublishMessage,
+    HeartbeatMessage,
+    LocationPing,
     LocationReport,
+    NotificationMessage,
+    ResyncMessage,
+    SafeRegionPush,
     SubscribeMessage,
     UnsubscribeMessage,
     decode_message,
     encode_message,
     notification_for,
+    region_from_push,
     region_push_for,
 )
 from .server import ElapsServer
 
+logger = logging.getLogger(__name__)
+
 _FRAME_HEADER = ">BI"
 _HEADER_SIZE = struct.calcsize(_FRAME_HEADER)
 
+#: upper bound on a frame's declared payload length; anything larger is
+#: treated as a framing error (a corrupted length field would otherwise
+#: stall the reader for gigabytes)
+MAX_FRAME_LENGTH = 1 << 24
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
-    """Read one length-prefixed frame; None on a clean EOF."""
+
+class FrameError(Exception):
+    """The byte stream violated the framing protocol."""
+
+
+class TruncatedFrameError(FrameError):
+    """The peer vanished mid-frame (partial header or payload)."""
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_length: int = MAX_FRAME_LENGTH
+) -> Optional[bytes]:
+    """Read one length-prefixed frame; None on a clean EOF.
+
+    Failure modes are kept distinct so callers can account for them:
+
+    * clean EOF (peer closed between frames) returns ``None``;
+    * EOF inside a frame raises :class:`TruncatedFrameError`;
+    * a declared length beyond ``max_length`` raises :class:`FrameError`;
+    * a peer reset propagates as :class:`ConnectionResetError` instead of
+      being conflated with a graceful disconnect.
+    """
     try:
         header = await reader.readexactly(_HEADER_SIZE)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise TruncatedFrameError(
+                f"stream ended after {len(exc.partial)} header bytes"
+            ) from exc
         return None
     (_, length) = struct.unpack(_FRAME_HEADER, header)
+    if length > max_length:
+        raise FrameError(f"declared payload of {length} bytes exceeds {max_length}")
     try:
         payload = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
-        return None
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrameError(
+            f"stream ended {length - len(exc.partial)} bytes short of a payload"
+        ) from exc
     return header + payload
 
 
@@ -76,6 +132,11 @@ class ElapsTCPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         timestamp_seconds: float = 5.0,
+        *,
+        read_timeout: Optional[float] = 30.0,
+        write_timeout: Optional[float] = 10.0,
+        max_frame_length: int = MAX_FRAME_LENGTH,
+        retain_subscribers: bool = False,
     ) -> None:
         if timestamp_seconds <= 0:
             raise ValueError(f"timestamp length must be positive: {timestamp_seconds}")
@@ -83,7 +144,19 @@ class ElapsTCPServer:
         self.host = host
         self.port = port
         self.timestamp_seconds = timestamp_seconds
+        #: a connection silent for longer than this is presumed dead and
+        #: reaped (clients heartbeat well inside it); None disables
+        self.read_timeout = read_timeout
+        self.write_timeout = write_timeout
+        self.max_frame_length = max_frame_length
+        #: with True, a dropped connection keeps its subscriber records
+        #: so a reconnecting client can resubscribe/resync into them; the
+        #: default preserves the original semantics (disconnect means
+        #: unsubscribe)
+        self.retain_subscribers = retain_subscribers
         self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._connections: set = set()
+        self._connection_tasks: set = set()
         self._event_ids = itertools.count(1)
         self._started_at = time.monotonic()
         self._tcp_server: Optional[asyncio.base_events.Server] = None
@@ -102,13 +175,25 @@ class ElapsTCPServer:
         self.port = self._tcp_server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop accepting and close every connection."""
+        """Stop accepting, close every connection, wait for handlers.
+
+        Handlers are unblocked by closing their transports rather than
+        cancelled: an externally cancelled client_connected task trips
+        the asyncio-streams done callback (which surfaces the
+        cancellation to the loop exception handler on some Pythons), and
+        a clean EOF exercises exactly the disconnect path the handlers
+        already own.
+        """
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
-        for writer in list(self._writers.values()):
-            writer.close()
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
         self._writers.clear()
+        pending = [task for task in self._connection_tasks if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=5)
 
     def now(self) -> int:
         """The server clock in timestamps since start."""
@@ -122,19 +207,30 @@ class ElapsTCPServer:
         return record.location, record.velocity
 
     def _push_region(self, sub_id: int, region) -> None:
-        writer = self._writers.get(sub_id)
-        if writer is not None:
-            writer.write(encode_message(region_push_for(sub_id, region)))
+        self._push_to(sub_id, encode_message(region_push_for(sub_id, region)))
 
     def _push_notifications(self, notifications) -> None:
         for notification in notifications:
-            writer = self._writers.get(notification.sub_id)
-            if writer is not None:
-                writer.write(
-                    encode_message(
-                        notification_for(notification.sub_id, notification.event)
-                    )
-                )
+            self._push_to(
+                notification.sub_id,
+                encode_message(
+                    notification_for(notification.sub_id, notification.event)
+                ),
+            )
+
+    def _push_to(self, sub_id: int, frame: bytes) -> None:
+        """Best-effort write to a subscriber's connection.
+
+        A dying transport must not take the publish path down with it;
+        the loss is healed by the client's next resync.
+        """
+        writer = self._writers.get(sub_id)
+        if writer is None:
+            return
+        try:
+            writer.write(frame)
+        except Exception:  # pragma: no cover - transport-dependent
+            logger.debug("push to subscriber %d failed", sub_id, exc_info=True)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -143,56 +239,147 @@ class ElapsTCPServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         connection_subs: set = set()
+        metrics = self.server.metrics
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connections.add(writer)
         try:
             while True:
-                frame = await read_frame(reader)
+                try:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader, self.max_frame_length), self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    metrics.read_timeouts += 1
+                    break
+                except ConnectionResetError:
+                    metrics.connection_resets += 1
+                    break
+                except FrameError:
+                    metrics.malformed_frames += 1
+                    break
                 if frame is None:
                     break
-                message = decode_message(frame)
-                if isinstance(message, SubscribeMessage):
-                    self._writers[message.sub_id] = writer
-                    connection_subs.add(message.sub_id)
-                    from ..expressions import Subscription
-
-                    subscription = Subscription(
-                        message.sub_id, message.expression, message.radius
-                    )
-                    notifications, _ = self.server.subscribe(
-                        subscription, message.location, message.velocity, self.now()
-                    )
-                    # the initial region push went out via the region sink;
-                    # deliver the already-matching events
-                    self._push_notifications(notifications)
-                elif isinstance(message, LocationReport):
-                    if message.sub_id in self.server.subscribers:
-                        notifications, _ = self.server.report_location(
-                            message.sub_id, message.location, message.velocity, self.now()
-                        )
-                        self._push_notifications(notifications)
-                elif isinstance(message, UnsubscribeMessage):
-                    if message.sub_id in self.server.subscribers:
-                        self.server.unsubscribe(message.sub_id)
-                    self._writers.pop(message.sub_id, None)
-                    connection_subs.discard(message.sub_id)
-                elif isinstance(message, EventPublishMessage):
-                    now = self.now()
-                    event = Event(
-                        next(self._event_ids) << 32 | (message.event_id & 0xFFFFFFFF),
-                        dict(message.attributes),
-                        message.location,
-                        arrived_at=now,
-                        expires_at=None if message.ttl <= 0 else now + message.ttl,
-                    )
-                    self.server.expire_due_events(now)
-                    notifications = self.server.publish(event, now)
-                    self._push_notifications(notifications)
-                await writer.drain()
+                try:
+                    message = decode_message(frame)
+                except Exception:
+                    # corrupted payload (bad tag, short buffer, garbage
+                    # unicode, unknown type...): count it and cut the
+                    # connection — the stream can no longer be trusted
+                    metrics.malformed_frames += 1
+                    break
+                if not self._message_sane(message):
+                    metrics.malformed_frames += 1
+                    break
+                try:
+                    self._dispatch(message, writer, connection_subs)
+                    await asyncio.wait_for(writer.drain(), self.write_timeout)
+                except (ConnectionResetError, BrokenPipeError):
+                    metrics.connection_resets += 1
+                    break
+                except asyncio.TimeoutError:
+                    metrics.read_timeouts += 1
+                    break
+        except Exception:  # graceful degradation: never crash the loop
+            logger.exception("connection handler failed; dropping connection")
         finally:
             for sub_id in connection_subs:
-                if sub_id in self.server.subscribers:
-                    self.server.unsubscribe(sub_id)
+                # a reconnected client may already own a fresh connection;
+                # only tear down state that still belongs to this one
+                if self._writers.get(sub_id) is not writer:
+                    continue
                 self._writers.pop(sub_id, None)
+                if not self.retain_subscribers and sub_id in self.server.subscribers:
+                    self.server.unsubscribe(sub_id)
+            self._connections.discard(writer)
+            self._connection_tasks.discard(task)
             writer.close()
+
+    def _message_sane(self, message) -> bool:
+        """Semantic bounds on network input.
+
+        Decoding only proves the bytes parse; a corrupted frame can
+        still carry poison — a radius of ``1e308`` would iterate region
+        construction until the heat death of the universe, a NaN
+        coordinate breaks cell addressing.  Geometry must be finite and
+        the radius must fit inside the served space.
+        """
+
+        def sane_point(p: Point) -> bool:
+            """Both coordinates finite (no NaN/inf cell addressing)."""
+            return math.isfinite(p.x) and math.isfinite(p.y)
+
+        space = self.server.grid.space
+        diagonal = math.hypot(space.width, space.height)
+        if isinstance(message, SubscribeMessage):
+            return (
+                sane_point(message.location)
+                and sane_point(message.velocity)
+                and math.isfinite(message.radius)
+                and 0 < message.radius <= diagonal
+            )
+        if isinstance(message, (LocationReport, ResyncMessage)):
+            return sane_point(message.location) and sane_point(message.velocity)
+        if isinstance(message, EventPublishMessage):
+            return sane_point(message.location)
+        return True
+
+    def _dispatch(
+        self, message, writer: asyncio.StreamWriter, connection_subs: set
+    ) -> None:
+        """Apply one decoded frame to the wrapped server."""
+        metrics = self.server.metrics
+        if isinstance(message, SubscribeMessage):
+            self._writers[message.sub_id] = writer
+            connection_subs.add(message.sub_id)
+            subscription = Subscription(
+                message.sub_id, message.expression, message.radius
+            )
+            notifications, _ = self.server.subscribe(
+                subscription, message.location, message.velocity, self.now()
+            )
+            # the initial region push went out via the region sink;
+            # deliver the already-matching events
+            self._push_notifications(notifications)
+        elif isinstance(message, LocationReport):
+            if message.sub_id in self.server.subscribers:
+                notifications, _ = self.server.report_location(
+                    message.sub_id, message.location, message.velocity, self.now()
+                )
+                self._push_notifications(notifications)
+        elif isinstance(message, ResyncMessage):
+            if message.sub_id in self.server.subscribers:
+                self._writers[message.sub_id] = writer
+                connection_subs.add(message.sub_id)
+                notifications, _ = self.server.resync(
+                    message.sub_id,
+                    message.location,
+                    message.velocity,
+                    message.received,
+                    self.now(),
+                )
+                self._push_notifications(notifications)
+        elif isinstance(message, HeartbeatMessage):
+            metrics.heartbeats += 1
+            writer.write(encode_message(message))
+        elif isinstance(message, UnsubscribeMessage):
+            if message.sub_id in self.server.subscribers:
+                self.server.unsubscribe(message.sub_id)
+            self._writers.pop(message.sub_id, None)
+            connection_subs.discard(message.sub_id)
+        elif isinstance(message, EventPublishMessage):
+            now = self.now()
+            event = Event(
+                next(self._event_ids) << 32 | (message.event_id & 0xFFFFFFFF),
+                dict(message.attributes),
+                message.location,
+                arrived_at=now,
+                expires_at=None if message.ttl <= 0 else now + message.ttl,
+            )
+            self.server.expire_due_events(now)
+            notifications = self.server.publish(event, now)
+            self._push_notifications(notifications)
 
 
 class ElapsNetworkClient:
@@ -258,3 +445,274 @@ class ElapsNetworkClient:
                 event_id, location, tuple(sorted(attributes.items())), ttl
             )
         )
+
+
+# ----------------------------------------------------------------------
+# Resilient subscriber
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Exponential backoff with jitter for the reconnect loop."""
+
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: extra uniform fraction of the delay, decorrelating client herds
+    jitter: float = 0.5
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """The sleep before reconnect ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+class ResilientElapsClient:
+    """A subscriber that survives resets, drops, and silent networks.
+
+    Wraps a :class:`~repro.system.client.MobileClient` (the durable
+    state: subscription, location, received events) in a supervised
+    connection loop:
+
+    * every connection starts with a :class:`SubscribeMessage`; every
+      *re*-connection follows it with a :class:`ResyncMessage` carrying
+      the ids of all events the client actually holds, so the server can
+      redeliver what the dead connection swallowed without ever
+      double-shipping;
+    * a heartbeat frame goes out every ``heartbeat_interval`` seconds and
+      the server echoes it, so a connection with no frame inside
+      ``read_timeout`` is declared dead;
+    * any connection failure (reset, truncation, timeout, refused
+      connect) feeds the :class:`ReconnectPolicy` backoff and the loop
+      tries again; delivered events are deduped by id, so the
+      application sees each event at most once no matter how the
+      network behaves.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        subscription: Subscription,
+        location: Point,
+        velocity: Optional[Point] = None,
+        *,
+        grid: Optional[Grid] = None,
+        policy: Optional[ReconnectPolicy] = None,
+        heartbeat_interval: float = 1.0,
+        read_timeout: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.mobile = MobileClient(
+            subscription, location, velocity or Point(0.0, 0.0)
+        )
+        #: with a grid, safe-region pushes are decoded into real regions
+        #: so ``mobile.must_report`` works; without one they are counted
+        self.grid = grid
+        self.policy = policy or ReconnectPolicy()
+        self.heartbeat_interval = heartbeat_interval
+        self.read_timeout = (
+            read_timeout if read_timeout is not None else heartbeat_interval * 4
+        )
+        self.rng = rng or random.Random()
+        self.connections = 0
+        self.reconnects = 0
+        self.regions_received = 0
+        self.heartbeats_acked = 0
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._task: Optional[asyncio.Task] = None
+        self._stopping = False
+        self._connected = asyncio.Event()
+        self._session_ok = False
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Event]:
+        """Every event delivered to the application (deduped)."""
+        return self.mobile.received_events
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        """Redeliveries the dedupe filter absorbed."""
+        return self.mobile.duplicates_suppressed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the connection supervisor."""
+        self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Stop reconnecting and close the live connection, if any."""
+        self._stopping = True
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+        self._close_writer()
+
+    async def wait_connected(self, timeout: float = 5.0) -> None:
+        """Block until a connection is up and the subscribe was sent."""
+        await asyncio.wait_for(self._connected.wait(), timeout)
+
+    # ------------------------------------------------------------------
+    # Application actions
+    # ------------------------------------------------------------------
+    async def report(self, location: Point, velocity: Point) -> None:
+        """Move the subscriber and (best-effort) report the position."""
+        self.mobile.location = location
+        self.mobile.velocity = velocity
+        await self._send_quietly(
+            LocationReport(self.mobile.subscription.sub_id, location, velocity)
+        )
+
+    async def resync_now(self) -> None:
+        """Force a resync on the live connection (e.g. after a chaos run)."""
+        await self._send_quietly(
+            ResyncMessage(
+                self.mobile.subscription.sub_id,
+                self.mobile.location,
+                self.mobile.velocity,
+                self.mobile.received_ids(),
+            )
+        )
+
+    async def force_reconnect(self) -> None:
+        """Kill the live connection; the supervisor dials a new one."""
+        self._close_writer(abort=True)
+
+    async def _send_quietly(self, message) -> None:
+        writer = self._writer
+        if writer is None:
+            return
+        try:
+            writer.write(encode_message(message))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # the reader loop will notice and reconnect; the resync on
+            # the fresh connection replays whatever this send was for
+            self._close_writer(abort=True)
+
+    def _close_writer(self, abort: bool = False) -> None:
+        writer, self._writer = self._writer, None
+        if writer is None:
+            return
+        try:
+            if abort:
+                writer.transport.abort()
+            else:
+                writer.close()
+        except Exception:  # pragma: no cover - platform noise
+            pass
+
+    # ------------------------------------------------------------------
+    # Supervisor
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        attempt = 0
+        while not self._stopping:
+            self._session_ok = False
+            try:
+                await self._session()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # resets, timeouts, truncation, decode errors from a
+                # corrupted push... every network failure funnels into
+                # the same answer: back off and dial again
+                logger.debug("subscriber session failed; reconnecting", exc_info=True)
+            finally:
+                self._connected.clear()
+                self._close_writer()
+                self.mobile.reset_connection()
+            if self._stopping:
+                break
+            # a session that got as far as a region push earns a fresh
+            # backoff schedule; repeated failures keep escalating
+            attempt = 0 if self._session_ok else attempt + 1
+            self.reconnects += 1
+            await asyncio.sleep(self.policy.delay_for(attempt, self.rng))
+
+    async def _session(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._writer = writer
+        self.connections += 1
+        subscription = self.mobile.subscription
+        writer.write(
+            encode_message(
+                SubscribeMessage(
+                    subscription.sub_id,
+                    subscription.radius,
+                    subscription.expression,
+                    self.mobile.location,
+                    self.mobile.velocity,
+                )
+            )
+        )
+        if self.connections > 1:
+            # reconnect: reconcile the server against what actually
+            # arrived before the old connection died
+            writer.write(
+                encode_message(
+                    ResyncMessage(
+                        subscription.sub_id,
+                        self.mobile.location,
+                        self.mobile.velocity,
+                        self.mobile.received_ids(),
+                    )
+                )
+            )
+        await writer.drain()
+        self._connected.set()
+        heartbeats = asyncio.ensure_future(self._heartbeat_loop(writer))
+        try:
+            while True:
+                frame = await asyncio.wait_for(read_frame(reader), self.read_timeout)
+                if frame is None:
+                    return  # server closed cleanly
+                self._apply(decode_message(frame))
+        finally:
+            heartbeats.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await heartbeats
+
+    async def _heartbeat_loop(self, writer: asyncio.StreamWriter) -> None:
+        seq = 0
+        sub_id = self.mobile.subscription.sub_id
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_interval)
+                seq += 1
+                writer.write(encode_message(HeartbeatMessage(sub_id, seq)))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            return  # the reader loop surfaces the failure
+
+    def _apply(self, message) -> None:
+        if isinstance(message, NotificationMessage):
+            self.mobile.receive_notification(
+                Event(message.event_id, dict(message.attributes), message.location)
+            )
+        elif isinstance(message, SafeRegionPush):
+            self.regions_received += 1
+            self._session_ok = True
+            if self.grid is not None:
+                self.mobile.receive_region(region_from_push(message, self.grid))
+        elif isinstance(message, HeartbeatMessage):
+            self.heartbeats_acked += 1
+        elif isinstance(message, LocationPing):
+            writer = self._writer
+            if writer is not None:
+                location, velocity = self.mobile.answer_ping()
+                writer.write(
+                    encode_message(
+                        LocationReport(
+                            self.mobile.subscription.sub_id, location, velocity
+                        )
+                    )
+                )

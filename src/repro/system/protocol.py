@@ -16,6 +16,11 @@ message                 direction  payload
 ``SafeRegionPush``      S -> C     sub id, grid size, complement flag,
                                    WAH-compressed cell bitmap
 ``NotificationMessage`` S -> C     sub id, event id, location, attributes
+``EventPublishMessage`` P -> S     event id, location, attributes, ttl
+``HeartbeatMessage``    C <-> S    sub id, sequence number (keepalive;
+                                   the server echoes it back)
+``ResyncMessage``       C -> S     sub id, location, velocity, ids of
+                                   the events the client already holds
 ======================  =========  =====================================
 
 Frames are ``[1-byte type][4-byte big-endian payload length][payload]``.
@@ -375,6 +380,70 @@ class EventPublishMessage:
         return cls(event_id, Point(x, y), tuple(attributes), ttl)
 
 
+@dataclass(frozen=True)
+class HeartbeatMessage:
+    """C<->S: liveness probe; the server echoes the frame unchanged.
+
+    A quiet subscriber is indistinguishable from a dead connection (the
+    whole point of the safe region is that healthy clients are silent),
+    so liveness travels out of band: the client heartbeats on an
+    interval and both sides treat a silent period longer than their read
+    timeout as a lost connection.
+    """
+
+    TYPE = 8
+    sub_id: int
+    seq: int
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        return struct.pack(">QQ", self.sub_id, self.seq)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "HeartbeatMessage":
+        """Inverse of :meth:`encode_payload`."""
+        sub_id, seq = struct.unpack(">QQ", payload)
+        return cls(sub_id, seq)
+
+
+@dataclass(frozen=True)
+class ResyncMessage:
+    """C->S: reconcile state after a reconnect.
+
+    The client reports its position and the ids of every notification it
+    actually received; the server adopts that set as the subscriber's
+    ``delivered`` ground truth, redelivers matching in-region events the
+    network lost, and ships a fresh safe region.
+    """
+
+    TYPE = 9
+    sub_id: int
+    location: Point
+    velocity: Point
+    received: Tuple[int, ...]
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        header = struct.pack(
+            ">QddddI",
+            self.sub_id,
+            self.location.x,
+            self.location.y,
+            self.velocity.x,
+            self.velocity.y,
+            len(self.received),
+        )
+        return header + struct.pack(f">{len(self.received)}Q", *self.received)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "ResyncMessage":
+        """Inverse of :meth:`encode_payload`."""
+        sub_id, x, y, vx, vy, count = struct.unpack_from(">QddddI", payload, 0)
+        offset = struct.calcsize(">QddddI")
+        received = struct.unpack_from(f">{count}Q", payload, offset)
+        return cls(sub_id, Point(x, y), Point(vx, vy), tuple(received))
+
+
 _MESSAGE_TYPES = {
     cls.TYPE: cls
     for cls in (
@@ -385,6 +454,8 @@ _MESSAGE_TYPES = {
         SafeRegionPush,
         NotificationMessage,
         EventPublishMessage,
+        HeartbeatMessage,
+        ResyncMessage,
     )
 }
 
@@ -396,6 +467,8 @@ Message = Union[
     SafeRegionPush,
     NotificationMessage,
     EventPublishMessage,
+    HeartbeatMessage,
+    ResyncMessage,
 ]
 
 _FRAME_HEADER = ">BI"
@@ -444,3 +517,22 @@ def region_push_for(sub_id: int, safe_region) -> SafeRegionPush:
         safe_region.complement,
         safe_region.to_bitmap(),
     )
+
+
+def region_from_push(push: SafeRegionPush, grid):
+    """Reconstruct the client-side :class:`~repro.core.SafeRegion`.
+
+    Inverse of :func:`region_push_for`: bit positions are Morton codes
+    (see ``GridRegion.to_bitmap``), so each set position deinterleaves
+    back to a grid cell.  ``grid`` must match the server's grid — the
+    push carries ``grid_n`` so a client can verify before decoding.
+    """
+    from ..core import SafeRegion
+    from ..geometry.zorder import deinterleave
+
+    if push.grid_n != grid.n:
+        raise ValueError(
+            f"grid mismatch: push encodes n={push.grid_n}, client has n={grid.n}"
+        )
+    cells = frozenset(deinterleave(code) for code in push.bitmap.positions())
+    return SafeRegion(grid, cells, push.complement)

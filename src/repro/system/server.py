@@ -183,10 +183,26 @@ class ElapsServer:
         velocity: Point,
         now: int = 0,
     ) -> Tuple[List[Notification], SafeRegion]:
-        """Register a subscriber; deliver current matches, ship a safe region."""
+        """Register a subscriber; deliver current matches, ship a safe region.
+
+        Subscribing an already-known ``sub_id`` is a *resubscribe* — the
+        reconnect path of a client that lost its connection.  The old
+        subscription leaves the index, but the ``delivered`` set survives
+        so events the first connection already shipped are not shipped
+        again (a following :meth:`resync` reconciles against what the
+        client actually received).
+        """
         if self._started_at is None:
             self._started_at = now
-        record = SubscriberRecord(subscription, location, velocity)
+        existing = self.subscribers.get(subscription.sub_id)
+        if existing is not None:
+            self.subscription_index.delete(existing.subscription)
+            record = SubscriberRecord(
+                subscription, location, velocity, delivered=existing.delivered
+            )
+            self.metrics.resubscribes += 1
+        else:
+            record = SubscriberRecord(subscription, location, velocity)
         self.subscribers[subscription.sub_id] = record
         self.subscription_index.insert(subscription)
         if self.matching_mode == "cached":
@@ -197,6 +213,7 @@ class ElapsServer:
         notifications = [
             Notification(subscription.sub_id, event, now)
             for event in self.event_index.match(subscription, location)
+            if event.event_id not in record.delivered
         ]
         for notification in notifications:
             record.delivered.add(notification.event.event_id)
@@ -308,6 +325,44 @@ class ElapsServer:
             self.metrics.wire_bytes_up += message_bytes(
                 LocationReport(sub_id, location, velocity)
             )
+            self._account_notification_bytes(notifications)
+        self._construct(record, now)
+        return notifications, record.safe
+
+    def resync(
+        self,
+        sub_id: int,
+        location: Point,
+        velocity: Point,
+        received,
+        now: int,
+    ) -> Tuple[List[Notification], SafeRegion]:
+        """Reconcile a reconnecting client against its received-event ids.
+
+        The client's report is the ground truth of what survived the
+        network: the server adopts it as the new ``delivered`` set, so
+        notifications a dead connection swallowed become deliverable
+        again, and redelivers every matching event inside the
+        notification region that the client is missing.  Events the
+        client *did* receive stay in the set, so nothing is ever shipped
+        twice.  Finishes by rebuilding and re-shipping the safe region
+        (the client dropped its held region on disconnect).
+        """
+        record = self.subscribers[sub_id]
+        self.metrics.resyncs += 1
+        record.location = location
+        record.velocity = velocity
+        record.delivered = set(received)
+        notifications = [
+            Notification(sub_id, event, now)
+            for event in self.event_index.match(record.subscription, location)
+            if event.event_id not in record.delivered
+        ]
+        for notification in notifications:
+            record.delivered.add(notification.event.event_id)
+        self.metrics.redeliveries += len(notifications)
+        self.metrics.notifications += len(notifications)
+        if self.measure_bytes:
             self._account_notification_bytes(notifications)
         self._construct(record, now)
         return notifications, record.safe

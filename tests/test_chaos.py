@@ -1,0 +1,274 @@
+"""Chaos tests: the resilient client against a hostile network.
+
+The acceptance run from DESIGN.md §8: a seeded chaos proxy (drops,
+delays, resets) between 50 subscribers and the server, 500 published
+events, and at the end every client holds exactly the events its
+subscription matched — no duplicates, no gaps, no unhandled exceptions
+anywhere in the event loop.  The whole run is reproducible from
+``CHAOS_SEED``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core import IGM
+from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import ElapsServer
+from repro.system.network import (
+    ElapsNetworkClient,
+    ElapsTCPServer,
+    ReconnectPolicy,
+    ResilientElapsClient,
+)
+from repro.system.protocol import NotificationMessage, ResyncMessage, SafeRegionPush
+from repro.testing import FaultConfig, chaos_proxy
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+CHAOS_SEED = 0xC4A05
+TOPICS = ("sale", "music", "news", "sports")
+
+
+def make_tcp_server(**kwargs) -> ElapsTCPServer:
+    # a coarser grid than the simulation benchmarks: safe-region
+    # construction happens thousands of times in the acceptance run and
+    # dominates its wall clock
+    server = ElapsServer(
+        Grid(20, SPACE),
+        IGM(max_cells=100),
+        event_index=BEQTree(SPACE, emax=64),
+        initial_rate=1.0,
+    )
+    kwargs.setdefault("read_timeout", 2.0)
+    kwargs.setdefault("retain_subscribers", True)
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
+
+
+def topic_subscription(sub_id: int, topic: str, radius: float = 2_500.0):
+    return Subscription(
+        sub_id,
+        BooleanExpression([Predicate("topic", Operator.EQ, topic)]),
+        radius=radius,
+    )
+
+
+def run_with_loop_watch(coro_factory):
+    loop_errors = []
+
+    async def wrapper():
+        loop = asyncio.get_running_loop()
+        loop.set_exception_handler(lambda _loop, context: loop_errors.append(context))
+        await coro_factory()
+
+    asyncio.run(wrapper())
+    return loop_errors
+
+
+class TestResilientClient:
+    def test_reconnect_resubscribes_and_keeps_delivered_state(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ResilientElapsClient(
+                "127.0.0.1",
+                tcp.port,
+                topic_subscription(1, "sale"),
+                Point(5_000, 5_000),
+                heartbeat_interval=0.1,
+                policy=ReconnectPolicy(base_delay=0.02, max_delay=0.1),
+                rng=random.Random(7),
+            )
+            await client.start()
+            await client.wait_connected()
+            while 1 not in tcp.server.subscribers:
+                await asyncio.sleep(0.02)
+
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await publisher.connect()
+            await publisher.publish(100, {"topic": "sale"}, Point(5_100, 5_000))
+            while not client.events:
+                await asyncio.sleep(0.02)
+
+            await client.force_reconnect()
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while client.connections < 2:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.02)
+            await client.wait_connected()
+            while tcp.server.metrics.resubscribes < 1:
+                await asyncio.sleep(0.02)
+
+            # the already-held event is not re-shipped...
+            await publisher.publish(101, {"topic": "sale"}, Point(4_900, 5_000))
+            while len(client.events) < 2:
+                await asyncio.sleep(0.02)
+            ids = [event.event_id for event in client.events]
+            assert len(ids) == len(set(ids))
+            assert tcp.server.metrics.resyncs >= 1  # reconnect sent one
+
+            await publisher.close()
+            await client.stop()
+            await tcp.stop()
+
+        assert run_with_loop_watch(scenario) == []
+
+    def test_resync_redelivers_lost_notifications(self):
+        """A client reporting an empty received set gets the gap refilled."""
+
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            raw = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await raw.connect()
+            sub = topic_subscription(3, "news")
+            location = Point(5_000, 5_000)
+            await raw.subscribe(sub, location, Point(0, 0))
+
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await publisher.connect()
+            await publisher.publish(200, {"topic": "news"}, Point(5_050, 5_000))
+            first = await raw.receive()
+            assert isinstance(first, NotificationMessage)
+
+            # the client "lost" it: resync with nothing received
+            await raw.send(ResyncMessage(3, location, Point(0, 0), ()))
+            redelivered = None
+            while not isinstance(redelivered, NotificationMessage):
+                redelivered = await raw.receive()
+            assert redelivered.event_id == first.event_id
+            assert tcp.server.metrics.redeliveries >= 1
+
+            await publisher.close()
+            await raw.close()
+            await tcp.stop()
+
+        assert run_with_loop_watch(scenario) == []
+
+
+@pytest.mark.chaos
+class TestChaosAcceptance:
+    """The ISSUE's acceptance run, reproducible from CHAOS_SEED."""
+
+    SUBSCRIBERS = 50
+    EVENTS = 500
+
+    def test_seeded_chaos_run_delivers_exactly_once(self):
+        rng = random.Random(CHAOS_SEED)
+        placements = [
+            (
+                Point(rng.uniform(500, 9_500), rng.uniform(500, 9_500)),
+                TOPICS[rng.randrange(len(TOPICS))],
+            )
+            for _ in range(self.SUBSCRIBERS)
+        ]
+        event_plan = [
+            (
+                TOPICS[rng.randrange(len(TOPICS))],
+                Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)),
+            )
+            for _ in range(self.EVENTS)
+        ]
+        config = FaultConfig(
+            seed=CHAOS_SEED,
+            drop_rate=0.03,
+            reset_rate=0.01,
+            delay_rate=0.15,
+            delay_max=0.003,
+        )
+
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            async with chaos_proxy("127.0.0.1", tcp.port, config) as proxy:
+                clients = [
+                    ResilientElapsClient(
+                        "127.0.0.1",
+                        proxy.port,
+                        topic_subscription(i + 1, topic),
+                        location,
+                        heartbeat_interval=0.2,
+                        read_timeout=1.0,
+                        policy=ReconnectPolicy(base_delay=0.05, max_delay=0.4),
+                        rng=random.Random(CHAOS_SEED + i),
+                    )
+                    for i, (location, topic) in enumerate(placements)
+                ]
+                for client in clients:
+                    await client.start()
+
+                # chaos may eat subscribes; the reconnect loop retries
+                # until the server has seen all of them
+                deadline = asyncio.get_running_loop().time() + 30.0
+                while len(tcp.server.subscribers) < self.SUBSCRIBERS:
+                    assert (
+                        asyncio.get_running_loop().time() < deadline
+                    ), f"only {len(tcp.server.subscribers)} subscribers registered"
+                    await asyncio.sleep(0.1)
+
+                # the publisher bypasses the proxy: every event reaches
+                # the server, so ground truth is the full plan
+                publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+                await publisher.connect()
+                for i, (topic, location) in enumerate(event_plan):
+                    await publisher.publish(i, {"topic": topic}, location)
+                    if i % 20 == 19:
+                        await asyncio.sleep(0.01)
+                deadline = asyncio.get_running_loop().time() + 60.0
+                while len(tcp.server._events_by_id) < self.EVENTS:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.05)
+
+                expected = {
+                    client.mobile.subscription.sub_id: {
+                        event.event_id
+                        for event in tcp.server._events_by_id.values()
+                        if client.mobile.subscription.matches(
+                            event, at=client.mobile.location
+                        )
+                    }
+                    for client in clients
+                }
+                assert sum(len(ids) for ids in expected.values()) > 0
+
+                # settle: stop injecting faults and let the reconnect +
+                # resync machinery drain every gap
+                proxy.enabled = False
+                converged = False
+                for _ in range(40):
+                    for client in clients:
+                        await client.resync_now()
+                    await asyncio.sleep(0.3)
+                    converged = all(
+                        set(client.mobile.seen_event_ids)
+                        == expected[client.mobile.subscription.sub_id]
+                        for client in clients
+                    )
+                    if converged:
+                        break
+
+                for client in clients:
+                    sub_id = client.mobile.subscription.sub_id
+                    got = [event.event_id for event in client.events]
+                    assert len(got) == len(set(got)), f"duplicates at sub {sub_id}"
+                    assert set(got) == expected[sub_id], (
+                        f"sub {sub_id}: missing {sorted(expected[sub_id] - set(got))[:5]}"
+                        f" spurious {sorted(set(got) - expected[sub_id])[:5]}"
+                    )
+                assert converged
+
+                # the run must actually have been hostile
+                assert proxy.stats.dropped > 0
+                assert proxy.stats.resets > 0
+                assert proxy.stats.delayed > 0
+
+                await publisher.close()
+                for client in clients:
+                    await client.stop()
+            await tcp.stop()
+
+        assert run_with_loop_watch(scenario) == []

@@ -1,0 +1,233 @@
+"""The fault-injection subsystem itself: determinism, config sanity,
+and each fault kind observed end-to-end through the chaos proxy."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import IGM
+from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import ElapsServer
+from repro.system.network import ElapsNetworkClient, ElapsTCPServer
+from repro.system.protocol import SafeRegionPush, SubscribeMessage
+from repro.testing import ChaosProxy, FaultConfig, FaultInjector, FaultKind, chaos_proxy
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+def make_tcp_server(**kwargs) -> ElapsTCPServer:
+    server = ElapsServer(
+        Grid(40, SPACE),
+        IGM(max_cells=400),
+        event_index=BEQTree(SPACE, emax=32),
+        initial_rate=1.0,
+    )
+    kwargs.setdefault("read_timeout", 1.0)
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
+
+
+def make_sub(sub_id=1):
+    return Subscription(
+        sub_id,
+        BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),
+        radius=1_500.0,
+    )
+
+
+def subscribe_message(sub_id=1):
+    sub = make_sub(sub_id)
+    return SubscribeMessage(
+        sub.sub_id, sub.radius, sub.expression, Point(5_000, 5_000), Point(40, 0)
+    )
+
+
+class TestFaultConfig:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultConfig(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(reset_rate=-0.1)
+
+    def test_exclusive_rates_bounded(self):
+        with pytest.raises(ValueError):
+            FaultConfig(drop_rate=0.6, corrupt_rate=0.6)
+        # delay is drawn independently and may push the sum past 1
+        FaultConfig(drop_rate=0.6, delay_rate=0.9)
+
+    def test_delay_window_ordered(self):
+        with pytest.raises(ValueError):
+            FaultConfig(delay_min=0.5, delay_max=0.1)
+
+
+class TestFaultInjector:
+    CONFIG = FaultConfig(
+        seed=42,
+        drop_rate=0.2,
+        duplicate_rate=0.1,
+        corrupt_rate=0.1,
+        truncate_rate=0.1,
+        reset_rate=0.05,
+        delay_rate=0.3,
+    )
+
+    def test_same_seed_same_sequence(self):
+        a = FaultInjector(self.CONFIG, stream_id=3)
+        b = FaultInjector(self.CONFIG, stream_id=3)
+        assert [a.decide(100) for _ in range(200)] == [
+            b.decide(100) for _ in range(200)
+        ]
+
+    def test_streams_are_decorrelated(self):
+        a = FaultInjector(self.CONFIG, stream_id=0)
+        b = FaultInjector(self.CONFIG, stream_id=1)
+        assert [a.decide(100) for _ in range(50)] != [
+            b.decide(100) for _ in range(50)
+        ]
+
+    def test_zero_config_always_passes(self):
+        injector = FaultInjector(FaultConfig(seed=1), stream_id=0)
+        for _ in range(100):
+            action = injector.decide(64)
+            assert action.kind is FaultKind.PASS
+            assert action.delay == 0.0
+
+    def test_corrupt_actions_stay_in_frame(self):
+        injector = FaultInjector(FaultConfig(seed=9, corrupt_rate=1.0), 0)
+        for _ in range(100):
+            action = injector.decide(17)
+            assert action.kind is FaultKind.CORRUPT
+            assert 0 <= action.index < 17
+            assert 1 <= action.mask <= 255
+
+    def test_truncate_keeps_a_proper_prefix(self):
+        injector = FaultInjector(FaultConfig(seed=9, truncate_rate=1.0), 0)
+        for _ in range(100):
+            action = injector.decide(40)
+            assert action.kind is FaultKind.TRUNCATE
+            assert 1 <= action.index < 40
+
+
+class TestChaosProxyEndToEnd:
+    def test_pass_through_is_transparent(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            async with chaos_proxy("127.0.0.1", tcp.port, FaultConfig(seed=5)) as proxy:
+                client = ElapsNetworkClient("127.0.0.1", proxy.port)
+                await client.connect()
+                received = await client.subscribe(
+                    make_sub(), Point(5_000, 5_000), Point(40, 0)
+                )
+                assert isinstance(received[-1], SafeRegionPush)
+                assert proxy.stats.injected == 0
+                await client.close()
+            await tcp.stop()
+
+        asyncio.run(scenario())
+
+    def test_dropped_subscribe_never_reaches_server(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            config = FaultConfig(seed=5, drop_rate=1.0, downstream=False)
+            async with chaos_proxy("127.0.0.1", tcp.port, config) as proxy:
+                client = ElapsNetworkClient("127.0.0.1", proxy.port)
+                await client.connect()
+                await client.send(subscribe_message())
+                await asyncio.sleep(0.3)
+                assert 1 not in tcp.server.subscribers
+                assert proxy.stats.dropped >= 1
+                await client.close()
+            await tcp.stop()
+
+        asyncio.run(scenario())
+
+    def test_duplicated_subscribe_counts_as_resubscribe(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            config = FaultConfig(seed=5, duplicate_rate=1.0, downstream=False)
+            async with chaos_proxy("127.0.0.1", tcp.port, config) as proxy:
+                client = ElapsNetworkClient("127.0.0.1", proxy.port)
+                await client.connect()
+                await client.send(subscribe_message())
+                await asyncio.sleep(0.3)
+                assert tcp.server.metrics.resubscribes == 1
+                assert proxy.stats.duplicated >= 1
+                await client.close()
+            await tcp.stop()
+
+        asyncio.run(scenario())
+
+    def test_reset_fault_aborts_both_sides(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            config = FaultConfig(seed=5, reset_rate=1.0, downstream=False)
+            async with chaos_proxy("127.0.0.1", tcp.port, config) as proxy:
+                client = ElapsNetworkClient("127.0.0.1", proxy.port)
+                await client.connect()
+                await client.send(subscribe_message())
+                # depending on how the abort lands, the client sees either
+                # an ECONNRESET-style error or a bare EOF — both prove it
+                try:
+                    message = await client.receive(timeout=1.0)
+                    assert message is None
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    pass
+                await asyncio.sleep(0.2)
+                assert proxy.stats.resets == 1
+                await client.close()
+            await tcp.stop()
+
+        asyncio.run(scenario())
+
+    def test_corrupted_frame_is_rejected_by_server(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            config = FaultConfig(seed=11, corrupt_rate=1.0, downstream=False)
+            async with chaos_proxy("127.0.0.1", tcp.port, config) as proxy:
+                client = ElapsNetworkClient("127.0.0.1", proxy.port)
+                await client.connect()
+                await client.send(subscribe_message())
+                await asyncio.sleep(0.5)
+                # either the payload failed to decode/validate, or a
+                # mangled length stalled the reader into its timeout
+                metrics = tcp.server.metrics
+                assert (
+                    metrics.malformed_frames
+                    + metrics.read_timeouts
+                    + metrics.connection_resets
+                    >= 1
+                    or proxy.stats.corrupted >= 1
+                )
+                await client.close()
+            await tcp.stop()
+
+        asyncio.run(scenario())
+
+    def test_disabled_proxy_relays_faithfully(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            config = FaultConfig(seed=5, drop_rate=1.0)
+            proxy = ChaosProxy("127.0.0.1", tcp.port, config)
+            await proxy.start()
+            proxy.enabled = False
+            client = ElapsNetworkClient("127.0.0.1", proxy.port)
+            await client.connect()
+            received = await client.subscribe(
+                make_sub(), Point(5_000, 5_000), Point(40, 0)
+            )
+            assert isinstance(received[-1], SafeRegionPush)
+            assert proxy.stats.frames == 0
+            await client.close()
+            await proxy.stop()
+            await tcp.stop()
+
+        asyncio.run(scenario())

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import asyncio
+import socket
+import struct
 
 import pytest
 
@@ -11,25 +13,35 @@ from repro.expressions import BooleanExpression, Operator, Predicate, Subscripti
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
 from repro.system import ElapsServer
-from repro.system.network import ElapsNetworkClient, ElapsTCPServer
+from repro.system.network import (
+    ElapsNetworkClient,
+    ElapsTCPServer,
+    FrameError,
+    TruncatedFrameError,
+    read_frame,
+)
 from repro.system.protocol import (
+    HeartbeatMessage,
     LocationReport,
     NotificationMessage,
     SafeRegionPush,
+    SubscribeMessage,
     UnsubscribeMessage,
+    decode_message,
+    encode_message,
 )
 
 SPACE = Rect(0, 0, 10_000, 10_000)
 
 
-def make_tcp_server() -> ElapsTCPServer:
+def make_tcp_server(**kwargs) -> ElapsTCPServer:
     server = ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=400),
         event_index=BEQTree(SPACE, emax=32),
         initial_rate=1.0,
     )
-    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05)
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
 
 
 def make_sub(sub_id=1):
@@ -162,6 +174,52 @@ class TestSubscribeFlow:
 
         run(scenario())
 
+    def test_retained_subscribers_survive_disconnect(self):
+        async def scenario():
+            tcp = make_tcp_server(retain_subscribers=True)
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            await client.close()
+            await asyncio.sleep(0.1)
+            assert 1 in tcp.server.subscribers
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_resubscribe_does_not_redeliver(self):
+        """A reconnect's resubscribe keeps the delivered set intact."""
+
+        async def scenario():
+            tcp = make_tcp_server(retain_subscribers=True)
+            await tcp.start()
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await publisher.connect()
+
+            first = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await first.connect()
+            await first.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            await publisher.publish(10, {"topic": "sale"}, Point(5_100, 5_000))
+            message = await first.receive()
+            assert isinstance(message, NotificationMessage)
+            await first.close()
+            await asyncio.sleep(0.05)
+
+            second = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await second.connect()
+            received = await second.subscribe(
+                make_sub(), Point(5_000, 5_000), Point(40, 0)
+            )
+            # only the region push: the held event is not shipped again
+            assert [type(m) for m in received] == [SafeRegionPush]
+            assert tcp.server.metrics.resubscribes == 1
+            await second.close()
+            await publisher.close()
+            await tcp.stop()
+
+        run(scenario())
+
     def test_expiring_events_leave_the_corpus(self):
         async def scenario():
             tcp = make_tcp_server()  # 0.05 s timestamps
@@ -177,6 +235,124 @@ class TestSubscribeFlow:
             await asyncio.sleep(0.05)
             assert len(tcp.server.event_index) == 1
             await publisher.close()
+            await tcp.stop()
+
+        run(scenario())
+
+
+class TestReadFrame:
+    """The hardened framing: EOF, truncation and resets are distinct."""
+
+    @staticmethod
+    def reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_clean_eof_returns_none(self):
+        async def scenario():
+            assert await read_frame(self.reader_with(b"")) is None
+
+        run(scenario())
+
+    def test_whole_frame_roundtrips(self):
+        frame = encode_message(HeartbeatMessage(3, 7))
+
+        async def scenario():
+            got = await read_frame(self.reader_with(frame))
+            assert got == frame
+            assert decode_message(got) == HeartbeatMessage(3, 7)
+
+        run(scenario())
+
+    def test_partial_header_is_truncation(self):
+        async def scenario():
+            with pytest.raises(TruncatedFrameError):
+                await read_frame(self.reader_with(b"\x08\x00"))
+
+        run(scenario())
+
+    def test_partial_payload_is_truncation(self):
+        frame = encode_message(HeartbeatMessage(3, 7))
+
+        async def scenario():
+            with pytest.raises(TruncatedFrameError):
+                await read_frame(self.reader_with(frame[:-4]))
+
+        run(scenario())
+
+    def test_oversized_length_is_frame_error(self):
+        async def scenario():
+            with pytest.raises(FrameError):
+                await read_frame(
+                    self.reader_with(struct.pack(">BI", 1, 1 << 20)),
+                    max_length=1024,
+                )
+
+        run(scenario())
+
+    def test_truncation_is_a_frame_error(self):
+        assert issubclass(TruncatedFrameError, FrameError)
+
+
+class TestHardening:
+    def test_connection_reset_is_counted_distinctly(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            # SO_LINGER(0) turns close() into a genuine RST, where a
+            # plain abort() of an empty send buffer would just FIN
+            sock = client.writer.get_extra_info("socket")
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            client.writer.close()
+            await asyncio.sleep(0.2)
+            assert tcp.server.metrics.connection_resets == 1
+            assert tcp.server.metrics.malformed_frames == 0
+            assert 1 not in tcp.server.subscribers
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_heartbeat_is_echoed_and_counted(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.send(HeartbeatMessage(1, 42))
+            echo = await client.receive()
+            assert echo == HeartbeatMessage(1, 42)
+            assert tcp.server.metrics.heartbeats == 1
+            await client.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_nonfinite_subscribe_is_rejected(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.send(
+                SubscribeMessage(
+                    1,
+                    float("inf"),
+                    BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),
+                    Point(5_000, 5_000),
+                    Point(40, 0),
+                )
+            )
+            await asyncio.sleep(0.1)
+            assert tcp.server.metrics.malformed_frames == 1
+            assert 1 not in tcp.server.subscribers
             await tcp.stop()
 
         run(scenario())
