@@ -4,12 +4,24 @@ The paper's bottom line is that Elaps "disseminates events to users in
 real-time": the publish path — subscription-index match, impact-index
 lookup, the occasional ping/rebuild — must keep up with the stream.
 This bench pushes a burst of events through a fully loaded server and
-reports events/second, with and without subscribers to separate the
-index cost from the subscriber-handling cost.
+reports events/second, two ways:
+
+* a population sweep on the single-event path (separating index cost
+  from subscriber-handling cost), and
+* the **batched fast path**: the same burst through ``publish_batch``
+  at increasing batch sizes, against the one-at-a-time baseline.
+
+Besides the human-readable table, the run emits the machine-readable
+``BENCH_throughput.json`` at the repo root (schema documented in
+EXPERIMENTS.md).  A regression gate is enforced here and re-checked by
+the CI bench-smoke job from the JSON: batched throughput at batch size
+64 must stay at least 1.5x the single-event baseline.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 from typing import Dict, List
 
@@ -22,9 +34,13 @@ from repro.system import ElapsServer
 from config import FAST, format_table
 
 SPACE = Rect(0, 0, 50_000, 50_000)
-BURST = 500 if FAST else 2_000
+BURST = 512 if FAST else 2_048
 CORPUS = 2_000 if FAST else 6_000
 POPULATIONS = (0, 10, 50) if FAST else (0, 25, 100)
+BATCH_SIZES = (16, 64)
+BATCH_SUBSCRIBERS = POPULATIONS[-1]
+REQUIRED_SPEEDUP_AT_64 = 1.5
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
 def _loaded_server(generator, subscriber_count: int) -> ElapsServer:
@@ -46,9 +62,7 @@ def _loaded_server(generator, subscriber_count: int) -> ElapsServer:
     return server
 
 
-def _run() -> List[Dict]:
-    generator = TwitterLikeGenerator(SPACE, seed=37)
-    burst = generator.events(BURST, start_id=10_000_000, seed_offset=7)
+def _population_sweep(generator, burst) -> List[Dict]:
     rows: List[Dict] = []
     for population in POPULATIONS:
         server = _loaded_server(generator, population)
@@ -60,28 +74,127 @@ def _run() -> List[Dict]:
         rows.append(
             {
                 "subscribers": population,
-                "events": BURST,
+                "events": len(burst),
                 "notifications": notifications,
-                "events_per_second": BURST / elapsed,
+                "events_per_second": len(burst) / elapsed,
             }
         )
     return rows
 
 
+def _batch_comparison(generator, burst) -> List[Dict]:
+    """Single baseline vs ``publish_batch`` at each batch size.
+
+    Every mode processes the identical burst against an identically
+    loaded server; delivered (sub, event) pairs must agree, so the rows
+    are comparable work, not different work.
+    """
+    rows: List[Dict] = []
+    delivered_baseline = None
+    for batch_size in (1, *BATCH_SIZES):
+        server = _loaded_server(generator, BATCH_SUBSCRIBERS)
+        started = time.perf_counter()
+        delivered = set()
+        if batch_size == 1:
+            for t, event in enumerate(burst, start=1):
+                for n in server.publish(event, now=t):
+                    delivered.add((n.sub_id, n.event.event_id))
+        else:
+            for i in range(0, len(burst), batch_size):
+                now = i // batch_size + 1
+                for n in server.publish_batch(burst[i : i + batch_size], now):
+                    delivered.add((n.sub_id, n.event.event_id))
+        elapsed = time.perf_counter() - started
+        if delivered_baseline is None:
+            delivered_baseline = delivered
+        assert delivered == delivered_baseline, "batched path changed deliveries"
+        stats = server.metrics.as_dict()
+        rows.append(
+            {
+                "mode": "single" if batch_size == 1 else "batched",
+                "batch_size": batch_size,
+                "events": len(burst),
+                "seconds": elapsed,
+                "events_per_second": len(burst) / elapsed,
+                "notifications": len(delivered),
+                "constructions": stats["constructions"],
+                "event_arrival_rounds": stats["event_arrival_rounds"],
+                "leaf_probes_saved": stats["leaf_probes_saved"],
+                "cache_hits": stats["cache_hits"],
+            }
+        )
+    baseline = rows[0]["events_per_second"]
+    for row in rows:
+        row["speedup_vs_single"] = row["events_per_second"] / baseline
+    return rows
+
+
+def _emit_json(population_rows: List[Dict], batch_rows: List[Dict]) -> Dict:
+    at_64 = next(r for r in batch_rows if r["batch_size"] == 64)
+    payload = {
+        "benchmark": "throughput",
+        "schema_version": 1,
+        "fast_mode": FAST,
+        "config": {
+            "space": [SPACE.x_min, SPACE.y_min, SPACE.x_max, SPACE.y_max],
+            "corpus": CORPUS,
+            "burst": BURST,
+            "batch_subscribers": BATCH_SUBSCRIBERS,
+            "populations": list(POPULATIONS),
+            "batch_sizes": [1, *BATCH_SIZES],
+        },
+        "series": {
+            "population_sweep": population_rows,
+            "batch_comparison": batch_rows,
+        },
+        "gate": {
+            "required_speedup_at_batch_64": REQUIRED_SPEEDUP_AT_64,
+            "measured_speedup_at_batch_64": at_64["speedup_vs_single"],
+            "passed": at_64["speedup_vs_single"] >= REQUIRED_SPEEDUP_AT_64,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _run():
+    generator = TwitterLikeGenerator(SPACE, seed=37)
+    burst = generator.events(BURST, start_id=10_000_000, seed_offset=7)
+    population_rows = _population_sweep(generator, burst)
+    batch_rows = _batch_comparison(generator, burst)
+    return population_rows, batch_rows
+
+
 def test_publish_throughput(benchmark, report):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    population_rows, batch_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    payload = _emit_json(population_rows, batch_rows)
     report(
         "throughput",
         format_table(
-            rows,
+            population_rows,
             ("subscribers", "events", "notifications", "events_per_second"),
             "Publish throughput (events/s through the full server)",
+        )
+        + "\n"
+        + format_table(
+            batch_rows,
+            (
+                "mode",
+                "batch_size",
+                "events_per_second",
+                "speedup_vs_single",
+                "constructions",
+                "event_arrival_rounds",
+            ),
+            f"Batched vs single publish ({BATCH_SUBSCRIBERS} subscribers)",
         ),
     )
-    by = {r["subscribers"]: r for r in rows}
+    by = {r["subscribers"]: r for r in population_rows}
     # the empty server bounds the pure index cost; it must be brisk even
     # in pure Python
     assert by[0]["events_per_second"] > 500
     # with a full subscriber population the server must still outrun the
     # paper's heaviest stream (500 events per 5 s timestamp = 100 ev/s)
     assert by[POPULATIONS[-1]]["events_per_second"] > 100
+    # the regression gate the ISSUE added: batching must actually pay
+    assert payload["gate"]["passed"], payload["gate"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Optional
 
 from ..geometry import Grid, Point
 from .cost_model import SystemStats
@@ -43,6 +44,13 @@ class RegionPair:
     safe: SafeRegion
     impact: ImpactRegion
     cells_examined: int = 0
+    #: balance-ratio diagnostics from the incremental methods (Equation 6):
+    #: the ``bm`` of the last cell the expansion accepted and of the first
+    #: candidate it rejected for exceeding ``beta``.  At the stopping point
+    #: these straddle the threshold (Lemmas 5-7); ``None`` for methods that
+    #: do not evaluate ``bm`` (VM, GM) or when no cell hit that side.
+    last_accepted_bm: Optional[float] = None
+    first_rejected_bm: Optional[float] = None
 
 
 class SafeRegionStrategy(abc.ABC):

@@ -106,6 +106,8 @@ class IncrementalGridMethod(SafeRegionStrategy):
         impact: Set[Cell] = set()
         matching_in_impact = 0
         cells_examined = 0
+        last_accepted_bm: Optional[float] = None
+        first_rejected_bm: Optional[float] = None
 
         heapq.heappush(heap, (self._priority(request, start, start_dist), start_dist, start))
         offsets = grid.disk_offsets(radius)
@@ -161,7 +163,10 @@ class IncrementalGridMethod(SafeRegionStrategy):
                 field.count_in_cell(impact_cell) for impact_cell in new_impact
             )
             bm = model.balance(boundary_distance, speed, candidate_ne)
+            if bm > self.beta and first_rejected_bm is None:
+                first_rejected_bm = bm
             if bm <= self.beta:
+                last_accepted_bm = bm
                 region.add(cell)
                 impact.update(new_impact)
                 matching_in_impact = candidate_ne
@@ -177,6 +182,8 @@ class IncrementalGridMethod(SafeRegionStrategy):
             safe=safe,
             impact=ImpactRegion(grid, frozenset(impact)),
             cells_examined=cells_examined,
+            last_accepted_bm=last_accepted_bm,
+            first_rejected_bm=first_rejected_bm,
         )
 
 

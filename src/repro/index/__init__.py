@@ -3,7 +3,7 @@ server-side impact-region and subscription indexes."""
 
 from .base import EventIndex
 from .betree import BETreeIndex
-from .beq_tree import BEQTree, LeafCell, circle_rect_boundary_intersections
+from .beq_tree import BEQTree, CacheCounters, LeafCell, circle_rect_boundary_intersections
 from .impact_index import ImpactRegionIndex
 from .inverted import AttributeLists, SortedTupleList
 from .kindex import KIndex
@@ -16,6 +16,7 @@ __all__ = [
     "AttributeLists",
     "BETreeIndex",
     "BEQTree",
+    "CacheCounters",
     "EventIndex",
     "ImpactRegionIndex",
     "KIndex",

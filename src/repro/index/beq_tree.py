@@ -30,13 +30,42 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..expressions import BooleanExpression, Event, Subscription
 from ..expressions.dnf import clauses_of
 from ..geometry import Circle, Point, Rect
+from ..geometry.zorder import interleave
 from .base import EventIndex
 from .inverted import AttributeLists, SortedTupleList
+
+#: per-leaf clause-cache entries beyond this are assumed pathological
+#: (an adversarial vocabulary) and the cache is dropped wholesale
+_CLAUSE_CACHE_LIMIT = 128
+
+
+class CacheCounters:
+    """Shared work counters for the batched fast path.
+
+    One instance is threaded through every leaf of a tree so the server
+    can account amortisation globally:
+
+    * ``hits`` / ``misses`` — per-leaf clause-cache outcomes (a hit skips
+      the counting algorithm's inverted-list probes entirely);
+    * ``probes_saved`` — tree descents and leaf visits a batched call
+      avoided compared to the equivalent one-at-a-time calls.
+    """
+
+    __slots__ = ("hits", "misses", "probes_saved")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.probes_saved = 0
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """The counter triple, for delta accounting."""
+        return (self.hits, self.misses, self.probes_saved)
 
 
 def circle_rect_boundary_intersections(circle: Circle, rect: Rect) -> List[Point]:
@@ -79,30 +108,60 @@ def circle_rect_boundary_intersections(circle: Circle, rect: Rect) -> List[Point
 class LeafCell:
     """One leaf partition ``G`` with its second-layer structures."""
 
-    __slots__ = ("cell_id", "boundary", "reference", "lists", "spatial", "events")
+    __slots__ = (
+        "cell_id", "boundary", "reference", "lists", "spatial", "events",
+        "counters", "_clause_cache",
+    )
 
-    def __init__(self, cell_id: int, boundary: Rect) -> None:
+    def __init__(
+        self, cell_id: int, boundary: Rect, counters: Optional[CacheCounters] = None
+    ) -> None:
         self.cell_id = cell_id
         self.boundary = boundary
         self.reference = boundary.center  # the reference point sigma
         self.lists = AttributeLists()
         self.spatial = SortedTupleList()
         self.events: Dict[int, Event] = {}
+        self.counters = counters if counters is not None else CacheCounters()
+        # clause -> event ids be-matching it in this cell; any event churn
+        # invalidates the whole cache (the counting result of every clause
+        # may have changed)
+        self._clause_cache: Dict[BooleanExpression, FrozenSet[int]] = {}
 
     def __len__(self) -> int:
         return len(self.events)
 
     def add(self, event: Event) -> None:
         """Index one event into the cell's three structures."""
+        self._clause_cache.clear()
         self.events[event.event_id] = event
         self.lists.insert_tuples(event.attributes.items(), event.event_id)
         self.spatial.insert(self.reference.distance_to(event.location), event.event_id)
 
     def remove(self, event: Event) -> None:
         """Remove one event from the cell's three structures."""
+        self._clause_cache.clear()
         del self.events[event.event_id]
         self.lists.delete_tuples(event.attributes.items(), event.event_id)
         self.spatial.delete(self.reference.distance_to(event.location), event.event_id)
+
+    def clause_match_ids(self, clause: BooleanExpression) -> FrozenSet[int]:
+        """Ids of this cell's events be-matching one conjunctive clause.
+
+        The result is memoised per clause: a burst of constructions (or a
+        batched match) probing the same vocabulary pays the counting
+        algorithm once per (leaf, clause) instead of once per call.
+        """
+        cached = self._clause_cache.get(clause)
+        if cached is not None:
+            self.counters.hits += 1
+            return cached
+        self.counters.misses += 1
+        ids = frozenset(self.lists.matching_payloads(clause.predicates))
+        if len(self._clause_cache) >= _CLAUSE_CACHE_LIMIT:
+            self._clause_cache.clear()
+        self._clause_cache[clause] = ids
+        return ids
 
     def be_match(self, expression) -> List[Event]:
         """Events of this cell be-matching the expression (counting only).
@@ -112,7 +171,7 @@ class LeafCell:
         """
         matched_ids: set = set()
         for clause in clauses_of(expression):
-            matched_ids.update(self.lists.matching_payloads(clause.predicates))
+            matched_ids.update(self.clause_match_ids(clause))
         return [self.events[event_id] for event_id in matched_ids]
 
 
@@ -141,10 +200,15 @@ class BEQTree(EventIndex):
         self.boundary = boundary
         self.emax = emax
         self.max_depth = max_depth
+        #: shared work counters for the batched fast path (all leaves)
+        self.counters = CacheCounters()
         self._cell_ids = itertools.count()
-        self._root = _Node(boundary, LeafCell(next(self._cell_ids), boundary))
+        self._root = _Node(boundary, self._new_leaf(boundary))
         self._size = 0
         self._event_ids: set = set()
+
+    def _new_leaf(self, boundary: Rect) -> LeafCell:
+        return LeafCell(next(self._cell_ids), boundary, self.counters)
 
     def __len__(self) -> int:
         return self._size
@@ -167,6 +231,59 @@ class BEQTree(EventIndex):
         if len(node.cell) > self.emax and depth < self.max_depth:
             self._split(node, depth)
 
+    def insert_batch(self, events: Iterable[Event]) -> int:
+        """Insert a batch, z-ordered so consecutive events share a leaf.
+
+        The batch is validated upfront (bounds and duplicate ids, within
+        the batch included), then inserted in Morton order of the event
+        locations: spatially adjacent events land consecutively, so the
+        quadtree descent from the root is skipped whenever an event falls
+        into the leaf the previous event just used.  Returns the number
+        of descents saved (also accumulated in ``counters.probes_saved``).
+        """
+        batch = list(events)
+        fresh_ids: set = set()
+        for event in batch:
+            if not self.boundary.contains_point(event.location):
+                raise ValueError(
+                    f"event {event.event_id} at {event.location} is outside {self.boundary}"
+                )
+            if event.event_id in self._event_ids or event.event_id in fresh_ids:
+                raise ValueError(f"duplicate event id {event.event_id}")
+            fresh_ids.add(event.event_id)
+        last: Optional[_Node] = None
+        last_depth = 0
+        saved = 0
+        for event in sorted(batch, key=lambda e: self._zcode(e.location)):
+            if (
+                last is not None
+                and last.is_leaf
+                and last.boundary.contains_point(event.location)
+            ):
+                node, depth = last, last_depth
+                saved += 1
+            else:
+                node, depth = self._descend(event.location)
+            self._event_ids.add(event.event_id)
+            node.cell.add(event)
+            self._size += 1
+            if len(node.cell) > self.emax and depth < self.max_depth:
+                self._split(node, depth)
+                last = None
+            else:
+                last, last_depth = node, depth
+        self.counters.probes_saved += saved
+        return saved
+
+    def _zcode(self, location: Point) -> int:
+        """Morton code of a location quantised to 16 bits per axis."""
+        b = self.boundary
+        width = b.x_max - b.x_min
+        height = b.y_max - b.y_min
+        qx = int((location.x - b.x_min) / width * 65535) if width > 0 else 0
+        qy = int((location.y - b.y_min) / height * 65535) if height > 0 else 0
+        return interleave(min(max(qx, 0), 65535), min(max(qy, 0), 65535))
+
     def _descend(self, location: Point):
         node, depth = self._root, 1
         while not node.is_leaf:
@@ -186,8 +303,7 @@ class BEQTree(EventIndex):
         events = list(node.cell.events.values())
         node.cell = None
         node.children = [
-            _Node(quad, LeafCell(next(self._cell_ids), quad))
-            for quad in node.boundary.quadrants()
+            _Node(quad, self._new_leaf(quad)) for quad in node.boundary.quadrants()
         ]
         for event in events:
             self._child_for(node, event.location).cell.add(event)
@@ -212,7 +328,7 @@ class BEQTree(EventIndex):
             children = parent.children
             if all(child.is_leaf and len(child.cell) == 0 for child in children):
                 parent.children = None
-                parent.cell = LeafCell(next(self._cell_ids), parent.boundary)
+                parent.cell = self._new_leaf(parent.boundary)
             else:
                 break
 
@@ -302,6 +418,41 @@ class BEQTree(EventIndex):
             matched.extend(self._match_in_leaf(leaf, subscription, circle))
         return matched
 
+    def match_batch(
+        self, queries: Sequence[Tuple[Subscription, Point]]
+    ) -> List[List[Event]]:
+        """Match many (subscription, location) pairs in one tree walk.
+
+        Equivalent to ``[self.match(s, at) for s, at in queries]`` —
+        same events, same order per query (the leaf visiting order of the
+        single-query walk is preserved) — but the tree is descended once:
+        every node carries the group of queries whose notification circle
+        intersects it, so node descents and circle/rectangle tests are
+        shared across the batch, and the per-leaf clause cache amortises
+        the counting algorithm across queries with shared vocabulary.
+        ``counters.probes_saved`` accumulates the leaf visits saved
+        versus the one-at-a-time walks.
+        """
+        results: List[List[Event]] = [[] for _ in queries]
+        if not queries:
+            return results
+        circles = [sub.notification_region(at) for sub, at in queries]
+        stack: List[Tuple[_Node, List[int]]] = [(self._root, list(range(len(queries))))]
+        while stack:
+            node, group = stack.pop()
+            group = [qi for qi in group if circles[qi].intersects_rect(node.boundary)]
+            if not group:
+                continue
+            if node.is_leaf:
+                self.counters.probes_saved += len(group) - 1
+                for qi in group:
+                    results[qi].extend(
+                        self._match_in_leaf(node.cell, queries[qi][0], circles[qi])
+                    )
+            else:
+                stack.extend((child, group) for child in node.children)
+        return results
+
     def be_candidates(self, subscription: Subscription, at: Point) -> List[Event]:
         """Events passing the BE phase in the circle-intersecting leaves."""
         circle = subscription.notification_region(at)
@@ -319,14 +470,9 @@ class BEQTree(EventIndex):
         # collects the cell's be-matching events across clauses.
         matched_ids: set = set()
         for clause in clauses_of(subscription.expression):
-            predicates = clause.predicates
-            if any(p.attribute not in leaf.lists for p in predicates):
+            if any(p.attribute not in leaf.lists for p in clause.predicates):
                 continue
-            counters = leaf.lists.count_matches(predicates)
-            needed = len(predicates)
-            matched_ids.update(
-                event_id for event_id, count in counters.items() if count == needed
-            )
+            matched_ids.update(leaf.clause_match_ids(clause))
         if not matched_ids:
             return []
         # Lines 11-16: the iDistance interval of the spatial list.

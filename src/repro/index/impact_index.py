@@ -27,10 +27,21 @@ if TYPE_CHECKING:  # pragma: no cover
 class ImpactRegionIndex:
     """Inverted index: grid cell -> subscribers whose impact region covers it."""
 
+    #: covering-cache entries beyond this are dropped wholesale (bounds
+    #: the memory of a server fed events from a huge, sparse grid)
+    CACHE_LIMIT = 1 << 16
+
     def __init__(self) -> None:
         self._by_cell: Dict[Cell, Set[int]] = defaultdict(set)
         self._by_subscriber: Dict[int, FrozenSet[Cell]] = {}
         self._complement: Dict[int, "ImpactRegion"] = {}
+        # cell -> subscribers covering it, memoised for the batched event
+        # path; any subscription churn (replace/remove) invalidates it
+        # wholesale, since a complement region can change the answer for
+        # every cell at once
+        self._covering_cache: Dict[Cell, FrozenSet[int]] = {}
+        #: batched lookups answered from the covering cache
+        self.cache_hits = 0
 
     def __len__(self) -> int:
         return len(self._by_subscriber) + len(self._complement)
@@ -44,6 +55,7 @@ class ImpactRegionIndex:
     def replace(self, sub_id: int, impact_cells: Iterable[Cell]) -> None:
         """Install (or overwrite) a subscriber's impact region as a cell set."""
         self.remove(sub_id)
+        self._covering_cache.clear()
         cells = frozenset(impact_cells)
         self._by_subscriber[sub_id] = cells
         for cell in cells:
@@ -53,12 +65,14 @@ class ImpactRegionIndex:
         """Install an :class:`ImpactRegion`, honouring complement storage."""
         if region.complement:
             self.remove(sub_id)
+            self._covering_cache.clear()
             self._complement[sub_id] = region
         else:
             self.replace(sub_id, region.cells)
 
     def remove(self, sub_id: int) -> None:
         """Drop a subscriber's impact region; no-op if absent."""
+        self._covering_cache.clear()
         self._complement.pop(sub_id, None)
         cells = self._by_subscriber.pop(sub_id, None)
         if cells is None:
@@ -88,6 +102,30 @@ class ImpactRegionIndex:
             if region.covers_cell(cell)
         }
         return frozenset(direct | via_complement)
+
+    def match_batch(self, cells: Iterable[Cell]) -> Dict[Cell, FrozenSet[int]]:
+        """Covering subscribers for every distinct cell of a batch.
+
+        ``sub_id in result[cell]`` is equivalent to
+        ``self.covers(sub_id, cell)``, but a burst of events landing in
+        the same cells pays the complement-table scan once per distinct
+        cell, and the memo persists across batches until the next
+        subscription churn.
+        """
+        result: Dict[Cell, FrozenSet[int]] = {}
+        for cell in cells:
+            if cell in result:
+                continue
+            covering = self._covering_cache.get(cell)
+            if covering is not None:
+                self.cache_hits += 1
+            else:
+                covering = self.subscribers_covering(cell)
+                if len(self._covering_cache) >= self.CACHE_LIMIT:
+                    self._covering_cache.clear()
+                self._covering_cache[cell] = covering
+            result[cell] = covering
+        return result
 
     def cells_of(self, sub_id: int) -> FrozenSet[Cell]:
         """The stored impact cells of a directly-stored subscriber."""

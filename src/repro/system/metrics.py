@@ -16,7 +16,7 @@ region construction, plus the work counters of the matching machinery).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict
 
 
@@ -32,11 +32,32 @@ class CommunicationStats:
     events_scanned: int = 0
     safe_region_bytes: int = 0
     raw_region_bytes: int = 0
+    #: True once the owning server was configured with byte measurement
+    #: (``measure_bytes=True``).  Byte measurement is OFF by default —
+    #: the wire counters below then stay 0 by design, and this flag lets
+    #: a report distinguish "measured zero bytes" from "never measured".
+    bytes_measured: bool = False
     #: full wire-protocol bytes (frames included), split by direction;
     #: populated only when byte measurement is enabled
     wire_bytes_up: int = 0
     wire_bytes_down: int = 0
     server_seconds: float = 0.0
+    # ------------------------------------------------------------------
+    # Batched fast-path counters (publish_batch and the index caches it
+    # drives; the single-event path leaves them all at 0).
+    # ------------------------------------------------------------------
+    #: publish_batch invocations
+    batches: int = 0
+    #: events that arrived inside a batch (so ``batch_events / batches``
+    #: is the realised mean batch size)
+    batch_events: int = 0
+    #: quadtree descents and leaf visits the batched walks skipped
+    #: compared to the equivalent one-at-a-time calls
+    leaf_probes_saved: int = 0
+    #: per-leaf clause-cache and per-cell covering-cache hits during
+    #: batched processing (each hit skips an inverted-list counting run
+    #: or a complement-table scan)
+    cache_hits: int = 0
     # ------------------------------------------------------------------
     # Network-hardening counters (TCP layer only; the in-process
     # simulation never touches them).  These are the observable half of
@@ -78,25 +99,25 @@ class CommunicationStats:
             "notifications": self.notifications / subscriber_count,
         }
 
+    def as_dict(self) -> Dict[str, float]:
+        """Every counter (and the ``bytes_measured`` flag) by field name.
+
+        The machine-readable form benchmarks and reports consume; new
+        counters join automatically, so a report can never silently miss
+        one (the regression the batch counters were added to prevent).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def merged_with(self, other: "CommunicationStats") -> "CommunicationStats":
-        """Field-wise sum with another accumulator (inputs untouched)."""
-        return CommunicationStats(
-            location_update_rounds=self.location_update_rounds + other.location_update_rounds,
-            event_arrival_rounds=self.event_arrival_rounds + other.event_arrival_rounds,
-            notifications=self.notifications + other.notifications,
-            constructions=self.constructions + other.constructions,
-            cells_examined=self.cells_examined + other.cells_examined,
-            events_scanned=self.events_scanned + other.events_scanned,
-            safe_region_bytes=self.safe_region_bytes + other.safe_region_bytes,
-            raw_region_bytes=self.raw_region_bytes + other.raw_region_bytes,
-            wire_bytes_up=self.wire_bytes_up + other.wire_bytes_up,
-            wire_bytes_down=self.wire_bytes_down + other.wire_bytes_down,
-            server_seconds=self.server_seconds + other.server_seconds,
-            malformed_frames=self.malformed_frames + other.malformed_frames,
-            connection_resets=self.connection_resets + other.connection_resets,
-            read_timeouts=self.read_timeouts + other.read_timeouts,
-            heartbeats=self.heartbeats + other.heartbeats,
-            resubscribes=self.resubscribes + other.resubscribes,
-            resyncs=self.resyncs + other.resyncs,
-            redeliveries=self.redeliveries + other.redeliveries,
-        )
+        """Field-wise sum with another accumulator (inputs untouched).
+
+        Counters add; the ``bytes_measured`` flag ORs (a merged report
+        contains measured bytes if either side measured them).
+        """
+        merged = CommunicationStats()
+        for f in fields(CommunicationStats):
+            if f.name == "bytes_measured":
+                merged.bytes_measured = self.bytes_measured or other.bytes_measured
+            else:
+                setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged

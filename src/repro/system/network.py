@@ -54,6 +54,7 @@ from ..expressions import Event, Subscription
 from ..geometry import Grid, Point
 from .client import MobileClient
 from .protocol import (
+    EventPublishBatchMessage,
     EventPublishMessage,
     HeartbeatMessage,
     LocationPing,
@@ -323,6 +324,8 @@ class ElapsTCPServer:
             return sane_point(message.location) and sane_point(message.velocity)
         if isinstance(message, EventPublishMessage):
             return sane_point(message.location)
+        if isinstance(message, EventPublishBatchMessage):
+            return all(sane_point(event.location) for event in message.events)
         return True
 
     def _dispatch(
@@ -370,16 +373,25 @@ class ElapsTCPServer:
             connection_subs.discard(message.sub_id)
         elif isinstance(message, EventPublishMessage):
             now = self.now()
-            event = Event(
-                next(self._event_ids) << 32 | (message.event_id & 0xFFFFFFFF),
-                dict(message.attributes),
-                message.location,
-                arrived_at=now,
-                expires_at=None if message.ttl <= 0 else now + message.ttl,
-            )
             self.server.expire_due_events(now)
-            notifications = self.server.publish(event, now)
+            notifications = self.server.publish(self._event_from(message, now), now)
             self._push_notifications(notifications)
+        elif isinstance(message, EventPublishBatchMessage):
+            now = self.now()
+            self.server.expire_due_events(now)
+            events = [self._event_from(item, now) for item in message.events]
+            notifications = self.server.publish_batch(events, now)
+            self._push_notifications(notifications)
+
+    def _event_from(self, message: EventPublishMessage, now: int) -> Event:
+        """A server-side event for one publish, with a collision-free id."""
+        return Event(
+            next(self._event_ids) << 32 | (message.event_id & 0xFFFFFFFF),
+            dict(message.attributes),
+            message.location,
+            arrived_at=now,
+            expires_at=None if message.ttl <= 0 else now + message.ttl,
+        )
 
 
 class ElapsNetworkClient:
@@ -445,6 +457,23 @@ class ElapsNetworkClient:
                 event_id, location, tuple(sorted(attributes.items())), ttl
             )
         )
+
+    async def publish_batch(self, events) -> None:
+        """Publish a burst as one frame (the batched fast path).
+
+        ``events`` is an iterable of ``(event_id, attributes, location)``
+        or ``(event_id, attributes, location, ttl)`` tuples.
+        """
+        items = []
+        for entry in events:
+            event_id, attributes, location = entry[:3]
+            ttl = entry[3] if len(entry) > 3 else 0
+            items.append(
+                EventPublishMessage(
+                    event_id, location, tuple(sorted(attributes.items())), ttl
+                )
+            )
+        await self.send(EventPublishBatchMessage(tuple(items)))
 
 
 # ----------------------------------------------------------------------

@@ -5,23 +5,26 @@ Appendix B, the bytes of the safe-region push (z-ordered WAH bitmaps).
 This module pins the whole protocol down so byte-level accounting is
 possible for every flow of Figure 6:
 
-======================  =========  =====================================
-message                 direction  payload
-======================  =========  =====================================
-``SubscribeMessage``    C -> S     sub id, radius, boolean expression,
-                                   location, velocity
-``UnsubscribeMessage``  C -> S     sub id
-``LocationReport``      C -> S     sub id, location, velocity
-``LocationPing``        S -> C     sub id (the event-arrival ping)
-``SafeRegionPush``      S -> C     sub id, grid size, complement flag,
-                                   WAH-compressed cell bitmap
-``NotificationMessage`` S -> C     sub id, event id, location, attributes
-``EventPublishMessage`` P -> S     event id, location, attributes, ttl
-``HeartbeatMessage``    C <-> S    sub id, sequence number (keepalive;
-                                   the server echoes it back)
-``ResyncMessage``       C -> S     sub id, location, velocity, ids of
-                                   the events the client already holds
-======================  =========  =====================================
+============================  =========  =====================================
+message                       direction  payload
+============================  =========  =====================================
+``SubscribeMessage``          C -> S     sub id, radius, boolean expression,
+                                         location, velocity
+``UnsubscribeMessage``        C -> S     sub id
+``LocationReport``            C -> S     sub id, location, velocity
+``LocationPing``              S -> C     sub id (the event-arrival ping)
+``SafeRegionPush``            S -> C     sub id, grid size, complement flag,
+                                         WAH-compressed cell bitmap
+``NotificationMessage``       S -> C     sub id, event id, location, attributes
+``EventPublishMessage``       P -> S     event id, location, attributes, ttl
+``EventPublishBatchMessage``  P -> S     a burst of event publishes sharing
+                                         one arrival timestamp (the batched
+                                         fast path)
+``HeartbeatMessage``          C <-> S    sub id, sequence number (keepalive;
+                                         the server echoes it back)
+``ResyncMessage``             C -> S     sub id, location, velocity, ids of
+                                         the events the client already holds
+============================  =========  =====================================
 
 Frames are ``[1-byte type][4-byte big-endian payload length][payload]``.
 Values inside payloads are tagged scalars (int / float / str), strings
@@ -381,6 +384,50 @@ class EventPublishMessage:
 
 
 @dataclass(frozen=True)
+class EventPublishBatchMessage:
+    """P->S: a burst of spatial events published as one frame.
+
+    The batched fast path of the server: all events of the frame share
+    one arrival timestamp and are processed by
+    :meth:`~repro.system.server.ElapsServer.publish_batch`, which
+    amortises index descents and safe-region reconstruction across the
+    burst.  Each element is a complete :class:`EventPublishMessage`
+    payload, length-prefixed, so the two encodings never diverge.
+    """
+
+    TYPE = 10
+    events: Tuple[EventPublishMessage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ValueError("an event batch needs at least one event")
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        parts = [struct.pack(">I", len(self.events))]
+        for event in self.events:
+            payload = event.encode_payload()
+            parts.append(struct.pack(">I", len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "EventPublishBatchMessage":
+        """Inverse of :meth:`encode_payload`."""
+        (count,) = struct.unpack_from(">I", payload, 0)
+        offset = 4
+        events = []
+        for _ in range(count):
+            (length,) = struct.unpack_from(">I", payload, offset)
+            offset += 4
+            events.append(
+                EventPublishMessage.decode_payload(payload[offset : offset + length])
+            )
+            offset += length
+        return cls(tuple(events))
+
+
+@dataclass(frozen=True)
 class HeartbeatMessage:
     """C<->S: liveness probe; the server echoes the frame unchanged.
 
@@ -454,6 +501,7 @@ _MESSAGE_TYPES = {
         SafeRegionPush,
         NotificationMessage,
         EventPublishMessage,
+        EventPublishBatchMessage,
         HeartbeatMessage,
         ResyncMessage,
     )
@@ -467,6 +515,7 @@ Message = Union[
     SafeRegionPush,
     NotificationMessage,
     EventPublishMessage,
+    EventPublishBatchMessage,
     HeartbeatMessage,
     ResyncMessage,
 ]

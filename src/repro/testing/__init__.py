@@ -1,4 +1,4 @@
-"""Test support: the chaos harness, importable by any suite.
+"""Test support: the chaos harness and the brute-force matching oracle.
 
 ``repro.testing`` is the stable doorway to the fault-injection machinery
 of :mod:`repro.system.faults` — external test suites (and our own chaos
@@ -29,8 +29,10 @@ from ..system.faults import (
     FaultKind,
     FaultStats,
 )
+from .oracle import BruteForceOracle, oracle_pairs
 
 __all__ = [
+    "BruteForceOracle",
     "ChaosProxy",
     "FaultAction",
     "FaultConfig",
@@ -38,6 +40,7 @@ __all__ = [
     "FaultKind",
     "FaultStats",
     "chaos_proxy",
+    "oracle_pairs",
 ]
 
 

@@ -1,0 +1,130 @@
+"""Golden end-to-end trace: the batched path reproduces the single path
+byte-for-byte.
+
+A seeded 20-subscriber / 200-event simulation is run twice against fresh
+servers — once publishing events one at a time, once through
+``publish_batch`` in 20 bursts of 10 — and the resulting notification
+logs must be *identical bytes*, equal to the log frozen under
+``tests/golden/``.  This pins three things at once:
+
+* the batched pipeline's delivery semantics (same events, same
+  subscribers, same order — deferred safe-region construction may only
+  suppress pings for events that Definition 2 guarantees are out of
+  radius, never change a delivery);
+* the determinism of the whole server stack under a fixed seed;
+* accidental format/ordering drift in future refactors (the file is
+  committed; any diff shows up in review).
+
+Subscribers are stationary (the server has no locator): with movement,
+mid-burst constructions would legitimately shift report timings, and the
+two paths are only required to agree on *notifications*, which for
+stationary subscribers is exact.
+
+Regenerate after an intended behaviour change with:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+from typing import List
+
+from repro.core import IGM
+from repro.datasets import TwitterLikeGenerator
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import ElapsServer
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+SEED = 7
+GROUPS = 20
+GROUP_SIZE = 10
+GOLDEN = Path(__file__).parent / "golden" / "trace_20sub_200ev_seed7.log"
+
+
+def fresh_server() -> ElapsServer:
+    return ElapsServer(
+        Grid(40, SPACE),
+        IGM(max_cells=400),
+        event_index=BEQTree(SPACE, emax=32),
+        initial_rate=2.0,
+    )
+
+
+def run_simulation(batched: bool) -> str:
+    """The canonical notification log of the seeded simulation."""
+    generator = TwitterLikeGenerator(SPACE, seed=SEED)
+    subscriptions = generator.subscriptions(20, size=2, radius=3_000)
+    rng = random.Random(SEED * 101)
+    server = fresh_server()
+    lines: List[str] = []
+
+    def record(notifications) -> None:
+        for n in notifications:
+            lines.append(f"t={n.timestamp} sub={n.sub_id} event={n.event.event_id}")
+
+    for subscription in subscriptions:
+        location = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+        notifications, _ = server.subscribe(
+            subscription, location, Point(0.0, 0.0), now=0
+        )
+        record(notifications)
+
+    for group in range(GROUPS):
+        now = group + 1
+        events = generator.events(
+            GROUP_SIZE, start_id=group * GROUP_SIZE, arrived_at=now, seed_offset=group
+        )
+        if batched:
+            record(server.publish_batch(events, now))
+        else:
+            for event in events:
+                record(server.publish(event, now))
+    return "\n".join(lines) + "\n"
+
+
+def test_single_and_batched_paths_reproduce_the_golden_trace():
+    single = run_simulation(batched=False)
+    batch = run_simulation(batched=True)
+    assert batch == single  # byte-for-byte, before even touching the file
+
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.parent.mkdir(exist_ok=True)
+        GOLDEN.write_bytes(single.encode())
+    frozen = GOLDEN.read_bytes()
+    assert single.encode() == frozen
+    assert batch.encode() == frozen
+
+
+def test_trace_is_non_trivial():
+    """The frozen log must actually exercise delivery, not be empty."""
+    content = GOLDEN.read_text().splitlines()
+    assert len(content) >= 30
+    subs = {line.split(" sub=")[1].split(" ")[0] for line in content}
+    timestamps = {line.split("t=")[1].split(" ")[0] for line in content}
+    assert len(subs) >= 5       # multiple subscribers notified
+    assert len(timestamps) >= 5  # spread across the burst timeline
+
+
+def test_batched_path_populates_batch_counters():
+    """The golden run drives the counters the benchmark report reads."""
+    generator = TwitterLikeGenerator(SPACE, seed=SEED)
+    subscriptions = generator.subscriptions(20, size=2, radius=3_000)
+    rng = random.Random(SEED * 101)
+    server = fresh_server()
+    for subscription in subscriptions:
+        location = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+        server.subscribe(subscription, location, Point(0.0, 0.0), now=0)
+    for group in range(GROUPS):
+        events = generator.events(
+            GROUP_SIZE, start_id=group * GROUP_SIZE, arrived_at=group + 1,
+            seed_offset=group,
+        )
+        server.publish_batch(events, group + 1)
+    stats = server.metrics.as_dict()
+    assert stats["batches"] == GROUPS
+    assert stats["batch_events"] == GROUPS * GROUP_SIZE
+    assert stats["leaf_probes_saved"] > 0

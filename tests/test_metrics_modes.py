@@ -1,0 +1,111 @@
+"""CommunicationStats byte-measurement modes and report completeness.
+
+Byte measurement is OFF by default (``measure_bytes=False``): the wire
+counters stay 0 *by design*, and ``bytes_measured`` records which case a
+report is looking at — "measured zero" and "never measured" must not be
+confusable.  Both modes are exercised against a real workload, and the
+dataclass-driven ``as_dict``/``merged_with`` are held to covering every
+counter, so a newly added field (like the batch counters) can never be
+silently dropped from reports or merges again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.core import IGM
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import CommunicationStats, ElapsServer
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+def run_workload(measure_bytes: bool) -> ElapsServer:
+    server = ElapsServer(
+        Grid(40, SPACE),
+        IGM(max_cells=400),
+        event_index=BEQTree(SPACE, emax=32),
+        initial_rate=1.0,
+        measure_bytes=measure_bytes,
+    )
+    sub = Subscription(
+        1,
+        BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),
+        radius=1_500.0,
+    )
+    server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+    server.publish(Event(1, {"topic": "sale"}, Point(5_100, 5_000), arrived_at=1), now=1)
+    server.publish_batch(
+        [
+            Event(2, {"topic": "sale"}, Point(5_200, 5_000), arrived_at=2),
+            Event(3, {"topic": "rain"}, Point(5_300, 5_000), arrived_at=2),
+        ],
+        now=2,
+    )
+    server.report_location(1, Point(5_400, 5_000), Point(20, 0), now=3)
+    return server
+
+
+class TestModes:
+    def test_default_mode_measures_nothing_and_says_so(self):
+        metrics = run_workload(measure_bytes=False).metrics
+        assert metrics.bytes_measured is False
+        assert metrics.wire_bytes_up == 0
+        assert metrics.wire_bytes_down == 0
+        assert metrics.safe_region_bytes == 0
+        assert metrics.raw_region_bytes == 0
+        # the workload itself still happened
+        assert metrics.notifications > 0
+        assert metrics.batches == 1
+
+    def test_measured_mode_accounts_every_direction(self):
+        metrics = run_workload(measure_bytes=True).metrics
+        assert metrics.bytes_measured is True
+        assert metrics.wire_bytes_up > 0      # subscribe + reports
+        assert metrics.wire_bytes_down > 0    # pushes + notifications
+        assert metrics.safe_region_bytes > 0  # compressed region payloads
+        assert metrics.raw_region_bytes >= metrics.safe_region_bytes
+
+    def test_both_modes_agree_on_communication_rounds(self):
+        """Measurement is observational: it never changes behaviour."""
+        off = run_workload(measure_bytes=False).metrics.as_dict()
+        on = run_workload(measure_bytes=True).metrics.as_dict()
+        byte_fields = {
+            "bytes_measured",
+            "wire_bytes_up",
+            "wire_bytes_down",
+            "safe_region_bytes",
+            "raw_region_bytes",
+            "server_seconds",
+        }
+        for name, value in off.items():
+            if name not in byte_fields:
+                assert on[name] == value, name
+
+
+class TestReportCompleteness:
+    def test_as_dict_covers_every_field(self):
+        stats = CommunicationStats()
+        assert set(stats.as_dict()) == {f.name for f in fields(CommunicationStats)}
+
+    def test_as_dict_includes_batch_counters(self):
+        report = run_workload(measure_bytes=False).metrics.as_dict()
+        for key in ("batches", "batch_events", "leaf_probes_saved", "cache_hits"):
+            assert key in report
+        assert report["batches"] == 1
+        assert report["batch_events"] == 2
+
+    def test_merge_sums_every_counter_and_ors_the_flag(self):
+        a = run_workload(measure_bytes=False).metrics
+        b = run_workload(measure_bytes=True).metrics
+        merged = a.merged_with(b)
+        assert merged.bytes_measured is True
+        for f in fields(CommunicationStats):
+            if f.name == "bytes_measured":
+                continue
+            assert getattr(merged, f.name) == getattr(a, f.name) + getattr(b, f.name), f.name
+        # inputs untouched
+        assert a.bytes_measured is False
+        assert a.batches == 1

@@ -1,0 +1,176 @@
+"""Differential testing against the brute-force oracle.
+
+The contract (ISSUE: batched fast path): on any workload,
+
+    BEQ single-query  ==  BEQ batched  ==  OpIndex  ==  oracle
+
+where the oracle is the O(S*E) scan of :mod:`repro.testing.oracle` and
+"==" means the same notification pairs.  For the two BEQ paths the bar
+is higher: ``match_batch`` must return the *same events in the same
+order* as per-query ``match`` calls (the batched walk preserves the
+single-query leaf order), so golden traces stay byte-identical.
+
+Workloads come from two generators: the paper-shaped Twitter-like
+dataset (shared Zipf vocabulary, hotspot locations — realistic
+selectivity) and the adversarial uniform generator of ``conftest``
+(tiny attribute space — heavy predicate collisions).  Together the two
+hypothesis suites run 230 randomized workloads per test session, plus
+the churn suite below.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import random_events
+
+from repro.datasets import TwitterLikeGenerator
+from repro.geometry import Point, Rect
+from repro.index import BEQTree, OpIndex, QuadTree
+from repro.testing import BruteForceOracle
+from repro.testing.oracle import ids
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+def random_points(rng: random.Random, count: int):
+    return [
+        Point(rng.uniform(SPACE.x_min, SPACE.x_max), rng.uniform(SPACE.y_min, SPACE.y_max))
+        for _ in range(count)
+    ]
+
+
+def assert_all_agree(events, queries):
+    """The four-way equivalence on one workload."""
+    oracle = BruteForceOracle(events)
+    beq = BEQTree(SPACE, emax=16)
+    beq.insert_all(events)
+    beq_batch_built = BEQTree(SPACE, emax=16)
+    beq_batch_built.insert_batch(events)
+    opindex = OpIndex()
+    opindex.insert_all(events)
+    quadtree = QuadTree(SPACE, max_per_leaf=8)
+    quadtree.insert_all(events)
+
+    single = [beq.match(sub, at) for sub, at in queries]
+    batched = beq.match_batch(queries)
+    quad_batched = quadtree.match_batch(queries)
+
+    for i, (sub, at) in enumerate(queries):
+        expected = sorted(ids(oracle.match(sub, at)))
+        # Strict order-equivalence between the two BEQ paths.
+        assert ids(batched[i]) == ids(single[i]), sub.sub_id
+        # A z-order batch insert builds the same corpus.
+        assert sorted(ids(beq_batch_built.match(sub, at))) == expected, sub.sub_id
+        # Set-equivalence of every index against the oracle.
+        assert sorted(ids(single[i])) == expected, sub.sub_id
+        assert sorted(ids(opindex.match(sub, at))) == expected, sub.sub_id
+        assert sorted(ids(quad_batched[i])) == expected, sub.sub_id
+
+    # The canonical pair set, cross-checked once per workload.
+    assert {
+        (queries[i][0].sub_id, event.event_id)
+        for i, result in enumerate(batched)
+        for event in result
+    } == oracle.matching_pairs(queries)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    event_count=st.integers(1, 150),
+    sub_count=st.integers(1, 12),
+    sub_size=st.integers(1, 4),
+    radius=st.floats(200, 8_000),
+)
+def test_twitter_workloads_agree(seed, event_count, sub_count, sub_size, radius):
+    """Paper-shaped workloads: Zipf vocabulary, hotspot locations."""
+    generator = TwitterLikeGenerator(SPACE, seed=seed)
+    events = generator.events(event_count)
+    subscriptions = generator.subscriptions(sub_count, size=sub_size, radius=radius)
+    rng = random.Random(seed ^ 0xBEEF)
+    queries = list(zip(subscriptions, random_points(rng, sub_count)))
+    assert_all_agree(events, queries)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    event_count=st.integers(1, 120),
+    sub_count=st.integers(1, 8),
+)
+def test_adversarial_workloads_agree(seed, event_count, sub_count):
+    """Tiny attribute space: every predicate collides with every event."""
+    rng = random.Random(seed)
+    events = random_events(rng, SPACE, event_count, attributes=3)
+    generator = TwitterLikeGenerator(SPACE, seed=seed)
+    subscriptions = generator.subscriptions(sub_count, size=2)
+    # Half the subscriptions speak the events' attribute language so the
+    # collision machinery is actually exercised.
+    from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
+
+    for k in range(sub_count // 2 + 1):
+        attr = f"a{rng.randint(0, 2)}"
+        subscriptions.append(
+            Subscription(
+                1000 + k,
+                BooleanExpression([Predicate(attr, Operator.GE, rng.randint(0, 5))]),
+                radius=rng.uniform(500, 9_000),
+            )
+        )
+    queries = list(zip(subscriptions, random_points(rng, len(subscriptions))))
+    assert_all_agree(events, queries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_agreement_survives_churn(seed):
+    """Cache invalidation: delete/reinsert between batched match rounds.
+
+    The per-leaf clause caches and the batched walk must never serve
+    results for events that left the corpus (or miss events that joined
+    after the cache warmed).
+    """
+    generator = TwitterLikeGenerator(SPACE, seed=seed)
+    rng = random.Random(seed)
+    events = generator.events(80)
+    subscriptions = generator.subscriptions(6, size=2, radius=4_000)
+    queries = list(zip(subscriptions, random_points(rng, 6)))
+
+    beq = BEQTree(SPACE, emax=16)
+    beq.insert_batch(events)
+    oracle = BruteForceOracle(events)
+    beq.match_batch(queries)  # warm every leaf cache
+
+    doomed = rng.sample(events, 30)
+    for event in doomed:
+        beq.delete(event)
+        oracle.delete(event)
+    fresh = generator.events(40, start_id=1_000, seed_offset=1)
+    beq.insert_batch(fresh)
+    for event in fresh:
+        oracle.insert(event)
+
+    batched = beq.match_batch(queries)
+    for i, (sub, at) in enumerate(queries):
+        assert sorted(ids(batched[i])) == sorted(ids(oracle.match(sub, at)))
+        assert ids(batched[i]) == ids(beq.match(sub, at))
+
+
+def test_oracle_event_direction_matches_query_direction():
+    """matches_of_event is the transpose of match."""
+    generator = TwitterLikeGenerator(SPACE, seed=7)
+    events = generator.events(60)
+    subscriptions = generator.subscriptions(8, size=2, radius=5_000)
+    rng = random.Random(7)
+    queries = list(zip(subscriptions, random_points(rng, 8)))
+    oracle = BruteForceOracle(events)
+    pairs = oracle.matching_pairs(queries)
+    transposed = {
+        (sub.sub_id, event.event_id)
+        for event in events
+        for sub in oracle.matches_of_event(event, queries)
+    }
+    assert transposed == pairs
