@@ -7,15 +7,23 @@ This bench pushes a burst of events through a fully loaded server and
 reports events/second, two ways:
 
 * a population sweep on the single-event path (separating index cost
-  from subscriber-handling cost), and
+  from subscriber-handling cost),
 * the **batched fast path**: the same burst through ``publish_batch``
-  at increasing batch sizes, against the one-at-a-time baseline.
+  at increasing batch sizes, against the one-at-a-time baseline, and
+* the **repair sweep**: the same burst against an always-rebuild server
+  and a repair-enabled one (both measuring bytes), comparing publish
+  throughput and downstream wire bytes.
 
 Besides the human-readable table, the run emits the machine-readable
-``BENCH_throughput.json`` at the repo root (schema documented in
-EXPERIMENTS.md).  A regression gate is enforced here and re-checked by
-the CI bench-smoke job from the JSON: batched throughput at batch size
-64 must stay at least 1.5x the single-event baseline.
+``BENCH_throughput.json`` at the repo root (schema v2, documented in
+EXPERIMENTS.md).  Two regression gates are enforced here and re-checked
+by the CI bench-smoke job from the JSON: batched throughput at batch
+size 64 must stay at least 1.5x the single-event baseline, and repair
+mode must process at least 2x the always-rebuild events/sec while
+shipping strictly fewer bytes down.
+
+Run with ``--profile`` to additionally dump a cProfile top-20 of the
+benchmark body to ``benchmarks/results/profile_throughput.txt``.
 """
 
 from __future__ import annotations
@@ -40,16 +48,25 @@ POPULATIONS = (0, 10, 50) if FAST else (0, 25, 100)
 BATCH_SIZES = (16, 64)
 BATCH_SUBSCRIBERS = POPULATIONS[-1]
 REQUIRED_SPEEDUP_AT_64 = 1.5
+REQUIRED_REPAIR_SPEEDUP = 2.0
 JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
-def _loaded_server(generator, subscriber_count: int) -> ElapsServer:
+def _loaded_server(
+    generator,
+    subscriber_count: int,
+    *,
+    repair: bool = False,
+    measure_bytes: bool = False,
+) -> ElapsServer:
     server = ElapsServer(
         Grid(120, SPACE),
         IGM(max_cells=2_500),
         event_index=BEQTree(SPACE, emax=512),
         subscription_index=SubscriptionIndex(generator.frequency_hint()),
         initial_rate=20.0,
+        repair=repair,
+        measure_bytes=measure_bytes,
     )
     server.bootstrap(generator.events(CORPUS))
     subscriptions = generator.subscriptions(subscriber_count, size=3)
@@ -129,11 +146,59 @@ def _batch_comparison(generator, burst) -> List[Dict]:
     return rows
 
 
-def _emit_json(population_rows: List[Dict], batch_rows: List[Dict]) -> Dict:
+def _repair_comparison(generator, burst) -> List[Dict]:
+    """Always-rebuild vs incremental repair on the identical stream.
+
+    Both servers measure bytes (the wire saving is the point); the
+    delivered (sub, event) pairs must agree — notification streams are
+    pinned by geometry, not region policy — so the rows time the same
+    observable work.
+    """
+    rows: List[Dict] = []
+    delivered_baseline = None
+    for repair in (False, True):
+        server = _loaded_server(
+            generator, BATCH_SUBSCRIBERS, repair=repair, measure_bytes=True
+        )
+        started = time.perf_counter()
+        delivered = set()
+        for t, event in enumerate(burst, start=1):
+            for n in server.publish(event, now=t):
+                delivered.add((n.sub_id, n.event.event_id))
+        elapsed = time.perf_counter() - started
+        if delivered_baseline is None:
+            delivered_baseline = delivered
+        assert delivered == delivered_baseline, "repair changed deliveries"
+        stats = server.metrics.as_dict()
+        rows.append(
+            {
+                "mode": "repair" if repair else "rebuild",
+                "events": len(burst),
+                "seconds": elapsed,
+                "events_per_second": len(burst) / elapsed,
+                "notifications": len(delivered),
+                "constructions": stats["constructions"],
+                "repairs": stats["repairs"],
+                "repair_fallbacks": stats["repair_fallbacks"],
+                "wire_bytes_down": stats["wire_bytes_down"],
+                "delta_region_bytes": stats["delta_region_bytes"],
+            }
+        )
+    baseline = rows[0]["events_per_second"]
+    for row in rows:
+        row["speedup_vs_rebuild"] = row["events_per_second"] / baseline
+    return rows
+
+
+def _emit_json(
+    population_rows: List[Dict], batch_rows: List[Dict], repair_rows: List[Dict]
+) -> Dict:
     at_64 = next(r for r in batch_rows if r["batch_size"] == 64)
+    rebuild = next(r for r in repair_rows if r["mode"] == "rebuild")
+    repair = next(r for r in repair_rows if r["mode"] == "repair")
     payload = {
         "benchmark": "throughput",
-        "schema_version": 1,
+        "schema_version": 2,
         "fast_mode": FAST,
         "config": {
             "space": [SPACE.x_min, SPACE.y_min, SPACE.x_max, SPACE.y_max],
@@ -146,11 +211,22 @@ def _emit_json(population_rows: List[Dict], batch_rows: List[Dict]) -> Dict:
         "series": {
             "population_sweep": population_rows,
             "batch_comparison": batch_rows,
+            "repair_sweep": repair_rows,
         },
         "gate": {
             "required_speedup_at_batch_64": REQUIRED_SPEEDUP_AT_64,
             "measured_speedup_at_batch_64": at_64["speedup_vs_single"],
             "passed": at_64["speedup_vs_single"] >= REQUIRED_SPEEDUP_AT_64,
+        },
+        "repair_gate": {
+            "required_speedup_vs_rebuild": REQUIRED_REPAIR_SPEEDUP,
+            "measured_speedup_vs_rebuild": repair["speedup_vs_rebuild"],
+            "wire_bytes_down_rebuild": rebuild["wire_bytes_down"],
+            "wire_bytes_down_repair": repair["wire_bytes_down"],
+            "passed": (
+                repair["speedup_vs_rebuild"] >= REQUIRED_REPAIR_SPEEDUP
+                and repair["wire_bytes_down"] < rebuild["wire_bytes_down"]
+            ),
         },
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -162,12 +238,15 @@ def _run():
     burst = generator.events(BURST, start_id=10_000_000, seed_offset=7)
     population_rows = _population_sweep(generator, burst)
     batch_rows = _batch_comparison(generator, burst)
-    return population_rows, batch_rows
+    repair_rows = _repair_comparison(generator, burst)
+    return population_rows, batch_rows, repair_rows
 
 
-def test_publish_throughput(benchmark, report):
-    population_rows, batch_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    payload = _emit_json(population_rows, batch_rows)
+def test_publish_throughput(benchmark, report, profiled):
+    population_rows, batch_rows, repair_rows = benchmark.pedantic(
+        profiled("throughput", _run), rounds=1, iterations=1
+    )
+    payload = _emit_json(population_rows, batch_rows, repair_rows)
     report(
         "throughput",
         format_table(
@@ -187,6 +266,20 @@ def test_publish_throughput(benchmark, report):
                 "event_arrival_rounds",
             ),
             f"Batched vs single publish ({BATCH_SUBSCRIBERS} subscribers)",
+        )
+        + "\n"
+        + format_table(
+            repair_rows,
+            (
+                "mode",
+                "events_per_second",
+                "speedup_vs_rebuild",
+                "constructions",
+                "repairs",
+                "repair_fallbacks",
+                "wire_bytes_down",
+            ),
+            f"Repair vs always-rebuild ({BATCH_SUBSCRIBERS} subscribers, bytes measured)",
         ),
     )
     by = {r["subscribers"]: r for r in population_rows}
@@ -198,3 +291,5 @@ def test_publish_throughput(benchmark, report):
     assert by[POPULATIONS[-1]]["events_per_second"] > 100
     # the regression gate the ISSUE added: batching must actually pay
     assert payload["gate"]["passed"], payload["gate"]
+    # and repair must beat always-rebuild on both time and wire bytes
+    assert payload["repair_gate"]["passed"], payload["repair_gate"]

@@ -111,6 +111,91 @@ class WAHBitmap:
                 base += _GROUP_BITS
         return [p for p in result if p < self.length]
 
+    def _group_runs(self) -> Iterable[tuple]:
+        """The bitmap as ``(literal, repeat)`` runs of 31-bit groups.
+
+        Fill words come out as one run (0 or the all-ones literal with
+        their full repeat count); literal words come out with repeat 1.
+        The compressed logical operations below consume these runs so a
+        long fill never has to be expanded group by group.
+        """
+        for word in self.words:
+            if word & _FILL_FLAG:
+                yield (_ALL_ONES if word & _FILL_BIT else 0, word & _MAX_RUN)
+            else:
+                yield (word, 1)
+
+    def _merge(self, other: "WAHBitmap", op) -> "WAHBitmap":
+        """Group-aligned logical merge; ``op`` combines two 31-bit literals."""
+        if self.length != other.length:
+            raise ValueError(
+                f"length mismatch: {self.length} vs {other.length}"
+            )
+        groups = (self.length + _GROUP_BITS - 1) // _GROUP_BITS
+        words: List[int] = []
+        run_bit = None
+        run_length = 0
+
+        def flush_run() -> None:
+            nonlocal run_bit, run_length
+            if run_length == 0:
+                return
+            words.append(_FILL_FLAG | (_FILL_BIT if run_bit else 0) | run_length)
+            run_bit, run_length = None, 0
+
+        left = self._group_runs()
+        right = other._group_runs()
+        left_literal, left_repeat = next(left, (0, 0))
+        right_literal, right_repeat = next(right, (0, 0))
+        emitted = 0
+        # The final partial group is zero-padded in canonical encodings
+        # (from_positions never lets an all-ones fill absorb it), so AND-NOT
+        # and OR both preserve zero pads and runs merge uniformly.
+        while emitted < groups:
+            take = min(left_repeat, right_repeat)
+            if take == 0:  # codec invariant: both sides cover all groups
+                raise ValueError("bitmap words do not cover the logical length")
+            literal = op(left_literal, right_literal) & _ALL_ONES
+            if literal == 0 or literal == _ALL_ONES:
+                bit = literal != 0
+                remaining = take
+                while remaining:
+                    if run_bit == bit and run_length < _MAX_RUN:
+                        absorbed = min(remaining, _MAX_RUN - run_length)
+                        run_length += absorbed
+                        remaining -= absorbed
+                    else:
+                        flush_run()
+                        run_bit, run_length = bit, 0
+            else:
+                flush_run()
+                words.extend([literal] * take)
+            emitted += take
+            left_repeat -= take
+            right_repeat -= take
+            if left_repeat == 0:
+                left_literal, left_repeat = next(left, (0, 0))
+            if right_repeat == 0:
+                right_literal, right_repeat = next(right, (0, 0))
+        flush_run()
+        return WAHBitmap(self.length, words)
+
+    def difference(self, other: "WAHBitmap") -> "WAHBitmap":
+        """Bits set here and not in ``other`` (compressed AND-NOT).
+
+        The delta-shipping identity: with ``removed = old.difference(new)``
+        on the wire, a client holding ``old`` recovers the repaired region
+        as ``old.difference(removed)`` without decompressing either side
+        beyond run granularity.
+        """
+        return self._merge(other, lambda a, b: a & ~b)
+
+    def union(self, other: "WAHBitmap") -> "WAHBitmap":
+        """Bits set in either bitmap (compressed OR); inverse check of
+        :meth:`difference`: ``new.union(removed) == old`` whenever the
+        removed bits all came from ``old``."""
+        return self._merge(other, lambda a, b: a | b)
+
     def __len__(self) -> int:
         return self.length
 

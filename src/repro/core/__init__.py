@@ -2,11 +2,11 @@
 construction strategies (VM, GM, iGM, idGM)."""
 
 from .construction import ConstructionRequest, RegionPair, SafeRegionStrategy
-from .cost_model import CostModel, SystemStats
+from .cost_model import CostModel, RepairBudget, SystemStats
 from .field import LazyBEQField, MatchingEventField, StaticMatchingField
 from .gm import GridMethod
 from .igm import IDGM, IGM, IncrementalGridMethod
-from .regions import GridRegion, ImpactRegion, SafeRegion, impact_from_safe
+from .regions import GridRegion, ImpactRegion, RegionDelta, SafeRegion, impact_from_safe
 from .vm import VoronoiMethod
 
 __all__ = [
@@ -20,7 +20,9 @@ __all__ = [
     "IncrementalGridMethod",
     "LazyBEQField",
     "MatchingEventField",
+    "RegionDelta",
     "RegionPair",
+    "RepairBudget",
     "SafeRegion",
     "SafeRegionStrategy",
     "StaticMatchingField",

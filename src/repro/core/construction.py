@@ -51,6 +51,12 @@ class RegionPair:
     #: do not evaluate ``bm`` (VM, GM) or when no cell hit that side.
     last_accepted_bm: Optional[float] = None
     first_rejected_bm: Optional[float] = None
+    #: the matching-event count ``ne`` inside the impact region at build
+    #: time (Equation 5's numerator input).  The repair path scales the
+    #: build-time ``bm`` by the growth of this count to estimate balance
+    #: drift without re-querying the matching field; ``None`` for methods
+    #: that never counted it (VM, GM).
+    matching_in_impact: Optional[int] = None
 
 
 class SafeRegionStrategy(abc.ABC):

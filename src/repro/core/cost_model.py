@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -90,3 +91,65 @@ class CostModel:
             self.expected_exit_time(boundary_distance, speed),
             self.expected_impact_time(matching_in_impact),
         )
+
+
+@dataclass(frozen=True)
+class RepairBudget:
+    """When an incrementally repaired safe region must be rebuilt.
+
+    Repairing (carving the new event's dilation out of the cached region)
+    is always *valid* — safety is monotone, so the repaired region is a
+    subset of what a fresh construction would build, and the old impact
+    region stays a covering superset (Definition 2).  What repair loses is
+    *optimality*: the region drifts away from the ``bm = 1`` balance point
+    of Lemmas 6-7.  The budget bounds that staleness with three triggers:
+
+    * **emptiness** — a repaired region with no cells forces the client to
+      report every timestamp; rebuild (and let the server's degenerate
+      branch install the Lemma-1 impact region);
+    * **removed-cell fraction** — once more than ``max_removed_fraction``
+      of the cells present at the last full construction are gone, the
+      boundary distance ``d(s, R)`` the build optimised for is fiction;
+    * **balance drift** — ``bm`` (Equation 6) is linear in the matching
+      count ``ne`` for fixed ``d``, ``vs``, ``f`` and ``n``, so scaling the
+      build-time ``bm`` by the observed growth of ``ne`` (each type-II hit
+      adds one matching event inside the still-installed impact region)
+      estimates the current balance without touching the matching field;
+      past ``bm_slack`` times the strategy's termination threshold
+      ``beta``, the region is paying too many event-arrival rounds.
+    """
+
+    max_removed_fraction: float = 0.35
+    bm_slack: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_removed_fraction <= 1.0:
+            raise ValueError(
+                f"removed fraction must be in (0, 1]: {self.max_removed_fraction}"
+            )
+        if self.bm_slack < 1.0:
+            raise ValueError(f"bm slack must be >= 1: {self.bm_slack}")
+
+    def rebuild_reason(
+        self,
+        *,
+        live_cells: int,
+        cells_at_build: int,
+        removed_since_build: int,
+        beta: float,
+        bm_at_build: Optional[float] = None,
+        ne_at_build: int = 0,
+        ne_estimate: int = 0,
+    ) -> Optional[str]:
+        """Why the region must be rebuilt, or None while repair suffices."""
+        if live_cells <= 0:
+            return "empty"
+        if (
+            cells_at_build > 0
+            and removed_since_build / cells_at_build > self.max_removed_fraction
+        ):
+            return "removed_fraction"
+        if bm_at_build is not None and ne_at_build > 0 and ne_estimate > ne_at_build:
+            if bm_at_build * (ne_estimate / ne_at_build) > self.bm_slack * beta:
+                return "balance"
+        return None

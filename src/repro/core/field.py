@@ -120,7 +120,27 @@ class LazyBEQField(MatchingEventField):
     intersect the newly covered strip.  Because iGM/idGM expand outward
     from the subscriber, the rectangle tracks the expansion closely and
     the rest of the space is never touched.
+
+    A field can outlive one construction (the server's repair mode keeps
+    one per subscriber): discovered events are deduplicated by id, so a
+    leaf split that redistributes already-seen events never double-counts
+    them, and the server feeds corpus churn in through two hooks:
+
+    * :meth:`note_event` adds a freshly published be-matching event
+      without rescanning any leaf (covered or not — dedup protects the
+      later scan);
+    * :meth:`note_exclusion` records that a seen event stopped mattering
+      (delivered or expired).  Exclusions are *not* un-dilated — the
+      unsafe set only over-approximates, which keeps every construction
+      valid (a conservative, smaller region) — but they accumulate as
+      staleness, and :meth:`too_stale` tells the owner when a fresh field
+      would pay for itself.
     """
+
+    #: staleness floor before :meth:`too_stale` can trigger
+    STALE_MIN = 8
+    #: and the fraction of seen events that must have stopped mattering
+    STALE_FRACTION = 0.25
 
     def __init__(
         self,
@@ -137,10 +157,13 @@ class LazyBEQField(MatchingEventField):
         self._points: List[Point] = []
         self._unsafe: Dict[float, Set[Cell]] = defaultdict(set)
         self._scanned_leaves: Set[int] = set()
+        self._seen_ids: Set[int] = set()
         # Covered cell rectangle (i_min, j_min, i_max, j_max), inclusive.
         self._covered: Optional[Tuple[int, int, int, int]] = None
         self.events_scanned = 0
         self.leaves_scanned = 0
+        #: seen events later delivered/expired; see :meth:`too_stale`
+        self.stale_exclusions = 0
 
     # ------------------------------------------------------------------
     # Coverage
@@ -166,13 +189,18 @@ class LazyBEQField(MatchingEventField):
             self.leaves_scanned += 1
             self.events_scanned += len(leaf.events)
             for event in leaf.be_match(self._expression):
-                if event.event_id in self._excluded:
+                if event.event_id in self._excluded or event.event_id in self._seen_ids:
                     continue
-                self._points.append(event.location)
-                self._counts[self.grid.cell_of(event.location)] += 1
-                for radius, unsafe in self._unsafe.items():
-                    dilate_point(self.grid, event.location, radius, unsafe)
+                self._admit(event.event_id, event.location)
         self._covered = (i_min, j_min, i_max, j_max)
+
+    def _admit(self, event_id: int, location: Point) -> None:
+        """Record one newly discovered matching event as a constraint."""
+        self._seen_ids.add(event_id)
+        self._points.append(location)
+        self._counts[self.grid.cell_of(location)] += 1
+        for radius, unsafe in self._unsafe.items():
+            dilate_point(self.grid, location, radius, unsafe)
 
     def _reach(self, radius: float) -> int:
         return int(radius / min(self.grid.cell_width, self.grid.cell_height)) + 2
@@ -180,6 +208,36 @@ class LazyBEQField(MatchingEventField):
     def _ensure_neighbourhood(self, cell: Cell, radius: float) -> None:
         reach = self._reach(radius)
         self._cover(cell[0] - reach, cell[1] - reach, cell[0] + reach, cell[1] + reach)
+
+    # ------------------------------------------------------------------
+    # Reuse across constructions (the server's repair mode)
+    # ------------------------------------------------------------------
+    def note_event(self, event_id: int, location: Point) -> None:
+        """Admit a freshly published be-matching event without a leaf scan.
+
+        Safe whether or not the event's leaf is inside the covered
+        rectangle: the id dedup in :meth:`_cover` prevents a double count
+        when the leaf is scanned later.
+        """
+        if event_id in self._excluded or event_id in self._seen_ids:
+            return
+        self._admit(event_id, location)
+
+    def note_exclusion(self, event_id: int) -> None:
+        """Record that a seen event no longer constrains the region.
+
+        The point stays in the unsafe set (conservative: the region can
+        only come out smaller, never invalid); the staleness counter is
+        what eventually retires the field.
+        """
+        if event_id in self._seen_ids:
+            self.stale_exclusions += 1
+
+    def too_stale(self) -> bool:
+        """True when enough seen events died that a rebuild pays off."""
+        return self.stale_exclusions > max(
+            self.STALE_MIN, int(len(self._points) * self.STALE_FRACTION)
+        )
 
     # ------------------------------------------------------------------
     # Queries

@@ -184,6 +184,7 @@ class IncrementalGridMethod(SafeRegionStrategy):
             cells_examined=cells_examined,
             last_accepted_bm=last_accepted_bm,
             first_rejected_bm=first_rejected_bm,
+            matching_in_impact=matching_in_impact,
         )
 
 

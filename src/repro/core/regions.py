@@ -19,7 +19,7 @@ support a complement representation: the stored cell set is then the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator
+from typing import FrozenSet, Iterable, Iterator, Tuple
 
 import numpy as np
 from scipy import ndimage
@@ -80,6 +80,26 @@ class GridRegion:
                 yield cell
 
     # ------------------------------------------------------------------
+    # Repair (carving cells out of a region)
+    # ------------------------------------------------------------------
+    def subtract(self, cells: Iterable[Cell]) -> Tuple["GridRegion", FrozenSet[Cell]]:
+        """Remove cells from the region; returns ``(smaller, removed)``.
+
+        ``removed`` is the subset of ``cells`` the region actually covered
+        — the membership delta a server ships to the client holding this
+        region.  Representation is preserved: a complement region grows
+        its excluded set, a direct region shrinks its cell set, and the
+        result keeps the caller's class (so ``SafeRegion.subtract`` yields
+        a ``SafeRegion``).  Removing nothing returns ``self`` unchanged.
+        """
+        removed = frozenset(cell for cell in cells if self.covers_cell(cell))
+        if not removed:
+            return self, removed
+        if self.complement:
+            return type(self)(self.grid, self.cells | removed, True), removed
+        return type(self)(self.grid, self.cells - removed, False), removed
+
+    # ------------------------------------------------------------------
     # Wire encoding (Appendix B)
     # ------------------------------------------------------------------
     def to_bitmap(self) -> WAHBitmap:
@@ -108,6 +128,45 @@ class SafeRegion(GridRegion):
 
 class ImpactRegion(GridRegion):
     """Definition 2 rendered on the grid; stays on the server."""
+
+
+@dataclass(frozen=True)
+class RegionDelta:
+    """The cells a repair removed from a subscriber's safe region.
+
+    Event arrival can only *shrink* a safe region (safety is monotone in
+    the event corpus, Definition 1), so the server never needs to ship
+    additions: the whole region update is "these cells left your region".
+    A delta is representation-agnostic — the client subtracts the removed
+    cells from whatever region it holds (direct or complement), via
+    :meth:`GridRegion.subtract`.
+    """
+
+    grid: Grid
+    removed: FrozenSet[Cell]
+
+    @classmethod
+    def of(cls, grid: Grid, removed: Iterable[Cell]) -> "RegionDelta":
+        """A delta over the given removed cells."""
+        return cls(grid, frozenset(removed))
+
+    def is_empty(self) -> bool:
+        """True when the repair removed nothing (nothing to ship)."""
+        return not self.removed
+
+    def apply_to(self, region: GridRegion) -> GridRegion:
+        """The region after this delta: membership minus the removed cells."""
+        return region.subtract(self.removed)[0]
+
+    def to_bitmap(self) -> WAHBitmap:
+        """Removed cells as the same z-ordered WAH encoding regions use,
+        so ``old.to_bitmap().difference(delta.to_bitmap())`` is exactly the
+        repaired region's bitmap for direct-represented regions."""
+        return GridRegion(self.grid, self.removed).to_bitmap()
+
+    def encoded_bytes(self) -> int:
+        """Bytes on the wire when shipping this delta to a client."""
+        return self.to_bitmap().compressed_bytes()
 
 
 def _structuring_element(grid: Grid, radius: float) -> np.ndarray:

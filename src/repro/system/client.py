@@ -77,6 +77,22 @@ class MobileClient:
         """Install a pushed safe region."""
         self.safe_region = region
 
+    def apply_region_delta(self, removed_cells) -> bool:
+        """Shrink the held region by a server repair's removed cells.
+
+        The delta counterpart of :meth:`receive_region`: the server
+        carved cells out of the region this client holds and shipped
+        only those cells.  Returns False when no region is held (a
+        reconnecting client that dropped its region) — the delta is
+        then discarded, which is safe because a region-less client
+        reports every timestamp anyway and the resync path ships a
+        fresh full region.
+        """
+        if self.safe_region is None:
+            return False
+        self.safe_region, _ = self.safe_region.subtract(removed_cells)
+        return True
+
     def receive_notification(self, event: Event) -> bool:
         """Record a delivered event; False if it was a duplicate.
 

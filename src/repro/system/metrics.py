@@ -82,6 +82,21 @@ class CommunicationStats:
     #: notifications re-shipped during a resync because the client
     #: reported it never received them
     redeliveries: int = 0
+    # ------------------------------------------------------------------
+    # Incremental-repair counters (the server's ``repair=True`` mode; the
+    # always-rebuild configuration leaves them all at 0).  A repair carves
+    # the new event's dilation out of the cached safe region instead of
+    # re-running the construction strategy, and ships only the removed
+    # cells to the client.
+    # ------------------------------------------------------------------
+    #: type-II hits resolved by carving the cached region (no construction)
+    repairs: int = 0
+    #: type-II hits where the repair budget forced a full reconstruction
+    #: (region empty, too many cells carved away, or balance drift)
+    repair_fallbacks: int = 0
+    #: compressed bytes of the removed-cell bitmaps shipped as deltas;
+    #: populated only when byte measurement is enabled
+    delta_region_bytes: int = 0
 
     @property
     def total_rounds(self) -> int:

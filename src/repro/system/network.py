@@ -61,12 +61,15 @@ from .protocol import (
     LocationReport,
     NotificationMessage,
     ResyncMessage,
+    SafeRegionDelta,
     SafeRegionPush,
     SubscribeMessage,
     UnsubscribeMessage,
+    cells_from_delta,
     decode_message,
     encode_message,
     notification_for,
+    region_delta_for,
     region_from_push,
     region_push_for,
 )
@@ -164,6 +167,7 @@ class ElapsTCPServer:
         # the wrapped server's callbacks feed the connected clients
         server.locator = self._last_known_location
         server.region_sink = self._push_region
+        server.delta_sink = self._push_delta
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -209,6 +213,18 @@ class ElapsTCPServer:
 
     def _push_region(self, sub_id: int, region) -> None:
         self._push_to(sub_id, encode_message(region_push_for(sub_id, region)))
+
+    def _push_delta(self, sub_id: int, removed, region) -> None:
+        """Ship a repair as a delta frame (the full region stays home).
+
+        The delta only makes sense against the region the client already
+        holds; with no live connection the frame is dropped, exactly like
+        a full push would be, and the client's reconnect resync ships a
+        fresh full region anyway.
+        """
+        self._push_to(
+            sub_id, encode_message(region_delta_for(sub_id, self.server.grid, removed))
+        )
 
     def _push_notifications(self, notifications) -> None:
         for notification in notifications:
@@ -548,6 +564,7 @@ class ResilientElapsClient:
         self.connections = 0
         self.reconnects = 0
         self.regions_received = 0
+        self.deltas_received = 0
         self.heartbeats_acked = 0
         self._writer: Optional[asyncio.StreamWriter] = None
         self._task: Optional[asyncio.Task] = None
@@ -732,6 +749,13 @@ class ResilientElapsClient:
             self._session_ok = True
             if self.grid is not None:
                 self.mobile.receive_region(region_from_push(message, self.grid))
+        elif isinstance(message, SafeRegionDelta):
+            self.deltas_received += 1
+            if self.grid is not None:
+                # False (no region held — e.g. the delta raced a
+                # reconnect) is safe to ignore: a region-less client
+                # reports immediately and resyncs into a full push
+                self.mobile.apply_region_delta(cells_from_delta(message, self.grid))
         elif isinstance(message, HeartbeatMessage):
             self.heartbeats_acked += 1
         elif isinstance(message, LocationPing):

@@ -15,6 +15,9 @@ message                       direction  payload
 ``LocationPing``              S -> C     sub id (the event-arrival ping)
 ``SafeRegionPush``            S -> C     sub id, grid size, complement flag,
                                          WAH-compressed cell bitmap
+``SafeRegionDelta``           S -> C     sub id, grid size, WAH bitmap of the
+                                         cells a repair removed from the
+                                         client's current safe region
 ``NotificationMessage``       S -> C     sub id, event id, location, attributes
 ``EventPublishMessage``       P -> S     event id, location, attributes, ttl
 ``EventPublishBatchMessage``  P -> S     a burst of event publishes sharing
@@ -428,6 +431,43 @@ class EventPublishBatchMessage:
 
 
 @dataclass(frozen=True)
+class SafeRegionDelta:
+    """S->C: cells removed from the client's current safe region.
+
+    The incremental-repair alternative to a full :class:`SafeRegionPush`:
+    a type-II event only ever *shrinks* the safe region (safety is
+    monotone in the event corpus), so the server ships just the carved
+    cells as a z-ordered WAH bitmap and the client subtracts them from
+    the region it already holds.  Unlike a push there is no complement
+    flag — a delta is a removed-cell *set*, applied identically whatever
+    representation the client's region uses.  The server falls back to a
+    full push whenever the delta would not be smaller or the client's
+    base region is unknown.
+    """
+
+    TYPE = 11
+    sub_id: int
+    grid_n: int
+    bitmap: WAHBitmap
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        words = self.bitmap.words
+        header = struct.pack(
+            ">QIII", self.sub_id, self.grid_n, self.bitmap.length, len(words)
+        )
+        return header + struct.pack(f">{len(words)}I", *words)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "SafeRegionDelta":
+        """Inverse of :meth:`encode_payload`."""
+        sub_id, grid_n, length, word_count = struct.unpack_from(">QIII", payload, 0)
+        offset = struct.calcsize(">QIII")
+        words = struct.unpack_from(f">{word_count}I", payload, offset)
+        return cls(sub_id, grid_n, WAHBitmap(length, list(words)))
+
+
+@dataclass(frozen=True)
 class HeartbeatMessage:
     """C<->S: liveness probe; the server echoes the frame unchanged.
 
@@ -504,6 +544,7 @@ _MESSAGE_TYPES = {
         EventPublishBatchMessage,
         HeartbeatMessage,
         ResyncMessage,
+        SafeRegionDelta,
     )
 }
 
@@ -518,6 +559,7 @@ Message = Union[
     EventPublishBatchMessage,
     HeartbeatMessage,
     ResyncMessage,
+    SafeRegionDelta,
 ]
 
 _FRAME_HEADER = ">BI"
@@ -566,6 +608,31 @@ def region_push_for(sub_id: int, safe_region) -> SafeRegionPush:
         safe_region.complement,
         safe_region.to_bitmap(),
     )
+
+
+def region_delta_for(sub_id: int, grid, removed_cells) -> SafeRegionDelta:
+    """The wire message shipping a repair's removed cells to its client."""
+    from ..core import RegionDelta
+
+    return SafeRegionDelta(
+        sub_id, grid.n, RegionDelta.of(grid, removed_cells).to_bitmap()
+    )
+
+
+def cells_from_delta(delta: SafeRegionDelta, grid):
+    """The removed-cell set of a :class:`SafeRegionDelta`.
+
+    Inverse of :func:`region_delta_for`; the client subtracts the result
+    from the safe region it holds (``GridRegion.subtract``).  ``grid``
+    must match the server's grid, as with :func:`region_from_push`.
+    """
+    from ..geometry.zorder import deinterleave
+
+    if delta.grid_n != grid.n:
+        raise ValueError(
+            f"grid mismatch: delta encodes n={delta.grid_n}, client has n={grid.n}"
+        )
+    return frozenset(deinterleave(code) for code in delta.bitmap.positions())
 
 
 def region_from_push(push: SafeRegionPush, grid):

@@ -44,13 +44,15 @@ from ..core import (
     ImpactRegion,
     LazyBEQField,
     RegionPair,
+    RepairBudget,
     SafeRegion,
     SafeRegionStrategy,
     StaticMatchingField,
     SystemStats,
 )
+from ..core.field import dilate_point
 from ..expressions import Event, Subscription
-from ..geometry import Grid, Point
+from ..geometry import Cell, Grid, Point
 from ..index import BEQTree, ImpactRegionIndex, SubscriptionIndex
 from .metrics import CommunicationStats
 from .protocol import (
@@ -59,11 +61,34 @@ from .protocol import (
     SubscribeMessage,
     message_bytes,
     notification_for,
+    region_delta_for,
     region_push_for,
 )
 
 #: locator callback: subscriber id -> (location, velocity)
 Locator = Callable[[int], Tuple[Point, Point]]
+
+#: delta sink: subscriber id, removed cells, the repaired safe region
+DeltaSink = Callable[[int, FrozenSet[Cell], SafeRegion], None]
+
+
+@dataclass
+class RepairState:
+    """Drift bookkeeping between two full constructions (repair mode).
+
+    Created by every :meth:`ElapsServer._construct` when repair is on and
+    consulted by :meth:`ElapsServer._repair` to decide — via
+    :class:`~repro.core.RepairBudget` — whether carving is still cheaper
+    than rebuilding.  ``ne_estimate`` tracks the matching-event count
+    inside the *still-installed* impact region: every repaired type-II
+    event landed there, so each one adds exactly one to the build-time
+    count without re-querying the matching field.
+    """
+
+    pair: RegionPair
+    cells_at_build: int
+    removed_since_build: int = 0
+    ne_estimate: int = 0
 
 
 @dataclass
@@ -75,6 +100,7 @@ class SubscriberRecord:
     velocity: Point
     safe: Optional[SafeRegion] = None
     delivered: Set[int] = dataclass_field(default_factory=set)
+    repair: Optional[RepairState] = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +129,8 @@ class ElapsServer:
         stats_override: Optional[Callable[[int], SystemStats]] = None,
         measure_bytes: bool = False,
         use_impact_region: bool = True,
+        repair: bool = False,
+        repair_budget: Optional[RepairBudget] = None,
     ) -> None:
         if matching_mode not in ("ondemand", "full", "cached"):
             raise ValueError(f"unknown matching mode: {matching_mode!r}")
@@ -120,9 +148,19 @@ class ElapsServer:
         #: ablation switch: with False, *every* be-matching arrival pings
         #: the subscriber, as if the impact region concept did not exist
         self.use_impact_region = use_impact_region
+        #: repair mode: an out-of-radius type-II event carves its dilation
+        #: out of the cached safe region (shipping only the removed cells)
+        #: instead of re-running the construction strategy.  Off by
+        #: default; the always-rebuild behaviour is the paper's.
+        self.repair = repair
+        self.repair_budget = repair_budget or RepairBudget()
         self.locator: Optional[Locator] = None
         #: called whenever a fresh safe region is shipped to a client
         self.region_sink: Optional[Callable[[int, SafeRegion], None]] = None
+        #: called instead of ``region_sink`` when a repair ships a delta;
+        #: a transport that can frame a ``SafeRegionDelta`` sets this, and
+        #: without one the full repaired region goes through ``region_sink``
+        self.delta_sink: Optional[DeltaSink] = None
 
         self.subscribers: Dict[int, SubscriberRecord] = {}
         self.metrics = CommunicationStats()
@@ -138,6 +176,12 @@ class ElapsServer:
         self._matching_cache: Dict[int, Dict[int, Point]] = {}
         self._field_cache: Dict[int, Tuple[FrozenSet[int], StaticMatchingField]] = {}
         self._region_cache: Dict[int, Tuple[FrozenSet[int], "RegionPair"]] = {}
+        # Repair mode under on-demand matching: one LazyBEQField per
+        # subscriber survives across constructions.  Corpus churn reaches
+        # it through note_event/note_exclusion; it is dropped when the
+        # staleness budget trips or the subscriber's state is replaced
+        # (resubscribe, resync, unsubscribe).
+        self._lazy_fields: Dict[int, LazyBEQField] = {}
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -195,6 +239,9 @@ class ElapsServer:
         """
         if self._started_at is None:
             self._started_at = now
+        # The expression (hence the matching-event set) may change across
+        # a resubscribe; any cached matching field is for the old one.
+        self._lazy_fields.pop(subscription.sub_id, None)
         existing = self.subscribers.get(subscription.sub_id)
         if existing is not None:
             self.subscription_index.delete(existing.subscription)
@@ -246,6 +293,7 @@ class ElapsServer:
         self._matching_cache.pop(sub_id, None)
         self._field_cache.pop(sub_id, None)
         self._region_cache.pop(sub_id, None)
+        self._lazy_fields.pop(sub_id, None)
 
     # ------------------------------------------------------------------
     # Event arrival / expiration
@@ -262,11 +310,16 @@ class ElapsServer:
                 continue
             if self.matching_mode == "cached":
                 self._matching_cache[subscription.sub_id][event.event_id] = event.location
+            field = self._lazy_fields.get(subscription.sub_id)
             if self.use_impact_region and not self.impact_index.covers(
                 subscription.sub_id, event_cell
             ):
                 # Outside the impact region: the safe region stays valid
-                # (Definition 2) and no communication happens.
+                # (Definition 2) and no communication happens.  A cached
+                # matching field must still learn the event — its scanned
+                # leaves are never revisited.
+                if field is not None:
+                    field.note_event(event.event_id, event.location)
                 continue
             # One event-arrival round: ping the client, read the location.
             self.metrics.event_arrival_rounds += 1
@@ -287,7 +340,12 @@ class ElapsServer:
                 if self.measure_bytes:
                     self._account_notification_bytes([notification])
             else:
-                self._construct(record, now)
+                if field is not None:
+                    field.note_event(event.event_id, event.location)
+                if not (self.repair and self._repair(record, [event.location])):
+                    if self.repair:
+                        self.metrics.repair_fallbacks += 1
+                    self._construct(record, now)
         return notifications
 
     def publish_batch(self, events: List[Event], now: int) -> List[Notification]:
@@ -333,6 +391,9 @@ class ElapsServer:
         pinged: Set[int] = set()
         #: insertion-ordered; one deferred construction per subscriber
         needs_construct: Dict[int, SubscriberRecord] = {}
+        #: out-of-radius event locations per subscriber, for one repair
+        #: (or one fallback construction) at the end of the batch
+        pending_repair: Dict[int, List[Point]] = {}
         for event in events:
             event_cell = self.grid.cell_of(event.location)
             for subscription in self.subscription_index.match_event(event):
@@ -343,9 +404,12 @@ class ElapsServer:
                     self._matching_cache[subscription.sub_id][event.event_id] = (
                         event.location
                     )
+                field = self._lazy_fields.get(subscription.sub_id)
                 if self.use_impact_region and (
                     subscription.sub_id not in covering[event_cell]
                 ):
+                    if field is not None:
+                        field.note_event(event.event_id, event.location)
                     continue
                 if subscription.sub_id not in pinged:
                     # One event-arrival round covers the whole burst.
@@ -370,8 +434,17 @@ class ElapsServer:
                     if self.measure_bytes:
                         self._account_notification_bytes([notification])
                 else:
+                    if field is not None:
+                        field.note_event(event.event_id, event.location)
                     needs_construct[subscription.sub_id] = record
-        for record in needs_construct.values():
+                    pending_repair.setdefault(subscription.sub_id, []).append(
+                        event.location
+                    )
+        for sub_id, record in needs_construct.items():
+            if self.repair and self._repair(record, pending_repair[sub_id]):
+                continue
+            if self.repair:
+                self.metrics.repair_fallbacks += 1
             self._construct(record, now)
         self.metrics.batches += 1
         self.metrics.batch_events += len(events)
@@ -391,6 +464,8 @@ class ElapsServer:
             if event is None:
                 continue
             self.event_index.delete(event)
+            for field in self._lazy_fields.values():
+                field.note_exclusion(event_id)
             removed += 1
         return removed
 
@@ -411,8 +486,11 @@ class ElapsServer:
             for event in self.event_index.match(record.subscription, location)
             if event.event_id not in record.delivered
         ]
+        field = self._lazy_fields.get(sub_id)
         for notification in notifications:
             record.delivered.add(notification.event.event_id)
+            if field is not None:
+                field.note_exclusion(notification.event.event_id)
         self.metrics.notifications += len(notifications)
         if self.measure_bytes:
             self.metrics.wire_bytes_up += message_bytes(
@@ -445,6 +523,9 @@ class ElapsServer:
         self.metrics.resyncs += 1
         record.location = location
         record.velocity = velocity
+        # ``delivered`` is rebound to a fresh set; a cached matching field
+        # holds a reference to the old one and must not survive.
+        self._lazy_fields.pop(sub_id, None)
         record.delivered = set(received)
         notifications = [
             Notification(sub_id, event, now)
@@ -480,6 +561,19 @@ class ElapsServer:
 
     def _matching_field(self, record: SubscriberRecord):
         if self.matching_mode == "ondemand":
+            sub_id = record.subscription.sub_id
+            if self.repair:
+                field = self._lazy_fields.get(sub_id)
+                if field is not None and not field.too_stale():
+                    return field
+                field = LazyBEQField(
+                    self.grid,
+                    self.event_index,
+                    record.subscription.expression,
+                    excluded_ids=record.delivered,
+                )
+                self._lazy_fields[sub_id] = field
+                return field
             return LazyBEQField(
                 self.grid,
                 self.event_index,
@@ -544,6 +638,9 @@ class ElapsServer:
         if direction == Point(0.0, 0.0):
             direction = Point(speed, 0.0)
         field = self._matching_field(record)
+        # A reused field's counter is cumulative across constructions;
+        # account only this construction's scans.
+        scanned_before = getattr(field, "events_scanned", 0)
         request = ConstructionRequest(
             location=record.location,
             velocity=direction,
@@ -571,9 +668,15 @@ class ElapsServer:
         self.impact_index.replace_region(record.subscription.sub_id, impact)
         if reusable:
             self._region_cache[record.subscription.sub_id] = (signature, pair)
+        if self.repair:
+            record.repair = RepairState(
+                pair=pair,
+                cells_at_build=pair.safe.area_cells(),
+                ne_estimate=pair.matching_in_impact or 0,
+            )
         self.metrics.constructions += 1
         self.metrics.cells_examined += pair.cells_examined
-        self.metrics.events_scanned += getattr(field, "events_scanned", 0)
+        self.metrics.events_scanned += getattr(field, "events_scanned", 0) - scanned_before
         if self.measure_bytes:
             push = region_push_for(record.subscription.sub_id, record.safe)
             self.metrics.safe_region_bytes += push.bitmap.compressed_bytes()
@@ -582,3 +685,71 @@ class ElapsServer:
         self.metrics.server_seconds += time.perf_counter() - started
         if self.region_sink is not None:
             self.region_sink(record.subscription.sub_id, record.safe)
+
+    # ------------------------------------------------------------------
+    # Incremental repair (the repair=True alternative to _construct)
+    # ------------------------------------------------------------------
+    def _repair(self, record: SubscriberRecord, event_points: List[Point]) -> bool:
+        """Carve the new events' dilations out of the cached safe region.
+
+        Safety is monotone in the event corpus: a new event can only make
+        cells unsafe, and exactly the cells within the notification radius
+        of it (Definition 1).  Subtracting each event's dilation disk from
+        the cached region therefore yields a valid safe region, and the
+        impact region installed at the last full construction remains a
+        covering superset (Definition 2) — it stays in the index untouched,
+        which is most of the saving.  Returns False (caller falls back to
+        :meth:`_construct`) when no repairable state exists or the
+        :class:`~repro.core.RepairBudget` says the drift from the balance
+        point is no longer worth it.
+        """
+        state = record.repair
+        if state is None or record.safe is None:
+            return False
+        started = time.perf_counter()
+        unsafe: Set[Cell] = set()
+        radius = record.subscription.radius
+        for point in event_points:
+            dilate_point(self.grid, point, radius, unsafe)
+        repaired, removed = record.safe.subtract(unsafe)
+        state.removed_since_build += len(removed)
+        state.ne_estimate += len(event_points)
+        reason = self.repair_budget.rebuild_reason(
+            live_cells=repaired.area_cells(),
+            cells_at_build=state.cells_at_build,
+            removed_since_build=state.removed_since_build,
+            beta=getattr(self.strategy, "beta", 1.0),
+            bm_at_build=state.pair.last_accepted_bm,
+            ne_at_build=state.pair.matching_in_impact or 0,
+            ne_estimate=state.ne_estimate,
+        )
+        if reason is not None:
+            self.metrics.server_seconds += time.perf_counter() - started
+            return False
+        record.safe = repaired
+        self.metrics.repairs += 1
+        self._ship_repaired(record, removed)
+        self.metrics.server_seconds += time.perf_counter() - started
+        return True
+
+    def _ship_repaired(self, record: SubscriberRecord, removed: FrozenSet[Cell]) -> None:
+        """Ship a repair to the client: the removed cells, or nothing.
+
+        An empty removal means the dilations missed the region entirely —
+        the client's copy is already exact, so no bytes move (the cheapest
+        round of all).  Otherwise the delta sink gets the removed-cell
+        set (framed as a ``SafeRegionDelta`` by the transport), falling
+        back to a full region push through ``region_sink`` for transports
+        that predate deltas.
+        """
+        if not removed:
+            return
+        sub_id = record.subscription.sub_id
+        if self.measure_bytes:
+            delta = region_delta_for(sub_id, self.grid, removed)
+            self.metrics.delta_region_bytes += delta.bitmap.compressed_bytes()
+            self.metrics.wire_bytes_down += message_bytes(delta)
+        if self.delta_sink is not None:
+            self.delta_sink(sub_id, removed, record.safe)
+        elif self.region_sink is not None:
+            self.region_sink(sub_id, record.safe)

@@ -79,3 +79,36 @@ class TestPushes:
         client = make_client()
         client.move_to(Point(33, 44), Point(5, 6))
         assert client.answer_ping() == (Point(33, 44), Point(5, 6))
+
+
+class TestRegionDeltas:
+    def test_delta_shrinks_the_held_region(self, grid):
+        client = make_client()
+        client.receive_region(SafeRegion.of(grid, [(0, 0), (0, 1), (1, 0)]))
+        assert client.apply_region_delta({(0, 1), (1, 0)})
+        assert client.safe_region.cells == frozenset({(0, 0)})
+        assert isinstance(client.safe_region, SafeRegion)
+
+    def test_delta_without_region_is_discarded(self):
+        client = make_client()
+        assert not client.apply_region_delta({(0, 0)})
+        assert client.safe_region is None
+        assert client.must_report()  # region-less clients keep reporting
+
+    def test_delta_can_force_a_report(self, grid):
+        # the carved cell is the one the client stands in: the repaired
+        # region no longer contains it, exactly as a rebuild would decide
+        client = make_client()
+        cell = grid.cell_of(Point(50, 50))
+        client.receive_region(SafeRegion.of(grid, [cell, (5, 5)]))
+        assert not client.must_report()
+        client.apply_region_delta({cell})
+        assert client.must_report()
+
+    def test_delta_on_complement_region(self, grid):
+        client = make_client()
+        client.receive_region(SafeRegion.of(grid, [(9, 9)], complement=True))
+        client.apply_region_delta({(0, 0), (9, 9)})
+        assert client.safe_region.complement
+        assert not client.safe_region.covers_cell((0, 0))
+        assert client.safe_region.covers_cell((1, 1))

@@ -22,13 +22,14 @@ from repro.system import CommunicationStats, ElapsServer
 SPACE = Rect(0, 0, 10_000, 10_000)
 
 
-def run_workload(measure_bytes: bool) -> ElapsServer:
+def run_workload(measure_bytes: bool, repair: bool = False) -> ElapsServer:
     server = ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=400),
         event_index=BEQTree(SPACE, emax=32),
         initial_rate=1.0,
         measure_bytes=measure_bytes,
+        repair=repair,
     )
     sub = Subscription(
         1,
@@ -45,6 +46,9 @@ def run_workload(measure_bytes: bool) -> ElapsServer:
         now=2,
     )
     server.report_location(1, Point(5_400, 5_000), Point(20, 0), now=3)
+    # a matching event inside the impact region but outside the radius:
+    # the out-of-radius type-II hit (rebuild, or repair when enabled)
+    server.publish(Event(4, {"topic": "sale"}, Point(7_600, 5_000), arrived_at=4), now=4)
     return server
 
 
@@ -78,11 +82,20 @@ class TestModes:
             "wire_bytes_down",
             "safe_region_bytes",
             "raw_region_bytes",
+            "delta_region_bytes",
             "server_seconds",
         }
         for name, value in off.items():
             if name not in byte_fields:
                 assert on[name] == value, name
+
+    def test_measurement_is_observational_under_repair_too(self):
+        off = run_workload(measure_bytes=False, repair=True).metrics
+        on = run_workload(measure_bytes=True, repair=True).metrics
+        assert off.repairs == on.repairs
+        assert off.repair_fallbacks == on.repair_fallbacks
+        assert off.total_rounds == on.total_rounds
+        assert off.delta_region_bytes == 0  # off by design when unmeasured
 
 
 class TestReportCompleteness:
@@ -96,6 +109,20 @@ class TestReportCompleteness:
             assert key in report
         assert report["batches"] == 1
         assert report["batch_events"] == 2
+
+    def test_as_dict_includes_repair_counters(self):
+        """A repair workload's counters survive into the report.
+
+        The dataclass-driven as_dict picks new fields up automatically;
+        this pins the three repair counters by name so a rename or an
+        accidental property-isation (properties are not fields) shows up.
+        """
+        report = run_workload(measure_bytes=True, repair=True).metrics.as_dict()
+        for key in ("repairs", "repair_fallbacks", "delta_region_bytes"):
+            assert key in report
+        # the workload's out-of-radius type-II hit was repaired, not rebuilt
+        assert report["repairs"] >= 1
+        assert report["delta_region_bytes"] > 0
 
     def test_merge_sums_every_counter_and_ors_the_flag(self):
         a = run_workload(measure_bytes=False).metrics

@@ -24,9 +24,11 @@ from repro.system.protocol import (
     HeartbeatMessage,
     LocationReport,
     NotificationMessage,
+    SafeRegionDelta,
     SafeRegionPush,
     SubscribeMessage,
     UnsubscribeMessage,
+    cells_from_delta,
     decode_message,
     encode_message,
 )
@@ -34,12 +36,13 @@ from repro.system.protocol import (
 SPACE = Rect(0, 0, 10_000, 10_000)
 
 
-def make_tcp_server(**kwargs) -> ElapsTCPServer:
+def make_tcp_server(repair: bool = False, **kwargs) -> ElapsTCPServer:
     server = ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=400),
         event_index=BEQTree(SPACE, emax=32),
         initial_rate=1.0,
+        repair=repair,
     )
     return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
 
@@ -234,6 +237,60 @@ class TestSubscribeFlow:
             await publisher.publish(4, {"topic": "sale"}, Point(9_000, 9_000), ttl=100)
             await asyncio.sleep(0.05)
             assert len(tcp.server.event_index) == 1
+            await publisher.close()
+            await tcp.stop()
+
+        run(scenario())
+
+
+class TestRegionDeltaWire:
+    """Repair mode ships SafeRegionDelta frames instead of full pushes."""
+
+    def test_repair_ships_delta_frame_to_subscriber(self):
+        async def scenario():
+            tcp = make_tcp_server(repair=True)
+            await tcp.start()
+            subscriber = ElapsNetworkClient("127.0.0.1", tcp.port)
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await subscriber.connect()
+            await publisher.connect()
+            received = await subscriber.subscribe(
+                make_sub(), Point(5_000, 5_000), Point(0, 0)
+            )
+            assert isinstance(received[-1], SafeRegionPush)
+            # matching, inside the impact region, outside the 1500 m
+            # radius: the out-of-radius type-II hit that repair carves
+            await publisher.publish(1, {"topic": "sale"}, Point(7_600, 5_000))
+            message = await subscriber.receive()
+            assert isinstance(message, SafeRegionDelta)
+            assert message.sub_id == 1
+            removed = cells_from_delta(message, tcp.server.grid)
+            record = tcp.server.subscribers[1]
+            assert removed
+            # the wire delta is exactly the set the server carved out
+            assert removed.isdisjoint(set(record.safe.iter_cells()))
+            assert tcp.server.metrics.repairs == 1
+            assert tcp.server.metrics.constructions == 1  # subscribe only
+            await subscriber.close()
+            await publisher.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_in_radius_publish_still_notifies_under_repair(self):
+        async def scenario():
+            tcp = make_tcp_server(repair=True)
+            await tcp.start()
+            subscriber = ElapsNetworkClient("127.0.0.1", tcp.port)
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await subscriber.connect()
+            await publisher.connect()
+            await subscriber.subscribe(make_sub(), Point(5_000, 5_000), Point(0, 0))
+            await publisher.publish(2, {"topic": "sale"}, Point(5_100, 5_000))
+            message = await subscriber.receive()
+            assert isinstance(message, NotificationMessage)
+            assert tcp.server.metrics.repairs == 0
+            await subscriber.close()
             await publisher.close()
             await tcp.stop()
 

@@ -13,14 +13,17 @@ from repro.system.protocol import (
     LocationPing,
     LocationReport,
     NotificationMessage,
+    SafeRegionDelta,
     SafeRegionPush,
     SubscribeMessage,
     UnsubscribeMessage,
+    cells_from_delta,
     decode_expression,
     decode_message,
     encode_expression,
     encode_message,
     message_bytes,
+    region_delta_for,
 )
 
 
@@ -67,6 +70,7 @@ MESSAGES = [
     LocationPing(7),
     SafeRegionPush(7, 120, False, WAHBitmap.from_positions([1, 2, 3, 700], 16_384)),
     SafeRegionPush(8, 120, True, WAHBitmap.from_positions([], 16_384)),
+    SafeRegionDelta(7, 120, WAHBitmap.from_positions([4, 5, 1_023], 16_384)),
     NotificationMessage(7, 99, Point(5.0, 6.0),
                         (("name", "shoes"), ("price", 899), ("rating", 4.5))),
 ]
@@ -101,6 +105,36 @@ class TestMessageFraming:
         # the event-arrival ping is the most frequent server->client
         # message; it must stay minimal
         assert message_bytes(LocationPing(7)) <= 16
+
+    def test_region_delta_roundtrip_recovers_the_removed_cells(self):
+        from repro.geometry import Grid, Rect
+
+        grid = Grid(40, Rect(0, 0, 10_000, 10_000))
+        removed = frozenset({(3, 7), (3, 8), (4, 7), (39, 39)})
+        delta = region_delta_for(7, grid, removed)
+        assert decode_message(encode_message(delta)) == delta
+        assert cells_from_delta(delta, grid) == removed
+
+    def test_region_delta_rejects_grid_mismatch(self):
+        from repro.geometry import Grid, Rect
+
+        grid = Grid(40, Rect(0, 0, 10_000, 10_000))
+        delta = region_delta_for(7, grid, {(1, 1)})
+        with pytest.raises(ValueError):
+            cells_from_delta(delta, Grid(80, Rect(0, 0, 10_000, 10_000)))
+
+    def test_region_delta_much_smaller_than_full_push(self):
+        # the whole point: carving a few cells must not cost a region
+        from repro.core import SafeRegion
+        from repro.geometry import Grid, Rect
+        from repro.system.protocol import region_push_for
+
+        grid = Grid(40, Rect(0, 0, 10_000, 10_000))
+        region = SafeRegion(
+            grid, frozenset((i, j) for i in range(10, 30) for j in range(10, 30))
+        )
+        delta = region_delta_for(7, grid, {(10, 10), (10, 11)})
+        assert message_bytes(delta) < message_bytes(region_push_for(7, region))
 
     def test_safe_region_push_dominated_by_bitmap(self):
         dense = SafeRegionPush(

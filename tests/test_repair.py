@@ -1,0 +1,361 @@
+"""Incremental safe-region repair (repair mode) and its fallback budget.
+
+The tentpole contract: an out-of-radius type-II hit carves the event's
+dilation out of the cached safe region instead of re-running the
+construction strategy, ships only the removed cells, and leaves the
+impact region installed (it remains a covering superset, Definition 2).
+The :class:`~repro.core.RepairBudget` bounds the drift; past it the
+server falls back to a full construction, exactly the always-rebuild
+behaviour repair mode is measured against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IGM, RegionDelta, RepairBudget, SafeRegion
+from repro.core.field import dilate_point
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import ElapsServer
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+def make_server(strategy=None, **kwargs):
+    return ElapsServer(
+        Grid(40, SPACE),
+        strategy or IGM(max_cells=400),
+        event_index=BEQTree(SPACE, emax=32),
+        initial_rate=1.0,
+        **kwargs,
+    )
+
+
+def make_sub(sub_id=1, radius=1500.0):
+    return Subscription(
+        sub_id,
+        BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),
+        radius=radius,
+    )
+
+
+def sale(event_id, x, y):
+    return Event(event_id, {"topic": "sale"}, Point(x, y))
+
+
+class TestRepairBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RepairBudget(max_removed_fraction=0.0)
+        with pytest.raises(ValueError):
+            RepairBudget(max_removed_fraction=1.5)
+        with pytest.raises(ValueError):
+            RepairBudget(bm_slack=0.5)
+
+    def test_empty_region_always_rebuilds(self):
+        budget = RepairBudget()
+        assert budget.rebuild_reason(
+            live_cells=0, cells_at_build=10, removed_since_build=10, beta=1.0
+        ) == "empty"
+
+    def test_removed_fraction_trigger(self):
+        budget = RepairBudget(max_removed_fraction=0.35)
+        common = dict(live_cells=50, cells_at_build=100, beta=1.0)
+        assert budget.rebuild_reason(removed_since_build=35, **common) is None
+        assert (
+            budget.rebuild_reason(removed_since_build=36, **common)
+            == "removed_fraction"
+        )
+
+    def test_balance_drift_trigger(self):
+        # bm scales linearly in ne: bm_at_build * (ne_estimate / ne_at_build)
+        budget = RepairBudget(bm_slack=4.0)
+        common = dict(
+            live_cells=90,
+            cells_at_build=100,
+            removed_since_build=5,
+            beta=1.0,
+            bm_at_build=0.9,
+            ne_at_build=10,
+        )
+        assert budget.rebuild_reason(ne_estimate=40, **common) is None  # bm~3.6
+        assert budget.rebuild_reason(ne_estimate=50, **common) == "balance"
+
+    def test_no_bm_information_never_trips_balance(self):
+        budget = RepairBudget()
+        assert budget.rebuild_reason(
+            live_cells=90,
+            cells_at_build=100,
+            removed_since_build=5,
+            beta=1.0,
+            bm_at_build=None,
+            ne_at_build=0,
+            ne_estimate=100,
+        ) is None
+
+
+class TestRepairPath:
+    def repair_server(self, **kwargs):
+        server = make_server(repair=True, **kwargs)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        return server, sub
+
+    def test_out_of_radius_hit_repairs_instead_of_rebuilding(self):
+        server, sub = self.repair_server()
+        record = server.subscribers[sub.sub_id]
+        built = server.metrics.constructions
+        before = record.safe
+        event = sale(10, 7_600, 5_000)  # inside impact, outside radius
+        assert server.publish(event, now=1) == []
+        assert server.metrics.constructions == built  # no reconstruction
+        assert server.metrics.repairs == 1
+        assert server.metrics.repair_fallbacks == 0
+        # the repaired region is exactly the old one minus the dilation
+        unsafe = set()
+        dilate_point(server.grid, event.location, sub.radius, unsafe)
+        assert record.safe.cells == before.cells - unsafe
+        assert record.safe.cells < before.cells  # something was carved
+
+    def test_repaired_region_excludes_every_cell_near_the_event(self):
+        server, sub = self.repair_server()
+        record = server.subscribers[sub.sub_id]
+        event = sale(10, 7_600, 5_000)
+        server.publish(event, now=1)
+        for cell in record.safe.cells:
+            distance = server.grid.cell_rect(cell).min_distance_to_point(event.location)
+            assert distance > sub.radius
+
+    def test_impact_region_stays_installed_across_repairs(self):
+        server, sub = self.repair_server()
+        installed = server.impact_index._by_subscriber[sub.sub_id]
+        server.publish(sale(10, 7_600, 5_000), now=1)
+        assert server.impact_index._by_subscriber[sub.sub_id] is installed
+        # and it still covers the (shrunken) safe region's dilation: the
+        # repaired region is a subset of the built one, so the covering
+        # property is inherited — spot-check every live cell is covered
+        for cell in server.subscribers[sub.sub_id].safe.cells:
+            assert cell in installed
+
+    def test_repair_ships_through_the_region_sink_without_a_delta_sink(self):
+        server, sub = self.repair_server()
+        shipped = []
+        server.region_sink = lambda sub_id, region: shipped.append(region)
+        server.publish(sale(10, 7_600, 5_000), now=1)
+        assert len(shipped) == 1
+        assert shipped[0] is server.subscribers[sub.sub_id].safe
+
+    def test_delta_sink_takes_precedence_and_applies_cleanly(self):
+        server, sub = self.repair_server()
+        record = server.subscribers[sub.sub_id]
+        before = record.safe
+        pushes, deltas = [], []
+        server.region_sink = lambda sub_id, region: pushes.append(region)
+        server.delta_sink = lambda sub_id, removed, region: deltas.append(removed)
+        server.publish(sale(10, 7_600, 5_000), now=1)
+        assert pushes == []
+        assert len(deltas) == 1
+        # client-side application reproduces the server's repaired region
+        applied = RegionDelta.of(server.grid, deltas[0]).apply_to(before)
+        assert applied.cells == record.safe.cells
+        # and the WAH identity holds bitmap-for-bitmap
+        delta_bitmap = RegionDelta.of(server.grid, deltas[0]).to_bitmap()
+        assert before.to_bitmap().difference(delta_bitmap) == record.safe.to_bitmap()
+
+    def test_miss_ships_nothing(self):
+        """A dilation that misses the region entirely moves zero bytes."""
+        from repro.system.protocol import LocationPing, LocationReport, message_bytes
+
+        server, sub = self.repair_server(measure_bytes=True)
+        shipped = []
+        server.region_sink = lambda sub_id, region: shipped.append(region)
+        # repeating the location: the second carve only covers territory
+        # the first already removed, so nothing ships beyond the ping round
+        event = sale(10, 7_600, 5_000)
+        server.publish(event, now=1)
+        shipped.clear()
+        down_after_first = server.metrics.wire_bytes_down
+        delta_bytes_after_first = server.metrics.delta_region_bytes
+        server.publish(sale(11, 7_600, 5_000), now=2)
+        assert server.metrics.repairs == 2
+        assert shipped == []  # second carve removed nothing
+        assert server.metrics.delta_region_bytes == delta_bytes_after_first
+        assert server.metrics.wire_bytes_down == down_after_first + message_bytes(
+            LocationPing(sub.sub_id)
+        )
+
+    def test_budget_exhaustion_falls_back_to_full_construction(self):
+        server, sub = self.repair_server(
+            repair_budget=RepairBudget(max_removed_fraction=0.01)
+        )
+        built = server.metrics.constructions
+        server.publish(sale(10, 7_600, 5_000), now=1)
+        assert server.metrics.repairs == 0
+        assert server.metrics.repair_fallbacks == 1
+        assert server.metrics.constructions == built + 1
+        # the fallback construction re-arms repair state
+        assert server.subscribers[sub.sub_id].repair is not None
+
+    def test_batch_repairs_once_per_subscriber(self):
+        # a generous budget: three carves remove a lot of the region, and
+        # this test is about batching, not about the fallback triggers
+        server, sub = self.repair_server(
+            repair_budget=RepairBudget(max_removed_fraction=1.0)
+        )
+        built = server.metrics.constructions
+        burst = [sale(10, 7_600, 5_000), sale(11, 7_700, 5_200), sale(12, 2_400, 5_000)]
+        server.publish_batch(burst, now=1)
+        assert server.metrics.constructions == built
+        assert server.metrics.repairs == 1  # one carve covers the burst
+        record = server.subscribers[sub.sub_id]
+        for event in burst:
+            unsafe = set()
+            dilate_point(server.grid, event.location, sub.radius, unsafe)
+            assert not (record.safe.cells & unsafe)
+
+    def test_repair_off_by_default(self):
+        server = make_server()
+        assert server.repair is False
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        built = server.metrics.constructions
+        server.publish(sale(10, 7_600, 5_000), now=1)
+        assert server.metrics.constructions == built + 1
+        assert server.metrics.repairs == 0
+        assert server.metrics.repair_fallbacks == 0
+
+
+class TestFieldReuse:
+    """The per-subscriber LazyBEQField surviving across constructions."""
+
+    def test_field_cached_in_repair_ondemand_mode(self):
+        server = make_server(repair=True)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        field = server._lazy_fields.get(sub.sub_id)
+        assert field is not None
+        record = server.subscribers[sub.sub_id]
+        assert server._matching_field(record) is field
+
+    def test_no_cache_without_repair(self):
+        server = make_server()
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        assert server._lazy_fields == {}
+
+    def test_cached_field_learns_new_events_outside_scanned_leaves(self):
+        """A reused field must see events published after its leaf scans.
+
+        This is the correctness half of reuse: scanned BEQ leaves are
+        never revisited, so without the note_event feed a later
+        construction would run on a stale corpus and could emit an
+        invalid (too large) region.
+        """
+        server = make_server(repair=True)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        # outside the impact region: no communication, but the cached
+        # field is fed so the event constrains the next construction
+        far = sale(10, 500, 500)
+        server.publish(far, now=1)
+        field = server._lazy_fields[sub.sub_id]
+        assert far.event_id in field._seen_ids
+        # force a reconstruction via a location report near the event
+        notifications, region = server.report_location(
+            sub.sub_id, Point(1_600, 1_600), Point(20, 0), now=2
+        )
+        assert notifications == []  # still out of radius
+        for cell in region.cells:
+            assert (
+                server.grid.cell_rect(cell).min_distance_to_point(far.location)
+                > sub.radius
+            )
+
+    def test_staleness_retires_the_field(self):
+        server = make_server(repair=True)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        field = server._lazy_fields[sub.sub_id]
+        field.stale_exclusions = 10_000  # exceed any threshold
+        assert field.too_stale()
+        record = server.subscribers[sub.sub_id]
+        fresh = server._matching_field(record)
+        assert fresh is not field
+        assert server._lazy_fields[sub.sub_id] is fresh
+
+    def test_expiry_marks_seen_events_stale(self):
+        server = make_server(repair=True)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        doomed = Event(
+            10, {"topic": "sale"}, Point(7_600, 5_000), arrived_at=1, expires_at=3
+        )
+        server.publish(doomed, now=1)
+        field = server._lazy_fields[sub.sub_id]
+        assert doomed.event_id in field._seen_ids
+        before = field.stale_exclusions
+        server.expire_due_events(now=5)
+        assert field.stale_exclusions == before + 1
+
+    def test_resync_drops_the_cached_field(self):
+        server = make_server(repair=True)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        assert sub.sub_id in server._lazy_fields
+        server.resync(sub.sub_id, Point(5_000, 5_000), Point(20, 0), (), now=1)
+        field = server._lazy_fields[sub.sub_id]
+        # the fresh field shares the record's (rebound) delivered set
+        assert field._excluded is server.subscribers[sub.sub_id].delivered
+
+
+class TestDegenerateConstruction:
+    """The Lemma-1 fallback: an empty safe region still needs an impact
+    region covering the subscriber's notification circle."""
+
+    def degenerate_server(self):
+        server = make_server()
+        sub = make_sub()
+        # matching, undelivered (outside the radius), but so close that
+        # its dilation swallows the subscriber's own cell: the expansion
+        # rejects the start cell and the safe region comes out empty
+        server.bootstrap([sale(1, 5_000 + 1_600, 5_000)])
+        _, region = server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        return server, sub, region
+
+    def test_empty_region_installs_the_dilated_subscriber_cell(self):
+        server, sub, region = self.degenerate_server()
+        assert region.is_empty()
+        record = server.subscribers[sub.sub_id]
+        cell = server.grid.cell_of(record.location)
+        expected = set(
+            server.grid.cells_within_radius(cell, sub.radius, inclusive=True)
+        )
+        expected.add(cell)
+        assert server.impact_index._by_subscriber[sub.sub_id] == frozenset(expected)
+
+    def test_degenerate_impact_still_catches_deliverable_events(self):
+        server, sub, _ = self.degenerate_server()
+        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        # an event inside the notification circle must reach the client
+        # even though the safe region is empty (Lemma 1's whole point)
+        notifications = server.publish(sale(2, 5_400, 5_000), now=1)
+        assert [n.event.event_id for n in notifications] == [2]
+
+    def test_repair_on_empty_region_falls_back(self):
+        server = make_server(repair=True)
+        sub = make_sub()
+        server.bootstrap([sale(1, 5_000 + 1_600, 5_000)])
+        _, region = server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        assert region.is_empty()
+        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        built = server.metrics.constructions
+        server.publish(sale(2, 6_700, 5_000), now=1)  # in impact, out of radius
+        assert server.metrics.repairs == 0
+        assert server.metrics.repair_fallbacks == 1
+        assert server.metrics.constructions == built + 1

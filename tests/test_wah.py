@@ -78,3 +78,67 @@ class TestCompression:
         c = WAHBitmap.from_positions([1, 2], 100)
         assert a == b and hash(a) == hash(b)
         assert a != c
+
+
+class TestSetAlgebra:
+    """Compressed-domain difference/union (the delta-shipping identity)."""
+
+    def test_difference_basic(self):
+        a = WAHBitmap.from_positions([1, 5, 100, 2_000], 5_000)
+        b = WAHBitmap.from_positions([5, 2_000, 3_000], 5_000)
+        assert a.difference(b).positions() == [1, 100]
+
+    def test_union_basic(self):
+        a = WAHBitmap.from_positions([1, 5], 5_000)
+        b = WAHBitmap.from_positions([5, 9], 5_000)
+        assert a.union(b).positions() == [1, 5, 9]
+
+    def test_length_mismatch_rejected(self):
+        a = WAHBitmap.from_positions([1], 100)
+        b = WAHBitmap.from_positions([1], 200)
+        with pytest.raises(ValueError):
+            a.difference(b)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_difference_with_fills(self):
+        # long runs on both sides force the fill-vs-fill merge paths
+        a = WAHBitmap.from_positions(range(100_000), 200_000)
+        b = WAHBitmap.from_positions(range(50_000, 150_000), 200_000)
+        assert a.difference(b) == WAHBitmap.from_positions(range(50_000), 200_000)
+        assert a.union(b) == WAHBitmap.from_positions(range(150_000), 200_000)
+
+    @given(
+        length=st.integers(min_value=1, max_value=3_000),
+        data=st.data(),
+    )
+    def test_results_are_canonical_encodings(self, length, data):
+        """a - b and a | b equal from_positions of the set result.
+
+        Canonical-form equality (not just equal position lists) is what
+        lets a client verify ``old - delta == fresh_push`` bitmap against
+        bitmap; it requires the merge to reproduce from_positions' fill
+        absorption exactly, final partial group included.
+        """
+        universe = st.integers(min_value=0, max_value=length - 1)
+        a_pos = set(data.draw(st.lists(universe, max_size=150)))
+        b_pos = set(data.draw(st.lists(universe, max_size=150)))
+        a = WAHBitmap.from_positions(a_pos, length)
+        b = WAHBitmap.from_positions(b_pos, length)
+        assert a.difference(b) == WAHBitmap.from_positions(a_pos - b_pos, length)
+        assert a.union(b) == WAHBitmap.from_positions(a_pos | b_pos, length)
+
+    @given(
+        length=st.integers(min_value=31, max_value=2_000),
+        data=st.data(),
+    )
+    def test_delta_identity(self, data, length):
+        """old.difference(removed) == new: exactly the repair shipment."""
+        universe = st.integers(min_value=0, max_value=length - 1)
+        old_pos = set(data.draw(st.lists(universe, min_size=1, max_size=100)))
+        removed_pos = set(data.draw(st.lists(st.sampled_from(sorted(old_pos)), max_size=50)))
+        old = WAHBitmap.from_positions(old_pos, length)
+        removed = WAHBitmap.from_positions(removed_pos, length)
+        new = WAHBitmap.from_positions(old_pos - removed_pos, length)
+        assert old.difference(removed) == new
+        assert new.union(removed) == old
