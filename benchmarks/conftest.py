@@ -23,6 +23,30 @@ def pytest_addoption(parser):
         help="dump a cProfile top-20 (cumulative) per benchmark body "
         "into benchmarks/results/profile_<name>.txt",
     )
+    parser.addoption(
+        "--stats",
+        action="store_true",
+        default=False,
+        help="print the per-stage latency summary (span histograms) for "
+        "benchmarks that trace their servers",
+    )
+    parser.addoption(
+        "--slow-span-ms",
+        type=float,
+        default=None,
+        help="report any traced pipeline span at or above this many "
+        "milliseconds as it happens",
+    )
+
+
+@pytest.fixture
+def stats_options(request):
+    """(print_stats, slow_threshold_seconds) from --stats/--slow-span-ms."""
+    slow_ms = request.config.getoption("--slow-span-ms")
+    return (
+        request.config.getoption("--stats"),
+        None if slow_ms is None else slow_ms / 1000.0,
+    )
 
 
 @pytest.fixture

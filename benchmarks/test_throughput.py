@@ -9,21 +9,27 @@ reports events/second, two ways:
 * a population sweep on the single-event path (separating index cost
   from subscriber-handling cost),
 * the **batched fast path**: the same burst through ``publish_batch``
-  at increasing batch sizes, against the one-at-a-time baseline, and
+  at increasing batch sizes, against the one-at-a-time baseline,
 * the **repair sweep**: the same burst against an always-rebuild server
   and a repair-enabled one (both measuring bytes), comparing publish
-  throughput and downstream wire bytes.
+  throughput and downstream wire bytes, and
+* the **tracing overhead** check: the batch-64 series with the span
+  tracer enabled vs disabled (best-of-N each), plus the per-stage
+  latency histogram summaries of the traced run.
 
 Besides the human-readable table, the run emits the machine-readable
-``BENCH_throughput.json`` at the repo root (schema v2, documented in
-EXPERIMENTS.md).  Two regression gates are enforced here and re-checked
-by the CI bench-smoke job from the JSON: batched throughput at batch
-size 64 must stay at least 1.5x the single-event baseline, and repair
-mode must process at least 2x the always-rebuild events/sec while
-shipping strictly fewer bytes down.
+``BENCH_throughput.json`` at the repo root (schema v3, documented in
+EXPERIMENTS.md).  Three regression gates are enforced here and
+re-checked by the CI bench-smoke job from the JSON: batched throughput
+at batch size 64 must stay at least 1.5x the single-event baseline,
+repair mode must process at least 2x the always-rebuild events/sec
+while shipping strictly fewer bytes down, and enabled span tracing must
+cost at most 5% of batch-64 throughput.
 
 Run with ``--profile`` to additionally dump a cProfile top-20 of the
-benchmark body to ``benchmarks/results/profile_throughput.txt``.
+benchmark body to ``benchmarks/results/profile_throughput.txt``; run
+with ``--stats`` (optionally ``--slow-span-ms N``) to print the traced
+run's per-stage latency table.
 """
 
 from __future__ import annotations
@@ -49,6 +55,10 @@ BATCH_SIZES = (16, 64)
 BATCH_SUBSCRIBERS = POPULATIONS[-1]
 REQUIRED_SPEEDUP_AT_64 = 1.5
 REQUIRED_REPAIR_SPEEDUP = 2.0
+#: enabled-tracing overhead ceiling on batch-64 throughput (fraction)
+MAX_TRACING_OVERHEAD = 0.05
+#: best-of rounds per tracing mode; the max filters scheduler noise
+OVERHEAD_ROUNDS = 3
 JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
@@ -190,15 +200,64 @@ def _repair_comparison(generator, burst) -> List[Dict]:
     return rows
 
 
+def _tracing_overhead(generator, burst, slow_threshold=None):
+    """Batch-64 throughput with the span tracer off vs on.
+
+    Each mode runs ``OVERHEAD_ROUNDS`` times on a freshly loaded server
+    and keeps its best events/sec — the max is the least noisy estimator
+    of attainable throughput, which is what an overhead ratio should
+    compare.  Returns the two rows, the measured overhead fraction, and
+    the traced run's per-stage histogram summaries.
+    """
+    rows: List[Dict] = []
+    summaries: Dict[str, Dict[str, float]] = {}
+    batch_size = BATCH_SIZES[-1]
+    for enabled in (False, True):
+        best = 0.0
+        for _ in range(OVERHEAD_ROUNDS):
+            server = _loaded_server(generator, BATCH_SUBSCRIBERS)
+            server.tracer.enabled = enabled
+            server.tracer.slow_threshold = slow_threshold if enabled else None
+            started = time.perf_counter()
+            for i in range(0, len(burst), batch_size):
+                server.publish_batch(burst[i : i + batch_size], i // batch_size + 1)
+            elapsed = time.perf_counter() - started
+            best = max(best, len(burst) / elapsed)
+            if enabled:
+                summaries = server.registry.tracer.summaries()
+        rows.append(
+            {
+                "mode": "traced" if enabled else "untraced",
+                "batch_size": batch_size,
+                "events": len(burst),
+                "rounds": OVERHEAD_ROUNDS,
+                "events_per_second": best,
+            }
+        )
+    untraced = rows[0]["events_per_second"]
+    traced = rows[1]["events_per_second"]
+    overhead = max(0.0, 1.0 - traced / untraced)
+    for row in rows:
+        row["overhead_vs_untraced"] = max(
+            0.0, 1.0 - row["events_per_second"] / untraced
+        )
+    return rows, overhead, summaries
+
+
 def _emit_json(
-    population_rows: List[Dict], batch_rows: List[Dict], repair_rows: List[Dict]
+    population_rows: List[Dict],
+    batch_rows: List[Dict],
+    repair_rows: List[Dict],
+    tracing_rows: List[Dict],
+    tracing_overhead: float,
+    span_summaries: Dict[str, Dict[str, float]],
 ) -> Dict:
     at_64 = next(r for r in batch_rows if r["batch_size"] == 64)
     rebuild = next(r for r in repair_rows if r["mode"] == "rebuild")
     repair = next(r for r in repair_rows if r["mode"] == "repair")
     payload = {
         "benchmark": "throughput",
-        "schema_version": 2,
+        "schema_version": 3,
         "fast_mode": FAST,
         "config": {
             "space": [SPACE.x_min, SPACE.y_min, SPACE.x_max, SPACE.y_max],
@@ -212,7 +271,11 @@ def _emit_json(
             "population_sweep": population_rows,
             "batch_comparison": batch_rows,
             "repair_sweep": repair_rows,
+            "tracing_overhead": tracing_rows,
         },
+        #: per-stage latency digests of the traced batch-64 run; the
+        #: full bucket vectors stay server-side (frame type 13)
+        "span_histograms": span_summaries,
         "gate": {
             "required_speedup_at_batch_64": REQUIRED_SPEEDUP_AT_64,
             "measured_speedup_at_batch_64": at_64["speedup_vs_single"],
@@ -228,25 +291,58 @@ def _emit_json(
                 and repair["wire_bytes_down"] < rebuild["wire_bytes_down"]
             ),
         },
+        "tracing_gate": {
+            "max_overhead": MAX_TRACING_OVERHEAD,
+            "measured_overhead": tracing_overhead,
+            "passed": tracing_overhead <= MAX_TRACING_OVERHEAD,
+        },
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
 
-def _run():
+def _run(slow_threshold=None):
     generator = TwitterLikeGenerator(SPACE, seed=37)
     burst = generator.events(BURST, start_id=10_000_000, seed_offset=7)
     population_rows = _population_sweep(generator, burst)
     batch_rows = _batch_comparison(generator, burst)
     repair_rows = _repair_comparison(generator, burst)
-    return population_rows, batch_rows, repair_rows
-
-
-def test_publish_throughput(benchmark, report, profiled):
-    population_rows, batch_rows, repair_rows = benchmark.pedantic(
-        profiled("throughput", _run), rounds=1, iterations=1
+    tracing_rows, tracing_overhead, span_summaries = _tracing_overhead(
+        generator, burst, slow_threshold
     )
-    payload = _emit_json(population_rows, batch_rows, repair_rows)
+    return (
+        population_rows,
+        batch_rows,
+        repair_rows,
+        tracing_rows,
+        tracing_overhead,
+        span_summaries,
+    )
+
+
+def test_publish_throughput(benchmark, report, profiled, stats_options):
+    print_stats, slow_threshold = stats_options
+    (
+        population_rows,
+        batch_rows,
+        repair_rows,
+        tracing_rows,
+        tracing_overhead,
+        span_summaries,
+    ) = benchmark.pedantic(
+        profiled("throughput", _run),
+        args=(slow_threshold,),
+        rounds=1,
+        iterations=1,
+    )
+    payload = _emit_json(
+        population_rows,
+        batch_rows,
+        repair_rows,
+        tracing_rows,
+        tracing_overhead,
+        span_summaries,
+    )
     report(
         "throughput",
         format_table(
@@ -280,8 +376,29 @@ def test_publish_throughput(benchmark, report, profiled):
                 "wire_bytes_down",
             ),
             f"Repair vs always-rebuild ({BATCH_SUBSCRIBERS} subscribers, bytes measured)",
+        )
+        + "\n"
+        + format_table(
+            tracing_rows,
+            (
+                "mode",
+                "batch_size",
+                "events_per_second",
+                "overhead_vs_untraced",
+            ),
+            f"Span tracing overhead (best of {OVERHEAD_ROUNDS} rounds per mode)",
         ),
     )
+    if print_stats and span_summaries:
+        print("\nper-stage latency (traced batch-64 run)")
+        print(f"{'stage':<16} {'count':>9} {'p50 ms':>10} {'p95 ms':>10} "
+              f"{'p99 ms':>10} {'total s':>10}")
+        for stage, digest in span_summaries.items():
+            print(
+                f"{stage:<16} {digest['count']:>9} {digest['p50'] * 1e3:>10.3f} "
+                f"{digest['p95'] * 1e3:>10.3f} {digest['p99'] * 1e3:>10.3f} "
+                f"{digest['total_seconds']:>10.3f}"
+            )
     by = {r["subscribers"]: r for r in population_rows}
     # the empty server bounds the pure index cost; it must be brisk even
     # in pure Python
@@ -293,3 +410,6 @@ def test_publish_throughput(benchmark, report, profiled):
     assert payload["gate"]["passed"], payload["gate"]
     # and repair must beat always-rebuild on both time and wire bytes
     assert payload["repair_gate"]["passed"], payload["repair_gate"]
+    # the traced batch path must record real spans, near-free
+    assert span_summaries, "traced run recorded no spans"
+    assert payload["tracing_gate"]["passed"], payload["tracing_gate"]

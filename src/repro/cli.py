@@ -45,6 +45,13 @@ def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ttl", type=int, default=50,
                         help="event validity in timestamps (default 50)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--stats", action="store_true",
+                        help="print the per-stage latency summary (span "
+                             "histograms: count, p50/p95/p99, total) after "
+                             "the run")
+    parser.add_argument("--slow-span-ms", type=float, default=None,
+                        help="report any pipeline span that takes at least "
+                             "this many milliseconds as it happens")
 
 
 def _config_from(args: argparse.Namespace, strategy: str, mode: str) -> ExperimentConfig:
@@ -63,6 +70,9 @@ def _config_from(args: argparse.Namespace, strategy: str, mode: str) -> Experime
         event_ttl=args.ttl,
         matching_mode=mode,
         seed=args.seed,
+        slow_span_seconds=(
+            None if args.slow_span_ms is None else args.slow_span_ms / 1000.0
+        ),
     )
 
 
@@ -88,6 +98,24 @@ _TABLE_HEADER = (
 )
 
 
+def _print_span_table(registry, label: str = "") -> None:
+    """The per-stage latency summary behind ``--stats``."""
+    summaries = registry.tracer.summaries() if registry is not None else {}
+    title = f"per-stage latency{f' ({label})' if label else ''}"
+    if not summaries:
+        print(f"\n{title}: no spans recorded")
+        return
+    print(f"\n{title}")
+    print(f"{'stage':<16} {'count':>9} {'p50 ms':>10} {'p95 ms':>10} "
+          f"{'p99 ms':>10} {'total s':>10}")
+    for stage, digest in summaries.items():
+        print(
+            f"{stage:<16} {digest['count']:>9} {digest['p50'] * 1e3:>10.3f} "
+            f"{digest['p95'] * 1e3:>10.3f} {digest['p99'] * 1e3:>10.3f} "
+            f"{digest['total_seconds']:>10.3f}"
+        )
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     mode = "cached" if args.strategy in ("VM", "GM") else "ondemand"
     _print_header(args)
@@ -96,6 +124,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print()
     print(_TABLE_HEADER)
     _print_row(args.strategy, result.per_subscriber(), time.perf_counter() - started)
+    if args.stats:
+        _print_span_table(result.registry)
     return 0
 
 
@@ -104,13 +134,18 @@ def _command_compare(args: argparse.Namespace) -> int:
     print()
     print(_TABLE_HEADER)
     totals = {}
+    span_tables = []
     for strategy in ("VM", "GM", "iGM", "idGM"):
         mode = "cached" if strategy in ("VM", "GM") else "ondemand"
         started = time.perf_counter()
         result = run_experiment(_config_from(args, strategy, mode))
         per = result.per_subscriber()
         totals[strategy] = per["total"]
+        span_tables.append((strategy, result.registry))
         _print_row(strategy, per, time.perf_counter() - started)
+    if args.stats:
+        for strategy, registry in span_tables:
+            _print_span_table(registry, strategy)
     best = min(totals, key=totals.get)
     worst = max(totals, key=totals.get)
     if totals[best] > 0:

@@ -13,12 +13,24 @@ from .network import (
     ResilientElapsClient,
     TruncatedFrameError,
 )
+from .observability import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    MetricsRegistry,
+    SpanTracer,
+    render_prometheus,
+)
 from .server import ElapsServer, Notification, SubscriberRecord
 from .simulation import Simulation, SimulationResult
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "ChaosProxy",
     "CommunicationStats",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SpanTracer",
+    "render_prometheus",
     "ElapsNetworkClient",
     "ElapsServer",
     "ElapsTCPServer",

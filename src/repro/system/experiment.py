@@ -77,6 +77,8 @@ class ExperimentConfig:
     oracle_rebuild: bool = False  # the "-opi" free-refresh oracle (Fig 10)
     use_impact_region: bool = True  # ablation: False pings on every match
     incremental_impact: bool = True  # ablation: Example 2 strips on/off
+    trace_spans: bool = True  # span tracer on the server's hot stages
+    slow_span_seconds: Optional[float] = None  # log spans at/above this
 
     def with_(self, **changes) -> "ExperimentConfig":
         """A copy of this configuration with fields replaced."""
@@ -155,6 +157,8 @@ def build_simulation(config: ExperimentConfig) -> Simulation:
         measure_bytes=config.measure_bytes,
         use_impact_region=config.use_impact_region,
     )
+    server.tracer.enabled = config.trace_spans
+    server.tracer.slow_threshold = config.slow_span_seconds
     server.bootstrap(generator.events(config.initial_events))
     return Simulation(
         server,

@@ -72,6 +72,12 @@ class CommunicationStats:
     connection_resets: int = 0
     #: connections reaped because no frame arrived within the read timeout
     read_timeouts: int = 0
+    #: connections reaped because a response could not be flushed within
+    #: the write timeout (a stalled or unreachable peer); distinct from
+    #: ``read_timeouts`` — a slow *reader* on the far end is a different
+    #: incident than a silent sender, and conflating them hid real
+    #: backpressure problems behind an idle-connection count
+    write_timeouts: int = 0
     #: heartbeat frames received (and echoed) by the server
     heartbeats: int = 0
     #: SubscribeMessage arrivals for an already-known subscriber
@@ -104,7 +110,13 @@ class CommunicationStats:
         return self.location_update_rounds + self.event_arrival_rounds
 
     def per_subscriber(self, subscriber_count: int) -> Dict[str, float]:
-        """The per-subscriber averages the paper's figures report."""
+        """The per-subscriber averages the paper's figures report.
+
+        Besides the paper's four headline series, the repair- and
+        batch-era counters are included so a report built from this view
+        alone still describes what the run actually did (a repair-mode
+        run with ``repairs`` omitted looks identical to always-rebuild).
+        """
         if subscriber_count <= 0:
             raise ValueError(f"subscriber count must be positive: {subscriber_count}")
         return {
@@ -112,6 +124,8 @@ class CommunicationStats:
             "event_arrival": self.event_arrival_rounds / subscriber_count,
             "total": self.total_rounds / subscriber_count,
             "notifications": self.notifications / subscriber_count,
+            "repairs": self.repairs / subscriber_count,
+            "batches": self.batches / subscriber_count,
         }
 
     def as_dict(self) -> Dict[str, float]:

@@ -63,6 +63,8 @@ from .protocol import (
     ResyncMessage,
     SafeRegionDelta,
     SafeRegionPush,
+    StatsRequest,
+    StatsSnapshot,
     SubscribeMessage,
     UnsubscribeMessage,
     cells_from_delta,
@@ -72,6 +74,7 @@ from .protocol import (
     region_delta_for,
     region_from_push,
     region_push_for,
+    stats_snapshot_for,
 )
 from .server import ElapsServer
 
@@ -257,6 +260,7 @@ class ElapsTCPServer:
     ) -> None:
         connection_subs: set = set()
         metrics = self.server.metrics
+        tracer = self.server.tracer
         task = asyncio.current_task()
         if task is not None:
             self._connection_tasks.add(task)
@@ -264,9 +268,14 @@ class ElapsTCPServer:
         try:
             while True:
                 try:
-                    frame = await asyncio.wait_for(
-                        read_frame(reader, self.max_frame_length), self.read_timeout
-                    )
+                    # the "read" stage includes the wait for the peer's
+                    # next frame, so its histogram is the inter-frame
+                    # arrival picture, not pure parsing cost
+                    with tracer.span("read"):
+                        frame = await asyncio.wait_for(
+                            read_frame(reader, self.max_frame_length),
+                            self.read_timeout,
+                        )
                 except asyncio.TimeoutError:
                     metrics.read_timeouts += 1
                     break
@@ -279,7 +288,8 @@ class ElapsTCPServer:
                 if frame is None:
                     break
                 try:
-                    message = decode_message(frame)
+                    with tracer.span("decode"):
+                        message = decode_message(frame)
                 except Exception:
                     # corrupted payload (bad tag, short buffer, garbage
                     # unicode, unknown type...): count it and cut the
@@ -290,13 +300,18 @@ class ElapsTCPServer:
                     metrics.malformed_frames += 1
                     break
                 try:
-                    self._dispatch(message, writer, connection_subs)
-                    await asyncio.wait_for(writer.drain(), self.write_timeout)
+                    with tracer.span("dispatch"):
+                        self._dispatch(message, writer, connection_subs)
+                    with tracer.span("drain"):
+                        await asyncio.wait_for(writer.drain(), self.write_timeout)
                 except (ConnectionResetError, BrokenPipeError):
                     metrics.connection_resets += 1
                     break
                 except asyncio.TimeoutError:
-                    metrics.read_timeouts += 1
+                    # a drain that cannot flush is a stalled *peer*, not a
+                    # silent one; counting it as a read timeout hid every
+                    # backpressure incident inside the idle-connection tally
+                    metrics.write_timeouts += 1
                     break
         except Exception:  # graceful degradation: never crash the loop
             logger.exception("connection handler failed; dropping connection")
@@ -382,6 +397,10 @@ class ElapsTCPServer:
         elif isinstance(message, HeartbeatMessage):
             metrics.heartbeats += 1
             writer.write(encode_message(message))
+        elif isinstance(message, StatsRequest):
+            # observability pull: answer with a point-in-time copy of the
+            # whole registry on the requesting connection
+            writer.write(encode_message(stats_snapshot_for(self.server.registry)))
         elif isinstance(message, UnsubscribeMessage):
             if message.sub_id in self.server.subscribers:
                 self.server.unsubscribe(message.sub_id)
@@ -473,6 +492,20 @@ class ElapsNetworkClient:
                 event_id, location, tuple(sorted(attributes.items())), ttl
             )
         )
+
+    async def request_stats(self, timeout: float = 5.0) -> Optional[StatsSnapshot]:
+        """Request a :class:`StatsSnapshot`, skipping unrelated pushes.
+
+        Notifications or region pushes already in flight on this
+        connection are consumed (and discarded) until the snapshot
+        arrives; a dedicated metrics connection sees none.  Returns
+        ``None`` if the server closes first.
+        """
+        await self.send(StatsRequest())
+        while True:
+            message = await self.receive(timeout)
+            if message is None or isinstance(message, StatsSnapshot):
+                return message
 
     async def publish_batch(self, events) -> None:
         """Publish a burst as one frame (the batched fast path).

@@ -27,6 +27,11 @@ message                       direction  payload
                                          the server echoes it back)
 ``ResyncMessage``             C -> S     sub id, location, velocity, ids of
                                          the events the client already holds
+``StatsRequest``              C -> S     empty; asks for a metrics snapshot
+``StatsSnapshot``             S -> C     every counter plus the per-stage
+                                         latency histograms (bucket counts
+                                         and exact sums) of the server's
+                                         :class:`MetricsRegistry`
 ============================  =========  =====================================
 
 Frames are ``[1-byte type][4-byte big-endian payload length][payload]``.
@@ -468,6 +473,118 @@ class SafeRegionDelta:
 
 
 @dataclass(frozen=True)
+class StatsRequest:
+    """C->S: ask the server for a :class:`StatsSnapshot`.
+
+    The observability pull model: any connected peer (an operator tool,
+    the bench-smoke job, a dashboard scraper) sends this empty frame and
+    the server answers on the same connection with frame type 13.  No
+    subscriber state is involved, so the request carries no fields.
+    """
+
+    TYPE = 12
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded): empty."""
+        return b""
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "StatsRequest":
+        """Inverse of :meth:`encode_payload`."""
+        if payload:
+            raise ValueError(
+                f"stats request carries no payload, got {len(payload)} bytes"
+            )
+        return cls()
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """S->C: a point-in-time copy of the server's metrics registry.
+
+    Two sections travel:
+
+    * ``counters`` — every :class:`~repro.system.metrics.CommunicationStats`
+      field by name (the ``bytes_measured`` flag as 0/1);
+    * ``spans`` — per pipeline stage, the fixed-bucket latency histogram
+      as ``(stage, bucket counts, exact seconds sum)``; bucket bounds
+      are the protocol constant
+      :data:`~repro.system.observability.BUCKET_BOUNDS`, so histograms
+      from different servers merge bucket-wise without negotiation.
+    """
+
+    TYPE = 13
+    counters: Tuple[Tuple[str, Union[int, float]], ...]
+    spans: Tuple[Tuple[str, Tuple[int, ...], float], ...]
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload (frame header excluded)."""
+        parts = [struct.pack(">I", len(self.counters))]
+        for name, value in self.counters:
+            parts.append(_encode_str(name))
+            parts.append(_encode_scalar(int(value) if isinstance(value, bool) else value))
+        parts.append(struct.pack(">I", len(self.spans)))
+        for stage, counts, total_seconds in self.spans:
+            parts.append(_encode_str(stage))
+            parts.append(struct.pack(">I", len(counts)))
+            parts.append(struct.pack(f">{len(counts)}Q", *counts))
+            parts.append(struct.pack(">d", total_seconds))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "StatsSnapshot":
+        """Inverse of :meth:`encode_payload`."""
+        (counter_count,) = struct.unpack_from(">I", payload, 0)
+        offset = 4
+        counters = []
+        for _ in range(counter_count):
+            name, offset = _decode_str(payload, offset)
+            value, offset = _decode_scalar(payload, offset)
+            counters.append((name, value))
+        (span_count,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        spans = []
+        for _ in range(span_count):
+            stage, offset = _decode_str(payload, offset)
+            (bucket_count,) = struct.unpack_from(">I", payload, offset)
+            offset += 4
+            counts = struct.unpack_from(f">{bucket_count}Q", payload, offset)
+            offset += 8 * bucket_count
+            (total_seconds,) = struct.unpack_from(">d", payload, offset)
+            offset += 8
+            spans.append((stage, counts, total_seconds))
+        return cls(tuple(counters), tuple(spans))
+
+    # convenience views ---------------------------------------------------
+    def counters_dict(self) -> Dict[str, Union[int, float]]:
+        """The counters section as a plain dict."""
+        return dict(self.counters)
+
+    def histograms(self):
+        """The spans section as live :class:`LatencyHistogram` objects."""
+        from .observability import LatencyHistogram
+
+        return {
+            stage: LatencyHistogram(list(counts), total_seconds)
+            for stage, counts, total_seconds in self.spans
+        }
+
+
+def stats_snapshot_for(registry) -> StatsSnapshot:
+    """The wire message carrying a :class:`MetricsRegistry` snapshot."""
+    return StatsSnapshot(
+        tuple(
+            (name, int(value) if isinstance(value, bool) else value)
+            for name, value in sorted(registry.stats.as_dict().items())
+        ),
+        tuple(
+            (stage, tuple(histogram.counts), histogram.total_seconds)
+            for stage, histogram in sorted(registry.tracer.histograms.items())
+        ),
+    )
+
+
+@dataclass(frozen=True)
 class HeartbeatMessage:
     """C<->S: liveness probe; the server echoes the frame unchanged.
 
@@ -545,6 +662,8 @@ _MESSAGE_TYPES = {
         HeartbeatMessage,
         ResyncMessage,
         SafeRegionDelta,
+        StatsRequest,
+        StatsSnapshot,
     )
 }
 
@@ -560,6 +679,8 @@ Message = Union[
     HeartbeatMessage,
     ResyncMessage,
     SafeRegionDelta,
+    StatsRequest,
+    StatsSnapshot,
 ]
 
 _FRAME_HEADER = ">BI"

@@ -55,6 +55,7 @@ from ..expressions import Event, Subscription
 from ..geometry import Cell, Grid, Point
 from ..index import BEQTree, ImpactRegionIndex, SubscriptionIndex
 from .metrics import CommunicationStats
+from .observability import MetricsRegistry
 from .protocol import (
     LocationPing,
     LocationReport,
@@ -165,6 +166,12 @@ class ElapsServer:
         self.subscribers: Dict[int, SubscriberRecord] = {}
         self.metrics = CommunicationStats()
         self.metrics.bytes_measured = measure_bytes
+        #: the unified observability surface: the counters above plus the
+        #: per-stage latency histograms fed by the span tracer.  The
+        #: tracer is shared with the TCP layer (frame read/decode/
+        #: dispatch/drain spans) and served as frame type 13.
+        self.registry = MetricsRegistry(self.metrics)
+        self.tracer = self.registry.tracer
         self._arrival_times: List[int] = []  # ring of recent arrival timestamps
         self._expiry_heap: List[Tuple[int, int]] = []  # (expires_at, event_id)
         self._events_by_id: Dict[int, Event] = {}
@@ -258,9 +265,11 @@ class ElapsServer:
                 event.event_id: event.location
                 for event in self.event_index.be_match(subscription.expression)
             }
+        with self.tracer.span("match"):
+            matched = self.event_index.match(subscription, location)
         notifications = [
             Notification(subscription.sub_id, event, now)
-            for event in self.event_index.match(subscription, location)
+            for event in matched
             if event.event_id not in record.delivered
         ]
         for notification in notifications:
@@ -300,11 +309,17 @@ class ElapsServer:
     # ------------------------------------------------------------------
     def publish(self, event: Event, now: int) -> List[Notification]:
         """Process one arriving event; returns the notifications sent."""
+        with self.tracer.span("publish"):
+            return self._publish(event, now)
+
+    def _publish(self, event: Event, now: int) -> List[Notification]:
         self._store_event(event)
         self._arrival_times.append(now)
         notifications: List[Notification] = []
         event_cell = self.grid.cell_of(event.location)
-        for subscription in self.subscription_index.match_event(event):
+        with self.tracer.span("match"):
+            matched = self.subscription_index.match_event(event)
+        for subscription in matched:
             record = self.subscribers.get(subscription.sub_id)
             if record is None or event.event_id in record.delivered:
                 continue
@@ -371,6 +386,10 @@ class ElapsServer:
         to the single-event path's.  The index cache counters accumulated
         during the batch are scraped into :class:`CommunicationStats`.
         """
+        with self.tracer.span("batch"):
+            return self._publish_batch(events, now)
+
+    def _publish_batch(self, events: List[Event], now: int) -> List[Notification]:
         events = list(events)
         if not events:
             return []
@@ -394,9 +413,15 @@ class ElapsServer:
         #: out-of-radius event locations per subscriber, for one repair
         #: (or one fallback construction) at the end of the batch
         pending_repair: Dict[int, List[Point]] = {}
-        for event in events:
+        # One span covers the whole batch's matching pass: a per-event
+        # span here would cost more than the (sub-10us) matches it times.
+        with self.tracer.span("match"):
+            matched_per_event = [
+                self.subscription_index.match_event(event) for event in events
+            ]
+        for event, matched in zip(events, matched_per_event):
             event_cell = self.grid.cell_of(event.location)
-            for subscription in self.subscription_index.match_event(event):
+            for subscription in matched:
                 record = self.subscribers.get(subscription.sub_id)
                 if record is None or event.event_id in record.delivered:
                     continue
@@ -476,14 +501,22 @@ class ElapsServer:
         self, sub_id: int, location: Point, velocity: Point, now: int
     ) -> Tuple[List[Notification], SafeRegion]:
         """Handle a client report after it left its safe region."""
+        with self.tracer.span("location_update"):
+            return self._report_location(sub_id, location, velocity, now)
+
+    def _report_location(
+        self, sub_id: int, location: Point, velocity: Point, now: int
+    ) -> Tuple[List[Notification], SafeRegion]:
         record = self.subscribers[sub_id]
         self.metrics.location_update_rounds += 1
         record.location = location
         record.velocity = velocity
         # The move may have brought matching events inside the circle.
+        with self.tracer.span("match"):
+            matched = self.event_index.match(record.subscription, location)
         notifications = [
             Notification(sub_id, event, now)
-            for event in self.event_index.match(record.subscription, location)
+            for event in matched
             if event.event_id not in record.delivered
         ]
         field = self._lazy_fields.get(sub_id)
@@ -527,9 +560,11 @@ class ElapsServer:
         # holds a reference to the old one and must not survive.
         self._lazy_fields.pop(sub_id, None)
         record.delivered = set(received)
+        with self.tracer.span("match"):
+            matched = self.event_index.match(record.subscription, location)
         notifications = [
             Notification(sub_id, event, now)
-            for event in self.event_index.match(record.subscription, location)
+            for event in matched
             if event.event_id not in record.delivered
         ]
         for notification in notifications:
@@ -612,7 +647,17 @@ class ElapsServer:
         )
 
     def _construct(self, record: SubscriberRecord, now: int) -> None:
+        # Every exit path — the cached fast path included — contributes
+        # its elapsed time to ``server_seconds``; the try/finally is what
+        # guarantees the early return cannot dodge the accounting again.
         started = time.perf_counter()
+        try:
+            with self.tracer.span("construct"):
+                self._construct_inner(record, now)
+        finally:
+            self.metrics.server_seconds += time.perf_counter() - started
+
+    def _construct_inner(self, record: SubscriberRecord, now: int) -> None:
         # GM's regions do not depend on the subscriber's location, so in
         # cached mode an unchanged matching set lets the previous region
         # pair be re-shipped without rebuilding.
@@ -624,14 +669,20 @@ class ElapsServer:
             signature = self._matching_signature(record)
             cached_pair = self._region_cache.get(record.subscription.sub_id)
             if cached_pair is not None and cached_pair[0] == signature:
-                record.safe = cached_pair[1].safe
-                if self.measure_bytes:
-                    push = region_push_for(record.subscription.sub_id, record.safe)
-                    self.metrics.safe_region_bytes += push.bitmap.compressed_bytes()
-                    self.metrics.raw_region_bytes += push.bitmap.raw_bytes()
-                    self.metrics.wire_bytes_down += message_bytes(push)
-                if self.region_sink is not None:
-                    self.region_sink(record.subscription.sub_id, record.safe)
+                pair = cached_pair[1]
+                record.safe = pair.safe
+                if self.repair:
+                    # The re-ship hands the client the full cached region,
+                    # so drift bookkeeping restarts from this pair; the
+                    # stale state would carry removed_since_build and an
+                    # inflated ne_estimate from a region the client no
+                    # longer holds.
+                    record.repair = RepairState(
+                        pair=pair,
+                        cells_at_build=pair.safe.area_cells(),
+                        ne_estimate=pair.matching_in_impact or 0,
+                    )
+                self._ship_region(record)
                 return
         speed = max(record.velocity.norm(), self.min_speed)
         direction = record.velocity.normalized().scaled(speed)
@@ -677,14 +728,18 @@ class ElapsServer:
         self.metrics.constructions += 1
         self.metrics.cells_examined += pair.cells_examined
         self.metrics.events_scanned += getattr(field, "events_scanned", 0) - scanned_before
-        if self.measure_bytes:
-            push = region_push_for(record.subscription.sub_id, record.safe)
-            self.metrics.safe_region_bytes += push.bitmap.compressed_bytes()
-            self.metrics.raw_region_bytes += push.bitmap.raw_bytes()
-            self.metrics.wire_bytes_down += message_bytes(push)
-        self.metrics.server_seconds += time.perf_counter() - started
-        if self.region_sink is not None:
-            self.region_sink(record.subscription.sub_id, record.safe)
+        self._ship_region(record)
+
+    def _ship_region(self, record: SubscriberRecord) -> None:
+        """Account and push one full safe region to its client."""
+        with self.tracer.span("ship"):
+            if self.measure_bytes:
+                push = region_push_for(record.subscription.sub_id, record.safe)
+                self.metrics.safe_region_bytes += push.bitmap.compressed_bytes()
+                self.metrics.raw_region_bytes += push.bitmap.raw_bytes()
+                self.metrics.wire_bytes_down += message_bytes(push)
+            if self.region_sink is not None:
+                self.region_sink(record.subscription.sub_id, record.safe)
 
     # ------------------------------------------------------------------
     # Incremental repair (the repair=True alternative to _construct)
@@ -707,6 +762,18 @@ class ElapsServer:
         if state is None or record.safe is None:
             return False
         started = time.perf_counter()
+        try:
+            with self.tracer.span("repair"):
+                return self._repair_inner(record, state, event_points)
+        finally:
+            self.metrics.server_seconds += time.perf_counter() - started
+
+    def _repair_inner(
+        self,
+        record: SubscriberRecord,
+        state: RepairState,
+        event_points: List[Point],
+    ) -> bool:
         unsafe: Set[Cell] = set()
         radius = record.subscription.radius
         for point in event_points:
@@ -724,12 +791,10 @@ class ElapsServer:
             ne_estimate=state.ne_estimate,
         )
         if reason is not None:
-            self.metrics.server_seconds += time.perf_counter() - started
             return False
         record.safe = repaired
         self.metrics.repairs += 1
         self._ship_repaired(record, removed)
-        self.metrics.server_seconds += time.perf_counter() - started
         return True
 
     def _ship_repaired(self, record: SubscriberRecord, removed: FrozenSet[Cell]) -> None:
@@ -744,12 +809,13 @@ class ElapsServer:
         """
         if not removed:
             return
-        sub_id = record.subscription.sub_id
-        if self.measure_bytes:
-            delta = region_delta_for(sub_id, self.grid, removed)
-            self.metrics.delta_region_bytes += delta.bitmap.compressed_bytes()
-            self.metrics.wire_bytes_down += message_bytes(delta)
-        if self.delta_sink is not None:
-            self.delta_sink(sub_id, removed, record.safe)
-        elif self.region_sink is not None:
-            self.region_sink(sub_id, record.safe)
+        with self.tracer.span("ship"):
+            sub_id = record.subscription.sub_id
+            if self.measure_bytes:
+                delta = region_delta_for(sub_id, self.grid, removed)
+                self.metrics.delta_region_bytes += delta.bitmap.compressed_bytes()
+                self.metrics.wire_bytes_down += message_bytes(delta)
+            if self.delta_sink is not None:
+                self.delta_sink(sub_id, removed, record.safe)
+            elif self.region_sink is not None:
+                self.region_sink(sub_id, record.safe)

@@ -30,6 +30,7 @@ from ..geometry import Point
 from ..trajectories import Trajectory
 from .client import MobileClient
 from .metrics import CommunicationStats
+from .observability import MetricsRegistry
 from .server import ElapsServer
 
 
@@ -41,6 +42,9 @@ class SimulationResult:
     subscriber_count: int
     timestamps: int
     notification_count: int
+    #: the server's full observability surface (counters + per-stage
+    #: latency histograms); None only for results built by hand
+    registry: Optional[MetricsRegistry] = None
 
     def per_subscriber(self) -> Dict[str, float]:
         """The per-subscriber averages the paper's figures report."""
@@ -140,6 +144,7 @@ class Simulation:
             subscriber_count=len(self.subscriptions),
             timestamps=timestamps,
             notification_count=self._notification_count,
+            registry=self.server.registry,
         )
 
     def _deliver(self, notifications) -> None:

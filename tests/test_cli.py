@@ -47,6 +47,26 @@ class TestSimulate:
         assert main(["simulate", "--movement", "taxi", *SMALL_SIM]) == 0
         assert "taxi" in capsys.readouterr().out
 
+    def test_stats_prints_span_table(self, capsys):
+        assert main(["simulate", "--stats", *SMALL_SIM]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage latency" in out
+        # the hot stages the run must have traced
+        for stage in ("construct", "match", "publish", "ship"):
+            assert stage in out
+        assert "p95 ms" in out
+
+    def test_without_stats_no_span_table(self, capsys):
+        assert main(["simulate", *SMALL_SIM]) == 0
+        assert "per-stage latency" not in capsys.readouterr().out
+
+    def test_slow_span_threshold_parses(self):
+        args = build_parser().parse_args(
+            ["simulate", "--slow-span-ms", "2.5", "--stats"]
+        )
+        assert args.slow_span_ms == 2.5
+        assert args.stats is True
+
 
 class TestCompare:
     def test_all_strategies_in_output(self, capsys):
@@ -55,6 +75,12 @@ class TestCompare:
         for strategy in ("VM", "GM", "iGM", "idGM"):
             assert strategy in out
         assert "less communication" in out
+
+    def test_stats_prints_one_table_per_strategy(self, capsys):
+        assert main(["compare", "--stats", *SMALL_SIM]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("VM", "GM", "iGM", "idGM"):
+            assert f"per-stage latency ({strategy})" in out
 
 
 class TestMatch:

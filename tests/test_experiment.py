@@ -71,7 +71,8 @@ class TestCommunicationStats:
 
     def test_per_subscriber(self):
         stats = CommunicationStats(
-            location_update_rounds=10, event_arrival_rounds=6, notifications=4
+            location_update_rounds=10, event_arrival_rounds=6, notifications=4,
+            repairs=8, batches=2,
         )
         per = stats.per_subscriber(2)
         assert per == {
@@ -79,6 +80,8 @@ class TestCommunicationStats:
             "event_arrival": 3.0,
             "total": 8.0,
             "notifications": 2.0,
+            "repairs": 4.0,
+            "batches": 1.0,
         }
 
     def test_per_subscriber_rejects_zero(self):
@@ -97,3 +100,25 @@ class TestCommunicationStats:
         assert merged.wire_bytes_up == 30
         # inputs untouched
         assert a.location_update_rounds == 1
+
+
+class TestTracingConfig:
+    SMALL = dict(initial_events=800, subscribers=2, timestamps=10,
+                 event_rate=2.0, grid_n=40, seed=3)
+
+    def test_result_carries_the_registry_with_spans(self):
+        from repro.system import run_experiment
+
+        result = run_experiment(ExperimentConfig(**self.SMALL))
+        assert result.registry is not None
+        summaries = result.registry.tracer.summaries()
+        assert "construct" in summaries
+        assert summaries["construct"]["count"] >= 2  # one per subscriber
+
+    def test_trace_spans_off_records_nothing(self):
+        from repro.system import run_experiment
+
+        result = run_experiment(
+            ExperimentConfig(trace_spans=False, **self.SMALL)
+        )
+        assert result.registry.tracer.histograms == {}

@@ -124,6 +124,42 @@ class TestReportCompleteness:
         assert report["repairs"] >= 1
         assert report["delta_region_bytes"] > 0
 
+    def test_per_subscriber_includes_repairs_and_batches(self):
+        """A repair-mode run must be distinguishable from rebuild-mode
+        when only the per-subscriber view is reported."""
+        metrics = run_workload(measure_bytes=False, repair=True).metrics
+        per = metrics.per_subscriber(1)
+        assert per["repairs"] == metrics.repairs >= 1
+        assert per["batches"] == metrics.batches == 1
+
+    def test_per_subscriber_divides_by_population(self):
+        metrics = run_workload(measure_bytes=False).metrics
+        per = metrics.per_subscriber(4)
+        assert per["notifications"] == metrics.notifications / 4
+        assert per["batches"] == metrics.batches / 4
+
+    def test_reports_jointly_cover_every_counter(self):
+        """Every field surfaces in at least one reporting view.
+
+        ``as_dict`` covers all of them by construction; this pins the
+        *union* so the guarantee survives even if as_dict ever becomes
+        selective, and documents which fields the per-subscriber view is
+        expected to carry.
+        """
+        stats = CommunicationStats()
+        exposed = set(stats.as_dict()) | set(stats.per_subscriber(1))
+        assert {f.name for f in fields(CommunicationStats)} <= exposed
+        # the per-subscriber view itself carries the paper's headline
+        # series plus the repair/batch counters the figures comment on
+        assert {"location_update", "event_arrival", "total", "notifications",
+                "repairs", "batches"} <= set(stats.per_subscriber(1))
+
+    def test_write_timeouts_field_merges_and_reports(self):
+        a = CommunicationStats(write_timeouts=2)
+        b = CommunicationStats(write_timeouts=3)
+        assert a.merged_with(b).write_timeouts == 5
+        assert a.as_dict()["write_timeouts"] == 2
+
     def test_merge_sums_every_counter_and_ors_the_flag(self):
         a = run_workload(measure_bytes=False).metrics
         b = run_workload(measure_bytes=True).metrics

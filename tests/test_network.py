@@ -20,12 +20,14 @@ from repro.system.network import (
     TruncatedFrameError,
     read_frame,
 )
+from repro.system.observability import render_prometheus
 from repro.system.protocol import (
     HeartbeatMessage,
     LocationReport,
     NotificationMessage,
     SafeRegionDelta,
     SafeRegionPush,
+    StatsSnapshot,
     SubscribeMessage,
     UnsubscribeMessage,
     cells_from_delta,
@@ -410,6 +412,102 @@ class TestHardening:
             await asyncio.sleep(0.1)
             assert tcp.server.metrics.malformed_frames == 1
             assert 1 not in tcp.server.subscribers
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_stalled_drain_counts_as_write_timeout_not_read(self):
+        # a zero write budget forces wait_for(drain(), 0) to expire on
+        # the first response flush: the stalled *peer* must land in
+        # write_timeouts, not be disguised as an idle read timeout
+        async def scenario():
+            tcp = make_tcp_server(write_timeout=0)
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.send(
+                SubscribeMessage(
+                    1,
+                    make_sub().radius,
+                    make_sub().expression,
+                    Point(5_000, 5_000),
+                    Point(40, 0),
+                )
+            )
+            await asyncio.sleep(0.2)
+            assert tcp.server.metrics.write_timeouts == 1
+            assert tcp.server.metrics.read_timeouts == 0
+            assert tcp.server.metrics.connection_resets == 0
+            await client.close()
+            await tcp.stop()
+
+        run(scenario())
+
+
+class TestStatsOverTCP:
+    def test_snapshot_after_batched_publish(self):
+        # the acceptance path of the observability work: a plain TCP
+        # client requests frame type 12 and gets back per-stage latency
+        # histograms that the batched publish actually populated
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            subscriber = ElapsNetworkClient("127.0.0.1", tcp.port)
+            publisher = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await subscriber.connect()
+            await publisher.connect()
+            await subscriber.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            await publisher.publish_batch(
+                [
+                    (100 + i, {"topic": "sale", "price": i}, Point(5_100, 5_000))
+                    for i in range(8)
+                ]
+            )
+            snapshot = await publisher.request_stats()
+            assert isinstance(snapshot, StatsSnapshot)
+            histograms = snapshot.histograms()
+            for stage in ("batch", "match", "dispatch", "decode"):
+                assert stage in histograms, sorted(histograms)
+                assert histograms[stage].count > 0, stage
+            counters = snapshot.counters_dict()
+            assert counters["batches"] == 1
+            assert counters["batch_events"] == 8
+            assert counters == tcp.server.metrics.as_dict()
+            await subscriber.close()
+            await publisher.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_snapshot_on_idle_server_is_well_formed(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            snapshot = await client.request_stats()
+            assert isinstance(snapshot, StatsSnapshot)
+            # nothing published yet: counters are all baseline zeroes
+            assert snapshot.counters_dict()["notifications"] == 0
+            await client.close()
+            await tcp.stop()
+
+        run(scenario())
+
+    def test_snapshot_feeds_the_prometheus_exporter(self):
+        async def scenario():
+            tcp = make_tcp_server()
+            await tcp.start()
+            client = ElapsNetworkClient("127.0.0.1", tcp.port)
+            await client.connect()
+            await client.subscribe(make_sub(), Point(5_000, 5_000), Point(40, 0))
+            snapshot = await client.request_stats()
+            text = render_prometheus(
+                snapshot.counters_dict(), snapshot.histograms()
+            )
+            assert "# TYPE elaps_stage_duration_seconds histogram" in text
+            assert 'le="+Inf"' in text
+            await client.close()
             await tcp.stop()
 
         run(scenario())

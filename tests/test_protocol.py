@@ -15,6 +15,8 @@ from repro.system.protocol import (
     NotificationMessage,
     SafeRegionDelta,
     SafeRegionPush,
+    StatsRequest,
+    StatsSnapshot,
     SubscribeMessage,
     UnsubscribeMessage,
     cells_from_delta,
@@ -73,6 +75,13 @@ MESSAGES = [
     SafeRegionDelta(7, 120, WAHBitmap.from_positions([4, 5, 1_023], 16_384)),
     NotificationMessage(7, 99, Point(5.0, 6.0),
                         (("name", "shoes"), ("price", 899), ("rating", 4.5))),
+    StatsRequest(),
+    StatsSnapshot(
+        counters=(("notifications", 42), ("server_seconds", 0.125),
+                  ("bytes_measured", 1)),
+        spans=(("match", (3, 0, 1) + (0,) * 25, 0.0075),
+               ("ship", (0,) * 28, 0.0)),
+    ),
 ]
 
 
@@ -144,6 +153,40 @@ class TestMessageFraming:
             7, 120, False, WAHBitmap.from_positions(range(100), 16_384)
         )
         assert message_bytes(dense) > message_bytes(sparse)
+
+
+class TestStatsMessages:
+    def test_stats_request_rejects_payload(self):
+        with pytest.raises(ValueError):
+            StatsRequest.decode_payload(b"\x00")
+
+    def test_snapshot_counters_dict(self):
+        snapshot = next(m for m in MESSAGES if isinstance(m, StatsSnapshot))
+        counters = snapshot.counters_dict()
+        assert counters["notifications"] == 42
+        assert counters["server_seconds"] == 0.125
+
+    def test_snapshot_histograms_reconstruct(self):
+        snapshot = next(m for m in MESSAGES if isinstance(m, StatsSnapshot))
+        histograms = snapshot.histograms()
+        match = histograms["match"]
+        assert match.count == 4
+        assert match.total_seconds == 0.0075
+        assert histograms["ship"].count == 0
+
+    def test_snapshot_for_live_registry(self):
+        from repro.system.metrics import CommunicationStats
+        from repro.system.observability import MetricsRegistry
+        from repro.system.protocol import stats_snapshot_for
+
+        registry = MetricsRegistry(CommunicationStats())
+        registry.stats.notifications = 9
+        with registry.tracer.span("match"):
+            pass
+        snapshot = stats_snapshot_for(registry)
+        assert decode_message(encode_message(snapshot)) == snapshot
+        assert snapshot.counters_dict() == registry.stats.as_dict()
+        assert snapshot.histograms()["match"].count == 1
 
 
 @given(

@@ -229,6 +229,67 @@ class TestRepairPath:
         assert server.metrics.repair_fallbacks == 0
 
 
+class TestCachedFastPathAccounting:
+    """The cached-region fast path (GM + cached matching) must stay on
+    the books: its elapsed time lands in ``server_seconds`` and, under
+    repair, drift bookkeeping restarts with the re-shipped pair.  The
+    original early return skipped both."""
+
+    def cached_server(self, **kwargs):
+        from repro.core import GridMethod
+
+        server = make_server(
+            strategy=GridMethod(), matching_mode="cached", **kwargs
+        )
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        return server, sub
+
+    def test_fast_path_reuses_the_cached_pair(self):
+        server, sub = self.cached_server()
+        built = server.metrics.constructions
+        _, region = server.report_location(
+            sub.sub_id, Point(5_200, 5_000), Point(20, 0), now=1
+        )
+        assert server.metrics.constructions == built  # re-shipped, not rebuilt
+        assert region.cells == server.subscribers[sub.sub_id].safe.cells
+
+    def test_fast_path_contributes_to_server_seconds(self):
+        server, sub = self.cached_server()
+        before = server.metrics.server_seconds
+        server.report_location(sub.sub_id, Point(5_200, 5_000), Point(20, 0), now=1)
+        assert server.metrics.server_seconds > before
+
+    def test_fast_path_restarts_repair_bookkeeping(self):
+        server, sub = self.cached_server(repair=True)
+        record = server.subscribers[sub.sub_id]
+        built = server.metrics.constructions
+        # an out-of-radius type-II hit with a TTL: the repair carves the
+        # region and the cached-matching signature gains the event...
+        event = Event(
+            10, {"topic": "sale"}, Point(7_600, 5_000), arrived_at=1, expires_at=2
+        )
+        assert server.publish(event, now=1) == []
+        assert server.metrics.repairs == 1
+        drifted = record.repair
+        assert drifted.removed_since_build >= 1
+        # ...and the expiry reverts the signature to the subscribe-time
+        # one, so the next report takes the cached fast path
+        server.expire_due_events(3)
+        seconds_before = server.metrics.server_seconds
+        server.report_location(sub.sub_id, Point(5_200, 5_000), Point(20, 0), now=4)
+        assert server.metrics.constructions == built  # the fast path hit
+        assert server.metrics.server_seconds > seconds_before
+        # the re-ship handed the client the full cached region, so the
+        # drift bookkeeping must restart from that pair — stale carve
+        # counts would skew the repair budget against a region the
+        # client no longer holds
+        assert record.repair is not drifted
+        assert record.repair.removed_since_build == 0
+        assert record.repair.pair.safe is record.safe
+
+
 class TestFieldReuse:
     """The per-subscriber LazyBEQField surviving across constructions."""
 
