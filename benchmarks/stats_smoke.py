@@ -27,7 +27,7 @@ from repro.core import IGM
 from repro.datasets import TwitterLikeGenerator
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree, SubscriptionIndex
-from repro.system import ElapsServer, render_prometheus
+from repro.system import ServerConfig, ElapsServer, render_prometheus
 from repro.system.network import ElapsNetworkClient, ElapsTCPServer
 from repro.system.protocol import StatsSnapshot
 
@@ -40,10 +40,9 @@ def _build_server(generator) -> ElapsServer:
     server = ElapsServer(
         Grid(120, SPACE),
         IGM(max_cells=2_500),
+        ServerConfig(initial_rate=20.0),
         event_index=BEQTree(SPACE, emax=512),
-        subscription_index=SubscriptionIndex(generator.frequency_hint()),
-        initial_rate=20.0,
-    )
+        subscription_index=SubscriptionIndex(generator.frequency_hint()))
     server.bootstrap(generator.events(CORPUS))
     return server
 

@@ -15,16 +15,24 @@ reports events/second, two ways:
   throughput and downstream wire bytes, and
 * the **tracing overhead** check: the batch-64 series with the span
   tracer enabled vs disabled (best-of-N each), plus the per-stage
-  latency histogram summaries of the traced run.
+  latency histogram summaries of the traced run, and
+* the **shard scaling** series: the identical batch-64 burst against a
+  :class:`ShardedElapsServer` fleet (``ThreadedExecutor``) at 1 and 4
+  shards.  Python threads buy no CPU parallelism, so the speedup gate
+  measures the *algorithmic* win of spatial partitioning: each shard
+  constructs safe regions against its own (4x smaller) slice of the
+  event corpus and matches arrivals against its own slice of the
+  subscriber population.
 
 Besides the human-readable table, the run emits the machine-readable
-``BENCH_throughput.json`` at the repo root (schema v3, documented in
-EXPERIMENTS.md).  Three regression gates are enforced here and
+``BENCH_throughput.json`` at the repo root (schema v4, documented in
+EXPERIMENTS.md).  Four regression gates are enforced here and
 re-checked by the CI bench-smoke job from the JSON: batched throughput
 at batch size 64 must stay at least 1.5x the single-event baseline,
 repair mode must process at least 2x the always-rebuild events/sec
-while shipping strictly fewer bytes down, and enabled span tracing must
-cost at most 5% of batch-64 throughput.
+while shipping strictly fewer bytes down, enabled span tracing must
+cost at most 5% of batch-64 throughput, and the 4-shard fleet must
+reach at least 1.5x the 1-shard batch-64 events/sec.
 
 Run with ``--profile`` to additionally dump a cProfile top-20 of the
 benchmark body to ``benchmarks/results/profile_throughput.txt``; run
@@ -34,6 +42,7 @@ run's per-stage latency table.
 
 from __future__ import annotations
 
+import gc
 import json
 import pathlib
 import time
@@ -43,7 +52,13 @@ from repro.core import IGM
 from repro.datasets import TwitterLikeGenerator
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree, SubscriptionIndex
-from repro.system import ElapsServer
+from repro.system import (
+    CallbackTransport,
+    ElapsServer,
+    ServerConfig,
+    ShardedElapsServer,
+    ThreadedExecutor,
+)
 
 from config import FAST, format_table
 
@@ -59,6 +74,23 @@ REQUIRED_REPAIR_SPEEDUP = 2.0
 MAX_TRACING_OVERHEAD = 0.05
 #: best-of rounds per tracing mode; the max filters scheduler noise
 OVERHEAD_ROUNDS = 3
+#: the shard-scaling series: batch-64 through a sharded fleet.  The
+#: workload is tuned so spatial partitioning actually pays: a corpus
+#: large enough that per-shard construction cost dominates, a small
+#: radius and a bounded region budget so most subscribers stay
+#: single-homed (multi-homing erodes the per-shard index advantage).
+SHARD_COUNTS = (1, 4)
+SHARD_SUBSCRIBERS = 300
+SHARD_RADIUS = 600.0
+SHARD_MAX_CELLS = 200
+SHARD_CORPUS = 8_000
+#: fixed, dedicated burst for the scaling series: homes are sticky, so a
+#: longer stream steadily multi-homes more subscribers and measures
+#: erosion, not scaling.  The series draws its own events (rather than
+#: slicing the main burst) so FAST and full mode measure identical work.
+SHARD_BURST = 512
+SHARD_ROUNDS = 5
+REQUIRED_SHARD_SPEEDUP = 1.5
 JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
@@ -72,12 +104,9 @@ def _loaded_server(
     server = ElapsServer(
         Grid(120, SPACE),
         IGM(max_cells=2_500),
+        ServerConfig(initial_rate=20.0, repair=repair, measure_bytes=measure_bytes),
         event_index=BEQTree(SPACE, emax=512),
-        subscription_index=SubscriptionIndex(generator.frequency_hint()),
-        initial_rate=20.0,
-        repair=repair,
-        measure_bytes=measure_bytes,
-    )
+        subscription_index=SubscriptionIndex(generator.frequency_hint()))
     server.bootstrap(generator.events(CORPUS))
     subscriptions = generator.subscriptions(subscriber_count, size=3)
     anchors = generator.events(subscriber_count, seed_offset=3)
@@ -85,7 +114,8 @@ def _loaded_server(
         server.subscribe(subscription, anchor.location, Point(60, 10), now=0)
     # stationary clients: the locator answers with the subscribe position
     positions = {s.sub_id: a.location for s, a in zip(subscriptions, anchors)}
-    server.locator = lambda sub_id: (positions[sub_id], Point(60, 10))
+    server.transport = CallbackTransport(
+        locate=lambda sub_id: (positions[sub_id], Point(60, 10)))
     return server
 
 
@@ -244,6 +274,99 @@ def _tracing_overhead(generator, burst, slow_threshold=None):
     return rows, overhead, summaries
 
 
+def _loaded_sharded_server(generator, shards: int) -> ShardedElapsServer:
+    """A sharded fleet loaded with the shard-scaling workload.
+
+    The global region budget is split across the bands: the client-held
+    region is the K-way intersection of per-shard regions, so each shard
+    gets ``SHARD_MAX_CELLS / K`` — deliveries are identical, but a shard
+    never burns budget expanding over columns it does not own.
+    """
+    per_shard_cells = max(1, SHARD_MAX_CELLS // shards)
+    server = ShardedElapsServer(
+        Grid(120, SPACE),
+        lambda spec: IGM(max_cells=per_shard_cells),
+        ServerConfig(initial_rate=20.0),
+        shards=shards,
+        executor=ThreadedExecutor(max_workers=shards),
+        event_index_factory=lambda: BEQTree(SPACE, emax=512),
+        subscription_index_factory=lambda: SubscriptionIndex(
+            generator.frequency_hint()
+        ),
+    )
+    server.bootstrap(generator.events(SHARD_CORPUS))
+    subscriptions = generator.subscriptions(
+        SHARD_SUBSCRIBERS, size=3, radius=SHARD_RADIUS
+    )
+    anchors = generator.events(SHARD_SUBSCRIBERS, seed_offset=3)
+    for subscription, anchor in zip(subscriptions, anchors):
+        server.subscribe(subscription, anchor.location, Point(60, 10), now=0)
+    positions = {s.sub_id: a.location for s, a in zip(subscriptions, anchors)}
+    server.transport = CallbackTransport(
+        locate=lambda sub_id: (positions[sub_id], Point(60, 10)))
+    return server
+
+
+def _shard_scaling(generator) -> List[Dict]:
+    """Batch-64 through the sharded fleet at each shard count.
+
+    Each shard count runs ``SHARD_ROUNDS`` times on a freshly loaded
+    fleet and keeps its best events/sec (the same best-of estimator the
+    tracing series uses).  Delivered (sub, event) pairs must agree
+    across shard counts — sharding must never change a delivery.
+    """
+    batch_size = BATCH_SIZES[-1]
+    burst = generator.events(SHARD_BURST, start_id=20_000_000, seed_offset=11)
+    best = {shards: 0.0 for shards in SHARD_COUNTS}
+    multi_homed = {shards: 0 for shards in SHARD_COUNTS}
+    delivered: Dict[int, set] = {}
+    # rounds are interleaved across shard counts so slow temporal drift
+    # (thermal, allocator state after the earlier series) hits every
+    # count equally instead of biasing whichever ran last
+    for _ in range(SHARD_ROUNDS):
+        for shards in SHARD_COUNTS:
+            server = _loaded_sharded_server(generator, shards)
+            multi_homed[shards] = sum(
+                1 for record in server.subscribers.values()
+                if len(record.homes) > 1
+            )
+            gc.collect()
+            started = time.perf_counter()
+            round_delivered = set()
+            for i in range(0, len(burst), batch_size):
+                now = i // batch_size + 1
+                for n in server.publish_batch(burst[i : i + batch_size], now):
+                    round_delivered.add((n.sub_id, n.event.event_id))
+            elapsed = time.perf_counter() - started
+            server.close()
+            best[shards] = max(best[shards], len(burst) / elapsed)
+            previous = delivered.setdefault(shards, round_delivered)
+            assert previous == round_delivered, "sharded delivery is unstable"
+    baseline_delivered = delivered[SHARD_COUNTS[0]]
+    rows: List[Dict] = []
+    for shards in SHARD_COUNTS:
+        assert delivered[shards] == baseline_delivered, (
+            "sharding changed deliveries"
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "executor": "threaded",
+                "batch_size": batch_size,
+                "events": len(burst),
+                "rounds": SHARD_ROUNDS,
+                "subscribers": SHARD_SUBSCRIBERS,
+                "multi_homed": multi_homed[shards],
+                "notifications": len(delivered[shards]),
+                "events_per_second": best[shards],
+            }
+        )
+    baseline = rows[0]["events_per_second"]
+    for row in rows:
+        row["speedup_vs_one_shard"] = row["events_per_second"] / baseline
+    return rows
+
+
 def _emit_json(
     population_rows: List[Dict],
     batch_rows: List[Dict],
@@ -251,13 +374,15 @@ def _emit_json(
     tracing_rows: List[Dict],
     tracing_overhead: float,
     span_summaries: Dict[str, Dict[str, float]],
+    shard_rows: List[Dict],
 ) -> Dict:
     at_64 = next(r for r in batch_rows if r["batch_size"] == 64)
     rebuild = next(r for r in repair_rows if r["mode"] == "rebuild")
     repair = next(r for r in repair_rows if r["mode"] == "repair")
+    sharded = next(r for r in shard_rows if r["shards"] == max(SHARD_COUNTS))
     payload = {
         "benchmark": "throughput",
-        "schema_version": 3,
+        "schema_version": 4,
         "fast_mode": FAST,
         "config": {
             "space": [SPACE.x_min, SPACE.y_min, SPACE.x_max, SPACE.y_max],
@@ -266,12 +391,17 @@ def _emit_json(
             "batch_subscribers": BATCH_SUBSCRIBERS,
             "populations": list(POPULATIONS),
             "batch_sizes": [1, *BATCH_SIZES],
+            "shard_counts": list(SHARD_COUNTS),
+            "shard_subscribers": SHARD_SUBSCRIBERS,
+            "shard_radius": SHARD_RADIUS,
+            "shard_corpus": SHARD_CORPUS,
         },
         "series": {
             "population_sweep": population_rows,
             "batch_comparison": batch_rows,
             "repair_sweep": repair_rows,
             "tracing_overhead": tracing_rows,
+            "shard_scaling": shard_rows,
         },
         #: per-stage latency digests of the traced batch-64 run; the
         #: full bucket vectors stay server-side (frame type 13)
@@ -296,6 +426,14 @@ def _emit_json(
             "measured_overhead": tracing_overhead,
             "passed": tracing_overhead <= MAX_TRACING_OVERHEAD,
         },
+        "shard_gate": {
+            "shards": sharded["shards"],
+            "required_speedup_vs_one_shard": REQUIRED_SHARD_SPEEDUP,
+            "measured_speedup_vs_one_shard": sharded["speedup_vs_one_shard"],
+            "passed": (
+                sharded["speedup_vs_one_shard"] >= REQUIRED_SHARD_SPEEDUP
+            ),
+        },
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -310,6 +448,7 @@ def _run(slow_threshold=None):
     tracing_rows, tracing_overhead, span_summaries = _tracing_overhead(
         generator, burst, slow_threshold
     )
+    shard_rows = _shard_scaling(generator)
     return (
         population_rows,
         batch_rows,
@@ -317,6 +456,7 @@ def _run(slow_threshold=None):
         tracing_rows,
         tracing_overhead,
         span_summaries,
+        shard_rows,
     )
 
 
@@ -329,6 +469,7 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         tracing_rows,
         tracing_overhead,
         span_summaries,
+        shard_rows,
     ) = benchmark.pedantic(
         profiled("throughput", _run),
         args=(slow_threshold,),
@@ -342,6 +483,7 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         tracing_rows,
         tracing_overhead,
         span_summaries,
+        shard_rows,
     )
     report(
         "throughput",
@@ -387,6 +529,21 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
                 "overhead_vs_untraced",
             ),
             f"Span tracing overhead (best of {OVERHEAD_ROUNDS} rounds per mode)",
+        )
+        + "\n"
+        + format_table(
+            shard_rows,
+            (
+                "shards",
+                "executor",
+                "events_per_second",
+                "speedup_vs_one_shard",
+                "multi_homed",
+                "notifications",
+            ),
+            f"Shard scaling, batch-{BATCH_SIZES[-1]} "
+            f"({SHARD_SUBSCRIBERS} subscribers, radius {SHARD_RADIUS:.0f}, "
+            f"best of {SHARD_ROUNDS} rounds)",
         ),
     )
     if print_stats and span_summaries:
@@ -413,3 +570,5 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
     # the traced batch path must record real spans, near-free
     assert span_summaries, "traced run recorded no spans"
     assert payload["tracing_gate"]["passed"], payload["tracing_gate"]
+    # spatial partitioning must pay for itself even without real threads
+    assert payload["shard_gate"]["passed"], payload["shard_gate"]

@@ -20,6 +20,7 @@ import random
 from repro import (
     BEQTree,
     BooleanExpression,
+    CallbackTransport,
     DnfExpression,
     ElapsServer,
     Event,
@@ -30,6 +31,7 @@ from repro import (
     Predicate,
     Rect,
     RoadNetwork,
+    ServerConfig,
     Subscription,
     SyntheticTrajectoryGenerator,
 )
@@ -66,13 +68,6 @@ def make_sale(rng: random.Random, event_id: int, now: int) -> Event:
 
 def main() -> None:
     rng = random.Random(42)
-    server = ElapsServer(
-        Grid(100, SPACE),
-        IGM(max_cells=1_200),
-        event_index=BEQTree(SPACE, emax=128),
-        initial_rate=3.0,
-        measure_bytes=True,
-    )
     network = RoadNetwork(SPACE, grid_size=6, seed=1)
     trajectory = SyntheticTrajectoryGenerator(network, speed=55.0, seed=2).trajectory(
         0, TIMESTAMPS + 1
@@ -80,14 +75,23 @@ def main() -> None:
     subscription = Subscription(1, INTEREST, radius=2_500.0)
 
     clock = 0
-    server.locator = lambda sub_id: (
-        trajectory.position_at(clock), trajectory.velocity_at(clock)
+    client_region = {}
+    server = ElapsServer(
+        Grid(100, SPACE),
+        IGM(max_cells=1_200),
+        ServerConfig(initial_rate=3.0, measure_bytes=True),
+        event_index=BEQTree(SPACE, emax=128),
+        transport=CallbackTransport(
+            locate=lambda sub_id: (
+                trajectory.position_at(clock), trajectory.velocity_at(clock)
+            ),
+            ship_region=client_region.__setitem__,
+        ),
     )
     _, region = server.subscribe(
         subscription, trajectory.position_at(0), trajectory.velocity_at(0), now=0
     )
-    client_region = {subscription.sub_id: region}
-    server.region_sink = client_region.__setitem__
+    client_region[subscription.sub_id] = region
 
     next_id = 0
     for clock in range(1, TIMESTAMPS + 1):

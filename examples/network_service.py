@@ -22,6 +22,7 @@ from repro import (
     Point,
     Predicate,
     Rect,
+    ServerConfig,
     Subscription,
 )
 from repro.system.protocol import NotificationMessage, SafeRegionPush, message_bytes
@@ -33,8 +34,8 @@ async def main() -> None:
     core = ElapsServer(
         Grid(80, SPACE),
         IGM(max_cells=1_000),
+        ServerConfig(initial_rate=1.0),
         event_index=BEQTree(SPACE, emax=128),
-        initial_rate=1.0,
     )
     service = ElapsTCPServer(core, port=0, timestamp_seconds=0.1)
     await service.start()

@@ -20,6 +20,7 @@ from repro import (
     Point,
     Predicate,
     Rect,
+    ServerConfig,
     Subscription,
 )
 
@@ -30,8 +31,8 @@ def main() -> None:
     server = ElapsServer(
         Grid(120, space),
         IGM(max_cells=2_000),
+        ServerConfig(initial_rate=1.0),
         event_index=BEQTree(space, emax=256),
-        initial_rate=1.0,
     )
 
     # Figure 1: "name = shoes AND model = Jordan AJ23 AND price < $1000".

@@ -15,6 +15,7 @@ import random
 from repro import (
     BEQTree,
     BooleanExpression,
+    CallbackTransport,
     ElapsServer,
     Event,
     Grid,
@@ -24,6 +25,7 @@ from repro import (
     Predicate,
     Rect,
     RoadNetwork,
+    ServerConfig,
     Subscription,
     SyntheticTrajectoryGenerator,
 )
@@ -60,19 +62,26 @@ OFFER_TEMPLATES = [
 
 def main() -> None:
     rng = random.Random(2015)
-    server = ElapsServer(
-        Grid(100, SPACE),
-        IGM(max_cells=1_500),
-        event_index=BEQTree(SPACE, emax=128),
-        initial_rate=1.0,
-    )
-
     network = RoadNetwork(SPACE, grid_size=8, seed=3)
     walkers = SyntheticTrajectoryGenerator(network, speed=50.0, seed=4)
     trajectories = {sub_id: walkers.trajectory(sub_id, TIMESTAMPS + 1)
                     for sub_id, _, _ in SHOPPERS}
 
     client_regions = {}
+    server = ElapsServer(
+        Grid(100, SPACE),
+        IGM(max_cells=1_500),
+        ServerConfig(initial_rate=1.0),
+        event_index=BEQTree(SPACE, emax=128),
+        transport=CallbackTransport(
+            locate=lambda sub_id: (
+                trajectories[sub_id].position_at(clock),
+                trajectories[sub_id].velocity_at(clock),
+            ),
+            ship_region=client_regions.__setitem__,
+        ),
+    )
+
     for sub_id, predicates, radius in SHOPPERS:
         subscription = Subscription(sub_id, BooleanExpression(predicates), radius)
         _, region = server.subscribe(
@@ -80,11 +89,6 @@ def main() -> None:
             trajectories[sub_id].velocity_at(0), now=0,
         )
         client_regions[sub_id] = region
-    server.locator = lambda sub_id: (
-        trajectories[sub_id].position_at(clock),
-        trajectories[sub_id].velocity_at(clock),
-    )
-    server.region_sink = client_regions.__setitem__
 
     next_event_id, total_notifications = 0, 0
     for clock in range(1, TIMESTAMPS + 1):

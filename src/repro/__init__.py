@@ -10,16 +10,19 @@ re-exports the pieces a downstream user needs:
 * indexes: :class:`BEQTree` (the paper's index) plus the baselines;
 * safe-region strategies: :class:`IGM`, :class:`IDGM`,
   :class:`VoronoiMethod`, :class:`GridMethod`;
-* the system: :class:`ElapsServer`, :class:`Simulation`,
+* the system: :class:`ElapsServer`, :class:`ServerConfig`,
+  :class:`ShardedElapsServer`, :class:`Simulation`,
   :class:`ExperimentConfig`, :func:`run_experiment`.
 
 Quickstart::
 
     from repro import (BEQTree, BooleanExpression, ElapsServer, Grid, IGM,
-                       Operator, Point, Predicate, Rect, Subscription)
+                       Operator, Point, Predicate, Rect, ServerConfig,
+                       Subscription)
 
     space = Rect(0, 0, 50_000, 50_000)
     server = ElapsServer(Grid(120, space), IGM(max_cells=2000),
+                         ServerConfig(),
                          event_index=BEQTree(space, emax=256))
     interest = BooleanExpression([
         Predicate("name", Operator.EQ, "shoes"),
@@ -76,14 +79,20 @@ from .index import (
     SubscriptionIndex,
 )
 from .system import (
+    CallbackTransport,
     CommunicationStats,
     ElapsNetworkClient,
     ElapsServer,
     ElapsTCPServer,
     ExperimentConfig,
     Notification,
+    SerialExecutor,
+    ServerConfig,
+    ShardedElapsServer,
     Simulation,
     SimulationResult,
+    ThreadedExecutor,
+    Transport,
     build_simulation,
     run_experiment,
 )
@@ -100,6 +109,7 @@ __all__ = [
     "BEQTree",
     "BETreeIndex",
     "BooleanExpression",
+    "CallbackTransport",
     "Cell",
     "Circle",
     "CommunicationStats",
@@ -135,6 +145,9 @@ __all__ = [
     "RoadNetwork",
     "SafeRegion",
     "SafeRegionStrategy",
+    "SerialExecutor",
+    "ServerConfig",
+    "ShardedElapsServer",
     "Simulation",
     "SimulationResult",
     "StaticMatchingField",
@@ -143,7 +156,9 @@ __all__ = [
     "SyntheticTrajectoryGenerator",
     "SystemStats",
     "TaxiTrajectoryGenerator",
+    "ThreadedExecutor",
     "Trajectory",
+    "Transport",
     "TwitterLikeConfig",
     "TwitterLikeGenerator",
     "Vocabulary",

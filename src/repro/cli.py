@@ -45,6 +45,14 @@ def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ttl", type=int, default=50,
                         help="event validity in timestamps (default 50)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="spatial shards; > 1 runs a ShardedElapsServer "
+                             "fleet (column-band grid partitioning)")
+    parser.add_argument("--shard-executor", choices=("serial", "threaded"),
+                        default="serial",
+                        help="how shard work runs: 'serial' is deterministic, "
+                             "'threaded' fans out over a pool with one lock "
+                             "per shard")
     parser.add_argument("--stats", action="store_true",
                         help="print the per-stage latency summary (span "
                              "histograms: count, p50/p95/p99, total) after "
@@ -70,6 +78,8 @@ def _config_from(args: argparse.Namespace, strategy: str, mode: str) -> Experime
         event_ttl=args.ttl,
         matching_mode=mode,
         seed=args.seed,
+        shards=args.shards,
+        shard_executor=args.shard_executor,
         slow_span_seconds=(
             None if args.slow_span_ms is None else args.slow_span_ms / 1000.0
         ),
@@ -82,6 +92,11 @@ def _print_header(args: argparse.Namespace) -> None:
         f"{args.dataset}/{args.movement}; f={args.event_rate:g}/tm, "
         f"vs={args.speed:g} m/tm, r={args.radius / 1000:g} km, "
         f"E={args.events}, seed={args.seed}"
+        + (
+            f"; {args.shards} shards ({args.shard_executor})"
+            if getattr(args, "shards", 1) > 1
+            else ""
+        )
     )
 
 

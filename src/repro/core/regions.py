@@ -100,6 +100,32 @@ class GridRegion:
         return type(self)(self.grid, self.cells - removed, False), removed
 
     # ------------------------------------------------------------------
+    # Intersection (merging per-shard regions)
+    # ------------------------------------------------------------------
+    def intersected_with(self, other: "GridRegion") -> "GridRegion":
+        """The cells covered by both regions, representation-aware.
+
+        The sharding coordinator's merge: each shard computes a safe
+        region against only its own events, so the region valid against
+        *all* events is the intersection of the per-shard regions
+        (Definition 1 is a conjunction over events).  Complement forms
+        combine without materialising: two complements intersect by
+        uniting their excluded sets; a mixed pair subtracts the
+        complement's excluded cells from the direct side.  The result
+        keeps the caller's class (so ``SafeRegion ∩ SafeRegion`` is a
+        ``SafeRegion``).
+        """
+        if self.grid is not other.grid and self.grid.n != other.grid.n:
+            raise ValueError("cannot intersect regions over different grids")
+        if self.complement and other.complement:
+            return type(self)(self.grid, self.cells | other.cells, True)
+        if self.complement:
+            return type(self)(self.grid, other.cells - self.cells, False)
+        if other.complement:
+            return type(self)(self.grid, self.cells - other.cells, False)
+        return type(self)(self.grid, self.cells & other.cells, False)
+
+    # ------------------------------------------------------------------
     # Wire encoding (Appendix B)
     # ------------------------------------------------------------------
     def to_bitmap(self) -> WAHBitmap:

@@ -2,6 +2,7 @@
 simulation, the experiment runner, and the metrics they report."""
 
 from .client import MobileClient
+from .config import CallbackTransport, ServerConfig, Transport
 from .experiment import ExperimentConfig, STRATEGIES, build_simulation, build_strategy, run_experiment
 from .faults import ChaosProxy, FaultConfig, FaultInjector, FaultKind, FaultStats
 from .metrics import CommunicationStats
@@ -21,10 +22,19 @@ from .observability import (
     render_prometheus,
 )
 from .server import ElapsServer, Notification, SubscriberRecord
-from .simulation import Simulation, SimulationResult
+from .sharding import (
+    SerialExecutor,
+    ShardExecutor,
+    ShardSpec,
+    ShardedElapsServer,
+    ThreadedExecutor,
+    partition_columns,
+)
+from .simulation import Simulation, SimulationResult, SimulationTransport
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "CallbackTransport",
     "ChaosProxy",
     "CommunicationStats",
     "LatencyHistogram",
@@ -45,11 +55,20 @@ __all__ = [
     "ReconnectPolicy",
     "ResilientElapsClient",
     "STRATEGIES",
+    "SerialExecutor",
+    "ServerConfig",
+    "ShardExecutor",
+    "ShardSpec",
+    "ShardedElapsServer",
     "Simulation",
     "SimulationResult",
+    "SimulationTransport",
     "SubscriberRecord",
+    "ThreadedExecutor",
+    "Transport",
     "TruncatedFrameError",
     "build_simulation",
     "build_strategy",
+    "partition_columns",
     "run_experiment",
 ]

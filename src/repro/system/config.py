@@ -1,0 +1,182 @@
+"""Server configuration and the transport seam of the redesigned API.
+
+Two things used to make :class:`~repro.system.server.ElapsServer` hard to
+drive programmatically — and impossible to drive from a sharding
+coordinator that must build K identical workers:
+
+* a **twelve-keyword constructor**: every tuning knob (matching mode,
+  rate window, repair policy, byte measurement, ...) was its own keyword
+  argument, so call sites drifted apart and a coordinator had no single
+  value to copy into each worker;
+* **three post-construction hook attributes** (``region_sink``,
+  ``delta_sink``, ``locator``) patched onto the server after the fact by
+  whichever layer (simulation, TCP, tests) happened to own the clients.
+
+This module replaces both:
+
+* :class:`ServerConfig` — one frozen dataclass holding every tuning knob.
+  ``ElapsServer(grid, strategy, config=ServerConfig(...))`` is the
+  primary construction form; a :class:`ShardedElapsServer
+  <repro.system.sharding.ShardedElapsServer>` builds every worker from
+  one shared config.  The old keywords still work but emit
+  :class:`DeprecationWarning`.
+* :class:`Transport` — the single client-facing seam.  A transport knows
+  how to ship a full safe region (``ship_region``), ship a repair delta
+  (``ship_delta``, defaulting to a full push for transports that predate
+  deltas), and answer the server's location ping (``locate``).  It is
+  passed at construction (or assigned to ``server.transport``); the three
+  legacy attributes survive as deprecated property shims that wrap plain
+  callables in a :class:`CallbackTransport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, FrozenSet, Optional, Tuple
+
+from ..geometry import Cell, Point
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core import RepairBudget, SafeRegion, SystemStats
+
+__all__ = [
+    "CallbackTransport",
+    "ServerConfig",
+    "Transport",
+]
+
+#: the matching modes the server understands (DESIGN.md §6)
+MATCHING_MODES = ("ondemand", "full", "cached")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every tuning knob of one Elaps server, in one immutable value.
+
+    Replaces the keyword sprawl of the pre-sharding constructor; being
+    frozen (and hashable but for the two optional callables) it can be
+    shared verbatim across the workers of a sharded deployment — the
+    coordinator hands the *same* config to every shard, so a fleet can
+    never be built half-repairing or half-measuring.
+    """
+
+    #: event-to-subscriber matching strategy: ``ondemand`` (LazyBEQField),
+    #: ``full`` (materialise every be-match), or ``cached`` (incremental
+    #: per-subscriber caches)
+    matching_mode: str = "ondemand"
+    #: sliding window (timestamps) of the event-rate estimator (Eq. 5-6)
+    rate_window: int = 50
+    #: seed value for the rate estimator until the window fills; None
+    #: starts the estimate from observed arrivals only
+    initial_rate: Optional[float] = None
+    #: lower bound on the speed used for region construction
+    min_speed: float = 1.0
+    #: replace the live cost-model inputs with a fixed schedule (tests
+    #: and the Figure 10 oracle variants)
+    stats_override: Optional[Callable[[int], "SystemStats"]] = None
+    #: account wire bytes for every message that would cross the network
+    measure_bytes: bool = False
+    #: ablation switch: with False, every be-matching arrival pings the
+    #: subscriber, as if the impact-region concept did not exist
+    use_impact_region: bool = True
+    #: incremental safe-region repair (DESIGN.md §10) instead of full
+    #: reconstruction on type-II out-of-radius events
+    repair: bool = False
+    #: the repair/rebuild balance policy; None uses the default budget
+    repair_budget: Optional["RepairBudget"] = None
+
+    def __post_init__(self) -> None:
+        if self.matching_mode not in MATCHING_MODES:
+            raise ValueError(
+                f"unknown matching mode: {self.matching_mode!r}; "
+                f"pick one of {MATCHING_MODES}"
+            )
+
+    def with_(self, **changes) -> "ServerConfig":
+        """A copy of this configuration with fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+class Transport:
+    """The server's one seam to its clients.
+
+    The server calls exactly three things on the outside world: it ships
+    full safe regions, it ships repair deltas, and it asks where a
+    subscriber is right now (the event-arrival ping).  A transport
+    bundles the three, so the simulation, the TCP layer, and a sharding
+    coordinator each implement one small class instead of patching three
+    attributes onto a live server.
+
+    The base class is a usable null transport: regions vanish, deltas
+    degrade to full pushes, and ``locate`` answers ``None`` ("no fresher
+    position than the last report"), which makes every method optional
+    for subclasses.
+    """
+
+    def ship_region(self, sub_id: int, region: "SafeRegion") -> None:
+        """Push one full safe region to the subscriber's client."""
+
+    def ship_delta(
+        self, sub_id: int, removed: FrozenSet[Cell], region: "SafeRegion"
+    ) -> None:
+        """Push a repair: the cells carved out of the held region.
+
+        ``region`` is the post-repair safe region, so a transport that
+        cannot frame deltas inherits this default and ships the full
+        region instead — the exact fallback the legacy ``delta_sink``/
+        ``region_sink`` pair implemented.
+        """
+        self.ship_region(sub_id, region)
+
+    def locate(self, sub_id: int) -> Optional[Tuple[Point, Point]]:
+        """Answer the server's ping with ``(location, velocity)``.
+
+        ``None`` means the transport has nothing fresher than the
+        subscriber's last report (the TCP layer's answer; the in-process
+        simulation asks the client state machine instead).
+        """
+        return None
+
+
+class CallbackTransport(Transport):
+    """A :class:`Transport` over plain callables.
+
+    The adapter that lets pre-redesign call sites (and quick tests)
+    migrate without defining a class: any subset of the three hooks may
+    be given, and an absent ``ship_delta`` falls back to a full
+    ``ship_region`` push, exactly like the legacy sink pair did.
+    """
+
+    def __init__(
+        self,
+        *,
+        ship_region: Optional[Callable[[int, "SafeRegion"], None]] = None,
+        ship_delta: Optional[
+            Callable[[int, FrozenSet[Cell], "SafeRegion"], None]
+        ] = None,
+        locate: Optional[Callable[[int], Tuple[Point, Point]]] = None,
+    ) -> None:
+        self._ship_region = ship_region
+        self._ship_delta = ship_delta
+        self._locate = locate
+
+    def ship_region(self, sub_id: int, region: "SafeRegion") -> None:
+        """Forward to the wrapped callable (or drop when absent)."""
+        if self._ship_region is not None:
+            self._ship_region(sub_id, region)
+
+    def ship_delta(
+        self, sub_id: int, removed: FrozenSet[Cell], region: "SafeRegion"
+    ) -> None:
+        """Forward the delta, or fall back to a full region push."""
+        if self._ship_delta is not None:
+            self._ship_delta(sub_id, removed, region)
+        else:
+            self.ship_region(sub_id, region)
+
+    def locate(self, sub_id: int) -> Optional[Tuple[Point, Point]]:
+        """Ask the wrapped callable; ``None`` when no locator was given."""
+        if self._locate is None:
+            return None
+        return self._locate(sub_id)

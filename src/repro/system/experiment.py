@@ -29,7 +29,9 @@ from ..trajectories import (
     SyntheticTrajectoryGenerator,
     TaxiTrajectoryGenerator,
 )
+from .config import ServerConfig
 from .server import ElapsServer
+from .sharding import SerialExecutor, ShardedElapsServer, ThreadedExecutor
 from .simulation import Simulation, SimulationResult
 
 #: strategy factory registry: name -> (max_cells -> strategy)
@@ -79,6 +81,8 @@ class ExperimentConfig:
     incremental_impact: bool = True  # ablation: Example 2 strips on/off
     trace_spans: bool = True  # span tracer on the server's hot stages
     slow_span_seconds: Optional[float] = None  # log spans at/above this
+    shards: int = 1  # spatial shards; > 1 builds a ShardedElapsServer
+    shard_executor: str = "serial"  # "serial" (deterministic) or "threaded"
 
     def with_(self, **changes) -> "ExperimentConfig":
         """A copy of this configuration with fields replaced."""
@@ -146,19 +150,47 @@ def build_simulation(config: ExperimentConfig) -> Simulation:
         raise ValueError(f"unknown movement {config.movement!r}")
     trajectories = trajectory_gen.trajectories(config.subscribers, config.timestamps + 1)
 
-    server = ElapsServer(
-        grid,
-        build_strategy(config),
-        event_index=event_index,
-        subscription_index=SubscriptionIndex(generator.frequency_hint()),
+    server_config = ServerConfig(
         matching_mode=config.matching_mode,
         initial_rate=config.event_rate,
         stats_override=config.stats_override,
         measure_bytes=config.measure_bytes,
         use_impact_region=config.use_impact_region,
     )
-    server.tracer.enabled = config.trace_spans
-    server.tracer.slow_threshold = config.slow_span_seconds
+    if config.shards > 1:
+        if config.shard_executor == "serial":
+            executor = SerialExecutor()
+        elif config.shard_executor == "threaded":
+            executor = ThreadedExecutor(max_workers=config.shards)
+        else:
+            raise ValueError(
+                f"unknown shard executor {config.shard_executor!r}; "
+                "pick 'serial' or 'threaded'"
+            )
+        server = ShardedElapsServer(
+            grid,
+            lambda: build_strategy(config),
+            server_config,
+            shards=config.shards,
+            executor=executor,
+            event_index_factory=lambda: BEQTree(space, emax=config.emax),
+            subscription_index_factory=lambda: SubscriptionIndex(
+                generator.frequency_hint()
+            ),
+        )
+        tracers = [server.tracer] + [w.tracer for w in server.shard_servers]
+    else:
+        server = ElapsServer(
+            grid,
+            build_strategy(config),
+            server_config,
+            event_index=event_index,
+            subscription_index=SubscriptionIndex(generator.frequency_hint()),
+        )
+        tracers = [server.tracer]
+    for tracer in tracers:
+        tracer.enabled = config.trace_spans
+        tracer.slow_threshold = config.slow_span_seconds
     server.bootstrap(generator.events(config.initial_events))
     return Simulation(
         server,

@@ -76,6 +76,7 @@ from .protocol import (
     region_push_for,
     stats_snapshot_for,
 )
+from .config import Transport
 from .server import ElapsServer
 
 logger = logging.getLogger(__name__)
@@ -130,8 +131,34 @@ async def read_frame(
     return header + payload
 
 
+class TCPTransport(Transport):
+    """The TCP layer's client-facing seam: frames over the sockets.
+
+    Regions and deltas are encoded and pushed best-effort to the
+    subscriber's live connection; the location ping is answered from the
+    last reported position (a TCP client is not synchronously pingable —
+    it reports when it leaves its region, exactly the paper's protocol).
+    """
+
+    def __init__(self, tcp_server: "ElapsTCPServer") -> None:
+        self._tcp = tcp_server
+
+    def ship_region(self, sub_id, region) -> None:
+        """Frame and push a full safe region to the live connection."""
+        self._tcp._push_region(sub_id, region)
+
+    def ship_delta(self, sub_id, removed, region) -> None:
+        """Frame and push a repair delta to the live connection."""
+        self._tcp._push_delta(sub_id, removed, region)
+
+    def locate(self, sub_id):
+        """The last position the subscriber reported over the wire."""
+        return self._tcp._last_known_location(sub_id)
+
+
 class ElapsTCPServer:
-    """Serve an :class:`ElapsServer` on a TCP port."""
+    """Serve an :class:`ElapsServer` (or a
+    :class:`~repro.system.sharding.ShardedElapsServer`) on a TCP port."""
 
     def __init__(
         self,
@@ -167,10 +194,8 @@ class ElapsTCPServer:
         self._event_ids = itertools.count(1)
         self._started_at = time.monotonic()
         self._tcp_server: Optional[asyncio.base_events.Server] = None
-        # the wrapped server's callbacks feed the connected clients
-        server.locator = self._last_known_location
-        server.region_sink = self._push_region
-        server.delta_sink = self._push_delta
+        # everything the wrapped server ships goes out over the sockets
+        server.transport = TCPTransport(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -208,7 +233,7 @@ class ElapsTCPServer:
         return int((time.monotonic() - self._started_at) / self.timestamp_seconds)
 
     # ------------------------------------------------------------------
-    # Server-callback plumbing
+    # Server-transport plumbing
     # ------------------------------------------------------------------
     def _last_known_location(self, sub_id: int):
         record = self.server.subscribers[sub_id]
@@ -400,7 +425,7 @@ class ElapsTCPServer:
         elif isinstance(message, StatsRequest):
             # observability pull: answer with a point-in-time copy of the
             # whole registry on the requesting connection
-            writer.write(encode_message(stats_snapshot_for(self.server.registry)))
+            writer.write(encode_message(stats_snapshot_for(self.server.merged_registry())))
         elif isinstance(message, UnsubscribeMessage):
             if message.sub_id in self.server.subscribers:
                 self.server.unsubscribe(message.sub_id)

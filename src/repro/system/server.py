@@ -34,10 +34,12 @@ notification circle are delivered, then new regions are built.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import time
+import warnings
 from dataclasses import dataclass, field as dataclass_field
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..core import (
     ConstructionRequest,
@@ -54,6 +56,7 @@ from ..core.field import dilate_point
 from ..expressions import Event, Subscription
 from ..geometry import Cell, Grid, Point
 from ..index import BEQTree, ImpactRegionIndex, SubscriptionIndex
+from .config import CallbackTransport, ServerConfig, Transport
 from .metrics import CommunicationStats
 from .observability import MetricsRegistry
 from .protocol import (
@@ -71,6 +74,11 @@ Locator = Callable[[int], Tuple[Point, Point]]
 
 #: delta sink: subscriber id, removed cells, the repaired safe region
 DeltaSink = Callable[[int, FrozenSet[Cell], SafeRegion], None]
+
+#: the pre-redesign keyword arguments, now carried by ServerConfig
+_LEGACY_CONFIG_KWARGS = frozenset(
+    f.name for f in dataclasses.fields(ServerConfig)
+)
 
 
 @dataclass
@@ -120,52 +128,70 @@ class ElapsServer:
         self,
         grid: Grid,
         strategy: SafeRegionStrategy,
+        config: Optional[ServerConfig] = None,
         *,
         event_index: Optional[BEQTree] = None,
         subscription_index: Optional[SubscriptionIndex] = None,
-        matching_mode: str = "ondemand",
-        rate_window: int = 50,
-        initial_rate: Optional[float] = None,
-        min_speed: float = 1.0,
-        stats_override: Optional[Callable[[int], SystemStats]] = None,
-        measure_bytes: bool = False,
-        use_impact_region: bool = True,
-        repair: bool = False,
-        repair_budget: Optional[RepairBudget] = None,
+        transport: Optional[Transport] = None,
+        **legacy,
     ) -> None:
-        if matching_mode not in ("ondemand", "full", "cached"):
-            raise ValueError(f"unknown matching mode: {matching_mode!r}")
+        unknown = set(legacy) - _LEGACY_CONFIG_KWARGS
+        if unknown:
+            raise TypeError(
+                f"ElapsServer got unexpected keyword arguments {sorted(unknown)}"
+            )
+        if legacy:
+            warnings.warn(
+                f"ElapsServer keyword arguments {sorted(legacy)} are "
+                "deprecated; pass config=ServerConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = (config or ServerConfig()).with_(**legacy)
+        elif config is None:
+            config = ServerConfig()
+        #: the immutable knob set this server was built from; a sharded
+        #: coordinator hands the same value to every worker
+        self.config = config
         self.grid = grid
         self.strategy = strategy
-        self.event_index = event_index or BEQTree(grid.space, emax=256)
-        self.subscription_index = subscription_index or SubscriptionIndex()
+        # "is None" rather than "or": an empty index is falsy (len 0),
+        # and a caller-provided index must never be silently replaced
+        self.event_index = (
+            event_index if event_index is not None
+            else BEQTree(grid.space, emax=256)
+        )
+        self.subscription_index = (
+            subscription_index if subscription_index is not None
+            else SubscriptionIndex()
+        )
         self.impact_index = ImpactRegionIndex()
-        self.matching_mode = matching_mode
-        self.rate_window = rate_window
-        self.initial_rate = initial_rate
-        self.min_speed = min_speed
-        self.stats_override = stats_override
-        self.measure_bytes = measure_bytes
+        self.matching_mode = config.matching_mode
+        self.rate_window = config.rate_window
+        self.initial_rate = config.initial_rate
+        self.min_speed = config.min_speed
+        self.stats_override = config.stats_override
+        self.measure_bytes = config.measure_bytes
         #: ablation switch: with False, *every* be-matching arrival pings
         #: the subscriber, as if the impact region concept did not exist
-        self.use_impact_region = use_impact_region
+        self.use_impact_region = config.use_impact_region
         #: repair mode: an out-of-radius type-II event carves its dilation
         #: out of the cached safe region (shipping only the removed cells)
         #: instead of re-running the construction strategy.  Off by
         #: default; the always-rebuild behaviour is the paper's.
-        self.repair = repair
-        self.repair_budget = repair_budget or RepairBudget()
-        self.locator: Optional[Locator] = None
-        #: called whenever a fresh safe region is shipped to a client
-        self.region_sink: Optional[Callable[[int, SafeRegion], None]] = None
-        #: called instead of ``region_sink`` when a repair ships a delta;
-        #: a transport that can frame a ``SafeRegionDelta`` sets this, and
-        #: without one the full repaired region goes through ``region_sink``
-        self.delta_sink: Optional[DeltaSink] = None
+        self.repair = config.repair
+        self.repair_budget = config.repair_budget or RepairBudget()
+        #: the one client-facing seam: region/delta shipping and the
+        #: location ping all go through here (None = headless server)
+        self.transport: Optional[Transport] = transport
+        #: the deprecated locator/region_sink/delta_sink shims share one
+        #: CallbackTransport; the dict keeps the raw callables for the
+        #: property getters
+        self._legacy_hooks: Dict[str, Optional[Callable]] = {}
 
         self.subscribers: Dict[int, SubscriberRecord] = {}
         self.metrics = CommunicationStats()
-        self.metrics.bytes_measured = measure_bytes
+        self.metrics.bytes_measured = config.measure_bytes
         #: the unified observability surface: the counters above plus the
         #: per-stage latency histograms fed by the span tracer.  The
         #: tracer is shared with the TCP layer (frame read/decode/
@@ -189,6 +215,62 @@ class ElapsServer:
         # staleness budget trips or the subscriber's state is replaced
         # (resubscribe, resync, unsubscribe).
         self._lazy_fields: Dict[int, LazyBEQField] = {}
+
+    # ------------------------------------------------------------------
+    # Deprecated hook attributes (the pre-Transport API)
+    # ------------------------------------------------------------------
+    def _legacy_hook(self, name: str):
+        warnings.warn(
+            f"ElapsServer.{name} is deprecated; pass a Transport "
+            "(see repro.system.config) at construction instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return self._legacy_hooks.get(name)
+
+    def _set_legacy_hook(self, name: str, value) -> None:
+        warnings.warn(
+            f"assigning ElapsServer.{name} is deprecated; pass a Transport "
+            "(see repro.system.config) at construction instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        self._legacy_hooks[name] = value
+        self.transport = CallbackTransport(
+            locate=self._legacy_hooks.get("locator"),
+            ship_region=self._legacy_hooks.get("region_sink"),
+            ship_delta=self._legacy_hooks.get("delta_sink"),
+        )
+
+    @property
+    def locator(self) -> Optional[Locator]:
+        """Deprecated: :meth:`Transport.locate` replaces this hook."""
+        return self._legacy_hook("locator")
+
+    @locator.setter
+    def locator(self, value: Optional[Locator]) -> None:
+        """Deprecated setter; wraps the callable in a CallbackTransport."""
+        self._set_legacy_hook("locator", value)
+
+    @property
+    def region_sink(self):
+        """Deprecated: :meth:`Transport.ship_region` replaces this hook."""
+        return self._legacy_hook("region_sink")
+
+    @region_sink.setter
+    def region_sink(self, value) -> None:
+        """Deprecated setter; wraps the callable in a CallbackTransport."""
+        self._set_legacy_hook("region_sink", value)
+
+    @property
+    def delta_sink(self) -> Optional[DeltaSink]:
+        """Deprecated: :meth:`Transport.ship_delta` replaces this hook."""
+        return self._legacy_hook("delta_sink")
+
+    @delta_sink.setter
+    def delta_sink(self, value: Optional[DeltaSink]) -> None:
+        """Deprecated setter; wraps the callable in a CallbackTransport."""
+        self._set_legacy_hook("delta_sink", value)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -265,16 +347,7 @@ class ElapsServer:
                 event.event_id: event.location
                 for event in self.event_index.be_match(subscription.expression)
             }
-        with self.tracer.span("match"):
-            matched = self.event_index.match(subscription, location)
-        notifications = [
-            Notification(subscription.sub_id, event, now)
-            for event in matched
-            if event.event_id not in record.delivered
-        ]
-        for notification in notifications:
-            record.delivered.add(notification.event.event_id)
-        self.metrics.notifications += len(notifications)
+        notifications = self._deliver_corpus_matches(record, location, now)
         if self.measure_bytes:
             self.metrics.wire_bytes_up += message_bytes(
                 SubscribeMessage(
@@ -285,6 +358,35 @@ class ElapsServer:
             self._account_notification_bytes(notifications)
         self._construct(record, now)
         return notifications, record.safe
+
+    def _deliver_corpus_matches(
+        self,
+        record: SubscriberRecord,
+        location: Point,
+        now: int,
+        field: Optional[LazyBEQField] = None,
+    ) -> List[Notification]:
+        """Match the live corpus at ``location``; deliver what's missing.
+
+        The one corpus-scan-and-deliver routine behind a fresh subscribe,
+        a location report, and a resync: match the event index, skip
+        events already in the ``delivered`` set, mark the rest delivered
+        (excluding them from a cached matching ``field`` when one is
+        live), and count the notifications.
+        """
+        with self.tracer.span("match"):
+            matched = self.event_index.match(record.subscription, location)
+        sub_id = record.subscription.sub_id
+        notifications: List[Notification] = []
+        for event in matched:
+            if event.event_id in record.delivered:
+                continue
+            record.delivered.add(event.event_id)
+            if field is not None:
+                field.note_exclusion(event.event_id)
+            notifications.append(Notification(sub_id, event, now))
+        self.metrics.notifications += len(notifications)
+        return notifications
 
     def _account_notification_bytes(self, notifications: List[Notification]) -> None:
         for notification in notifications:
@@ -512,19 +614,9 @@ class ElapsServer:
         record.location = location
         record.velocity = velocity
         # The move may have brought matching events inside the circle.
-        with self.tracer.span("match"):
-            matched = self.event_index.match(record.subscription, location)
-        notifications = [
-            Notification(sub_id, event, now)
-            for event in matched
-            if event.event_id not in record.delivered
-        ]
-        field = self._lazy_fields.get(sub_id)
-        for notification in notifications:
-            record.delivered.add(notification.event.event_id)
-            if field is not None:
-                field.note_exclusion(notification.event.event_id)
-        self.metrics.notifications += len(notifications)
+        notifications = self._deliver_corpus_matches(
+            record, location, now, field=self._lazy_fields.get(sub_id)
+        )
         if self.measure_bytes:
             self.metrics.wire_bytes_up += message_bytes(
                 LocationReport(sub_id, location, velocity)
@@ -560,17 +652,8 @@ class ElapsServer:
         # holds a reference to the old one and must not survive.
         self._lazy_fields.pop(sub_id, None)
         record.delivered = set(received)
-        with self.tracer.span("match"):
-            matched = self.event_index.match(record.subscription, location)
-        notifications = [
-            Notification(sub_id, event, now)
-            for event in matched
-            if event.event_id not in record.delivered
-        ]
-        for notification in notifications:
-            record.delivered.add(notification.event.event_id)
+        notifications = self._deliver_corpus_matches(record, location, now)
         self.metrics.redeliveries += len(notifications)
-        self.metrics.notifications += len(notifications)
         if self.measure_bytes:
             self._account_notification_bytes(notifications)
         self._construct(record, now)
@@ -588,11 +671,33 @@ class ElapsServer:
             self._construct(record, now)
 
     # ------------------------------------------------------------------
+    # Aggregate views (shared surface with ShardedElapsServer)
+    # ------------------------------------------------------------------
+    def merged_metrics(self) -> CommunicationStats:
+        """The full counter view; a sharded server merges its workers here."""
+        return self.metrics
+
+    def merged_registry(self) -> MetricsRegistry:
+        """The full observability view (counters + span histograms)."""
+        return self.registry
+
+    def corpus_matches(self, expression) -> Iterator[Event]:
+        """Every live event be-matching ``expression`` (audits/oracles)."""
+        return iter(self.event_index.be_match(expression))
+
+    def delivered_ids(self, sub_id: int) -> FrozenSet[int]:
+        """The ids this server has delivered to ``sub_id`` so far."""
+        return frozenset(self.subscribers[sub_id].delivered)
+
+    # ------------------------------------------------------------------
     # Region construction
     # ------------------------------------------------------------------
     def _refresh_location(self, record: SubscriberRecord) -> None:
-        if self.locator is not None:
-            record.location, record.velocity = self.locator(record.subscription.sub_id)
+        if self.transport is None:
+            return
+        answer = self.transport.locate(record.subscription.sub_id)
+        if answer is not None:
+            record.location, record.velocity = answer
 
     def _matching_field(self, record: SubscriberRecord):
         if self.matching_mode == "ondemand":
@@ -738,8 +843,8 @@ class ElapsServer:
                 self.metrics.safe_region_bytes += push.bitmap.compressed_bytes()
                 self.metrics.raw_region_bytes += push.bitmap.raw_bytes()
                 self.metrics.wire_bytes_down += message_bytes(push)
-            if self.region_sink is not None:
-                self.region_sink(record.subscription.sub_id, record.safe)
+            if self.transport is not None:
+                self.transport.ship_region(record.subscription.sub_id, record.safe)
 
     # ------------------------------------------------------------------
     # Incremental repair (the repair=True alternative to _construct)
@@ -802,10 +907,10 @@ class ElapsServer:
 
         An empty removal means the dilations missed the region entirely —
         the client's copy is already exact, so no bytes move (the cheapest
-        round of all).  Otherwise the delta sink gets the removed-cell
-        set (framed as a ``SafeRegionDelta`` by the transport), falling
-        back to a full region push through ``region_sink`` for transports
-        that predate deltas.
+        round of all).  Otherwise the transport's ``ship_delta`` gets the
+        removed-cell set (framed as a ``SafeRegionDelta`` by the TCP
+        layer); the base :class:`~repro.system.config.Transport` degrades
+        it to a full region push for transports that predate deltas.
         """
         if not removed:
             return
@@ -815,7 +920,5 @@ class ElapsServer:
                 delta = region_delta_for(sub_id, self.grid, removed)
                 self.metrics.delta_region_bytes += delta.bitmap.compressed_bytes()
                 self.metrics.wire_bytes_down += message_bytes(delta)
-            if self.delta_sink is not None:
-                self.delta_sink(sub_id, removed, record.safe)
-            elif self.region_sink is not None:
-                self.region_sink(sub_id, record.safe)
+            if self.transport is not None:
+                self.transport.ship_delta(sub_id, removed, record.safe)

@@ -1,0 +1,798 @@
+"""Spatially sharded Elaps: K workers behind one coordinator.
+
+The grid is split into K contiguous **column bands** (rectangular shards
+of ``grid.space``); each band is owned by a full, independent
+:class:`~repro.system.server.ElapsServer` — its own BEQ-Tree, its own
+subscription index, its own impact index — built from one shared
+:class:`~repro.system.config.ServerConfig`.  The coordinator on top
+implements the single-server public surface, so the TCP layer, the
+simulation, the CLI and the benchmarks drive a fleet exactly like they
+drive one server.
+
+Routing rules (DESIGN.md §12):
+
+* **Events** go to exactly one shard — the one whose band contains the
+  event point.  Each shard therefore holds a disjoint slice of the event
+  corpus, and the owning shard is the sole delivery authority for its
+  events: corpus matching can never duplicate a notification across
+  workers.
+* **Subscribers** are *multi-homed*: a subscriber lives on every shard
+  whose band its notification circle or dilated safe region overlaps
+  (dilation by the notification radius — the impact reach).  Definition 1
+  is a conjunction over events, so the region that is safe against *all*
+  events is the **intersection** of the per-shard safe regions; the
+  coordinator holds that intersection and ships it to the client.
+  Per-shard Lemma 1 keeps each worker's impact region covering the
+  notification circle whenever the subscriber sits inside the *held*
+  (intersection) region, because the held region is a subset of every
+  shard's own region.
+* **Re-homing** happens whenever a reconstruction (or a location change)
+  moves the dilated held region across a band boundary: the coordinator
+  subscribes the subscriber on the newly-overlapped shards.  Homes are
+  sticky — a shard once homed keeps its record until unsubscribe — so a
+  shard's per-subscriber ``delivered`` set never forgets, and the
+  coordinator keeps a global delivered set as the final dedup guard for
+  the re-homing corpus-match path.
+
+Execution is pluggable through :class:`ShardExecutor`:
+:class:`SerialExecutor` runs shard tasks in ascending shard order on the
+calling thread (deterministic — the golden-trace differential runs under
+it), :class:`ThreadedExecutor` fans them out over a thread pool with one
+lock per shard (workers share no state, so per-shard locking is the only
+synchronisation the fleet needs).
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field as dataclass_field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core import SafeRegion, SafeRegionStrategy, SystemStats
+from ..expressions import Event, Subscription
+from ..geometry import Cell, Grid, Point, Rect
+from .config import ServerConfig, Transport
+from .metrics import CommunicationStats
+from .observability import MetricsRegistry
+from .server import ElapsServer, Notification
+
+__all__ = [
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardSpec",
+    "ShardedElapsServer",
+    "ThreadedExecutor",
+    "partition_columns",
+]
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the space: a contiguous band of grid columns."""
+
+    shard_id: int
+    #: owned grid columns ``[col_lo, col_hi)``
+    col_lo: int
+    col_hi: int
+    #: the rectangle of space the band covers
+    rect: Rect
+
+
+def partition_columns(grid: Grid, shards: int) -> List[ShardSpec]:
+    """Split ``grid.space`` into ``shards`` near-equal column bands.
+
+    Bands are maximally even (sizes differ by at most one column), cover
+    every column exactly once, and are never empty — which caps the shard
+    count at the grid resolution.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    if shards > grid.n:
+        raise ValueError(
+            f"cannot split {grid.n} grid columns into {shards} shards"
+        )
+    bounds = [round(k * grid.n / shards) for k in range(shards + 1)]
+    specs = []
+    for shard_id in range(shards):
+        lo, hi = bounds[shard_id], bounds[shard_id + 1]
+        rect = Rect(
+            grid.space.x_min + lo * grid.cell_width,
+            grid.space.y_min,
+            grid.space.x_min + hi * grid.cell_width,
+            grid.space.y_max,
+        )
+        specs.append(ShardSpec(shard_id, lo, hi, rect))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class ShardExecutor:
+    """How the coordinator runs work on its shards.
+
+    ``run`` takes ``{shard_id: thunk}`` and returns ``{shard_id:
+    result}``.  Implementations decide *where* the thunks run; the
+    coordinator never assumes more than "every thunk ran to completion
+    before ``run`` returns".
+    """
+
+    def run(self, tasks: Mapping[int, Callable[[], object]]) -> Dict[int, object]:
+        """Run every thunk; return its result keyed by shard id."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (a no-op for serial execution)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """Run shard tasks inline, in ascending shard order.
+
+    Fully deterministic — the sharded-vs-single golden differential is
+    pinned under this executor — and the right choice whenever the
+    workload is driven from tests or a single-threaded simulation.
+    """
+
+    def run(self, tasks: Mapping[int, Callable[[], object]]) -> Dict[int, object]:
+        """Run the thunks one after another, ascending shard order."""
+        return {shard_id: tasks[shard_id]() for shard_id in sorted(tasks)}
+
+
+class ThreadedExecutor(ShardExecutor):
+    """Run shard tasks on a thread pool, one lock per shard.
+
+    Shards share no mutable state (each worker owns its indexes
+    outright), so the per-shard lock is the only synchronisation needed:
+    it serialises tasks that target the *same* shard while tasks for
+    different shards run concurrently.  The pool is created lazily on
+    first use and sized to ``max_workers`` (default: the first call's
+    fan-out width).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._locks: Dict[int, threading.Lock] = {}
+        self._admin = threading.Lock()
+
+    def _lock_for(self, shard_id: int) -> threading.Lock:
+        with self._admin:
+            lock = self._locks.get(shard_id)
+            if lock is None:
+                lock = self._locks[shard_id] = threading.Lock()
+            return lock
+
+    def _ensure_pool(self, width: int) -> ThreadPoolExecutor:
+        with self._admin:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers or max(width, 1),
+                    thread_name_prefix="elaps-shard",
+                )
+            return self._pool
+
+    def run(self, tasks: Mapping[int, Callable[[], object]]) -> Dict[int, object]:
+        """Fan the thunks out over the pool, serialised per shard."""
+        if len(tasks) == 1:
+            # Single-shard work (the common publish) skips the pool
+            # round-trip but still honours the shard lock.
+            ((shard_id, thunk),) = tasks.items()
+            with self._lock_for(shard_id):
+                return {shard_id: thunk()}
+
+        def _locked(shard_id: int, thunk: Callable[[], object]) -> object:
+            with self._lock_for(shard_id):
+                return thunk()
+
+        pool = self._ensure_pool(len(tasks))
+        futures = {
+            shard_id: pool.submit(_locked, shard_id, tasks[shard_id])
+            for shard_id in sorted(tasks)
+        }
+        return {shard_id: future.result() for shard_id, future in futures.items()}
+
+    def close(self) -> None:
+        """Shut the pool down and wait for in-flight shard work."""
+        with self._admin:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side state
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedSubscriberRecord:
+    """The coordinator's view of one subscriber."""
+
+    subscription: Subscription
+    location: Point
+    velocity: Point
+    #: the shard containing the subscribe-time location
+    owner: int
+    #: every shard currently holding a full per-shard record (sticky)
+    homes: Set[int] = dataclass_field(default_factory=set)
+    #: global delivered-event ids — the final dedup guard
+    delivered: Set[int] = dataclass_field(default_factory=set)
+    #: the latest safe region shipped by each homed shard
+    shard_regions: Dict[int, SafeRegion] = dataclass_field(default_factory=dict)
+    #: the held region: the intersection of ``shard_regions`` over homes
+    safe: Optional[SafeRegion] = None
+
+
+@dataclass
+class _Dirty:
+    """Pending region changes for one subscriber within one operation."""
+
+    #: a shard shipped a *full* region — the held intersection must be
+    #: recomputed and re-shipped in full
+    full: bool = False
+    #: cells repairs carved out (delta path; ignored once ``full`` is set)
+    removed: Set[Cell] = dataclass_field(default_factory=set)
+
+
+class _ShardTransport(Transport):
+    """The transport each worker is built with: everything a shard ships
+    lands at the coordinator, never directly at a client."""
+
+    def __init__(self, coordinator: "ShardedElapsServer", shard_id: int) -> None:
+        self._coordinator = coordinator
+        self._shard_id = shard_id
+
+    def ship_region(self, sub_id: int, region: SafeRegion) -> None:
+        """Record this shard's freshly built region at the coordinator."""
+        self._coordinator._on_shard_region(self._shard_id, sub_id, region)
+
+    def ship_delta(
+        self, sub_id: int, removed: FrozenSet[Cell], region: SafeRegion
+    ) -> None:
+        """Record this shard's repair delta at the coordinator."""
+        self._coordinator._on_shard_delta(self._shard_id, sub_id, removed, region)
+
+    def locate(self, sub_id: int) -> Optional[Tuple[Point, Point]]:
+        """Ping through the coordinator's client-facing transport."""
+        return self._coordinator._locate_subscriber(sub_id)
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+class ShardedElapsServer:
+    """K-shard Elaps fleet behind the single-server public surface.
+
+    Construction mirrors ``ElapsServer(grid, strategy, config)``; every
+    worker is built from the *same* :class:`ServerConfig`.  ``strategy``
+    may be a :class:`~repro.core.SafeRegionStrategy` instance (shared by
+    all workers — the bundled strategies are stateless per ``construct``
+    call) or a factory producing one fresh strategy per shard.  The
+    factory takes either no argument or the shard's :class:`ShardSpec` —
+    the latter lets a fleet split a global region budget across bands
+    (the client-held region is the K-way intersection of the per-shard
+    regions, so each shard only needs ``max_cells / K`` of the budget;
+    deliveries are unaffected either way).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        strategy,
+        config: Optional[ServerConfig] = None,
+        *,
+        shards: int = 4,
+        executor: Optional[ShardExecutor] = None,
+        transport: Optional[Transport] = None,
+        event_index_factory: Optional[Callable[[], object]] = None,
+        subscription_index_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config or ServerConfig()
+        self.specs = partition_columns(grid, shards)
+        self.executor = executor or SerialExecutor()
+        #: the client-facing seam, exactly as on a single server
+        self.transport: Optional[Transport] = transport
+
+        if isinstance(strategy, SafeRegionStrategy):
+            factory: Callable[[ShardSpec], SafeRegionStrategy] = (
+                lambda spec: strategy
+            )
+        elif callable(strategy):
+            takes_spec = len(inspect.signature(strategy).parameters) >= 1
+            factory = strategy if takes_spec else lambda spec: strategy()
+        else:
+            raise TypeError(
+                "strategy must be a SafeRegionStrategy or a factory "
+                f"(taking nothing or the ShardSpec), got {strategy!r}"
+            )
+        self.shard_servers: List[ElapsServer] = [
+            ElapsServer(
+                grid,
+                factory(spec),
+                self.config,
+                event_index=event_index_factory() if event_index_factory else None,
+                subscription_index=(
+                    subscription_index_factory() if subscription_index_factory else None
+                ),
+                transport=_ShardTransport(self, spec.shard_id),
+            )
+            for spec in self.specs
+        ]
+        #: column index → owning shard id
+        self._shard_by_column: List[int] = [0] * grid.n
+        for spec in self.specs:
+            for column in range(spec.col_lo, spec.col_hi):
+                self._shard_by_column[column] = spec.shard_id
+        #: grid columns one notification radius can span (dilation reach)
+        self._reach_cache: Dict[float, int] = {}
+
+        self.subscribers: Dict[int, ShardedSubscriberRecord] = {}
+        #: coordinator-level counters: client-facing region pushes; the
+        #: per-worker activity lives in each shard's own metrics and is
+        #: folded in by :meth:`merged_metrics`
+        self.metrics = CommunicationStats()
+        self.metrics.bytes_measured = self.config.measure_bytes
+        self.registry = MetricsRegistry(self.metrics)
+        self.tracer = self.registry.tracer
+        self._dirty: Dict[int, _Dirty] = {}
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """The shard count K."""
+        return len(self.shard_servers)
+
+    def shard_of_point(self, p: Point) -> int:
+        """The shard whose band contains ``p``."""
+        return self._shard_by_column[self.grid.cell_of(p)[0]]
+
+    def _column_reach(self, radius: float) -> int:
+        """Columns a dilation by ``radius`` can add on either side."""
+        reach = self._reach_cache.get(radius)
+        if reach is None:
+            reach = int(math.ceil(radius / self.grid.cell_width)) + 1
+            self._reach_cache[radius] = reach
+        return reach
+
+    def _shards_in_columns(self, lo: int, hi: int) -> Set[int]:
+        lo = max(lo, 0)
+        hi = min(hi, self.grid.n - 1)
+        if lo > hi:
+            return set()
+        return set(self._shard_by_column[lo : hi + 1])
+
+    def _desired_homes(self, record: ShardedSubscriberRecord) -> Set[int]:
+        """Every shard the homing invariant requires right now.
+
+        The invariant that makes sharding lossless: a subscriber is homed
+        on (a) its owner shard, (b) every shard overlapping the columns
+        of its notification circle at the last known location — while
+        the held region is empty the client reports every tick, and this
+        keeps the shard holding any within-radius event responsible for
+        it — and (c) every shard overlapping the dilation of the held
+        safe region, so an event that could invalidate the held region
+        always lands on a shard that knows the subscriber (per-shard
+        Definition 2).
+        """
+        radius = record.subscription.radius
+        reach = self._column_reach(radius)
+        column = self.grid.cell_of(record.location)[0]
+        homes = {record.owner}
+        homes |= self._shards_in_columns(column - reach, column + reach)
+        held = record.safe
+        if held is not None and not held.is_empty():
+            if held.complement:
+                return set(range(self.shards))
+            columns = [i for (i, _) in held.cells]
+            homes |= self._shards_in_columns(
+                min(columns) - reach, max(columns) + reach
+            )
+        return homes
+
+    # ------------------------------------------------------------------
+    # Shard-to-coordinator callbacks (may arrive from worker threads)
+    # ------------------------------------------------------------------
+    def _on_shard_region(self, shard_id: int, sub_id: int, region: SafeRegion) -> None:
+        with self._mutex:
+            record = self.subscribers.get(sub_id)
+            if record is None:
+                return
+            record.shard_regions[shard_id] = region
+            self._dirty.setdefault(sub_id, _Dirty()).full = True
+
+    def _on_shard_delta(
+        self,
+        shard_id: int,
+        sub_id: int,
+        removed: FrozenSet[Cell],
+        region: SafeRegion,
+    ) -> None:
+        with self._mutex:
+            record = self.subscribers.get(sub_id)
+            if record is None:
+                return
+            record.shard_regions[shard_id] = region
+            self._dirty.setdefault(sub_id, _Dirty()).removed.update(removed)
+
+    def _locate_subscriber(self, sub_id: int) -> Optional[Tuple[Point, Point]]:
+        transport = self.transport
+        if transport is None:
+            return None
+        answer = transport.locate(sub_id)
+        if answer is not None:
+            record = self.subscribers.get(sub_id)
+            if record is not None:
+                record.location, record.velocity = answer
+        return answer
+
+    # ------------------------------------------------------------------
+    # Held-region maintenance
+    # ------------------------------------------------------------------
+    def _recompute_held(self, record: ShardedSubscriberRecord) -> None:
+        held: Optional[SafeRegion] = None
+        for shard_id in sorted(record.homes):
+            region = record.shard_regions.get(shard_id)
+            if region is None:
+                continue
+            held = region if held is None else held.intersected_with(region)
+        record.safe = held
+
+    def _absorb(self, notifications: Sequence[Notification]) -> List[Notification]:
+        """Dedup shard notifications against the global delivered sets."""
+        fresh: List[Notification] = []
+        for notification in notifications:
+            record = self.subscribers.get(notification.sub_id)
+            if record is None or notification.event.event_id in record.delivered:
+                continue
+            record.delivered.add(notification.event.event_id)
+            fresh.append(notification)
+        return fresh
+
+    def _rehome(
+        self,
+        record: ShardedSubscriberRecord,
+        now: int,
+        notifications: List[Notification],
+    ) -> None:
+        """Subscribe the record on every newly-required shard.
+
+        A new home runs the full subscribe flow — its corpus matches
+        within the radius come back as notifications (deduped by
+        :meth:`_absorb`), and its freshly built region lands in
+        ``shard_regions`` via the shard transport, shrinking the held
+        intersection.  Growing the held region's column span can demand
+        further homes, so this loops to the fixpoint (at most K rounds).
+        """
+        while True:
+            new = self._desired_homes(record) - record.homes
+            if not new:
+                return
+            record.homes |= new
+            subscription = record.subscription
+            results = self.executor.run(
+                {
+                    shard_id: (
+                        lambda worker=self.shard_servers[shard_id]: worker.subscribe(
+                            subscription, record.location, record.velocity, now
+                        )
+                    )
+                    for shard_id in new
+                }
+            )
+            for shard_id in sorted(results):
+                shard_notifications, _ = results[shard_id]
+                notifications.extend(self._absorb(shard_notifications))
+            self._recompute_held(record)
+
+    def _settle(self, now: int, notifications: List[Notification]) -> None:
+        """Drain pending region changes: merge, re-home, ship once.
+
+        Every public operation ends here.  Shard constructions recorded
+        in ``_dirty`` are folded into the held intersections; re-homing
+        may trigger further constructions (drained in the next round);
+        when the fleet is quiet each touched subscriber gets exactly one
+        client-facing ship — a delta when only repairs happened, a full
+        region otherwise.
+        """
+        shipped: Dict[int, object] = {}
+        while True:
+            with self._mutex:
+                dirty, self._dirty = self._dirty, {}
+            if not dirty:
+                break
+            for sub_id, change in dirty.items():
+                record = self.subscribers.get(sub_id)
+                if record is None:
+                    continue
+                if change.full or record.safe is None:
+                    self._recompute_held(record)
+                    shipped[sub_id] = "full"
+                else:
+                    record.safe, actually_removed = record.safe.subtract(
+                        change.removed
+                    )
+                    if shipped.get(sub_id) != "full":
+                        accumulator = shipped.setdefault(sub_id, set())
+                        accumulator.update(actually_removed)
+                self._rehome(record, now, notifications)
+        for sub_id, what in shipped.items():
+            record = self.subscribers.get(sub_id)
+            if record is None or record.safe is None:
+                continue
+            if what == "full":
+                self._ship_held(record)
+            elif what:
+                if self.transport is not None:
+                    self.transport.ship_delta(sub_id, frozenset(what), record.safe)
+
+    def _ship_held(self, record: ShardedSubscriberRecord) -> None:
+        if self.transport is not None and record.safe is not None:
+            self.transport.ship_region(record.subscription.sub_id, record.safe)
+
+    # ------------------------------------------------------------------
+    # Public surface (mirrors ElapsServer)
+    # ------------------------------------------------------------------
+    def bootstrap(self, events) -> None:
+        """Load the initial event database, routed to the owning shards."""
+        groups: Dict[int, List[Event]] = {}
+        for event in events:
+            groups.setdefault(self.shard_of_point(event.location), []).append(event)
+        for shard_id, shard_events in sorted(groups.items()):
+            self.shard_servers[shard_id].bootstrap(shard_events)
+
+    def subscribe(
+        self,
+        subscription: Subscription,
+        location: Point,
+        velocity: Point,
+        now: int = 0,
+    ) -> Tuple[List[Notification], SafeRegion]:
+        """Register a subscriber on every shard the invariant requires."""
+        existing = self.subscribers.get(subscription.sub_id)
+        record = ShardedSubscriberRecord(
+            subscription=subscription,
+            location=location,
+            velocity=velocity,
+            owner=self.shard_of_point(location),
+            delivered=existing.delivered if existing is not None else set(),
+        )
+        self.subscribers[subscription.sub_id] = record
+        notifications: List[Notification] = []
+        if existing is not None and existing.homes:
+            # Resubscribe: refresh the record on every shard that already
+            # holds one (their delivered sets survive, matching the
+            # single server's reconnect semantics).
+            record.homes = set(existing.homes)
+            results = self.executor.run(
+                {
+                    shard_id: (
+                        lambda worker=self.shard_servers[shard_id]: worker.subscribe(
+                            subscription, location, velocity, now
+                        )
+                    )
+                    for shard_id in record.homes
+                }
+            )
+            for shard_id in sorted(results):
+                shard_notifications, _ = results[shard_id]
+                notifications.extend(self._absorb(shard_notifications))
+            self._recompute_held(record)
+        self._rehome(record, now, notifications)
+        self._settle(now, notifications)
+        return notifications, record.safe
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Drop the subscriber from the coordinator and every home."""
+        record = self.subscribers.pop(sub_id, None)
+        if record is None:
+            raise KeyError(f"unknown subscriber {sub_id}")
+        with self._mutex:
+            self._dirty.pop(sub_id, None)
+        if record.homes:
+            self.executor.run(
+                {
+                    shard_id: (
+                        lambda worker=self.shard_servers[
+                            shard_id
+                        ]: worker.unsubscribe(sub_id)
+                    )
+                    for shard_id in record.homes
+                }
+            )
+
+    def publish(self, event: Event, now: int) -> List[Notification]:
+        """Route one event to its owning shard; settle region changes."""
+        shard_id = self.shard_of_point(event.location)
+        worker = self.shard_servers[shard_id]
+        results = self.executor.run({shard_id: lambda: worker.publish(event, now)})
+        notifications = self._absorb(results[shard_id])
+        self._settle(now, notifications)
+        return notifications
+
+    def publish_batch(self, events: List[Event], now: int) -> List[Notification]:
+        """Split a burst by owning shard; merge notifications in order.
+
+        Each event belongs to exactly one shard, so merging the per-shard
+        notification lists by original event position (a stable sort)
+        reproduces the single server's order: within one event the
+        notified subscribers all came from that event's shard, already in
+        subscription-index order.
+        """
+        events = list(events)
+        if not events:
+            return []
+        groups: Dict[int, List[Event]] = {}
+        for event in events:
+            groups.setdefault(self.shard_of_point(event.location), []).append(event)
+        results = self.executor.run(
+            {
+                shard_id: (
+                    lambda worker=self.shard_servers[shard_id],
+                    shard_events=shard_events: worker.publish_batch(
+                        shard_events, now
+                    )
+                )
+                for shard_id, shard_events in groups.items()
+            }
+        )
+        position = {id(event): index for index, event in enumerate(events)}
+        merged: List[Notification] = []
+        for shard_id in sorted(results):
+            merged.extend(results[shard_id])
+        merged.sort(key=lambda n: position.get(id(n.event), len(events)))
+        notifications = self._absorb(merged)
+        self._settle(now, notifications)
+        return notifications
+
+    def report_location(
+        self, sub_id: int, location: Point, velocity: Point, now: int
+    ) -> Tuple[List[Notification], SafeRegion]:
+        """Fan a client report out to every home; intersect the regions."""
+        record = self.subscribers[sub_id]
+        record.location = location
+        record.velocity = velocity
+        results = self.executor.run(
+            {
+                shard_id: (
+                    lambda worker=self.shard_servers[
+                        shard_id
+                    ]: worker.report_location(sub_id, location, velocity, now)
+                )
+                for shard_id in record.homes
+            }
+        )
+        notifications: List[Notification] = []
+        for shard_id in sorted(results):
+            shard_notifications, _ = results[shard_id]
+            notifications.extend(self._absorb(shard_notifications))
+        self._settle(now, notifications)
+        return notifications, record.safe
+
+    def resync(
+        self,
+        sub_id: int,
+        location: Point,
+        velocity: Point,
+        received,
+        now: int,
+    ) -> Tuple[List[Notification], SafeRegion]:
+        """Reconcile a reconnecting client against every home."""
+        record = self.subscribers[sub_id]
+        record.location = location
+        record.velocity = velocity
+        record.delivered = set(received)
+        results = self.executor.run(
+            {
+                shard_id: (
+                    lambda worker=self.shard_servers[shard_id]: worker.resync(
+                        sub_id, location, velocity, received, now
+                    )
+                )
+                for shard_id in record.homes
+            }
+        )
+        notifications: List[Notification] = []
+        for shard_id in sorted(results):
+            shard_notifications, _ = results[shard_id]
+            notifications.extend(self._absorb(shard_notifications))
+        self._settle(now, notifications)
+        return notifications, record.safe
+
+    def expire_due_events(self, now: int) -> int:
+        """Expire on every shard; Lemma 4 — still no client traffic."""
+        results = self.executor.run(
+            {
+                spec.shard_id: (
+                    lambda worker=self.shard_servers[
+                        spec.shard_id
+                    ]: worker.expire_due_events(now)
+                )
+                for spec in self.specs
+            }
+        )
+        return sum(results.values())
+
+    def rebuild_all(self, now: int) -> None:
+        """Rebuild every record on every shard with fresh statistics."""
+        self.executor.run(
+            {
+                spec.shard_id: (
+                    lambda worker=self.shard_servers[
+                        spec.shard_id
+                    ]: worker.rebuild_all(now)
+                )
+                for spec in self.specs
+            }
+        )
+        self._settle(now, [])
+
+    def system_stats(self, now: int) -> SystemStats:
+        """Fleet-wide cost-model inputs: summed rate, summed corpus."""
+        shard_stats = [worker.system_stats(now) for worker in self.shard_servers]
+        return SystemStats(
+            event_rate=sum(s.event_rate for s in shard_stats),
+            total_events=sum(s.total_events for s in shard_stats),
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate views (shared surface with ElapsServer)
+    # ------------------------------------------------------------------
+    def merged_metrics(self) -> CommunicationStats:
+        """Coordinator counters plus every worker's, field-wise."""
+        merged = self.metrics
+        for worker in self.shard_servers:
+            merged = merged.merged_with(worker.metrics)
+        return merged
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Coordinator registry plus every worker's (histograms bucket-wise)."""
+        merged = self.registry
+        for worker in self.shard_servers:
+            merged = merged.merged_with(worker.registry)
+        return merged
+
+    def corpus_matches(self, expression) -> Iterator[Event]:
+        """Every live be-matching event, across all shards' corpora."""
+        return itertools.chain.from_iterable(
+            worker.corpus_matches(expression) for worker in self.shard_servers
+        )
+
+    def delivered_ids(self, sub_id: int) -> FrozenSet[int]:
+        """The coordinator's global delivered set for ``sub_id``."""
+        return frozenset(self.subscribers[sub_id].delivered)
+
+    def close(self) -> None:
+        """Shut the executor down (thread pools only)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ShardedElapsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

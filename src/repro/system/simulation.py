@@ -8,7 +8,8 @@ phases, ordered so the paper's correctness argument holds:
    the subscriber's cell leaves its safe region (or the region is empty);
 2. **event arrivals** — the deterministic-rate stream publishes new
    events; the server handles impact-region hits with event-arrival
-   rounds (the locator callback stands in for the ping/reply message);
+   rounds (:meth:`SimulationTransport.locate` stands in for the
+   ping/reply message);
 3. **event expiry** — due events leave the index silently (Lemma 4).
 
 Because phase 1 restores the invariant "every subscriber is inside its
@@ -29,9 +30,30 @@ from ..expressions import Event, Subscription
 from ..geometry import Point
 from ..trajectories import Trajectory
 from .client import MobileClient
+from .config import Transport
 from .metrics import CommunicationStats
 from .observability import MetricsRegistry
 from .server import ElapsServer
+
+
+class SimulationTransport(Transport):
+    """The in-process wire of Figure 6: pings and pushes go straight to
+    the :class:`MobileClient` state machines."""
+
+    def __init__(self, simulation: "Simulation") -> None:
+        self._simulation = simulation
+
+    def locate(self, sub_id: int) -> Tuple[Point, Point]:
+        """The server's location ping, answered by the client."""
+        return self._simulation.clients[sub_id].answer_ping()
+
+    def ship_region(self, sub_id: int, region: SafeRegion) -> None:
+        """The client side of the safe-region push (Figure 6)."""
+        self._simulation.clients[sub_id].receive_region(region)
+
+    def ship_delta(self, sub_id, removed, region) -> None:
+        """Clients hold full regions in-process; apply the repaired one."""
+        self.ship_region(sub_id, region)
 
 
 @dataclass
@@ -52,7 +74,13 @@ class SimulationResult:
 
 
 class Simulation:
-    """Drives subscribers and an event stream against one server."""
+    """Drives subscribers and an event stream against one server.
+
+    ``server`` may be a single :class:`ElapsServer` or a
+    :class:`~repro.system.sharding.ShardedElapsServer` — the simulation
+    only touches the surface the two share (installing its transport,
+    driving the public operations, and reading the merged metrics).
+    """
 
     def __init__(
         self,
@@ -94,19 +122,7 @@ class Simulation:
             sub.sub_id: MobileClient(sub, traj.position_at(0), traj.velocity_at(0))
             for sub, traj in zip(self.subscriptions, self.trajectories)
         }
-        server.locator = self._locate
-        server.region_sink = self._receive_region
-
-    # ------------------------------------------------------------------
-    # Client-side callbacks (the wire of Figure 6)
-    # ------------------------------------------------------------------
-    def _locate(self, sub_id: int) -> Tuple[Point, Point]:
-        """The server's location ping, answered by the client."""
-        return self.clients[sub_id].answer_ping()
-
-    def _receive_region(self, sub_id: int, region: SafeRegion) -> None:
-        """The client side of the safe-region push (Figure 6)."""
-        self.clients[sub_id].receive_region(region)
+        server.transport = SimulationTransport(self)
 
     # ------------------------------------------------------------------
     # Run
@@ -140,11 +156,11 @@ class Simulation:
             self.server.expire_due_events(t)
 
         return SimulationResult(
-            stats=self.server.metrics,
+            stats=self.server.merged_metrics(),
             subscriber_count=len(self.subscriptions),
             timestamps=timestamps,
             notification_count=self._notification_count,
-            registry=self.server.registry,
+            registry=self.server.merged_registry(),
         )
 
     def _deliver(self, notifications) -> None:
@@ -191,10 +207,10 @@ class Simulation:
         real-time dissemination guarantee held."""
         violations: List[Tuple[int, int]] = []
         for subscription, trajectory in zip(self.subscriptions, self.trajectories):
-            record = self.server.subscribers[subscription.sub_id]
+            delivered = self.server.delivered_ids(subscription.sub_id)
             position = trajectory.position_at(self._clock)
-            for event in self.server.event_index.be_match(subscription.expression):
-                if event.event_id in record.delivered:
+            for event in self.server.corpus_matches(subscription.expression):
+                if event.event_id in delivered:
                     continue
                 if position.distance_to(event.location) <= subscription.radius:
                     violations.append((subscription.sub_id, event.event_id))

@@ -21,17 +21,21 @@ from repro.datasets import TwitterLikeGenerator
 from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ElapsServer
+from repro.system import ElapsServer, ServerConfig
 from repro.system.network import ElapsNetworkClient, ElapsTCPServer
 from repro.system.protocol import EventPublishBatchMessage, NotificationMessage
 
 SPACE = Rect(0, 0, 10_000, 10_000)
 
 
-def fresh_server(**kwargs) -> ElapsServer:
-    kwargs.setdefault("event_index", BEQTree(SPACE, emax=32))
-    kwargs.setdefault("initial_rate", 1.0)
-    return ElapsServer(Grid(40, SPACE), IGM(max_cells=400), **kwargs)
+def fresh_server(**config_fields) -> ElapsServer:
+    config = ServerConfig(initial_rate=1.0, **config_fields)
+    return ElapsServer(
+        Grid(40, SPACE),
+        IGM(max_cells=400),
+        config,
+        event_index=BEQTree(SPACE, emax=32),
+    )
 
 
 def make_sub(sub_id=1, radius=1_500.0):

@@ -20,7 +20,7 @@ from repro.expressions import (
 from repro.geometry import Grid, Point, Rect
 from repro.index.betree import BETreeIndex, predicate_interval
 from repro.index import KSubscriptionIndex, SubscriptionIndex
-from repro.system import ElapsServer
+from repro.system import ServerConfig, ElapsServer
 
 
 def make_sub(sub_id, *predicates, radius=1000.0):
@@ -161,9 +161,8 @@ class TestServerOnBETree:
         server = ElapsServer(
             Grid(40, space),
             IGM(max_cells=300),
-            subscription_index=BETreeIndex(max_bucket=4),
-            initial_rate=1.0,
-        )
+            ServerConfig(initial_rate=1.0),
+            subscription_index=BETreeIndex(max_bucket=4))
         sub = make_sub(1, Predicate("topic", Operator.EQ, "sale"), radius=1500.0)
         server.subscribe(sub, Point(5000, 5000), Point(40, 0))
         notifications = server.publish(

@@ -19,7 +19,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ElapsServer
+from repro.system import ServerConfig, ElapsServer
 from repro.system.network import (
     ElapsNetworkClient,
     ElapsTCPServer,
@@ -41,9 +41,8 @@ def make_tcp_server(**kwargs) -> ElapsTCPServer:
     server = ElapsServer(
         Grid(20, SPACE),
         IGM(max_cells=100),
-        event_index=BEQTree(SPACE, emax=64),
-        initial_rate=1.0,
-    )
+        ServerConfig(initial_rate=1.0),
+        event_index=BEQTree(SPACE, emax=64))
     kwargs.setdefault("read_timeout", 2.0)
     kwargs.setdefault("retain_subscribers", True)
     return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)

@@ -1,0 +1,232 @@
+"""The redesigned server API: ServerConfig and the Transport seam.
+
+Covers the migration contract of the config/transport redesign:
+
+* :class:`ServerConfig` — frozen, validated, copy-with-changes;
+* the deprecated ``ElapsServer`` keyword arguments still work but warn,
+  and build the exact same config;
+* the deprecated ``locator``/``region_sink``/``delta_sink`` attributes
+  still work (getter and setter both warn) and are implemented on top of
+  a :class:`CallbackTransport`;
+* :class:`CallbackTransport` is behaviourally equivalent to a hand-rolled
+  :class:`Transport` subclass, including the ship_delta -> ship_region
+  fallback the legacy sink pair implemented.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import IGM
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import CallbackTransport, ElapsServer, ServerConfig, Transport
+
+SPACE = Rect(0, 0, 10_000, 10_000)
+
+
+def make_server(config=None, **kwargs):
+    return ElapsServer(
+        Grid(40, SPACE),
+        IGM(max_cells=400),
+        config or ServerConfig(initial_rate=1.0),
+        event_index=BEQTree(SPACE, emax=32),
+        **kwargs,
+    )
+
+
+def make_sub(sub_id=1, radius=1_500.0):
+    return Subscription(
+        sub_id,
+        BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),
+        radius=radius,
+    )
+
+
+def sale(event_id, x, y):
+    return Event(event_id, {"topic": "sale"}, Point(x, y))
+
+
+# ----------------------------------------------------------------------
+# ServerConfig
+# ----------------------------------------------------------------------
+class TestServerConfig:
+    def test_defaults_round_trip_onto_the_server(self):
+        config = ServerConfig(
+            matching_mode="full",
+            rate_window=25,
+            initial_rate=3.0,
+            min_speed=2.0,
+            measure_bytes=True,
+            use_impact_region=False,
+            repair=True,
+        )
+        server = make_server(config)
+        assert server.config is config
+        assert server.matching_mode == "full"
+        assert server.rate_window == 25
+        assert server.initial_rate == 3.0
+        assert server.min_speed == 2.0
+        assert server.measure_bytes is True
+        assert server.metrics.bytes_measured is True
+        assert server.use_impact_region is False
+        assert server.repair is True
+
+    def test_frozen(self):
+        config = ServerConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.repair = True
+
+    def test_with_copies(self):
+        base = ServerConfig(initial_rate=1.0)
+        changed = base.with_(repair=True)
+        assert changed.repair is True
+        assert changed.initial_rate == 1.0
+        assert base.repair is False  # original untouched
+
+    def test_invalid_matching_mode_rejected(self):
+        with pytest.raises(ValueError, match="psychic"):
+            ServerConfig(matching_mode="psychic")
+
+
+# ----------------------------------------------------------------------
+# Deprecated keyword arguments
+# ----------------------------------------------------------------------
+class TestLegacyKwargs:
+    def test_legacy_kwargs_warn_and_build_the_same_config(self):
+        with pytest.warns(DeprecationWarning, match="initial_rate"):
+            server = ElapsServer(
+                Grid(40, SPACE),
+                IGM(max_cells=400),
+                event_index=BEQTree(SPACE, emax=32),
+                initial_rate=2.0,
+                repair=True,
+            )
+        assert server.config == ServerConfig(initial_rate=2.0, repair=True)
+
+    def test_legacy_kwargs_layer_on_an_explicit_config(self):
+        with pytest.warns(DeprecationWarning):
+            server = ElapsServer(
+                Grid(40, SPACE),
+                IGM(max_cells=400),
+                ServerConfig(measure_bytes=True),
+                event_index=BEQTree(SPACE, emax=32),
+                initial_rate=2.0,
+            )
+        assert server.config == ServerConfig(measure_bytes=True, initial_rate=2.0)
+
+    def test_unknown_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="warp_speed"):
+            ElapsServer(Grid(40, SPACE), IGM(max_cells=400), warp_speed=9)
+
+
+# ----------------------------------------------------------------------
+# Deprecated hook attributes
+# ----------------------------------------------------------------------
+class TestLegacyHooks:
+    @pytest.mark.parametrize("name", ["locator", "region_sink", "delta_sink"])
+    def test_getter_and_setter_both_warn(self, name):
+        server = make_server()
+        with pytest.warns(DeprecationWarning, match=name):
+            setattr(server, name, lambda *args: None)
+        with pytest.warns(DeprecationWarning, match=name):
+            getattr(server, name)
+
+    def test_assigned_hooks_drive_the_transport(self):
+        server = make_server()
+        shipped = {}
+        pings = []
+
+        def locate(sub_id):
+            pings.append(sub_id)
+            return Point(5_000, 5_000), Point(20, 0)
+
+        with pytest.warns(DeprecationWarning):
+            server.locator = locate
+        with pytest.warns(DeprecationWarning):
+            server.region_sink = lambda sub_id, region: shipped.update(
+                {sub_id: region}
+            )
+        assert isinstance(server.transport, CallbackTransport)
+
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        server.publish(sale(10, 5_400, 5_000), now=1)
+        assert pings  # the event-arrival ping went through the shim
+        assert sub.sub_id in shipped  # the rebuilt region was shipped
+
+
+# ----------------------------------------------------------------------
+# Transport equivalence
+# ----------------------------------------------------------------------
+class RecordingTransport(Transport):
+    """A hand-rolled Transport, the class-based migration target."""
+
+    def __init__(self):
+        self.regions = []
+        self.deltas = []
+        self.pings = []
+
+    def ship_region(self, sub_id, region):
+        self.regions.append((sub_id, frozenset(region.cells), region.complement))
+
+    def ship_delta(self, sub_id, removed, region):
+        self.deltas.append((sub_id, frozenset(removed)))
+
+    def locate(self, sub_id):
+        self.pings.append(sub_id)
+        return Point(5_000, 5_000), Point(20, 0)
+
+
+def drive(transport):
+    """One fixed workload: subscribe, in-radius hit, out-of-radius hit."""
+    server = make_server(
+        ServerConfig(initial_rate=1.0, repair=True), transport=transport
+    )
+    server.subscribe(make_sub(), Point(5_000, 5_000), Point(20, 0), now=0)
+    server.publish(sale(10, 5_400, 5_000), now=1)   # in radius: rebuild
+    server.publish(sale(11, 7_600, 5_000), now=2)   # out of radius: repair
+    return server
+
+
+class TestTransportEquivalence:
+    def test_callback_transport_matches_a_transport_subclass(self):
+        subclass = RecordingTransport()
+        drive(subclass)
+
+        regions, deltas, pings = [], [], []
+        callbacks = CallbackTransport(
+            ship_region=lambda sub_id, region: regions.append(
+                (sub_id, frozenset(region.cells), region.complement)
+            ),
+            ship_delta=lambda sub_id, removed, region: deltas.append(
+                (sub_id, frozenset(removed))
+            ),
+            locate=lambda sub_id: (
+                pings.append(sub_id) or (Point(5_000, 5_000), Point(20, 0))
+            ),
+        )
+        drive(callbacks)
+
+        assert regions == subclass.regions
+        assert deltas == subclass.deltas
+        assert pings == subclass.pings
+        assert deltas  # the repair path actually produced a delta
+
+    def test_missing_ship_delta_falls_back_to_a_full_push(self):
+        regions = []
+        transport = CallbackTransport(
+            ship_region=lambda sub_id, region: regions.append(region),
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)),
+        )
+        server = drive(transport)
+        # the repair shipped through ship_region instead of vanishing
+        assert len(regions) >= 2
+        assert server.metrics.repairs >= 1
+
+    def test_base_transport_is_a_usable_null_transport(self):
+        server = drive(Transport())
+        assert server.metrics.repairs >= 1  # workload ran; nothing crashed

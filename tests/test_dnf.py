@@ -20,7 +20,7 @@ from repro.expressions import (
 )
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree, KIndex, OpIndex, QuadTree, SubscriptionIndex
-from repro.system import ElapsServer
+from repro.system import ServerConfig, ElapsServer
 
 from conftest import random_events
 
@@ -174,9 +174,8 @@ class TestDnfInTheServer:
     def test_end_to_end_dnf_subscription(self):
         grid = Grid(40, SPACE)
         server = ElapsServer(
-            grid, IGM(max_cells=400), event_index=BEQTree(SPACE, emax=32),
-            initial_rate=1.0,
-        )
+            grid, IGM(max_cells=400),
+        ServerConfig(initial_rate=1.0), event_index=BEQTree(SPACE, emax=32))
         dnf = DnfExpression([
             clause(Predicate("topic", Operator.EQ, "sale")),
             clause(Predicate("topic", Operator.EQ, "concert"),

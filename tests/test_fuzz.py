@@ -18,7 +18,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ElapsServer
+from repro.system import ServerConfig, ElapsServer
 from repro.system.network import ElapsNetworkClient, ElapsTCPServer
 from repro.system.protocol import SafeRegionPush, SubscribeMessage, encode_message
 
@@ -30,9 +30,8 @@ def make_tcp_server(**kwargs) -> ElapsTCPServer:
     server = ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=400),
-        event_index=BEQTree(SPACE, emax=32),
-        initial_rate=1.0,
-    )
+        ServerConfig(initial_rate=1.0),
+        event_index=BEQTree(SPACE, emax=32))
     kwargs.setdefault("read_timeout", 0.3)
     return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
 

@@ -36,7 +36,7 @@ from repro.core import IGM
 from repro.datasets import TwitterLikeGenerator
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ElapsServer
+from repro.system import ServerConfig, ElapsServer
 
 SPACE = Rect(0, 0, 10_000, 10_000)
 SEED = 7
@@ -49,10 +49,8 @@ def fresh_server(repair: bool = False) -> ElapsServer:
     return ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=400),
-        event_index=BEQTree(SPACE, emax=32),
-        initial_rate=2.0,
-        repair=repair,
-    )
+        ServerConfig(initial_rate=2.0, repair=repair),
+        event_index=BEQTree(SPACE, emax=32))
 
 
 def run_simulation(batched: bool, repair: bool = False) -> str:

@@ -18,7 +18,7 @@ from repro.expressions import (
 )
 from repro.geometry import Point, Rect
 from repro.index import KSubscriptionIndex, SubscriptionIndex
-from repro.system import ElapsServer
+from repro.system import ServerConfig, ElapsServer
 from repro.core import IGM
 from repro.geometry import Grid
 
@@ -132,9 +132,8 @@ class TestServerPluggability:
         server = ElapsServer(
             Grid(40, space),
             IGM(max_cells=300),
-            subscription_index=KSubscriptionIndex(),
-            initial_rate=1.0,
-        )
+            ServerConfig(initial_rate=1.0),
+            subscription_index=KSubscriptionIndex())
         sub = make_sub(1, Predicate("topic", Operator.EQ, "sale"), radius=1500.0)
         server.subscribe(sub, Point(5000, 5000), Point(40, 0))
         notifications = server.publish(

@@ -17,7 +17,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import CommunicationStats, ElapsServer
+from repro.system import ServerConfig, CommunicationStats, ElapsServer
 
 SPACE = Rect(0, 0, 10_000, 10_000)
 
@@ -26,11 +26,8 @@ def run_workload(measure_bytes: bool, repair: bool = False) -> ElapsServer:
     server = ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=400),
-        event_index=BEQTree(SPACE, emax=32),
-        initial_rate=1.0,
-        measure_bytes=measure_bytes,
-        repair=repair,
-    )
+        ServerConfig(initial_rate=1.0, measure_bytes=measure_bytes, repair=repair),
+        event_index=BEQTree(SPACE, emax=32))
     sub = Subscription(
         1,
         BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),

@@ -166,7 +166,7 @@ def _run_event_workload(seed: int, *, repair: bool):
     """A seeded stationary-subscriber event stream on one server."""
     from repro.core import IGM
     from repro.geometry import Grid
-    from repro.system import ElapsServer
+    from repro.system import CallbackTransport, ElapsServer, ServerConfig
 
     generator = TwitterLikeGenerator(SPACE, seed=seed)
     subscriptions = generator.subscriptions(6, size=2, radius=2_000)
@@ -174,10 +174,8 @@ def _run_event_workload(seed: int, *, repair: bool):
     server = ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=200),
-        event_index=BEQTree(SPACE, emax=16),
-        initial_rate=2.0,
-        repair=repair,
-    )
+        ServerConfig(initial_rate=2.0, repair=repair),
+        event_index=BEQTree(SPACE, emax=16))
     positions = {}
     log = []
     for subscription in subscriptions:
@@ -187,7 +185,8 @@ def _run_event_workload(seed: int, *, repair: bool):
             subscription, location, Point(0.0, 0.0), now=0
         )
         log.extend((n.timestamp, n.sub_id, n.event.event_id) for n in notifications)
-    server.locator = lambda sub_id: (positions[sub_id], Point(0.0, 0.0))
+    server.transport = CallbackTransport(
+        locate=lambda sub_id: (positions[sub_id], Point(0.0, 0.0)))
     for step in range(10):
         events = generator.events(
             6, start_id=step * 6, arrived_at=step + 1, seed_offset=step

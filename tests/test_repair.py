@@ -18,19 +18,17 @@ from repro.core.field import dilate_point
 from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ElapsServer
+from repro.system import CallbackTransport, ServerConfig, ElapsServer
 
 SPACE = Rect(0, 0, 10_000, 10_000)
 
 
-def make_server(strategy=None, **kwargs):
+def make_server(strategy=None, **config_fields):
     return ElapsServer(
         Grid(40, SPACE),
         strategy or IGM(max_cells=400),
-        event_index=BEQTree(SPACE, emax=32),
-        initial_rate=1.0,
-        **kwargs,
-    )
+        ServerConfig(initial_rate=1.0, **config_fields),
+        event_index=BEQTree(SPACE, emax=32))
 
 
 def make_sub(sub_id=1, radius=1500.0):
@@ -101,7 +99,8 @@ class TestRepairPath:
         server = make_server(repair=True, **kwargs)
         sub = make_sub()
         server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
-        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
         return server, sub
 
     def test_out_of_radius_hit_repairs_instead_of_rebuilding(self):
@@ -143,7 +142,8 @@ class TestRepairPath:
     def test_repair_ships_through_the_region_sink_without_a_delta_sink(self):
         server, sub = self.repair_server()
         shipped = []
-        server.region_sink = lambda sub_id, region: shipped.append(region)
+        server.transport = CallbackTransport(
+            ship_region=lambda sub_id, region: shipped.append(region))
         server.publish(sale(10, 7_600, 5_000), now=1)
         assert len(shipped) == 1
         assert shipped[0] is server.subscribers[sub.sub_id].safe
@@ -153,8 +153,9 @@ class TestRepairPath:
         record = server.subscribers[sub.sub_id]
         before = record.safe
         pushes, deltas = [], []
-        server.region_sink = lambda sub_id, region: pushes.append(region)
-        server.delta_sink = lambda sub_id, removed, region: deltas.append(removed)
+        server.transport = CallbackTransport(
+            ship_region=lambda sub_id, region: pushes.append(region),
+            ship_delta=lambda sub_id, removed, region: deltas.append(removed))
         server.publish(sale(10, 7_600, 5_000), now=1)
         assert pushes == []
         assert len(deltas) == 1
@@ -171,7 +172,8 @@ class TestRepairPath:
 
         server, sub = self.repair_server(measure_bytes=True)
         shipped = []
-        server.region_sink = lambda sub_id, region: shipped.append(region)
+        server.transport = CallbackTransport(
+            ship_region=lambda sub_id, region: shipped.append(region))
         # repeating the location: the second carve only covers territory
         # the first already removed, so nothing ships beyond the ping round
         event = sale(10, 7_600, 5_000)
@@ -221,7 +223,8 @@ class TestRepairPath:
         assert server.repair is False
         sub = make_sub()
         server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
-        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
         built = server.metrics.constructions
         server.publish(sale(10, 7_600, 5_000), now=1)
         assert server.metrics.constructions == built + 1
@@ -243,7 +246,8 @@ class TestCachedFastPathAccounting:
         )
         sub = make_sub()
         server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
-        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
         return server, sub
 
     def test_fast_path_reuses_the_cached_pair(self):
@@ -319,7 +323,8 @@ class TestFieldReuse:
         server = make_server(repair=True)
         sub = make_sub()
         server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
-        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
         # outside the impact region: no communication, but the cached
         # field is fed so the event constrains the next construction
         far = sale(10, 500, 500)
@@ -353,7 +358,8 @@ class TestFieldReuse:
         server = make_server(repair=True)
         sub = make_sub()
         server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
-        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
         doomed = Event(
             10, {"topic": "sale"}, Point(7_600, 5_000), arrived_at=1, expires_at=3
         )
@@ -402,7 +408,8 @@ class TestDegenerateConstruction:
 
     def test_degenerate_impact_still_catches_deliverable_events(self):
         server, sub, _ = self.degenerate_server()
-        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
         # an event inside the notification circle must reach the client
         # even though the safe region is empty (Lemma 1's whole point)
         notifications = server.publish(sale(2, 5_400, 5_000), now=1)
@@ -414,7 +421,8 @@ class TestDegenerateConstruction:
         server.bootstrap([sale(1, 5_000 + 1_600, 5_000)])
         _, region = server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
         assert region.is_empty()
-        server.locator = lambda sub_id: (Point(5_000, 5_000), Point(20, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
         built = server.metrics.constructions
         server.publish(sale(2, 6_700, 5_000), now=1)  # in impact, out of radius
         assert server.metrics.repairs == 0

@@ -8,21 +8,19 @@ from repro.core import IGM, GridMethod
 from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ElapsServer
+from repro.system import ServerConfig, ElapsServer
 
 SPACE = Rect(0, 0, 10_000, 10_000)
 
 
-def make_server(strategy=None, matching_mode="ondemand", **kwargs):
+def make_server(strategy=None, **config_fields):
     grid = Grid(40, SPACE)
+    config_fields.setdefault("initial_rate", 1.0)
     return ElapsServer(
         grid,
         strategy or IGM(max_cells=600),
-        event_index=BEQTree(SPACE, emax=32),
-        matching_mode=matching_mode,
-        initial_rate=1.0,
-        **kwargs,
-    )
+        ServerConfig(**config_fields),
+        event_index=BEQTree(SPACE, emax=32))
 
 
 def make_sub(sub_id=1, radius=1500.0):

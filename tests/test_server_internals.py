@@ -9,7 +9,7 @@ from repro.core import GridMethod, IGM
 from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ElapsServer
+from repro.system import CallbackTransport, ServerConfig, ElapsServer
 from repro.system.protocol import (
     NotificationMessage,
     SafeRegionPush,
@@ -22,14 +22,12 @@ from repro.system.protocol import (
 SPACE = Rect(0, 0, 10_000, 10_000)
 
 
-def make_server(strategy=None, **kwargs):
+def make_server(strategy=None, **config_fields):
     return ElapsServer(
         Grid(40, SPACE),
         strategy or IGM(max_cells=400),
-        event_index=BEQTree(SPACE, emax=32),
-        initial_rate=1.0,
-        **kwargs,
-    )
+        ServerConfig(initial_rate=1.0, **config_fields),
+        event_index=BEQTree(SPACE, emax=32))
 
 
 def make_sub(sub_id=1, radius=1500.0):
@@ -71,7 +69,8 @@ class TestCachedRegionReuse:
         server.bootstrap([sale(1, 8_000, 8_000)])
         sub = make_sub()
         server.subscribe(sub, Point(1_000, 1_000), Point(40, 0))
-        server.locator = lambda sub_id: (Point(1_000, 1_000), Point(40, 0))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(1_000, 1_000), Point(40, 0)))
         built = server.metrics.constructions
         # a location update with an unchanged matching set reuses the pair
         server.report_location(sub.sub_id, Point(1_500, 1_000), Point(40, 0), now=1)
@@ -111,7 +110,8 @@ class TestImpactAblationSwitch:
             server = make_server(use_impact_region=flag, strategy=IGM(max_cells=4))
             sub = make_sub(radius=500.0)
             server.subscribe(sub, Point(1_000, 1_000), Point(10, 0))
-            server.locator = lambda sub_id: (Point(1_000, 1_000), Point(10, 0))
+            server.transport = CallbackTransport(
+                locate=lambda sub_id: (Point(1_000, 1_000), Point(10, 0)))
             # a far matching event: outside any reasonable impact region
             server.publish(sale(10, 9_500, 9_500), now=1)
             results[flag] = server.metrics.event_arrival_rounds
@@ -124,7 +124,8 @@ class TestRecordBookkeeping:
         server = make_server()
         sub = make_sub()
         server.subscribe(sub, Point(5_000, 5_000), Point(40, 0))
-        server.locator = lambda sub_id: (Point(5_100, 5_000), Point(45, 5))
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_100, 5_000), Point(45, 5)))
         record = server.subscribers[sub.sub_id]
         server._refresh_location(record)
         assert record.location == Point(5_100, 5_000)

@@ -1,0 +1,412 @@
+"""Sharded Elaps: partitioning, routing, multi-homing, and the golden
+sharded-vs-single differential.
+
+The load-bearing test is the differential: the 20-subscriber/200-event
+golden workload (tests/test_golden_trace.py) must produce a notification
+log **byte-identical** to the frozen single-server trace for K in
+{1, 2, 4} shards under the deterministic :class:`SerialExecutor`, on
+both the one-at-a-time and the batched publish path.  That holds because
+delivery is purely geometric (an event is delivered iff it be-matches
+and is within the radius), events route to exactly one shard, and the
+coordinator's homing invariant guarantees the owning shard knows every
+subscriber whose circle its band can touch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core import IGM
+from repro.datasets import TwitterLikeGenerator
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree, SubscriptionIndex
+from repro.system import (
+    CallbackTransport,
+    ElapsServer,
+    SerialExecutor,
+    ServerConfig,
+    ShardedElapsServer,
+    ThreadedExecutor,
+    partition_columns,
+)
+
+from test_golden_trace import GOLDEN, GROUP_SIZE, GROUPS, SEED, SPACE
+
+
+def make_sharded(shards, executor=None, config=None, **kwargs):
+    return ShardedElapsServer(
+        Grid(40, SPACE),
+        IGM(max_cells=400),
+        config or ServerConfig(initial_rate=2.0),
+        shards=shards,
+        executor=executor or SerialExecutor(),
+        event_index_factory=lambda: BEQTree(SPACE, emax=32),
+        **kwargs,
+    )
+
+
+def make_sub(sub_id=1, radius=1_500.0):
+    return Subscription(
+        sub_id,
+        BooleanExpression([Predicate("topic", Operator.EQ, "sale")]),
+        radius=radius,
+    )
+
+
+def sale(event_id, x, y, arrived_at=1):
+    return Event(event_id, {"topic": "sale"}, Point(x, y), arrived_at=arrived_at)
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+class TestPartitionColumns:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 7, 40])
+    def test_bands_cover_every_column_exactly_once(self, shards):
+        grid = Grid(40, SPACE)
+        specs = partition_columns(grid, shards)
+        assert [s.shard_id for s in specs] == list(range(shards))
+        assert specs[0].col_lo == 0
+        assert specs[-1].col_hi == grid.n
+        for left, right in zip(specs, specs[1:]):
+            assert left.col_hi == right.col_lo  # contiguous, no gaps
+        widths = [s.col_hi - s.col_lo for s in specs]
+        assert all(w >= 1 for w in widths)
+        assert max(widths) - min(widths) <= 1  # near-equal
+
+    def test_rects_tile_the_space(self):
+        grid = Grid(40, SPACE)
+        specs = partition_columns(grid, 4)
+        assert specs[0].rect.x_min == SPACE.x_min
+        assert specs[-1].rect.x_max == pytest.approx(SPACE.x_max)
+        for left, right in zip(specs, specs[1:]):
+            assert left.rect.x_max == pytest.approx(right.rect.x_min)
+
+    def test_invalid_counts_rejected(self):
+        grid = Grid(40, SPACE)
+        with pytest.raises(ValueError):
+            partition_columns(grid, 0)
+        with pytest.raises(ValueError):
+            partition_columns(grid, grid.n + 1)
+
+
+# ----------------------------------------------------------------------
+# Event routing
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_events_land_on_exactly_one_shard(self):
+        server = make_sharded(4)
+        rng = random.Random(3)
+        events = [
+            sale(i, rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+            for i in range(80)
+        ]
+        for event in events:
+            server.publish(event, now=1)
+        per_shard = [
+            len(list(worker.corpus_matches(make_sub().expression)))
+            for worker in server.shard_servers
+        ]
+        assert sum(per_shard) == len(events)  # disjoint corpus slices
+        assert all(count > 0 for count in per_shard)  # spread across bands
+
+    def test_shard_of_point_respects_band_edges(self):
+        server = make_sharded(4)
+        for spec in server.specs:
+            inside = Point(
+                (spec.rect.x_min + spec.rect.x_max) / 2, 5_000
+            )
+            assert server.shard_of_point(inside) == spec.shard_id
+
+    def test_bootstrap_routes_like_publish(self):
+        routed = make_sharded(4)
+        rng = random.Random(9)
+        events = [
+            sale(i, rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+            for i in range(40)
+        ]
+        routed.bootstrap(events)
+        for worker, spec in zip(routed.shard_servers, routed.specs):
+            for event in worker.corpus_matches(make_sub().expression):
+                assert routed.shard_of_point(event.location) == spec.shard_id
+
+
+# ----------------------------------------------------------------------
+# Multi-homing and re-homing
+# ----------------------------------------------------------------------
+class TestHoming:
+    def test_boundary_subscriber_is_multi_homed(self):
+        server = make_sharded(4)
+        # band edge for 4 shards on a 40-column grid: x = 2_500
+        server.subscribe(make_sub(radius=1_500.0), Point(2_500, 5_000), Point(0, 0), 0)
+        record = server.subscribers[1]
+        assert len(record.homes) >= 2
+        for shard_id in record.homes:
+            assert 1 in server.shard_servers[shard_id].subscribers
+
+    def test_interior_subscriber_stays_single_homed(self):
+        server = make_sharded(2)
+        # deep inside shard 0 (bands split at x = 5_000), tiny radius
+        server.subscribe(make_sub(radius=200.0), Point(1_000, 5_000), Point(0, 0), 0)
+        assert server.subscribers[1].homes == {0}
+
+    def test_moving_across_a_boundary_rehomes(self):
+        server = make_sharded(2)
+        server.subscribe(make_sub(radius=200.0), Point(1_000, 5_000), Point(50, 0), 0)
+        assert server.subscribers[1].homes == {0}
+        server.report_location(1, Point(4_950, 5_000), Point(50, 0), now=1)
+        assert server.subscribers[1].homes == {0, 1}  # sticky: 0 stays
+
+    def test_cross_boundary_delivery_without_any_event_on_home_shard(self):
+        """An event just across the band edge still notifies."""
+        server = make_sharded(2)
+        server.subscribe(make_sub(radius=1_500.0), Point(4_800, 5_000), Point(0, 0), 0)
+        notifications = server.publish(sale(10, 5_200, 5_000), now=1)
+        assert [(n.sub_id, n.event.event_id) for n in notifications] == [(1, 10)]
+
+    def test_held_region_is_the_intersection_of_homes(self):
+        server = make_sharded(4)
+        server.subscribe(make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0)
+        record = server.subscribers[1]
+        assert len(record.homes) >= 2
+        held = record.safe
+        assert held is not None
+        for shard_id in sorted(record.homes):
+            shard_region = record.shard_regions[shard_id]
+            merged = held.intersected_with(shard_region)
+            # intersecting the held region with any contributor is a no-op
+            assert merged.cells == held.cells
+            assert merged.complement == held.complement
+
+    def test_unsubscribe_clears_every_home(self):
+        server = make_sharded(4)
+        server.subscribe(make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0)
+        homes = set(server.subscribers[1].homes)
+        assert len(homes) >= 2
+        server.unsubscribe(1)
+        assert 1 not in server.subscribers
+        for shard_id in homes:
+            assert 1 not in server.shard_servers[shard_id].subscribers
+        with pytest.raises(KeyError):
+            server.unsubscribe(1)
+
+    def test_duplicate_suppression_across_homes(self):
+        """A multi-homed subscriber gets each event exactly once."""
+        server = make_sharded(4)
+        server.subscribe(make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0)
+        notifications = server.publish(sale(10, 5_100, 5_000), now=1)
+        assert len(notifications) == 1
+        again = server.publish_batch([sale(11, 4_900, 5_000)], now=2)
+        assert len(again) == 1
+        assert server.delivered_ids(1) == frozenset({10, 11})
+
+
+# ----------------------------------------------------------------------
+# Client-facing transport
+# ----------------------------------------------------------------------
+class TestCoordinatorTransport:
+    def test_held_region_ships_through_the_transport(self):
+        shipped = {}
+        server = make_sharded(
+            4,
+            transport=CallbackTransport(
+                ship_region=lambda sub_id, region: shipped.update({sub_id: region})
+            ),
+        )
+        _, safe = server.subscribe(
+            make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0
+        )
+        assert shipped[1] is safe  # one ship, of the held intersection
+
+    def test_location_pings_route_through_the_coordinator(self):
+        pings = []
+
+        def locate(sub_id):
+            pings.append(sub_id)
+            return Point(5_000, 5_000), Point(0, 0)
+
+        server = make_sharded(4, transport=CallbackTransport(locate=locate))
+        server.subscribe(make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0)
+        server.publish(sale(10, 5_100, 5_000), now=1)
+        assert pings  # the owning shard's arrival ping reached the client
+
+
+# ----------------------------------------------------------------------
+# The golden sharded-vs-single differential
+# ----------------------------------------------------------------------
+def run_sharded_simulation(shards: int, batched: bool, executor=None) -> str:
+    """The golden-trace workload against a sharded fleet."""
+    generator = TwitterLikeGenerator(SPACE, seed=SEED)
+    subscriptions = generator.subscriptions(20, size=2, radius=3_000)
+    rng = random.Random(SEED * 101)
+    server = make_sharded(shards, executor=executor)
+    lines: List[str] = []
+
+    def record(notifications) -> None:
+        for n in notifications:
+            lines.append(f"t={n.timestamp} sub={n.sub_id} event={n.event.event_id}")
+
+    for subscription in subscriptions:
+        location = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+        notifications, _ = server.subscribe(
+            subscription, location, Point(0.0, 0.0), now=0
+        )
+        record(notifications)
+
+    multi_homed = sum(
+        1 for record_ in server.subscribers.values() if len(record_.homes) > 1
+    )
+    if shards > 1:
+        # the differential must actually exercise boundary crossings
+        assert multi_homed > 0
+
+    for group in range(GROUPS):
+        now = group + 1
+        events = generator.events(
+            GROUP_SIZE, start_id=group * GROUP_SIZE, arrived_at=now, seed_offset=group
+        )
+        if batched:
+            record(server.publish_batch(events, now))
+        else:
+            for event in events:
+                record(server.publish(event, now))
+    server.close()
+    return "\n".join(lines) + "\n"
+
+
+class TestGoldenDifferential:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_sharded_trace_is_byte_identical_to_the_frozen_single_trace(
+        self, shards, batched
+    ):
+        frozen = GOLDEN.read_bytes()
+        trace = run_sharded_simulation(shards, batched)
+        assert trace.encode() == frozen
+
+    def test_threaded_executor_matches_the_frozen_trace(self):
+        """With disjoint per-shard state and per-shard locks, the pool
+        executor must reproduce the same bytes on the unbatched path
+        (one event at a time -> one shard at a time -> deterministic)."""
+        frozen = GOLDEN.read_bytes()
+        trace = run_sharded_simulation(4, batched=False, executor=ThreadedExecutor())
+        assert trace.encode() == frozen
+
+    def test_threaded_batched_path_matches_as_a_set(self):
+        """The batched fan-out interleaves shard completions, so only the
+        delivery *set* (and the frozen line multiset) is pinned."""
+        frozen_lines = sorted(GOLDEN.read_text().splitlines())
+        trace = run_sharded_simulation(4, batched=True, executor=ThreadedExecutor())
+        assert sorted(trace.splitlines()) == frozen_lines
+
+
+# ----------------------------------------------------------------------
+# Aggregate views
+# ----------------------------------------------------------------------
+class TestAggregates:
+    def test_merged_metrics_fold_worker_counters(self):
+        server = make_sharded(4)
+        server.subscribe(make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0)
+        server.publish(sale(10, 5_100, 5_000), now=1)
+        merged = server.merged_metrics()
+        worker_notifications = sum(
+            worker.metrics.notifications for worker in server.shard_servers
+        )
+        assert merged.notifications == worker_notifications
+        assert merged.constructions >= len(server.subscribers[1].homes)
+
+    def test_merged_registry_histograms(self):
+        server = make_sharded(2)
+        server.subscribe(make_sub(radius=1_000.0), Point(5_000, 5_000), Point(0, 0), 0)
+        server.publish(sale(10, 5_100, 5_000), now=1)
+        merged = server.merged_registry()
+        total = sum(
+            worker.registry.tracer.histogram("publish").count
+            for worker in server.shard_servers
+        )
+        assert merged.tracer.histogram("publish").count == total
+        assert total >= 1
+
+    def test_system_stats_sum_over_shards(self):
+        server = make_sharded(4)
+        for event_id in range(8):
+            server.publish(sale(event_id, 1_250 * event_id + 600, 5_000), now=1)
+        stats = server.system_stats(now=2)
+        assert stats.total_events == 8
+
+    def test_expire_due_events_sums_over_shards(self):
+        server = make_sharded(2)
+        server.publish(
+            Event(1, {"topic": "sale"}, Point(2_000, 5_000), arrived_at=1,
+                  expires_at=3),
+            now=1,
+        )
+        server.publish(
+            Event(2, {"topic": "sale"}, Point(8_000, 5_000), arrived_at=1,
+                  expires_at=3),
+            now=1,
+        )
+        assert server.expire_due_events(now=10) == 2
+
+    def test_subscription_index_factory_is_used(self):
+        built = []
+
+        def factory():
+            index = SubscriptionIndex()
+            built.append(index)
+            return index
+
+        server = make_sharded(4, subscription_index_factory=factory)
+        assert len(built) == 4
+        assert {id(worker.subscription_index) for worker in server.shard_servers} == {
+            id(index) for index in built
+        }
+
+    def test_zero_arg_strategy_factory_builds_one_strategy_per_shard(self):
+        built = []
+
+        def factory():
+            strategy = IGM(max_cells=400)
+            built.append(strategy)
+            return strategy
+
+        server = ShardedElapsServer(
+            Grid(40, SPACE),
+            factory,
+            ServerConfig(initial_rate=2.0),
+            shards=3,
+            executor=SerialExecutor(),
+            event_index_factory=lambda: BEQTree(SPACE, emax=32),
+        )
+        assert len(built) == 3
+        assert [id(w.strategy) for w in server.shard_servers] == [
+            id(s) for s in built
+        ]
+
+    def test_spec_strategy_factory_can_split_the_region_budget(self):
+        seen_specs = []
+
+        def factory(spec):
+            seen_specs.append(spec)
+            return IGM(max_cells=max(1, 400 // 4))
+
+        server = ShardedElapsServer(
+            Grid(40, SPACE),
+            factory,
+            ServerConfig(initial_rate=2.0),
+            shards=4,
+            executor=SerialExecutor(),
+            event_index_factory=lambda: BEQTree(SPACE, emax=32),
+        )
+        assert seen_specs == partition_columns(server.grid, 4)
+        assert all(w.strategy.max_cells == 100 for w in server.shard_servers)
+        # a smaller per-shard budget never changes what gets delivered
+        sub = make_sub()
+        server.bootstrap([sale(1, 9_000, 5_000)])
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        notes = server.publish(sale(2, 5_200, 5_000, arrived_at=1), now=1)
+        assert [n.event.event_id for n in notes] == [2]

@@ -25,7 +25,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree, ImpactRegionIndex
-from repro.system import ElapsServer
+from repro.system import CallbackTransport, ServerConfig, ElapsServer
 
 SPACE = Rect(0, 0, 1000, 1000)
 
@@ -160,9 +160,8 @@ class ReconnectResyncMachine(RuleBasedStateMachine):
         self.server = ElapsServer(
             Grid(10, SPACE),
             IGM(max_cells=100),
-            event_index=BEQTree(SPACE, emax=8),
-            initial_rate=1.0,
-        )
+            ServerConfig(initial_rate=1.0),
+            event_index=BEQTree(SPACE, emax=8))
         self.clients = {}
         for sub_id, (threshold, radius) in enumerate([(4, 300.0), (7, 400.0)]):
             subscription = Subscription(
@@ -172,10 +171,10 @@ class ReconnectResyncMachine(RuleBasedStateMachine):
             )
             client = _ClientModel(subscription, Point(500.0, 500.0))
             self.clients[sub_id] = client
-        self.server.locator = lambda sub_id: (
+        self.server.transport = CallbackTransport(locate=lambda sub_id: (
             self.clients[sub_id].location,
             Point(0.0, 0.0),
-        )
+        ))
         for client in self.clients.values():
             notifications, _ = self.server.subscribe(
                 client.subscription, client.location, Point(0.0, 0.0), now=0
