@@ -22,17 +22,22 @@ reports events/second, two ways:
   measures the *algorithmic* win of spatial partitioning: each shard
   constructs safe regions against its own (4x smaller) slice of the
   event corpus and matches arrivals against its own slice of the
-  subscriber population.
+  subscriber population, and
+* the **recovery sweep**: the batch-64 series with the durable journal
+  off vs on (best-of-N each — write-ahead logging must be near-free on
+  the publish path), plus a **recovery curve** timing ``recover()``
+  replay cost at growing journal lengths.
 
 Besides the human-readable table, the run emits the machine-readable
-``BENCH_throughput.json`` at the repo root (schema v4, documented in
-EXPERIMENTS.md).  Four regression gates are enforced here and
+``BENCH_throughput.json`` at the repo root (schema v5, documented in
+EXPERIMENTS.md).  Five regression gates are enforced here and
 re-checked by the CI bench-smoke job from the JSON: batched throughput
 at batch size 64 must stay at least 1.5x the single-event baseline,
 repair mode must process at least 2x the always-rebuild events/sec
 while shipping strictly fewer bytes down, enabled span tracing must
-cost at most 5% of batch-64 throughput, and the 4-shard fleet must
-reach at least 1.5x the 1-shard batch-64 events/sec.
+cost at most 5% of batch-64 throughput, the 4-shard fleet must reach
+at least 1.5x the 1-shard batch-64 events/sec, and write-ahead
+journaling must cost at most 10% of batch-64 throughput.
 
 Run with ``--profile`` to additionally dump a cProfile top-20 of the
 benchmark body to ``benchmarks/results/profile_throughput.txt``; run
@@ -45,8 +50,9 @@ from __future__ import annotations
 import gc
 import json
 import pathlib
+import tempfile
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core import IGM
 from repro.datasets import TwitterLikeGenerator
@@ -55,6 +61,7 @@ from repro.index import BEQTree, SubscriptionIndex
 from repro.system import (
     CallbackTransport,
     ElapsServer,
+    JournalSpec,
     ServerConfig,
     ShardedElapsServer,
     ThreadedExecutor,
@@ -91,6 +98,10 @@ SHARD_CORPUS = 8_000
 SHARD_BURST = 512
 SHARD_ROUNDS = 5
 REQUIRED_SHARD_SPEEDUP = 1.5
+#: write-ahead journaling overhead ceiling on batch-64 throughput
+MAX_JOURNAL_OVERHEAD = 0.10
+#: journal-length fractions of the burst timed by the recovery curve
+RECOVERY_FRACTIONS = (0.25, 0.5, 1.0)
 JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
@@ -100,11 +111,13 @@ def _loaded_server(
     *,
     repair: bool = False,
     measure_bytes: bool = False,
+    journal: Optional[JournalSpec] = None,
 ) -> ElapsServer:
     server = ElapsServer(
         Grid(120, SPACE),
         IGM(max_cells=2_500),
-        ServerConfig(initial_rate=20.0, repair=repair, measure_bytes=measure_bytes),
+        ServerConfig(initial_rate=20.0, repair=repair,
+                     measure_bytes=measure_bytes, journal=journal),
         event_index=BEQTree(SPACE, emax=512),
         subscription_index=SubscriptionIndex(generator.frequency_hint()))
     server.bootstrap(generator.events(CORPUS))
@@ -367,6 +380,97 @@ def _shard_scaling(generator) -> List[Dict]:
     return rows
 
 
+def _run_journaled_burst(generator, burst, batch_size, journal):
+    """One batch-``batch_size`` pass of ``burst``; returns events/sec."""
+    server = _loaded_server(generator, BATCH_SUBSCRIBERS, journal=journal)
+    gc.collect()
+    started = time.perf_counter()
+    for i in range(0, len(burst), batch_size):
+        server.publish_batch(burst[i : i + batch_size], i // batch_size + 1)
+    elapsed = time.perf_counter() - started
+    server.close()
+    return len(burst) / elapsed
+
+
+def _journal_overhead(generator, burst, workdir):
+    """Batch-64 throughput with the durable journal off vs on.
+
+    Same estimator as the tracing series: each mode runs
+    ``OVERHEAD_ROUNDS`` times against a freshly loaded server (and, for
+    the journaled mode, a fresh journal directory) and keeps its best
+    events/sec.  The write-ahead append sits on the publish hot path, so
+    this ratio *is* the durability tax.
+    """
+    rows: List[Dict] = []
+    batch_size = BATCH_SIZES[-1]
+    for journaled in (False, True):
+        best = 0.0
+        for round_index in range(OVERHEAD_ROUNDS):
+            spec = None
+            if journaled:
+                spec = JournalSpec(str(workdir / f"overhead-{round_index}"))
+            best = max(
+                best, _run_journaled_burst(generator, burst, batch_size, spec)
+            )
+        rows.append(
+            {
+                "mode": "journaled" if journaled else "plain",
+                "batch_size": batch_size,
+                "events": len(burst),
+                "rounds": OVERHEAD_ROUNDS,
+                "events_per_second": best,
+            }
+        )
+    plain = rows[0]["events_per_second"]
+    overhead = max(0.0, 1.0 - rows[1]["events_per_second"] / plain)
+    for row in rows:
+        row["overhead_vs_plain"] = max(
+            0.0, 1.0 - row["events_per_second"] / plain
+        )
+    return rows, overhead
+
+
+def _recovery_curve(generator, burst, workdir) -> List[Dict]:
+    """Cold-restart ``recover()`` cost at growing journal lengths.
+
+    Each fraction journals that prefix of the burst (plus the bootstrap
+    and subscribe preamble) and then times a fresh server replaying the
+    log.  Recovery is a pure replay, so the curve should grow linearly
+    in the record count — a super-linear bend means the restore path
+    regressed.
+    """
+    batch_size = BATCH_SIZES[-1]
+    rows: List[Dict] = []
+    for fraction in RECOVERY_FRACTIONS:
+        spec = JournalSpec(str(workdir / f"curve-{fraction}"))
+        prefix = burst[: max(batch_size, int(len(burst) * fraction))]
+        server = _loaded_server(generator, BATCH_SUBSCRIBERS, journal=spec)
+        for i in range(0, len(prefix), batch_size):
+            server.publish_batch(prefix[i : i + batch_size], i // batch_size + 1)
+        server.close()
+
+        cold = ElapsServer(
+            Grid(120, SPACE),
+            IGM(max_cells=2_500),
+            ServerConfig(initial_rate=20.0, journal=spec),
+            event_index=BEQTree(SPACE, emax=512),
+            subscription_index=SubscriptionIndex(generator.frequency_hint()))
+        gc.collect()
+        started = time.perf_counter()
+        records = cold.recover()
+        elapsed = time.perf_counter() - started
+        cold.close()
+        rows.append(
+            {
+                "fraction": fraction,
+                "records": records,
+                "recover_seconds": elapsed,
+                "records_per_second": records / elapsed if elapsed else 0.0,
+            }
+        )
+    return rows
+
+
 def _emit_json(
     population_rows: List[Dict],
     batch_rows: List[Dict],
@@ -375,6 +479,9 @@ def _emit_json(
     tracing_overhead: float,
     span_summaries: Dict[str, Dict[str, float]],
     shard_rows: List[Dict],
+    recovery_rows: List[Dict],
+    journal_overhead: float,
+    recovery_curve_rows: List[Dict],
 ) -> Dict:
     at_64 = next(r for r in batch_rows if r["batch_size"] == 64)
     rebuild = next(r for r in repair_rows if r["mode"] == "rebuild")
@@ -382,7 +489,7 @@ def _emit_json(
     sharded = next(r for r in shard_rows if r["shards"] == max(SHARD_COUNTS))
     payload = {
         "benchmark": "throughput",
-        "schema_version": 4,
+        "schema_version": 5,
         "fast_mode": FAST,
         "config": {
             "space": [SPACE.x_min, SPACE.y_min, SPACE.x_max, SPACE.y_max],
@@ -402,6 +509,8 @@ def _emit_json(
             "repair_sweep": repair_rows,
             "tracing_overhead": tracing_rows,
             "shard_scaling": shard_rows,
+            "recovery_sweep": recovery_rows,
+            "recovery_curve": recovery_curve_rows,
         },
         #: per-stage latency digests of the traced batch-64 run; the
         #: full bucket vectors stay server-side (frame type 13)
@@ -434,6 +543,11 @@ def _emit_json(
                 sharded["speedup_vs_one_shard"] >= REQUIRED_SHARD_SPEEDUP
             ),
         },
+        "recovery_gate": {
+            "max_overhead": MAX_JOURNAL_OVERHEAD,
+            "measured_overhead": journal_overhead,
+            "passed": journal_overhead <= MAX_JOURNAL_OVERHEAD,
+        },
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -449,6 +563,12 @@ def _run(slow_threshold=None):
         generator, burst, slow_threshold
     )
     shard_rows = _shard_scaling(generator)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        workdir = pathlib.Path(tmp)
+        recovery_rows, journal_overhead = _journal_overhead(
+            generator, burst, workdir
+        )
+        recovery_curve_rows = _recovery_curve(generator, burst, workdir)
     return (
         population_rows,
         batch_rows,
@@ -457,6 +577,9 @@ def _run(slow_threshold=None):
         tracing_overhead,
         span_summaries,
         shard_rows,
+        recovery_rows,
+        journal_overhead,
+        recovery_curve_rows,
     )
 
 
@@ -470,6 +593,9 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         tracing_overhead,
         span_summaries,
         shard_rows,
+        recovery_rows,
+        journal_overhead,
+        recovery_curve_rows,
     ) = benchmark.pedantic(
         profiled("throughput", _run),
         args=(slow_threshold,),
@@ -484,6 +610,9 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         tracing_overhead,
         span_summaries,
         shard_rows,
+        recovery_rows,
+        journal_overhead,
+        recovery_curve_rows,
     )
     report(
         "throughput",
@@ -544,6 +673,23 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
             f"Shard scaling, batch-{BATCH_SIZES[-1]} "
             f"({SHARD_SUBSCRIBERS} subscribers, radius {SHARD_RADIUS:.0f}, "
             f"best of {SHARD_ROUNDS} rounds)",
+        )
+        + "\n"
+        + format_table(
+            recovery_rows,
+            (
+                "mode",
+                "batch_size",
+                "events_per_second",
+                "overhead_vs_plain",
+            ),
+            f"Journaling overhead (best of {OVERHEAD_ROUNDS} rounds per mode)",
+        )
+        + "\n"
+        + format_table(
+            recovery_curve_rows,
+            ("fraction", "records", "recover_seconds", "records_per_second"),
+            "Cold-restart recovery (journal replay)",
         ),
     )
     if print_stats and span_summaries:
@@ -572,3 +718,7 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
     assert payload["tracing_gate"]["passed"], payload["tracing_gate"]
     # spatial partitioning must pay for itself even without real threads
     assert payload["shard_gate"]["passed"], payload["shard_gate"]
+    # durability must be near-free on the publish hot path, and the
+    # recovery curve must have actually replayed real records
+    assert payload["recovery_gate"]["passed"], payload["recovery_gate"]
+    assert all(r["records"] > 0 for r in recovery_curve_rows)

@@ -1,13 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Five commands cover the common workflows:
 
 * ``simulate`` — run one pub/sub simulation (a strategy, a workload, a
   movement model) and print the per-subscriber communication figures;
 * ``compare``  — run the same world against VM, GM, iGM and idGM and
   print the comparison table (the Figure 7 experiment at one point);
 * ``match``    — load a corpus into the four event indexes and time a
-  batch of subscription matches (the Figure 8 experiment at one point).
+  batch of subscription matches (the Figure 8 experiment at one point);
+* ``record``   — run a simulation while journaling every operation to a
+  trace directory (DESIGN.md §13);
+* ``replay``   — re-run a recorded trace through a fresh server (any
+  configuration: repair on/off, shards, batch size) and print/diff the
+  delivered-notification log.
 
 Every run is deterministic under ``--seed``.
 """
@@ -15,6 +20,7 @@ Every run is deterministic under ``--seed``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -210,6 +216,96 @@ def _command_match(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ExperimentConfig fields persisted to the trace's meta.json so replay
+#: can rebuild an equivalent server without re-specifying the world.
+_TRACE_META_FIELDS = (
+    "strategy", "dataset", "movement", "event_rate", "speed", "radius",
+    "initial_events", "subscription_size", "subscribers", "timestamps",
+    "grid_n", "space_size", "emax", "event_ttl", "matching_mode", "seed",
+    "shards", "shard_executor", "repair",
+)
+
+
+def _command_record(args: argparse.Namespace) -> int:
+    from .system import build_simulation
+    from .system.journal import Journal
+    from .testing import TraceRecorder
+
+    mode = "cached" if args.strategy in ("VM", "GM") else "ondemand"
+    config = _config_from(args, args.strategy, mode)
+    _print_header(args)
+    journal = Journal(args.trace)
+    recorder = None
+
+    def wrap(server):
+        """Interpose the recorder between the simulation and the server."""
+        nonlocal recorder
+        recorder = TraceRecorder(server, journal)
+        return recorder
+
+    started = time.perf_counter()
+    simulation = build_simulation(config, wrap_server=wrap)
+    result = simulation.run(config.timestamps)
+    journal.write_meta(
+        {name: getattr(config, name) for name in _TRACE_META_FIELDS}
+    )
+    record_count = journal.record_count
+    recorder.close()
+    print(
+        f"\nrecorded {record_count} operations "
+        f"({result.notification_count} notifications) to {args.trace} "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+    return 0
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    from .system import ExperimentConfig, build_server
+    from .system.journal import Journal
+    from .testing import diff_logs, replay_trace
+
+    meta = Journal(args.trace).read_meta()
+    overrides = {
+        name: value
+        for name, value in (
+            ("strategy", args.strategy),
+            ("grid_n", args.grid),
+            ("matching_mode", args.matching_mode),
+            ("shards", args.shards),
+            ("shard_executor", args.shard_executor),
+            ("repair", args.repair),
+        )
+        if value is not None
+    }
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    config = ExperimentConfig(
+        **{k: v for k, v in meta.items() if k in known}
+    ).with_(**overrides)
+    server = build_server(config)
+    started = time.perf_counter()
+    result = replay_trace(args.trace, server, batch_size=args.batch_size)
+    elapsed = time.perf_counter() - started
+    log = result.log()
+    print(
+        f"replayed {result.records_applied} records -> "
+        f"{len(result.notifications)} notifications in {elapsed:.1f}s "
+        f"(sha256 {result.digest()[:16]})"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(log)
+        print(f"log written to {args.out}")
+    if args.expect:
+        with open(args.expect) as handle:
+            expected = handle.read()
+        divergence = diff_logs(expected, log)
+        if divergence:
+            print(f"DIVERGED from {args.expect}: {divergence}", file=sys.stderr)
+            return 1
+        print(f"byte-identical to {args.expect}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for `python -m repro`."""
     parser = argparse.ArgumentParser(
@@ -242,6 +338,48 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--radius", type=float, default=3_000.0)
     match.add_argument("--seed", type=int, default=7)
     match.set_defaults(handler=_command_match)
+
+    record = commands.add_parser(
+        "record", help="run a simulation while journaling every operation "
+                       "to a replayable trace directory"
+    )
+    record.add_argument("--strategy", choices=("VM", "GM", "iGM", "idGM"),
+                        default="iGM")
+    record.add_argument("--trace", required=True,
+                        help="directory to write the trace journal into")
+    _add_simulation_arguments(record)
+    record.set_defaults(handler=_command_record)
+
+    replay = commands.add_parser(
+        "replay", help="re-run a recorded trace through a fresh server and "
+                       "print (or diff) the delivered-notification log"
+    )
+    replay.add_argument("--trace", required=True,
+                        help="trace directory written by `repro record`")
+    replay.add_argument("--strategy", choices=("VM", "GM", "iGM", "idGM"),
+                        default=None, help="override the recorded strategy")
+    replay.add_argument("--grid", type=int, default=None,
+                        help="override the recorded grid resolution")
+    replay.add_argument("--matching-mode", choices=("ondemand", "cached"),
+                        default=None, help="override the matching mode")
+    replay.add_argument("--shards", type=int, default=None,
+                        help="replay through a sharded fleet of this size")
+    replay.add_argument("--shard-executor", choices=("serial", "threaded"),
+                        default=None)
+    replay.add_argument("--repair", dest="repair", action="store_true",
+                        default=None, help="replay with incremental repair on")
+    replay.add_argument("--no-repair", dest="repair", action="store_false",
+                        help="replay with incremental repair off")
+    replay.add_argument("--batch-size", type=int, default=None,
+                        help="regroup the publish stream: 1 forces single "
+                             "publishes, N coalesces same-timestamp arrivals "
+                             "into batches of at most N (default: as recorded)")
+    replay.add_argument("--out", default=None,
+                        help="write the notification log to this file")
+    replay.add_argument("--expect", default=None,
+                        help="diff the log against this file; non-zero exit "
+                             "on any byte difference")
+    replay.set_defaults(handler=_command_replay)
 
     figure = commands.add_parser(
         "figure", help="print a regenerated figure table (run the benchmarks first)"

@@ -16,7 +16,7 @@ arriving matching event hits (nearly) every subscriber.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..geometry import Cell
 
@@ -86,6 +86,19 @@ class ImpactRegionIndex:
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
+    def region_of(self, sub_id: int) -> Optional[Tuple[bool, FrozenSet[Cell]]]:
+        """The stored region as ``(complement, cells)``; None when the
+        subscriber has no installed region.  Used by snapshots — the
+        cells are the exact durable representation either storage form
+        round-trips through."""
+        region = self._complement.get(sub_id)
+        if region is not None:
+            return True, frozenset(region.cells)
+        cells = self._by_subscriber.get(sub_id)
+        if cells is None:
+            return None
+        return False, cells
+
     def covers(self, sub_id: int, cell: Cell) -> bool:
         """Does this subscriber's impact region cover ``cell``?"""
         region = self._complement.get(sub_id)

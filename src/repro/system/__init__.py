@@ -3,8 +3,22 @@ simulation, the experiment runner, and the metrics they report."""
 
 from .client import MobileClient
 from .config import CallbackTransport, ServerConfig, Transport
-from .experiment import ExperimentConfig, STRATEGIES, build_simulation, build_strategy, run_experiment
+from .experiment import (
+    ExperimentConfig,
+    STRATEGIES,
+    build_server,
+    build_simulation,
+    build_strategy,
+    run_experiment,
+)
 from .faults import ChaosProxy, FaultConfig, FaultInjector, FaultKind, FaultStats
+from .journal import (
+    Journal,
+    JournalCorruptionError,
+    JournalError,
+    JournalRecord,
+    JournalSpec,
+)
 from .metrics import CommunicationStats
 from .network import (
     ElapsNetworkClient,
@@ -49,6 +63,11 @@ __all__ = [
     "FaultKind",
     "FaultStats",
     "FrameError",
+    "Journal",
+    "JournalCorruptionError",
+    "JournalError",
+    "JournalRecord",
+    "JournalSpec",
     "MobileClient",
     "ExperimentConfig",
     "Notification",
@@ -67,6 +86,7 @@ __all__ = [
     "ThreadedExecutor",
     "Transport",
     "TruncatedFrameError",
+    "build_server",
     "build_simulation",
     "build_strategy",
     "partition_columns",

@@ -44,6 +44,14 @@ class MobileClient:
     #: notifications discarded because the event was already held
     #: (a lossy network redelivering, or a resync overlapping a push)
     duplicates_suppressed: int = 0
+    #: highest per-subscriber delivery sequence number observed (0 until
+    #: a sequenced notification arrives); the server stamps each fresh
+    #: delivery with the next value, so a jump past ``last_seq + 1``
+    #: means the dead connection swallowed a notification
+    last_seq: int = 0
+    #: sequence gaps observed (each one is a delivery the client knows
+    #: it missed and will recover through resync)
+    seq_gaps: int = 0
 
     # ------------------------------------------------------------------
     # Movement
@@ -93,13 +101,19 @@ class MobileClient:
         self.safe_region, _ = self.safe_region.subtract(removed_cells)
         return True
 
-    def receive_notification(self, event: Event) -> bool:
+    def receive_notification(self, event: Event, seq: int = 0) -> bool:
         """Record a delivered event; False if it was a duplicate.
 
         At-most-once to the application: an event id seen before is
         suppressed, so a hostile network (or an overlapping resync) may
         redeliver freely without the client observing the event twice.
+        A sequenced delivery (``seq > 0``) also advances ``last_seq``;
+        jumps past the expected next value are counted as ``seq_gaps``.
         """
+        if seq > 0:
+            if self.last_seq and seq > self.last_seq + 1:
+                self.seq_gaps += 1
+            self.last_seq = max(self.last_seq, seq)
         if event.event_id in self.seen_event_ids:
             self.duplicates_suppressed += 1
             return False

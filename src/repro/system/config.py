@@ -39,6 +39,7 @@ from ..geometry import Cell, Point
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core import RepairBudget, SafeRegion, SystemStats
+    from .journal import JournalSpec
 
 __all__ = [
     "CallbackTransport",
@@ -85,6 +86,11 @@ class ServerConfig:
     repair: bool = False
     #: the repair/rebuild balance policy; None uses the default budget
     repair_budget: Optional["RepairBudget"] = None
+    #: durability: journal every state-changing operation under this
+    #: spec's directory and enable snapshot/recover (DESIGN.md §13);
+    #: None keeps the server purely in-memory.  Sharded fleets derive a
+    #: per-band spec via :meth:`JournalSpec.for_shard`.
+    journal: Optional["JournalSpec"] = None
 
     def __post_init__(self) -> None:
         if self.matching_mode not in MATCHING_MODES:

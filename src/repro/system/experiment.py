@@ -79,6 +79,7 @@ class ExperimentConfig:
     oracle_rebuild: bool = False  # the "-opi" free-refresh oracle (Fig 10)
     use_impact_region: bool = True  # ablation: False pings on every match
     incremental_impact: bool = True  # ablation: Example 2 strips on/off
+    repair: bool = False  # incremental safe-region repair (DESIGN.md §10)
     trace_spans: bool = True  # span tracer on the server's hot stages
     slow_span_seconds: Optional[float] = None  # log spans at/above this
     shards: int = 1  # spatial shards; > 1 builds a ShardedElapsServer
@@ -115,47 +116,34 @@ def build_strategy(config: ExperimentConfig) -> SafeRegionStrategy:
     return STRATEGIES[name](config.max_cells)
 
 
-def build_simulation(config: ExperimentConfig) -> Simulation:
-    """Assemble the full Elaps stack for one experiment."""
+def _build_generator(config: ExperimentConfig, space: Rect):
+    if config.dataset == "twitter":
+        return TwitterLikeGenerator(space, seed=config.seed)
+    if config.dataset == "foursquare":
+        return FoursquareLikeGenerator(space, seed=config.seed)
+    raise ValueError(f"unknown dataset {config.dataset!r}")
+
+
+def build_server(config: ExperimentConfig, journal=None):
+    """Assemble a bare (un-bootstrapped) server for this configuration.
+
+    Returns a single :class:`ElapsServer` or, when ``config.shards > 1``,
+    a :class:`ShardedElapsServer` fleet — the same construction
+    :func:`build_simulation` uses, exposed so trace replay can re-run a
+    recorded workload under a different configuration.  ``journal``
+    (a :class:`~repro.system.journal.JournalSpec`) turns on durability.
+    """
     space = Rect(0.0, 0.0, config.space_size, config.space_size)
     grid = Grid(config.grid_n, space)
-
-    if config.dataset == "twitter":
-        generator = TwitterLikeGenerator(space, seed=config.seed)
-    elif config.dataset == "foursquare":
-        generator = FoursquareLikeGenerator(space, seed=config.seed)
-    else:
-        raise ValueError(f"unknown dataset {config.dataset!r}")
-
-    event_index = BEQTree(space, emax=config.emax)
-    stream = generator.event_stream(start_id=config.initial_events, seed_offset=1)
-
-    subscriptions = generator.subscriptions(
-        config.subscribers, size=config.subscription_size, radius=config.radius
-    )
-
-    network = RoadNetwork(space, grid_size=12, seed=config.seed)
-    if config.movement == "synthetic":
-        trajectory_gen = SyntheticTrajectoryGenerator(
-            network,
-            speed=config.speed,
-            seed=config.seed,
-            speed_schedule=config.speed_schedule,
-        )
-    elif config.movement == "taxi":
-        trajectory_gen = TaxiTrajectoryGenerator(
-            network, base_speed=config.speed, seed=config.seed
-        )
-    else:
-        raise ValueError(f"unknown movement {config.movement!r}")
-    trajectories = trajectory_gen.trajectories(config.subscribers, config.timestamps + 1)
-
+    generator = _build_generator(config, space)
     server_config = ServerConfig(
         matching_mode=config.matching_mode,
         initial_rate=config.event_rate,
         stats_override=config.stats_override,
         measure_bytes=config.measure_bytes,
         use_impact_region=config.use_impact_region,
+        repair=config.repair,
+        journal=journal,
     )
     if config.shards > 1:
         if config.shard_executor == "serial":
@@ -184,13 +172,50 @@ def build_simulation(config: ExperimentConfig) -> Simulation:
             grid,
             build_strategy(config),
             server_config,
-            event_index=event_index,
+            event_index=BEQTree(space, emax=config.emax),
             subscription_index=SubscriptionIndex(generator.frequency_hint()),
         )
         tracers = [server.tracer]
     for tracer in tracers:
         tracer.enabled = config.trace_spans
         tracer.slow_threshold = config.slow_span_seconds
+    return server
+
+
+def build_simulation(config: ExperimentConfig, wrap_server=None) -> Simulation:
+    """Assemble the full Elaps stack for one experiment.
+
+    ``wrap_server`` (server -> server) is applied before bootstrap, so a
+    wrapper such as :class:`repro.testing.replay.TraceRecorder` observes
+    every operation including the initial corpus load.
+    """
+    space = Rect(0.0, 0.0, config.space_size, config.space_size)
+    generator = _build_generator(config, space)
+    stream = generator.event_stream(start_id=config.initial_events, seed_offset=1)
+
+    subscriptions = generator.subscriptions(
+        config.subscribers, size=config.subscription_size, radius=config.radius
+    )
+
+    network = RoadNetwork(space, grid_size=12, seed=config.seed)
+    if config.movement == "synthetic":
+        trajectory_gen = SyntheticTrajectoryGenerator(
+            network,
+            speed=config.speed,
+            seed=config.seed,
+            speed_schedule=config.speed_schedule,
+        )
+    elif config.movement == "taxi":
+        trajectory_gen = TaxiTrajectoryGenerator(
+            network, base_speed=config.speed, seed=config.seed
+        )
+    else:
+        raise ValueError(f"unknown movement {config.movement!r}")
+    trajectories = trajectory_gen.trajectories(config.subscribers, config.timestamps + 1)
+
+    server = build_server(config)
+    if wrap_server is not None:
+        server = wrap_server(server)
     server.bootstrap(generator.events(config.initial_events))
     return Simulation(
         server,

@@ -1,0 +1,669 @@
+"""Durable operation journal and snapshots for the Elaps server.
+
+The paper's server (PAPER.md §6) is purely in-memory: one restart loses
+the event corpus, every subscription, and every cached safe region.
+This module adds the durability substrate:
+
+* an **append-only journal** of the seven state-changing operations
+  (subscribe, unsubscribe, location report, resync, publish,
+  publish_batch, expiry sweep), one length-prefixed + CRC32-checksummed
+  record per operation, each carrying a monotonically increasing journal
+  sequence number;
+* **snapshots** — a checksummed, atomically-renamed image of the full
+  server state (corpus, subscription table, cached safe/impact regions,
+  per-subscriber delivery state, :class:`CommunicationStats` counters)
+  that lets recovery skip the log prefix and rotate the journal;
+* the **record/snapshot codecs**, built on the same tagged-scalar and
+  expression encoders as the wire protocol so a journal is readable by
+  anything that can read the wire format.
+
+Framing on disk (``journal.log``)::
+
+    [4-byte BE length][4-byte BE CRC32 of payload][payload]
+    payload = [8-byte BE seq][1-byte kind][kind-specific body]
+
+Two failure modes are distinguished deliberately:
+
+* a record whose bytes end prematurely at EOF is a **torn tail** — the
+  process died mid-append; the file is silently truncated back to the
+  last complete record (write-ahead logging makes the half-written
+  operation as-if-never-attempted);
+* a *complete* record whose CRC32 does not match is **corruption** —
+  bit rot or a hostile edit; :class:`JournalCorruptionError` is raised
+  because nothing after the damaged record can be trusted.
+
+Idempotent replay falls out of the sequence numbers: the server tracks
+the highest applied seq (snapshots persist it), and recovery applies
+only records *beyond* it — replaying the same journal twice is a no-op
+by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..expressions import Event, Subscription
+from ..geometry import Point
+from .protocol import (
+    _decode_scalar,
+    _decode_str,
+    _encode_scalar,
+    _encode_str,
+    decode_expression,
+    encode_expression,
+)
+
+__all__ = [
+    "Journal",
+    "JournalCorruptionError",
+    "JournalError",
+    "JournalRecord",
+    "JournalSpec",
+    "ServerSnapshot",
+    "SubscriberSnapshot",
+    "decode_snapshot",
+    "encode_snapshot",
+    "read_records",
+]
+
+
+class JournalError(Exception):
+    """Base class for journal failures."""
+
+
+class JournalCorruptionError(JournalError):
+    """A complete record (or snapshot) failed its checksum."""
+
+
+# Record kinds — one per state-changing public server operation.
+SUBSCRIBE = 1
+UNSUBSCRIBE = 2
+LOCATION = 3
+RESYNC = 4
+PUBLISH = 5
+PUBLISH_BATCH = 6
+EXPIRE = 7
+BOOTSTRAP = 8
+
+_RECORD_HEADER = ">II"  # length, crc32
+_RECORD_HEADER_SIZE = struct.calcsize(_RECORD_HEADER)
+_SEQ_KIND = ">QB"
+_SEQ_KIND_SIZE = struct.calcsize(_SEQ_KIND)
+
+_SNAPSHOT_MAGIC = b"ELAPSNAP"
+_SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JournalSpec:
+    """Immutable durability knobs, carried on ``ServerConfig.journal``.
+
+    ``path`` is a *directory*: the journal file, the snapshot, and the
+    per-band subdirectories of a sharded fleet all live under it.
+    ``snapshot_every`` triggers an automatic snapshot (and journal
+    rotation) after that many appended records; 0 means snapshots are
+    taken only when :meth:`ElapsServer.snapshot` is called explicitly.
+    """
+
+    path: str
+    snapshot_every: int = 0
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be non-negative: {self.snapshot_every}"
+            )
+
+    def for_shard(self, shard_id: int) -> "JournalSpec":
+        """The derived spec for one band of a sharded fleet: same knobs,
+        journal rooted in a ``band-<k>/`` subdirectory."""
+        return dataclasses.replace(
+            self, path=os.path.join(self.path, f"band-{shard_id}")
+        )
+
+
+@dataclass
+class JournalRecord:
+    """One decoded journal record.  ``kind`` selects which of the
+    optional operation fields are meaningful."""
+
+    kind: int
+    seq: int
+    now: int = 0
+    sub_id: int = 0
+    subscription: Optional[Subscription] = None
+    location: Optional[Point] = None
+    velocity: Optional[Point] = None
+    received: Tuple[int, ...] = ()
+    events: Tuple[Event, ...] = ()
+
+    @property
+    def event(self) -> Event:
+        """The single event of a PUBLISH record."""
+        return self.events[0]
+
+
+# ----------------------------------------------------------------------
+# Scalar/structure codecs (shared by records and snapshots)
+# ----------------------------------------------------------------------
+def _encode_point(point: Point) -> bytes:
+    return struct.pack(">dd", point.x, point.y)
+
+
+def _decode_point(payload: bytes, offset: int) -> Tuple[Point, int]:
+    x, y = struct.unpack_from(">dd", payload, offset)
+    return Point(x, y), offset + 16
+
+
+def _encode_event(event: Event) -> bytes:
+    """Events are stored with *absolute* arrival/expiry timestamps so a
+    replayed corpus is bit-identical (EventPublishMessage's relative TTL
+    would drift under replay)."""
+    expires = -1 if event.expires_at is None else event.expires_at
+    parts = [
+        struct.pack(
+            ">Qddqq",
+            event.event_id,
+            event.location.x,
+            event.location.y,
+            event.arrived_at,
+            expires,
+        ),
+        struct.pack(">I", len(event.attributes)),
+    ]
+    # Attribute order is preserved, not canonicalised: subscription
+    # matching iterates the mapping, so replay is only byte-identical if
+    # a decoded event probes the index partitions in the original order.
+    for name, value in event.attributes.items():
+        parts.append(_encode_str(name))
+        parts.append(_encode_scalar(value))
+    return b"".join(parts)
+
+
+def _decode_event(payload: bytes, offset: int) -> Tuple[Event, int]:
+    event_id, x, y, arrived, expires = struct.unpack_from(">Qddqq", payload, offset)
+    offset += struct.calcsize(">Qddqq")
+    (count,) = struct.unpack_from(">I", payload, offset)
+    offset += 4
+    attributes: Dict[str, object] = {}
+    for _ in range(count):
+        name, offset = _decode_str(payload, offset)
+        value, offset = _decode_scalar(payload, offset)
+        attributes[name] = value
+    event = Event(
+        event_id,
+        attributes,
+        Point(x, y),
+        arrived_at=arrived,
+        expires_at=None if expires < 0 else expires,
+    )
+    return event, offset
+
+
+def _encode_events(events: Sequence[Event]) -> bytes:
+    parts = [struct.pack(">I", len(events))]
+    parts.extend(_encode_event(event) for event in events)
+    return b"".join(parts)
+
+
+def _decode_events(payload: bytes, offset: int) -> Tuple[Tuple[Event, ...], int]:
+    (count,) = struct.unpack_from(">I", payload, offset)
+    offset += 4
+    events: List[Event] = []
+    for _ in range(count):
+        event, offset = _decode_event(payload, offset)
+        events.append(event)
+    return tuple(events), offset
+
+
+def _encode_record_body(record: JournalRecord) -> bytes:
+    """The kind-specific body (everything after ``[seq][kind]``)."""
+    kind = record.kind
+    if kind == SUBSCRIBE:
+        assert record.subscription is not None
+        sub = record.subscription
+        return b"".join(
+            [
+                struct.pack(">Qdq", sub.sub_id, sub.radius, record.now),
+                _encode_point(record.location),
+                _encode_point(record.velocity),
+                encode_expression(sub.expression),
+            ]
+        )
+    if kind == UNSUBSCRIBE:
+        return struct.pack(">Qq", record.sub_id, record.now)
+    if kind == LOCATION:
+        return b"".join(
+            [
+                struct.pack(">Qq", record.sub_id, record.now),
+                _encode_point(record.location),
+                _encode_point(record.velocity),
+            ]
+        )
+    if kind == RESYNC:
+        return b"".join(
+            [
+                struct.pack(">Qq", record.sub_id, record.now),
+                _encode_point(record.location),
+                _encode_point(record.velocity),
+                struct.pack(f">I{len(record.received)}Q", len(record.received),
+                            *record.received),
+            ]
+        )
+    if kind == PUBLISH:
+        return struct.pack(">q", record.now) + _encode_event(record.events[0])
+    if kind in (PUBLISH_BATCH, BOOTSTRAP):
+        return struct.pack(">q", record.now) + _encode_events(record.events)
+    if kind == EXPIRE:
+        return struct.pack(">q", record.now)
+    raise JournalError(f"unknown journal record kind: {kind}")
+
+
+def _decode_record(payload: bytes) -> JournalRecord:
+    seq, kind = struct.unpack_from(_SEQ_KIND, payload, 0)
+    offset = _SEQ_KIND_SIZE
+    if kind == SUBSCRIBE:
+        sub_id, radius, now = struct.unpack_from(">Qdq", payload, offset)
+        offset += struct.calcsize(">Qdq")
+        location, offset = _decode_point(payload, offset)
+        velocity, offset = _decode_point(payload, offset)
+        expression, offset = decode_expression(payload, offset)
+        return JournalRecord(
+            kind, seq, now=now, sub_id=sub_id,
+            subscription=Subscription(sub_id, expression, radius),
+            location=location, velocity=velocity,
+        )
+    if kind == UNSUBSCRIBE:
+        sub_id, now = struct.unpack_from(">Qq", payload, offset)
+        return JournalRecord(kind, seq, now=now, sub_id=sub_id)
+    if kind == LOCATION:
+        sub_id, now = struct.unpack_from(">Qq", payload, offset)
+        offset += struct.calcsize(">Qq")
+        location, offset = _decode_point(payload, offset)
+        velocity, offset = _decode_point(payload, offset)
+        return JournalRecord(
+            kind, seq, now=now, sub_id=sub_id, location=location, velocity=velocity
+        )
+    if kind == RESYNC:
+        sub_id, now = struct.unpack_from(">Qq", payload, offset)
+        offset += struct.calcsize(">Qq")
+        location, offset = _decode_point(payload, offset)
+        velocity, offset = _decode_point(payload, offset)
+        (count,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        received = struct.unpack_from(f">{count}Q", payload, offset)
+        return JournalRecord(
+            kind, seq, now=now, sub_id=sub_id, location=location,
+            velocity=velocity, received=tuple(received),
+        )
+    if kind == PUBLISH:
+        (now,) = struct.unpack_from(">q", payload, offset)
+        event, _ = _decode_event(payload, offset + 8)
+        return JournalRecord(kind, seq, now=now, events=(event,))
+    if kind in (PUBLISH_BATCH, BOOTSTRAP):
+        (now,) = struct.unpack_from(">q", payload, offset)
+        events, _ = _decode_events(payload, offset + 8)
+        return JournalRecord(kind, seq, now=now, events=events)
+    if kind == EXPIRE:
+        (now,) = struct.unpack_from(">q", payload, offset)
+        return JournalRecord(kind, seq, now=now)
+    raise JournalCorruptionError(f"unknown journal record kind: {kind}")
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+@dataclass
+class SubscriberSnapshot:
+    """Per-subscriber durable state.  Cached safe/impact regions are
+    stored as ``(complement, cells)`` pairs; derived artefacts (lazy
+    matching fields, repair drift bookkeeping) are deliberately *not*
+    snapshotted — see DESIGN.md §13's recovery invariants."""
+
+    subscription: Subscription
+    location: Point
+    velocity: Point
+    delivered: FrozenSet[int]
+    next_seq: int = 0
+    safe: Optional[Tuple[bool, FrozenSet[Tuple[int, int]]]] = None
+    impact: Optional[Tuple[bool, FrozenSet[Tuple[int, int]]]] = None
+
+
+@dataclass
+class ServerSnapshot:
+    """The full durable image of one :class:`ElapsServer`."""
+
+    last_seq: int
+    started_at: Optional[int]
+    arrival_times: List[int] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    subscribers: List[SubscriberSnapshot] = field(default_factory=list)
+    counters: Dict[str, object] = field(default_factory=dict)
+
+
+def _encode_region(region: Optional[Tuple[bool, FrozenSet[Tuple[int, int]]]]) -> bytes:
+    if region is None:
+        return struct.pack(">B", 0)
+    complement, cells = region
+    parts = [struct.pack(">BBI", 1, int(complement), len(cells))]
+    for i, j in sorted(cells):
+        parts.append(struct.pack(">II", i, j))
+    return b"".join(parts)
+
+
+def _decode_region(
+    payload: bytes, offset: int
+) -> Tuple[Optional[Tuple[bool, FrozenSet[Tuple[int, int]]]], int]:
+    (present,) = struct.unpack_from(">B", payload, offset)
+    offset += 1
+    if not present:
+        return None, offset
+    complement, count = struct.unpack_from(">BI", payload, offset)
+    offset += 5
+    cells = []
+    for _ in range(count):
+        i, j = struct.unpack_from(">II", payload, offset)
+        offset += 8
+        cells.append((i, j))
+    return (bool(complement), frozenset(cells)), offset
+
+
+def encode_snapshot(snapshot: ServerSnapshot) -> bytes:
+    """Serialise a snapshot body (checksummed framing added by the
+    :class:`Journal` when it is written to disk)."""
+    started = -1 if snapshot.started_at is None else snapshot.started_at
+    parts = [
+        struct.pack(
+            ">QqI",
+            snapshot.last_seq,
+            started,
+            len(snapshot.arrival_times),
+        ),
+        struct.pack(f">{len(snapshot.arrival_times)}q", *snapshot.arrival_times),
+        _encode_events(snapshot.events),
+        struct.pack(">I", len(snapshot.subscribers)),
+    ]
+    for sub in snapshot.subscribers:
+        delivered = sorted(sub.delivered)
+        parts.append(
+            struct.pack(">QdQ", sub.subscription.sub_id, sub.subscription.radius,
+                        sub.next_seq)
+        )
+        parts.append(_encode_point(sub.location))
+        parts.append(_encode_point(sub.velocity))
+        parts.append(encode_expression(sub.subscription.expression))
+        parts.append(struct.pack(f">I{len(delivered)}Q", len(delivered), *delivered))
+        parts.append(_encode_region(sub.safe))
+        parts.append(_encode_region(sub.impact))
+    counters = snapshot.counters
+    parts.append(struct.pack(">I", len(counters)))
+    for name in sorted(counters):
+        parts.append(_encode_str(name))
+        parts.append(_encode_scalar(_counter_scalar(counters[name])))
+    return b"".join(parts)
+
+
+def _counter_scalar(value: object) -> object:
+    # CommunicationStats.bytes_measured is a bool; the tagged-scalar
+    # codec only speaks int/float/str, so send it through as an int.
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def decode_snapshot(payload: bytes) -> ServerSnapshot:
+    """Inverse of :func:`encode_snapshot`."""
+    last_seq, started, arrival_count = struct.unpack_from(">QqI", payload, 0)
+    offset = struct.calcsize(">QqI")
+    arrival_times = list(struct.unpack_from(f">{arrival_count}q", payload, offset))
+    offset += 8 * arrival_count
+    events, offset = _decode_events(payload, offset)
+    (sub_count,) = struct.unpack_from(">I", payload, offset)
+    offset += 4
+    subscribers: List[SubscriberSnapshot] = []
+    for _ in range(sub_count):
+        sub_id, radius, next_seq = struct.unpack_from(">QdQ", payload, offset)
+        offset += struct.calcsize(">QdQ")
+        location, offset = _decode_point(payload, offset)
+        velocity, offset = _decode_point(payload, offset)
+        expression, offset = decode_expression(payload, offset)
+        (delivered_count,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        delivered = struct.unpack_from(f">{delivered_count}Q", payload, offset)
+        offset += 8 * delivered_count
+        safe, offset = _decode_region(payload, offset)
+        impact, offset = _decode_region(payload, offset)
+        subscribers.append(
+            SubscriberSnapshot(
+                subscription=Subscription(sub_id, expression, radius),
+                location=location,
+                velocity=velocity,
+                delivered=frozenset(delivered),
+                next_seq=next_seq,
+                safe=safe,
+                impact=impact,
+            )
+        )
+    (counter_count,) = struct.unpack_from(">I", payload, offset)
+    offset += 4
+    counters: Dict[str, object] = {}
+    for _ in range(counter_count):
+        name, offset = _decode_str(payload, offset)
+        value, offset = _decode_scalar(payload, offset)
+        counters[name] = value
+    return ServerSnapshot(
+        last_seq=last_seq,
+        started_at=None if started < 0 else started,
+        arrival_times=arrival_times,
+        events=list(events),
+        subscribers=subscribers,
+        counters=counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+def _scan_log(path: str) -> Tuple[List[Tuple[int, bytes]], int, bool]:
+    """Scan ``journal.log``: return ``(records, good_length, torn)``
+    where ``records`` is ``[(seq, payload), ...]`` for every complete,
+    checksum-clean record and ``good_length`` is the byte offset after
+    the last one.  A premature EOF sets ``torn``; a checksum mismatch on
+    a *complete* record raises :class:`JournalCorruptionError`."""
+    records: List[Tuple[int, bytes]] = []
+    good = 0
+    torn = False
+    try:
+        data = open(path, "rb").read()
+    except FileNotFoundError:
+        return records, good, torn
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _RECORD_HEADER_SIZE > total:
+            torn = True
+            break
+        length, crc = struct.unpack_from(_RECORD_HEADER, data, offset)
+        start = offset + _RECORD_HEADER_SIZE
+        end = start + length
+        if end > total:
+            torn = True
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            raise JournalCorruptionError(
+                f"journal record at offset {offset} failed its checksum"
+            )
+        if length < _SEQ_KIND_SIZE:
+            raise JournalCorruptionError(
+                f"journal record at offset {offset} is impossibly short"
+            )
+        (seq,) = struct.unpack_from(">Q", payload, 0)
+        records.append((seq, payload))
+        good = end
+        offset = end
+    return records, good, torn
+
+
+def read_records(path: str, after_seq: int = 0) -> Iterator[JournalRecord]:
+    """Decode every complete record in ``<path>/journal.log`` with a
+    sequence number beyond ``after_seq``, without mutating the file
+    (a torn tail is skipped, not healed)."""
+    raw, _, _ = _scan_log(os.path.join(path, "journal.log"))
+    for seq, payload in raw:
+        if seq > after_seq:
+            yield _decode_record(payload)
+
+
+class Journal:
+    """An append-only, checksummed operation log plus snapshot store.
+
+    The journal lives in a directory::
+
+        <path>/journal.log    the record log (rotated on snapshot)
+        <path>/snapshot.bin   the latest snapshot (atomic rename)
+        <path>/meta.json      optional free-form metadata sidecar
+
+    Opening a journal scans the existing log: the last assigned sequence
+    number is recovered (so appends continue the numbering), and a torn
+    tail left by a mid-append crash is truncated away.
+    """
+
+    def __init__(self, spec: "JournalSpec | str") -> None:
+        if isinstance(spec, str):
+            spec = JournalSpec(spec)
+        self.spec = spec
+        self.path = spec.path
+        os.makedirs(self.path, exist_ok=True)
+        self._log_path = os.path.join(self.path, "journal.log")
+        self._snapshot_path = os.path.join(self.path, "snapshot.bin")
+        self.suspended = False
+        #: True when opening found (and truncated) a torn tail
+        self.torn_tail_truncated = False
+        raw, good, torn = _scan_log(self._log_path)
+        if torn:
+            self.torn_tail_truncated = True
+            with open(self._log_path, "r+b") as handle:
+                handle.truncate(good)
+        self.seq = raw[-1][0] if raw else self._snapshot_seq()
+        self.record_count = len(raw)
+        self.records_since_snapshot = len(raw)
+        self._log = open(self._log_path, "ab")
+
+    # -- appending ------------------------------------------------------
+    def append(self, record: JournalRecord) -> int:
+        """Assign the next sequence number to ``record``, append it, and
+        return the number of bytes written."""
+        if self.suspended:
+            return 0
+        self.seq += 1
+        record.seq = self.seq
+        payload = struct.pack(_SEQ_KIND, record.seq, record.kind)
+        payload += _encode_record_body(record)
+        frame = struct.pack(_RECORD_HEADER, len(payload), zlib.crc32(payload))
+        self._log.write(frame + payload)
+        self._log.flush()
+        if self.spec.fsync:
+            os.fsync(self._log.fileno())
+        self.record_count += 1
+        self.records_since_snapshot += 1
+        return len(frame) + len(payload)
+
+    def snapshot_due(self) -> bool:
+        """True when ``snapshot_every`` records have accumulated."""
+        return (
+            self.spec.snapshot_every > 0
+            and self.records_since_snapshot >= self.spec.snapshot_every
+        )
+
+    # -- reading --------------------------------------------------------
+    def records(self, after_seq: int = 0) -> Iterator[JournalRecord]:
+        """Decode every record beyond ``after_seq`` from disk."""
+        self._log.flush()
+        raw, _, _ = _scan_log(self._log_path)
+        for seq, payload in raw:
+            if seq > after_seq:
+                yield _decode_record(payload)
+
+    # -- snapshots ------------------------------------------------------
+    def write_snapshot(self, body: bytes, seq: int) -> int:
+        """Atomically persist a snapshot taken at journal ``seq`` and
+        rotate the log (records ≤ seq are subsumed by the snapshot).
+        Returns the number of bytes written."""
+        blob = (
+            _SNAPSHOT_MAGIC
+            + struct.pack(">IQI", _SNAPSHOT_VERSION, seq, zlib.crc32(body))
+            + body
+        )
+        tmp = self._snapshot_path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._snapshot_path)
+        # Rotate: every journaled record is ≤ seq (snapshots are taken
+        # at the end of a public operation), so the log restarts empty.
+        self._log.close()
+        self._log = open(self._log_path, "wb")
+        if self.spec.fsync:
+            os.fsync(self._log.fileno())
+        self.record_count = 0
+        self.records_since_snapshot = 0
+        return len(blob)
+
+    def read_snapshot(self) -> Optional[Tuple[int, bytes]]:
+        """The latest snapshot as ``(seq, body)``; None when absent."""
+        try:
+            blob = open(self._snapshot_path, "rb").read()
+        except FileNotFoundError:
+            return None
+        header_size = len(_SNAPSHOT_MAGIC) + struct.calcsize(">IQI")
+        if len(blob) < header_size or blob[: len(_SNAPSHOT_MAGIC)] != _SNAPSHOT_MAGIC:
+            raise JournalCorruptionError("snapshot header is malformed")
+        version, seq, crc = struct.unpack_from(">IQI", blob, len(_SNAPSHOT_MAGIC))
+        if version != _SNAPSHOT_VERSION:
+            raise JournalCorruptionError(f"unknown snapshot version {version}")
+        body = blob[header_size:]
+        if zlib.crc32(body) != crc:
+            raise JournalCorruptionError("snapshot body failed its checksum")
+        return seq, body
+
+    def _snapshot_seq(self) -> int:
+        snapshot = self.read_snapshot()
+        return snapshot[0] if snapshot is not None else 0
+
+    # -- metadata sidecar ----------------------------------------------
+    def write_meta(self, meta: Dict[str, object]) -> None:
+        """Persist free-form trace metadata (space bounds, grid size…)."""
+        with open(os.path.join(self.path, "meta.json"), "w") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+
+    def read_meta(self) -> Dict[str, object]:
+        """The metadata sidecar's contents ({} when absent)."""
+        try:
+            with open(os.path.join(self.path, "meta.json")) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return {}
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Flush and release the log file handle."""
+        if not self._log.closed:
+            self._log.flush()
+            self._log.close()
+
+    def __enter__(self) -> "Journal":
+        """Context-manager support: closing flushes the log."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close on context exit."""
+        self.close()

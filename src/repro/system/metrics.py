@@ -103,6 +103,23 @@ class CommunicationStats:
     #: compressed bytes of the removed-cell bitmaps shipped as deltas;
     #: populated only when byte measurement is enabled
     delta_region_bytes: int = 0
+    # ------------------------------------------------------------------
+    # Durability counters (the journal of DESIGN.md §13; a server built
+    # without ``ServerConfig.journal`` leaves them all at 0).
+    # ------------------------------------------------------------------
+    #: operation records appended to the journal
+    journal_records: int = 0
+    #: bytes appended to the journal (framing included)
+    journal_bytes: int = 0
+    #: snapshots written (each one rotates the journal)
+    snapshots_taken: int = 0
+    #: bytes written as snapshot images
+    snapshot_bytes: int = 0
+    #: journal-tail records applied by the last :meth:`recover` call
+    recovered_records: int = 0
+    #: re-publishes of an event id the corpus already held, dropped
+    #: idempotently (producer retries, partial-fleet replays)
+    duplicate_publishes: int = 0
 
     @property
     def total_rounds(self) -> int:

@@ -259,7 +259,9 @@ class ElapsTCPServer:
             self._push_to(
                 notification.sub_id,
                 encode_message(
-                    notification_for(notification.sub_id, notification.event)
+                    notification_for(
+                        notification.sub_id, notification.event, notification.seq
+                    )
                 ),
             )
 
@@ -800,7 +802,8 @@ class ResilientElapsClient:
     def _apply(self, message) -> None:
         if isinstance(message, NotificationMessage):
             self.mobile.receive_notification(
-                Event(message.event_id, dict(message.attributes), message.location)
+                Event(message.event_id, dict(message.attributes), message.location),
+                message.seq,
             )
         elif isinstance(message, SafeRegionPush):
             self.regions_received += 1

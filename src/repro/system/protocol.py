@@ -320,14 +320,19 @@ class NotificationMessage:
     event_id: int
     location: Point
     attributes: Tuple[Tuple[str, object], ...]
+    #: per-subscriber delivery sequence number (0 = unsequenced); lets a
+    #: reconnecting client detect gaps in the stream it saw before the
+    #: resync reconciliation catches up
+    seq: int = 0
 
     def encode_payload(self) -> bytes:
         """Serialise the payload (frame header excluded)."""
         parts = [
             struct.pack(
-                ">QQddI",
+                ">QQQddI",
                 self.sub_id,
                 self.event_id,
+                self.seq,
                 self.location.x,
                 self.location.y,
                 len(self.attributes),
@@ -341,14 +346,14 @@ class NotificationMessage:
     @classmethod
     def decode_payload(cls, payload: bytes) -> "NotificationMessage":
         """Inverse of :meth:`encode_payload`."""
-        sub_id, event_id, x, y, count = struct.unpack_from(">QQddI", payload, 0)
-        offset = struct.calcsize(">QQddI")
+        sub_id, event_id, seq, x, y, count = struct.unpack_from(">QQQddI", payload, 0)
+        offset = struct.calcsize(">QQQddI")
         attributes = []
         for _ in range(count):
             name, offset = _decode_str(payload, offset)
             value, offset = _decode_scalar(payload, offset)
             attributes.append((name, value))
-        return cls(sub_id, event_id, Point(x, y), tuple(attributes))
+        return cls(sub_id, event_id, Point(x, y), tuple(attributes), seq)
 
 
 @dataclass(frozen=True)
@@ -711,13 +716,14 @@ def message_bytes(message: Message) -> int:
     return len(encode_message(message))
 
 
-def notification_for(sub_id: int, event) -> NotificationMessage:
+def notification_for(sub_id: int, event, seq: int = 0) -> NotificationMessage:
     """The wire message delivering ``event`` to ``sub_id``."""
     return NotificationMessage(
         sub_id,
         event.event_id,
         event.location,
         tuple(sorted(event.attributes.items())),
+        seq,
     )
 
 

@@ -57,6 +57,24 @@ from ..expressions import Event, Subscription
 from ..geometry import Cell, Grid, Point
 from ..index import BEQTree, ImpactRegionIndex, SubscriptionIndex
 from .config import CallbackTransport, ServerConfig, Transport
+from .journal import (
+    BOOTSTRAP,
+    EXPIRE,
+    LOCATION,
+    PUBLISH,
+    PUBLISH_BATCH,
+    RESYNC,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    Journal,
+    JournalCorruptionError,
+    JournalError,
+    JournalRecord,
+    ServerSnapshot,
+    SubscriberSnapshot,
+    decode_snapshot,
+    encode_snapshot,
+)
 from .metrics import CommunicationStats
 from .observability import MetricsRegistry
 from .protocol import (
@@ -110,6 +128,11 @@ class SubscriberRecord:
     safe: Optional[SafeRegion] = None
     delivered: Set[int] = dataclass_field(default_factory=set)
     repair: Optional[RepairState] = None
+    #: per-subscriber delivery sequence number: every notification this
+    #: server hands the subscriber carries the next value, so a client
+    #: can detect gaps after a reconnect (snapshots persist it; tail
+    #: replay re-stamps deterministically)
+    next_seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -119,6 +142,9 @@ class Notification:
     sub_id: int
     event: Event
     timestamp: int
+    #: per-subscriber delivery sequence number (0 = unsequenced, e.g.
+    #: results built by hand in tests)
+    seq: int = 0
 
 
 class ElapsServer:
@@ -215,6 +241,18 @@ class ElapsServer:
         # staleness budget trips or the subscriber's state is replaced
         # (resubscribe, resync, unsubscribe).
         self._lazy_fields: Dict[int, LazyBEQField] = {}
+        #: durable operation journal (DESIGN.md §13); None keeps the
+        #: server purely in-memory
+        self.journal: Optional[Journal] = (
+            Journal(config.journal) if config.journal is not None else None
+        )
+        #: highest journal sequence number reflected in this server's
+        #: state.  Starts at 0 even over a non-empty journal — a fresh
+        #: process holds none of the logged state until :meth:`recover`
+        #: replays it.  Snapshot restore and tail replay advance it;
+        #: records at or below it are skipped on replay, which is what
+        #: makes replaying the same journal twice a no-op.
+        self.applied_seq = 0
 
     # ------------------------------------------------------------------
     # Deprecated hook attributes (the pre-Transport API)
@@ -277,8 +315,16 @@ class ElapsServer:
     # ------------------------------------------------------------------
     def bootstrap(self, events) -> None:
         """Load the initial event database without arrival processing."""
+        events = list(events)
+        self._journal_append(JournalRecord(BOOTSTRAP, 0, events=tuple(events)))
         for event in events:
+            if event.event_id in self._events_by_id:
+                # Idempotent, as in _publish: a re-run load (partial-fleet
+                # replay) skips events this corpus already holds.
+                self.metrics.duplicate_publishes += 1
+                continue
             self._store_event(event)
+        self._maybe_snapshot()
 
     def _store_event(self, event: Event) -> None:
         self.event_index.insert(event)
@@ -326,6 +372,12 @@ class ElapsServer:
         again (a following :meth:`resync` reconciles against what the
         client actually received).
         """
+        self._journal_append(
+            JournalRecord(
+                SUBSCRIBE, 0, now=now, sub_id=subscription.sub_id,
+                subscription=subscription, location=location, velocity=velocity,
+            )
+        )
         if self._started_at is None:
             self._started_at = now
         # The expression (hence the matching-event set) may change across
@@ -357,6 +409,7 @@ class ElapsServer:
             )
             self._account_notification_bytes(notifications)
         self._construct(record, now)
+        self._maybe_snapshot()
         return notifications, record.safe
 
     def _deliver_corpus_matches(
@@ -384,37 +437,56 @@ class ElapsServer:
             record.delivered.add(event.event_id)
             if field is not None:
                 field.note_exclusion(event.event_id)
-            notifications.append(Notification(sub_id, event, now))
+            record.next_seq += 1
+            notifications.append(Notification(sub_id, event, now, record.next_seq))
         self.metrics.notifications += len(notifications)
         return notifications
 
     def _account_notification_bytes(self, notifications: List[Notification]) -> None:
         for notification in notifications:
             self.metrics.wire_bytes_down += message_bytes(
-                notification_for(notification.sub_id, notification.event)
+                notification_for(
+                    notification.sub_id, notification.event, notification.seq
+                )
             )
 
     def unsubscribe(self, sub_id: int) -> None:
         """Drop a subscriber from every index (subscription expiration)."""
-        record = self.subscribers.pop(sub_id, None)
-        if record is None:
+        if sub_id not in self.subscribers:
+            # Validate before journaling: a rejected operation must not
+            # leave a record that would fail again on replay.
             raise KeyError(f"unknown subscriber {sub_id}")
+        self._journal_append(JournalRecord(UNSUBSCRIBE, 0, sub_id=sub_id))
+        record = self.subscribers.pop(sub_id)
         self.subscription_index.delete(record.subscription)
         self.impact_index.remove(sub_id)
         self._matching_cache.pop(sub_id, None)
         self._field_cache.pop(sub_id, None)
         self._region_cache.pop(sub_id, None)
         self._lazy_fields.pop(sub_id, None)
+        self._maybe_snapshot()
 
     # ------------------------------------------------------------------
     # Event arrival / expiration
     # ------------------------------------------------------------------
     def publish(self, event: Event, now: int) -> List[Notification]:
         """Process one arriving event; returns the notifications sent."""
+        self._journal_append(JournalRecord(PUBLISH, 0, now=now, events=(event,)))
         with self.tracer.span("publish"):
-            return self._publish(event, now)
+            notifications = self._publish(event, now)
+        self._maybe_snapshot()
+        return notifications
 
     def _publish(self, event: Event, now: int) -> List[Notification]:
+        if event.event_id in self._events_by_id:
+            # Idempotent re-publish: a producer retry — or a partially
+            # surviving fleet re-running an operation another band lost —
+            # re-sends an event this corpus already holds.  The original
+            # arrival already offered it to every eligible subscriber
+            # (later subscribers match it from the corpus), so nothing
+            # new can be due.
+            self.metrics.duplicate_publishes += 1
+            return []
         self._store_event(event)
         self._arrival_times.append(now)
         notifications: List[Notification] = []
@@ -451,7 +523,10 @@ class ElapsServer:
             distance = record.location.distance_to(event.location)
             if distance <= subscription.radius:
                 record.delivered.add(event.event_id)
-                notification = Notification(subscription.sub_id, event, now)
+                record.next_seq += 1
+                notification = Notification(
+                    subscription.sub_id, event, now, record.next_seq
+                )
                 notifications.append(notification)
                 self.metrics.notifications += 1
                 if self.measure_bytes:
@@ -488,11 +563,23 @@ class ElapsServer:
         to the single-event path's.  The index cache counters accumulated
         during the batch are scraped into :class:`CommunicationStats`.
         """
+        events = list(events)
+        if events:
+            self._journal_append(
+                JournalRecord(PUBLISH_BATCH, 0, now=now, events=tuple(events))
+            )
         with self.tracer.span("batch"):
-            return self._publish_batch(events, now)
+            notifications = self._publish_batch(events, now)
+        self._maybe_snapshot()
+        return notifications
 
     def _publish_batch(self, events: List[Event], now: int) -> List[Notification]:
-        events = list(events)
+        # Idempotent re-publish, as in _publish: events the corpus holds
+        # are dropped (duplicates *within* the fresh remainder are still
+        # a caller bug, rejected atomically by insert_batch).
+        fresh = [e for e in events if e.event_id not in self._events_by_id]
+        self.metrics.duplicate_publishes += len(events) - len(fresh)
+        events = fresh
         if not events:
             return []
         hits_before, _, probes_before = self.event_index.counters.snapshot()
@@ -555,7 +642,10 @@ class ElapsServer:
                 distance = record.location.distance_to(event.location)
                 if distance <= subscription.radius:
                     record.delivered.add(event.event_id)
-                    notification = Notification(subscription.sub_id, event, now)
+                    record.next_seq += 1
+                    notification = Notification(
+                        subscription.sub_id, event, now, record.next_seq
+                    )
                     notifications.append(notification)
                     self.metrics.notifications += 1
                     if self.measure_bytes:
@@ -584,6 +674,12 @@ class ElapsServer:
 
     def expire_due_events(self, now: int) -> int:
         """Remove events whose validity ended; Lemma 4: no client traffic."""
+        if self._expiry_heap and self._expiry_heap[0][0] <= now:
+            # Journal only sweeps that will remove something: expiry is
+            # deterministic given the corpus, so one record per effective
+            # sweep reproduces it, and the no-op ticks between arrivals
+            # stay off the log.
+            self._journal_append(JournalRecord(EXPIRE, 0, now=now))
         removed = 0
         while self._expiry_heap and self._expiry_heap[0][0] <= now:
             _, event_id = heapq.heappop(self._expiry_heap)
@@ -594,6 +690,8 @@ class ElapsServer:
             for field in self._lazy_fields.values():
                 field.note_exclusion(event_id)
             removed += 1
+        if removed:
+            self._maybe_snapshot()
         return removed
 
     # ------------------------------------------------------------------
@@ -603,8 +701,17 @@ class ElapsServer:
         self, sub_id: int, location: Point, velocity: Point, now: int
     ) -> Tuple[List[Notification], SafeRegion]:
         """Handle a client report after it left its safe region."""
+        if sub_id in self.subscribers:
+            self._journal_append(
+                JournalRecord(
+                    LOCATION, 0, now=now, sub_id=sub_id,
+                    location=location, velocity=velocity,
+                )
+            )
         with self.tracer.span("location_update"):
-            return self._report_location(sub_id, location, velocity, now)
+            result = self._report_location(sub_id, location, velocity, now)
+        self._maybe_snapshot()
+        return result
 
     def _report_location(
         self, sub_id: int, location: Point, velocity: Point, now: int
@@ -645,18 +752,33 @@ class ElapsServer:
         (the client dropped its held region on disconnect).
         """
         record = self.subscribers[sub_id]
+        received = tuple(received)
+        self._journal_append(
+            JournalRecord(
+                RESYNC, 0, now=now, sub_id=sub_id, location=location,
+                velocity=velocity, received=received,
+            )
+        )
         self.metrics.resyncs += 1
         record.location = location
         record.velocity = velocity
-        # ``delivered`` is rebound to a fresh set; a cached matching field
-        # holds a reference to the old one and must not survive.
+        # ``delivered`` is rebound to a fresh set; every cached matching
+        # artefact holds a reference to (or a signature derived from) the
+        # old one and must not survive — in particular the repair drift
+        # state, or a post-reconnect repair would carve against a field
+        # built for the pre-disconnect delivered set (a recovered server
+        # resyncing clients after a restart hits exactly this path).
         self._lazy_fields.pop(sub_id, None)
+        self._field_cache.pop(sub_id, None)
+        self._region_cache.pop(sub_id, None)
+        record.repair = None
         record.delivered = set(received)
         notifications = self._deliver_corpus_matches(record, location, now)
         self.metrics.redeliveries += len(notifications)
         if self.measure_bytes:
             self._account_notification_bytes(notifications)
         self._construct(record, now)
+        self._maybe_snapshot()
         return notifications, record.safe
 
     def rebuild_all(self, now: int) -> None:
@@ -669,6 +791,192 @@ class ElapsServer:
         for record in self.subscribers.values():
             self._refresh_location(record)
             self._construct(record, now)
+
+    # ------------------------------------------------------------------
+    # Durability: journaling, snapshots, recovery (DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def _journal_append(self, record: JournalRecord) -> None:
+        """Write-ahead: persist the operation before applying it, so a
+        crash mid-apply replays the whole operation on recovery."""
+        journal = self.journal
+        if journal is None or journal.suspended:
+            return
+        written = journal.append(record)
+        self.applied_seq = journal.seq
+        self.metrics.journal_records += 1
+        self.metrics.journal_bytes += written
+
+    def _maybe_snapshot(self) -> None:
+        """Honour ``JournalSpec.snapshot_every`` at operation end (the
+        state then reflects every journaled record, so the snapshot's
+        sequence number is exact)."""
+        journal = self.journal
+        if journal is not None and not journal.suspended and journal.snapshot_due():
+            self.snapshot()
+
+    def snapshot(self) -> None:
+        """Persist the full server image and rotate the journal."""
+        if self.journal is None:
+            raise JournalError("server has no journal configured")
+        image = ServerSnapshot(
+            last_seq=self.journal.seq,
+            started_at=self._started_at,
+            arrival_times=list(self._arrival_times),
+            events=list(self._events_by_id.values()),
+            subscribers=[
+                self._subscriber_snapshot(record)
+                for record in self.subscribers.values()
+            ],
+            counters=self.metrics.as_dict(),
+        )
+        written = self.journal.write_snapshot(encode_snapshot(image), image.last_seq)
+        self.metrics.snapshots_taken += 1
+        self.metrics.snapshot_bytes += written
+
+    def _subscriber_snapshot(self, record: SubscriberRecord) -> SubscriberSnapshot:
+        sub_id = record.subscription.sub_id
+        safe = None
+        if record.safe is not None:
+            safe = (record.safe.complement, frozenset(record.safe.cells))
+        return SubscriberSnapshot(
+            subscription=record.subscription,
+            location=record.location,
+            velocity=record.velocity,
+            delivered=frozenset(record.delivered),
+            next_seq=record.next_seq,
+            safe=safe,
+            impact=self.impact_index.region_of(sub_id),
+        )
+
+    def recover(self) -> int:
+        """Rebuild state from the latest snapshot plus the journal tail.
+
+        Replay drives the tail records through the normal public
+        operations with journaling suspended; the BEQ-tree and impact
+        index are rebuilt deterministically because events re-enter in
+        their original order.  Notifications produced during replay are
+        discarded (the transport is typically not attached yet) — the
+        per-subscriber ``delivered`` sets converge to the pre-crash
+        truth, and reconnecting clients reconcile the client-visible
+        stream through :meth:`resync`.  Returns the number of tail
+        records applied; calling :meth:`recover` again is a no-op (every
+        record is gated on ``applied_seq``).
+        """
+        if self.journal is None:
+            raise JournalError("server has no journal configured")
+        loaded = self.journal.read_snapshot()
+        if loaded is not None and loaded[0] > self.applied_seq:
+            seq, body = loaded
+            self._restore_snapshot(decode_snapshot(body))
+            self.applied_seq = seq
+        applied = 0
+        self.journal.suspended = True
+        try:
+            for record in self.journal.records(after_seq=self.applied_seq):
+                self._apply_record(record)
+                self.applied_seq = record.seq
+                applied += 1
+        finally:
+            self.journal.suspended = False
+        self.metrics.recovered_records += applied
+        return applied
+
+    def _restore_snapshot(self, image: ServerSnapshot) -> None:
+        for event in image.events:
+            self._store_event(event)
+        self._arrival_times = list(image.arrival_times)
+        self._started_at = image.started_at
+        for name, value in image.counters.items():
+            # Tolerate counters from other builds: restore what exists.
+            if not hasattr(self.metrics, name):
+                continue
+            current = getattr(self.metrics, name)
+            if isinstance(current, bool):
+                setattr(self.metrics, name, bool(value))
+            elif isinstance(current, float):
+                setattr(self.metrics, name, float(value))
+            else:
+                setattr(self.metrics, name, int(value))
+        for sub in image.subscribers:
+            record = SubscriberRecord(
+                sub.subscription,
+                sub.location,
+                sub.velocity,
+                delivered=set(sub.delivered),
+            )
+            record.next_seq = sub.next_seq
+            if sub.safe is not None:
+                complement, cells = sub.safe
+                record.safe = SafeRegion(self.grid, frozenset(cells), complement)
+            self.subscribers[sub.subscription.sub_id] = record
+            self.subscription_index.insert(sub.subscription)
+            if self.matching_mode == "cached":
+                self._matching_cache[sub.subscription.sub_id] = {
+                    event.event_id: event.location
+                    for event in self.event_index.be_match(
+                        sub.subscription.expression
+                    )
+                }
+            if sub.impact is not None:
+                complement, cells = sub.impact
+                self.impact_index.replace_region(
+                    sub.subscription.sub_id,
+                    ImpactRegion(self.grid, frozenset(cells), complement),
+                )
+        # Recovery invariant (DESIGN.md §13): derived matching artefacts —
+        # lazy fields, repair drift state, cached-mode field/region caches —
+        # are never restored.  The first post-restart type-II event falls
+        # back to a full construction instead of carving against a field
+        # built by the pre-crash process.
+
+    def _apply_record(self, record: JournalRecord) -> None:
+        """Replay one journal record through the public operation it logs."""
+        kind = record.kind
+        if kind == SUBSCRIBE:
+            self.subscribe(
+                record.subscription, record.location, record.velocity, now=record.now
+            )
+        elif kind == UNSUBSCRIBE:
+            self.unsubscribe(record.sub_id)
+        elif kind == LOCATION:
+            self.report_location(
+                record.sub_id, record.location, record.velocity, now=record.now
+            )
+        elif kind == RESYNC:
+            self.resync(
+                record.sub_id, record.location, record.velocity,
+                record.received, now=record.now,
+            )
+        elif kind == PUBLISH:
+            try:
+                self.publish(record.event, record.now)
+            except ValueError:
+                # The operation was journaled (WAL-before-apply) but then
+                # failed validation without mutating anything; it fails
+                # identically on replay, so skipping it is exact.
+                pass
+        elif kind == PUBLISH_BATCH:
+            try:
+                self.publish_batch(list(record.events), record.now)
+            except ValueError:
+                pass  # journaled-but-failed, as above
+        elif kind == EXPIRE:
+            self.expire_due_events(record.now)
+        elif kind == BOOTSTRAP:
+            self.bootstrap(record.events)
+        else:
+            raise JournalCorruptionError(f"unknown journal record kind {kind}")
+
+    def close(self) -> None:
+        """Release the journal's file handle (a no-op without one)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "ElapsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Aggregate views (shared surface with ShardedElapsServer)

@@ -44,6 +44,7 @@ synchronisation the fleet needs).
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import itertools
 import math
@@ -243,6 +244,10 @@ class ShardedSubscriberRecord:
     shard_regions: Dict[int, SafeRegion] = dataclass_field(default_factory=dict)
     #: the held region: the intersection of ``shard_regions`` over homes
     safe: Optional[SafeRegion] = None
+    #: coordinator-level delivery sequence number; the coordinator
+    #: re-stamps every fresh notification so the client sees one gapless
+    #: stream regardless of which shard produced the delivery
+    next_seq: int = 0
 
 
 @dataclass
@@ -328,11 +333,20 @@ class ShardedElapsServer:
                 "strategy must be a SafeRegionStrategy or a factory "
                 f"(taking nothing or the ShardSpec), got {strategy!r}"
             )
+        # Per-band durability: each worker journals autonomously under a
+        # ``band-<k>/`` subdirectory of the configured journal path (the
+        # one place workers deviate from the shared config).
+        def worker_config(spec: ShardSpec) -> ServerConfig:
+            """This band's config: shared knobs, band-local journal."""
+            if self.config.journal is None:
+                return self.config
+            return self.config.with_(journal=self.config.journal.for_shard(spec.shard_id))
+
         self.shard_servers: List[ElapsServer] = [
             ElapsServer(
                 grid,
                 factory(spec),
-                self.config,
+                worker_config(spec),
                 event_index=event_index_factory() if event_index_factory else None,
                 subscription_index=(
                     subscription_index_factory() if subscription_index_factory else None
@@ -464,14 +478,21 @@ class ShardedElapsServer:
         record.safe = held
 
     def _absorb(self, notifications: Sequence[Notification]) -> List[Notification]:
-        """Dedup shard notifications against the global delivered sets."""
+        """Dedup shard notifications against the global delivered sets.
+
+        Fresh notifications are re-stamped with the coordinator-level
+        sequence number: each worker numbers its own deliveries, but the
+        client sees one stream, so the coordinator's counter is the one
+        that must be gapless.
+        """
         fresh: List[Notification] = []
         for notification in notifications:
             record = self.subscribers.get(notification.sub_id)
             if record is None or notification.event.event_id in record.delivered:
                 continue
             record.delivered.add(notification.event.event_id)
-            fresh.append(notification)
+            record.next_seq += 1
+            fresh.append(dataclasses.replace(notification, seq=record.next_seq))
         return fresh
 
     def _rehome(
@@ -761,6 +782,57 @@ class ShardedElapsServer:
         )
 
     # ------------------------------------------------------------------
+    # Durability (DESIGN.md §13): per-band journals, fleet recovery
+    # ------------------------------------------------------------------
+    def snapshot(self) -> None:
+        """Snapshot every worker (each rotates its own band journal)."""
+        for worker in self.shard_servers:
+            worker.snapshot()
+
+    def recover(self) -> int:
+        """Recover every worker from its band journal, then rebuild the
+        coordinator's routing state from the recovered workers.
+
+        The coordinator itself keeps no journal — everything it holds is
+        derivable: homes are the shards holding a record, the owner is
+        the shard of the last known location, the held region is the
+        usual K-way intersection, and the global ``delivered`` set is the
+        union of the workers' sets (exact, because each event lives in
+        exactly one shard's corpus, so every client-visible delivery was
+        recorded by precisely the worker that owns the event).  The
+        coordinator-level sequence counter restarts at the delivered-set
+        size — each historical stamp added one id, and a reconnecting
+        client tracks ``max(seen, new)`` anyway, so a conservative
+        restart cannot corrupt gap detection.  Returns the total number
+        of tail records the workers applied.
+        """
+        applied = 0
+        for worker in self.shard_servers:
+            applied += worker.recover()
+        self.subscribers = {}
+        with self._mutex:
+            self._dirty = {}
+        for shard_id, worker in enumerate(self.shard_servers):
+            for sub_id, shard_record in worker.subscribers.items():
+                record = self.subscribers.get(sub_id)
+                if record is None:
+                    record = ShardedSubscriberRecord(
+                        subscription=shard_record.subscription,
+                        location=shard_record.location,
+                        velocity=shard_record.velocity,
+                        owner=self.shard_of_point(shard_record.location),
+                    )
+                    self.subscribers[sub_id] = record
+                record.homes.add(shard_id)
+                record.delivered |= shard_record.delivered
+                if shard_record.safe is not None:
+                    record.shard_regions[shard_id] = shard_record.safe
+        for record in self.subscribers.values():
+            record.next_seq = len(record.delivered)
+            self._recompute_held(record)
+        return applied
+
+    # ------------------------------------------------------------------
     # Aggregate views (shared surface with ElapsServer)
     # ------------------------------------------------------------------
     def merged_metrics(self) -> CommunicationStats:
@@ -788,8 +860,10 @@ class ShardedElapsServer:
         return frozenset(self.subscribers[sub_id].delivered)
 
     def close(self) -> None:
-        """Shut the executor down (thread pools only)."""
+        """Shut the executor down and release the workers' journals."""
         self.executor.close()
+        for worker in self.shard_servers:
+            worker.close()
 
     def __enter__(self) -> "ShardedElapsServer":
         return self

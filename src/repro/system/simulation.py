@@ -165,7 +165,9 @@ class Simulation:
 
     def _deliver(self, notifications) -> None:
         for notification in notifications:
-            self.clients[notification.sub_id].receive_notification(notification.event)
+            self.clients[notification.sub_id].receive_notification(
+                notification.event, notification.seq
+            )
         self._notification_count += len(notifications)
 
     def _move_phase(self, t: int) -> None:

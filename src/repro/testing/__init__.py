@@ -1,4 +1,4 @@
-"""Test support: the chaos harness and the brute-force matching oracle.
+"""Test support: chaos harness, matching oracle, and trace replay.
 
 ``repro.testing`` is the stable doorway to the fault-injection machinery
 of :mod:`repro.system.faults` — external test suites (and our own chaos
@@ -30,6 +30,13 @@ from ..system.faults import (
     FaultStats,
 )
 from .oracle import BruteForceOracle, oracle_pairs
+from .replay import (
+    ReplayResult,
+    TraceRecorder,
+    diff_logs,
+    notification_log,
+    replay_trace,
+)
 
 __all__ = [
     "BruteForceOracle",
@@ -39,8 +46,13 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultStats",
+    "ReplayResult",
+    "TraceRecorder",
     "chaos_proxy",
+    "diff_logs",
+    "notification_log",
     "oracle_pairs",
+    "replay_trace",
 ]
 
 

@@ -92,6 +92,47 @@ class TestMatch:
         assert "per query" in out
 
 
+TINY_SIM = [
+    "--events", "400", "--subscribers", "4", "--timestamps", "10",
+    "--event-rate", "2", "--grid", "40", "--seed", "3",
+]
+
+
+class TestRecordReplay:
+    def test_record_requires_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["record"])
+
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace")
+        assert main(["record", "--trace", trace, *TINY_SIM]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert (tmp_path / "trace" / "journal.log").exists()
+        assert (tmp_path / "trace" / "meta.json").exists()
+
+        log_path = str(tmp_path / "replay.log")
+        assert main(["replay", "--trace", trace, "--out", log_path]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out and "sha256" in out
+
+        # the same trace through a different configuration is identical
+        assert main([
+            "replay", "--trace", trace, "--shards", "2", "--batch-size", "4",
+            "--expect", log_path,
+        ]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_replay_diff_detects_divergence(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace")
+        assert main(["record", "--trace", trace, *TINY_SIM]) == 0
+        bogus = tmp_path / "bogus.log"
+        bogus.write_text("t=1 sub=999 event=999\n")
+        capsys.readouterr()
+        assert main(["replay", "--trace", trace, "--expect", str(bogus)]) == 1
+        assert "DIVERGED" in capsys.readouterr().err
+
+
 class TestFigure:
     def test_lists_available_tables(self, capsys):
         # the benchmarks may or may not have run; both paths are valid

@@ -118,6 +118,116 @@ def test_trace_is_non_trivial():
     assert len(timestamps) >= 5  # spread across the burst timeline
 
 
+def record_golden_trace(path) -> None:
+    """Run the golden workload once through a TraceRecorder at ``path``."""
+    from repro.testing import TraceRecorder
+
+    generator = TwitterLikeGenerator(SPACE, seed=SEED)
+    subscriptions = generator.subscriptions(20, size=2, radius=3_000)
+    rng = random.Random(SEED * 101)
+    with TraceRecorder(fresh_server(), str(path)) as server:
+        for subscription in subscriptions:
+            location = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+            server.subscribe(subscription, location, Point(0.0, 0.0), now=0)
+        for group in range(GROUPS):
+            now = group + 1
+            events = generator.events(
+                GROUP_SIZE, start_id=group * GROUP_SIZE, arrived_at=now,
+                seed_offset=group,
+            )
+            server.publish_batch(events, now)
+
+
+def fresh_fleet(shards: int = 2, repair: bool = False):
+    from repro.index import SubscriptionIndex  # noqa: F401  (parity import)
+    from repro.system import SerialExecutor, ShardedElapsServer
+
+    return ShardedElapsServer(
+        Grid(40, SPACE),
+        lambda: IGM(max_cells=400),
+        ServerConfig(initial_rate=2.0, repair=repair),
+        shards=shards,
+        executor=SerialExecutor(),
+        event_index_factory=lambda: BEQTree(SPACE, emax=32),
+    )
+
+
+def test_recorded_trace_replays_byte_identically_across_configs(tmp_path):
+    """The trace-based regression core: one recorded run of the golden
+    workload, replayed through materially different server configurations,
+    must reproduce the frozen log byte-for-byte every time."""
+    from repro.testing import replay_trace
+
+    record_golden_trace(tmp_path)
+    frozen = GOLDEN.read_bytes()
+    targets = [
+        ("plain", lambda: fresh_server(), None),
+        ("repair", lambda: fresh_server(repair=True), None),
+        ("singles", lambda: fresh_server(), 1),          # batches -> one-by-one
+        ("rebatched", lambda: fresh_server(), 64),       # coalesced bursts
+        ("sharded", lambda: fresh_fleet(shards=2), None),
+        ("sharded-repair", lambda: fresh_fleet(shards=2, repair=True), 1),
+    ]
+    for label, build, batch_size in targets:
+        result = replay_trace(str(tmp_path), build(), batch_size=batch_size)
+        assert result.log().encode() == frozen, f"{label} replay diverged"
+
+
+def test_recovered_server_continues_the_golden_trace(tmp_path):
+    """Crash a journaled server halfway through the golden workload and
+    recover: finishing the workload yields the frozen log's delivery set."""
+    from repro.system.journal import JournalSpec
+
+    def journaled_server():
+        return ElapsServer(
+            Grid(40, SPACE),
+            IGM(max_cells=400),
+            ServerConfig(initial_rate=2.0, journal=JournalSpec(str(tmp_path))),
+            event_index=BEQTree(SPACE, emax=32),
+        )
+
+    generator = TwitterLikeGenerator(SPACE, seed=SEED)
+    subscriptions = generator.subscriptions(20, size=2, radius=3_000)
+    rng = random.Random(SEED * 101)
+    pairs = set()
+
+    def record(notifications):
+        pairs.update((n.sub_id, n.event.event_id) for n in notifications)
+
+    server = journaled_server()
+    for subscription in subscriptions:
+        location = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+        notifications, _ = server.subscribe(
+            subscription, location, Point(0.0, 0.0), now=0
+        )
+        record(notifications)
+    half = GROUPS // 2
+    for group in range(half):
+        events = generator.events(
+            GROUP_SIZE, start_id=group * GROUP_SIZE, arrived_at=group + 1,
+            seed_offset=group,
+        )
+        record(server.publish_batch(events, group + 1))
+    server.close()  # clean kill between operations
+
+    revived = journaled_server()
+    revived.recover()
+    for group in range(half, GROUPS):
+        events = generator.events(
+            GROUP_SIZE, start_id=group * GROUP_SIZE, arrived_at=group + 1,
+            seed_offset=group,
+        )
+        record(revived.publish_batch(events, group + 1))
+    revived.close()
+
+    golden_pairs = set()
+    for line in GOLDEN.read_text().splitlines():
+        sub_id = int(line.split(" sub=")[1].split(" ")[0])
+        event_id = int(line.split(" event=")[1])
+        golden_pairs.add((sub_id, event_id))
+    assert pairs == golden_pairs
+
+
 def test_batched_path_populates_batch_counters():
     """The golden run drives the counters the benchmark report reads."""
     generator = TwitterLikeGenerator(SPACE, seed=SEED)

@@ -380,6 +380,81 @@ class TestFieldReuse:
         # the fresh field shares the record's (rebound) delivered set
         assert field._excluded is server.subscribers[sub.sub_id].delivered
 
+    def test_resync_retires_every_derived_matching_artefact(self):
+        """Resync rebinds ``delivered`` to a fresh set; every cache keyed
+        on (or carrying drift from) the old one must be retired, not just
+        the lazy field: the cached-mode field/region caches and the
+        repair drift state all reference the pre-reconnect world."""
+        server = make_server(repair=True)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
+        record = server.subscribers[sub.sub_id]
+        # accumulate drift: one carve leaves removed_since_build > 0
+        server.publish(sale(10, 7_600, 5_000), now=1)
+        assert record.repair is not None
+        assert record.repair.removed_since_build > 0
+        # seed the signature caches with entries for the old delivered set
+        server._field_cache[sub.sub_id] = ("stale", object())
+        server._region_cache[sub.sub_id] = ("stale", object())
+
+        server.resync(sub.sub_id, Point(5_000, 5_000), Point(20, 0), (10,), now=2)
+
+        assert server._field_cache.get(sub.sub_id, (None,))[0] != "stale"
+        assert server._region_cache.get(sub.sub_id, (None,))[0] != "stale"
+        # the post-resync construction installed *fresh* drift state
+        assert record.repair is not None
+        assert record.repair.removed_since_build == 0
+        # and a post-resync carve works against the fresh region
+        before = record.safe
+        server.publish(sale(11, 7_600, 5_000), now=3)
+        assert record.safe.cells < before.cells
+
+
+class TestRecoveryNeverRestoresDerivedState:
+    """DESIGN.md §13's recovery invariant: snapshots persist only ground
+    truth — lazy fields, cached matching artefacts and repair drift are
+    derived, never restored, so the first post-restart type-II event
+    falls back to a full construction instead of carving against state
+    from the previous incarnation."""
+
+    def journaled_server(self, path):
+        from repro.system.journal import JournalSpec
+
+        return make_server(repair=True, journal=JournalSpec(str(path)))
+
+    def test_first_type_ii_after_recovery_is_a_construction_fallback(self, tmp_path):
+        server = self.journaled_server(tmp_path)
+        sub = make_sub()
+        server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
+        # live drift before the crash: one successful carve
+        server.transport = CallbackTransport(
+            locate=lambda sub_id: (Point(5_000, 5_000), Point(20, 0)))
+        server.publish(sale(10, 7_600, 5_000), now=1)
+        assert server.subscribers[sub.sub_id].repair is not None
+        server.snapshot()
+        server.close()
+
+        revived = self.journaled_server(tmp_path)
+        revived.recover()
+        record = revived.subscribers[sub.sub_id]
+        assert record.repair is None          # drift did not survive the image
+        assert sub.sub_id not in revived._lazy_fields
+        assert sub.sub_id not in revived._field_cache
+        assert sub.sub_id not in revived._region_cache
+        assert record.safe is not None        # ...but the region itself did
+
+        fallbacks = revived.metrics.repair_fallbacks
+        repairs = revived.metrics.repairs
+        revived.publish(sale(11, 7_600, 5_000), now=2)
+        assert revived.metrics.repair_fallbacks == fallbacks + 1
+        assert revived.metrics.repairs == repairs  # no carve against old state
+        # the fallback construction re-armed repair with fresh drift state
+        assert record.repair is not None
+        assert record.repair.removed_since_build == 0
+        revived.close()
+
 
 class TestDegenerateConstruction:
     """The Lemma-1 fallback: an empty safe region still needs an impact
