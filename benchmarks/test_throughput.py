@@ -26,18 +26,27 @@ reports events/second, two ways:
 * the **recovery sweep**: the batch-64 series with the durable journal
   off vs on (best-of-N each — write-ahead logging must be near-free on
   the publish path), plus a **recovery curve** timing ``recover()``
-  replay cost at growing journal lengths.
+  replay cost at growing journal lengths, and
+* the **construct sweep**: a repair-off population sweep on a
+  construction-dominated workload (broad single-predicate
+  subscriptions over a dense corpus, radius 3 km, bounded region
+  budget) run once with the scalar iGM and once with its vectorized
+  twin (DESIGN.md §14).  Delivered pairs and construction counts must
+  agree exactly — byte-identical cores time the *same* work — and the
+  vectorized rows report their speedup over scalar.
 
 Besides the human-readable table, the run emits the machine-readable
-``BENCH_throughput.json`` at the repo root (schema v5, documented in
-EXPERIMENTS.md).  Five regression gates are enforced here and
+``BENCH_throughput.json`` at the repo root (schema v6, documented in
+EXPERIMENTS.md).  Six regression gates are enforced here and
 re-checked by the CI bench-smoke job from the JSON: batched throughput
 at batch size 64 must stay at least 1.5x the single-event baseline,
 repair mode must process at least 2x the always-rebuild events/sec
 while shipping strictly fewer bytes down, enabled span tracing must
 cost at most 5% of batch-64 throughput, the 4-shard fleet must reach
-at least 1.5x the 1-shard batch-64 events/sec, and write-ahead
-journaling must cost at most 10% of batch-64 throughput.
+at least 1.5x the 1-shard batch-64 events/sec, write-ahead journaling
+must cost at most 10% of batch-64 throughput, and the vectorized
+construction core must reach at least 3x the scalar events/sec at the
+construct sweep's largest population.
 
 Run with ``--profile`` to additionally dump a cProfile top-20 of the
 benchmark body to ``benchmarks/results/profile_throughput.txt``; run
@@ -54,7 +63,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional
 
-from repro.core import IGM
+from repro.core import IGM, VectorizedIGM
 from repro.datasets import TwitterLikeGenerator
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree, SubscriptionIndex
@@ -102,6 +111,19 @@ REQUIRED_SHARD_SPEEDUP = 1.5
 MAX_JOURNAL_OVERHEAD = 0.10
 #: journal-length fractions of the burst timed by the recovery curve
 RECOVERY_FRACTIONS = (0.25, 0.5, 1.0)
+#: the construct sweep: a repair-off population sweep tuned so safe-region
+#: construction dominates the publish path — broad single-predicate
+#: subscriptions make most of the corpus be-matching (thousands of events
+#: dilated per rebuild), the 3 km radius grows the dilation disk, and the
+#: bounded region budget keeps frontiers small relative to field work.
+CONSTRUCT_SUBSCRIBERS = (25, 50) if FAST else (25, 100)
+CONSTRUCT_CORPUS = 2_000 if FAST else 6_000
+CONSTRUCT_BURST = 192 if FAST else 512
+CONSTRUCT_RADIUS = 3_000.0
+CONSTRUCT_MAX_CELLS = 300
+CONSTRUCT_SUBSCRIPTION_SIZE = 1
+CONSTRUCT_ROUNDS = 2
+REQUIRED_CONSTRUCT_SPEEDUP = 3.0
 JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
@@ -471,6 +493,86 @@ def _recovery_curve(generator, burst, workdir) -> List[Dict]:
     return rows
 
 
+def _construct_loaded_server(generator, strategy_cls, population) -> ElapsServer:
+    """A server loaded with the construct-sweep workload."""
+    server = ElapsServer(
+        Grid(120, SPACE),
+        strategy_cls(max_cells=CONSTRUCT_MAX_CELLS),
+        ServerConfig(initial_rate=20.0),
+        event_index=BEQTree(SPACE, emax=512),
+        subscription_index=SubscriptionIndex(generator.frequency_hint()))
+    server.bootstrap(generator.events(CONSTRUCT_CORPUS))
+    subscriptions = generator.subscriptions(
+        population, size=CONSTRUCT_SUBSCRIPTION_SIZE, radius=CONSTRUCT_RADIUS
+    )
+    anchors = generator.events(population, seed_offset=3)
+    for subscription, anchor in zip(subscriptions, anchors):
+        server.subscribe(subscription, anchor.location, Point(60, 10), now=0)
+    positions = {s.sub_id: a.location for s, a in zip(subscriptions, anchors)}
+    server.transport = CallbackTransport(
+        locate=lambda sub_id: (positions[sub_id], Point(60, 10)))
+    return server
+
+
+def _construct_sweep(generator) -> List[Dict]:
+    """Scalar vs vectorized iGM on the construction-dominated sweep.
+
+    Every (population, strategy) cell runs ``CONSTRUCT_ROUNDS`` times on a
+    freshly loaded server and keeps its best events/sec; rounds are
+    interleaved across cells so temporal drift hits both strategies
+    equally.  Within a population the two strategies must deliver the
+    identical (sub, event) pairs and perform the identical number of
+    constructions — the cores are byte-identical, so any divergence here
+    is a correctness bug, not noise.
+    """
+    strategies = (("iGM", IGM), ("iGM-vec", VectorizedIGM))
+    burst = generator.events(CONSTRUCT_BURST, start_id=30_000_000, seed_offset=13)
+    best: Dict[tuple, float] = {}
+    observed: Dict[tuple, tuple] = {}
+    for _ in range(CONSTRUCT_ROUNDS):
+        for population in CONSTRUCT_SUBSCRIBERS:
+            for name, strategy_cls in strategies:
+                server = _construct_loaded_server(generator, strategy_cls, population)
+                gc.collect()
+                started = time.perf_counter()
+                delivered = set()
+                for t, event in enumerate(burst, start=1):
+                    for n in server.publish(event, now=t):
+                        delivered.add((n.sub_id, n.event.event_id))
+                elapsed = time.perf_counter() - started
+                stats = server.metrics.as_dict()
+                key = (population, name)
+                best[key] = max(best.get(key, 0.0), len(burst) / elapsed)
+                observed[key] = (delivered, stats["constructions"])
+    rows: List[Dict] = []
+    for population in CONSTRUCT_SUBSCRIBERS:
+        scalar_delivered, scalar_constructions = observed[(population, "iGM")]
+        vec_delivered, vec_constructions = observed[(population, "iGM-vec")]
+        assert vec_delivered == scalar_delivered, (
+            "vectorized construction changed deliveries"
+        )
+        assert vec_constructions == scalar_constructions, (
+            "vectorized construction changed rebuild decisions"
+        )
+        for name, _ in strategies:
+            delivered, constructions = observed[(population, name)]
+            rows.append(
+                {
+                    "strategy": name,
+                    "subscribers": population,
+                    "events": len(burst),
+                    "rounds": CONSTRUCT_ROUNDS,
+                    "constructions": constructions,
+                    "notifications": len(delivered),
+                    "events_per_second": best[(population, name)],
+                    "speedup_vs_scalar": (
+                        best[(population, name)] / best[(population, "iGM")]
+                    ),
+                }
+            )
+    return rows
+
+
 def _emit_json(
     population_rows: List[Dict],
     batch_rows: List[Dict],
@@ -482,14 +584,21 @@ def _emit_json(
     recovery_rows: List[Dict],
     journal_overhead: float,
     recovery_curve_rows: List[Dict],
+    construct_rows: List[Dict],
 ) -> Dict:
     at_64 = next(r for r in batch_rows if r["batch_size"] == 64)
     rebuild = next(r for r in repair_rows if r["mode"] == "rebuild")
     repair = next(r for r in repair_rows if r["mode"] == "repair")
     sharded = next(r for r in shard_rows if r["shards"] == max(SHARD_COUNTS))
+    vec_at_top = next(
+        r
+        for r in construct_rows
+        if r["strategy"] == "iGM-vec"
+        and r["subscribers"] == max(CONSTRUCT_SUBSCRIBERS)
+    )
     payload = {
         "benchmark": "throughput",
-        "schema_version": 5,
+        "schema_version": 6,
         "fast_mode": FAST,
         "config": {
             "space": [SPACE.x_min, SPACE.y_min, SPACE.x_max, SPACE.y_max],
@@ -502,6 +611,11 @@ def _emit_json(
             "shard_subscribers": SHARD_SUBSCRIBERS,
             "shard_radius": SHARD_RADIUS,
             "shard_corpus": SHARD_CORPUS,
+            "construct_subscribers": list(CONSTRUCT_SUBSCRIBERS),
+            "construct_corpus": CONSTRUCT_CORPUS,
+            "construct_burst": CONSTRUCT_BURST,
+            "construct_radius": CONSTRUCT_RADIUS,
+            "construct_max_cells": CONSTRUCT_MAX_CELLS,
         },
         "series": {
             "population_sweep": population_rows,
@@ -511,6 +625,7 @@ def _emit_json(
             "shard_scaling": shard_rows,
             "recovery_sweep": recovery_rows,
             "recovery_curve": recovery_curve_rows,
+            "construct_sweep": construct_rows,
         },
         #: per-stage latency digests of the traced batch-64 run; the
         #: full bucket vectors stay server-side (frame type 13)
@@ -548,6 +663,14 @@ def _emit_json(
             "measured_overhead": journal_overhead,
             "passed": journal_overhead <= MAX_JOURNAL_OVERHEAD,
         },
+        "construct_gate": {
+            "subscribers": vec_at_top["subscribers"],
+            "required_speedup_vs_scalar": REQUIRED_CONSTRUCT_SPEEDUP,
+            "measured_speedup_vs_scalar": vec_at_top["speedup_vs_scalar"],
+            "passed": (
+                vec_at_top["speedup_vs_scalar"] >= REQUIRED_CONSTRUCT_SPEEDUP
+            ),
+        },
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -569,6 +692,7 @@ def _run(slow_threshold=None):
             generator, burst, workdir
         )
         recovery_curve_rows = _recovery_curve(generator, burst, workdir)
+    construct_rows = _construct_sweep(generator)
     return (
         population_rows,
         batch_rows,
@@ -580,6 +704,7 @@ def _run(slow_threshold=None):
         recovery_rows,
         journal_overhead,
         recovery_curve_rows,
+        construct_rows,
     )
 
 
@@ -596,6 +721,7 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         recovery_rows,
         journal_overhead,
         recovery_curve_rows,
+        construct_rows,
     ) = benchmark.pedantic(
         profiled("throughput", _run),
         args=(slow_threshold,),
@@ -613,6 +739,7 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         recovery_rows,
         journal_overhead,
         recovery_curve_rows,
+        construct_rows,
     )
     report(
         "throughput",
@@ -690,6 +817,20 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
             recovery_curve_rows,
             ("fraction", "records", "recover_seconds", "records_per_second"),
             "Cold-restart recovery (journal replay)",
+        )
+        + "\n"
+        + format_table(
+            construct_rows,
+            (
+                "strategy",
+                "subscribers",
+                "events_per_second",
+                "speedup_vs_scalar",
+                "constructions",
+                "notifications",
+            ),
+            f"Construct sweep, scalar vs vectorized iGM (repair off, "
+            f"radius {CONSTRUCT_RADIUS:.0f}, best of {CONSTRUCT_ROUNDS} rounds)",
         ),
     )
     if print_stats and span_summaries:
@@ -722,3 +863,8 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
     # recovery curve must have actually replayed real records
     assert payload["recovery_gate"]["passed"], payload["recovery_gate"]
     assert all(r["records"] > 0 for r in recovery_curve_rows)
+    # the vectorized construction core must actually pay where it claims
+    # to: at least 3x scalar events/sec on the construction-bound sweep
+    assert payload["construct_gate"]["passed"], payload["construct_gate"]
+    # and the sweep must have exercised real construction work
+    assert all(r["constructions"] > 0 for r in construct_rows)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+import numpy as np
+
 _GROUP_BITS = 31
 _WORD_BYTES = 4
 _FILL_FLAG = 1 << 31
@@ -80,6 +82,45 @@ class WAHBitmap:
                 flush_run()
                 words.append(literal)
         flush_run()
+        return cls(length, words)
+
+    @classmethod
+    def from_positions_array(cls, positions: "np.ndarray", length: int) -> "WAHBitmap":
+        """Array kernel for :meth:`from_positions`: identical words.
+
+        Group literals are materialised with one vectorized scatter-OR and
+        then run-length encoded over the (few) value changes.  A literal can
+        only equal the all-ones pattern when its group is complete — the
+        final partial group never has bits at or past ``length`` — so the
+        scalar encoder's ``group_full`` guard is implied and the two
+        encoders emit word-for-word identical output on every input.
+        """
+        positions = np.unique(np.asarray(positions, dtype=np.int64))
+        if positions.size and (positions[0] < 0 or positions[-1] >= length):
+            raise ValueError("bit position out of range")
+        groups = (length + _GROUP_BITS - 1) // _GROUP_BITS
+        if groups == 0:
+            return cls(length, [])
+        literals = np.zeros(groups, dtype=np.int64)
+        np.bitwise_or.at(
+            literals,
+            positions // _GROUP_BITS,
+            np.int64(1) << (positions % _GROUP_BITS),
+        )
+        words: List[int] = []
+        starts = np.flatnonzero(np.diff(literals)) + 1
+        bounds = [0, *starts.tolist(), groups]
+        for lo, hi in zip(bounds, bounds[1:]):
+            value = int(literals[lo])
+            count = hi - lo
+            if value == 0 or value == _ALL_ONES:
+                fill = _FILL_FLAG | (_FILL_BIT if value else 0)
+                while count:
+                    take = min(count, _MAX_RUN)
+                    words.append(fill | take)
+                    count -= take
+            else:
+                words.extend([value] * count)
         return cls(length, words)
 
     @classmethod

@@ -29,6 +29,16 @@ from .datasets import TwitterLikeGenerator
 from .geometry import Rect
 from .index import BEQTree, KIndex, OpIndex, QuadTree
 from .system import ExperimentConfig, run_experiment
+from .system.experiment import STRATEGIES
+
+#: every selectable strategy, including the vectorized ``-vec`` twins
+_STRATEGY_CHOICES = tuple(STRATEGIES)
+
+
+def _default_mode(strategy: str) -> str:
+    """VM/GM need the global matching list; the incremental family
+    (scalar or vectorized) pulls events on demand."""
+    return "cached" if strategy in ("VM", "GM") else "ondemand"
 
 
 def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
@@ -138,7 +148,7 @@ def _print_span_table(registry, label: str = "") -> None:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    mode = "cached" if args.strategy in ("VM", "GM") else "ondemand"
+    mode = _default_mode(args.strategy)
     _print_header(args)
     started = time.perf_counter()
     result = run_experiment(_config_from(args, args.strategy, mode))
@@ -157,7 +167,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     totals = {}
     span_tables = []
     for strategy in ("VM", "GM", "iGM", "idGM"):
-        mode = "cached" if strategy in ("VM", "GM") else "ondemand"
+        mode = _default_mode(strategy)
         started = time.perf_counter()
         result = run_experiment(_config_from(args, strategy, mode))
         per = result.per_subscriber()
@@ -231,7 +241,7 @@ def _command_record(args: argparse.Namespace) -> int:
     from .system.journal import Journal
     from .testing import TraceRecorder
 
-    mode = "cached" if args.strategy in ("VM", "GM") else "ondemand"
+    mode = _default_mode(args.strategy)
     config = _config_from(args, args.strategy, mode)
     _print_header(args)
     journal = Journal(args.trace)
@@ -318,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = commands.add_parser(
         "simulate", help="run one strategy and print its communication figures"
     )
-    simulate.add_argument("--strategy", choices=("VM", "GM", "iGM", "idGM"),
+    simulate.add_argument("--strategy", choices=_STRATEGY_CHOICES,
                           default="iGM")
     _add_simulation_arguments(simulate)
     simulate.set_defaults(handler=_command_simulate)
@@ -343,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
         "record", help="run a simulation while journaling every operation "
                        "to a replayable trace directory"
     )
-    record.add_argument("--strategy", choices=("VM", "GM", "iGM", "idGM"),
+    record.add_argument("--strategy", choices=_STRATEGY_CHOICES,
                         default="iGM")
     record.add_argument("--trace", required=True,
                         help="directory to write the trace journal into")
@@ -356,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--trace", required=True,
                         help="trace directory written by `repro record`")
-    replay.add_argument("--strategy", choices=("VM", "GM", "iGM", "idGM"),
+    replay.add_argument("--strategy", choices=_STRATEGY_CHOICES,
                         default=None, help="override the recorded strategy")
     replay.add_argument("--grid", type=int, default=None,
                         help="override the recorded grid resolution")

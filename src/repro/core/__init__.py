@@ -7,6 +7,12 @@ from .field import LazyBEQField, MatchingEventField, StaticMatchingField
 from .gm import GridMethod
 from .igm import IDGM, IGM, IncrementalGridMethod
 from .regions import GridRegion, ImpactRegion, RegionDelta, SafeRegion, impact_from_safe
+from .vectorized import (
+    VectorizedIDGM,
+    VectorizedIGM,
+    VectorizedIncrementalGridMethod,
+    vectorize_strategy,
+)
 from .vm import VoronoiMethod
 
 __all__ = [
@@ -27,6 +33,10 @@ __all__ = [
     "SafeRegionStrategy",
     "StaticMatchingField",
     "SystemStats",
+    "VectorizedIDGM",
+    "VectorizedIGM",
+    "VectorizedIncrementalGridMethod",
     "VoronoiMethod",
     "impact_from_safe",
+    "vectorize_strategy",
 ]

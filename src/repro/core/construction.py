@@ -57,6 +57,11 @@ class RegionPair:
     #: drift without re-querying the matching field; ``None`` for methods
     #: that never counted it (VM, GM).
     matching_in_impact: Optional[int] = None
+    #: the exact frontier pop order, recorded only when the strategy was
+    #: built with ``record_visits=True``.  Diagnostics for the
+    #: scalar-vs-vectorized differential suite, which asserts order
+    #: equality, not just set equality; ``None`` otherwise.
+    visit_order: Optional[tuple] = None
 
 
 class SafeRegionStrategy(abc.ABC):

@@ -32,8 +32,14 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..expressions import BooleanExpression
 from ..geometry import Cell, Grid, Point, Rect
+
+# Below this many (points x offsets) products the per-point scalar dilation
+# beats the array kernel's fixed overhead.
+_UNSAFE_ARRAY_CUTOVER = 4096
 
 
 def dilate_point(grid: Grid, point: Point, radius: float, into: Set[Cell]) -> None:
@@ -69,6 +75,29 @@ class MatchingEventField:
         """Every matching-event location (VM/GM need the global list)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Array-view hooks (the vectorized strategy's window into the field)
+    # ------------------------------------------------------------------
+    def known_points(self) -> List[Point]:
+        """The matching-event locations discovered *so far* (live list).
+
+        Unlike :meth:`all_points` this never triggers coverage or scans:
+        the vectorized field view consumes the list through a cursor, so
+        it must be append-only — already-consumed prefixes never change.
+        """
+        raise NotImplementedError
+
+    def ensure_cell_neighbourhood(self, cell: Cell, radius: float) -> None:
+        """Discover every event whose dilation could reach ``cell``.
+
+        The vectorized strategy calls this once per frontier pop instead
+        of :meth:`is_cell_safe`, then reads safety and per-cell counts
+        from its own arrays.  No-op for fully materialised fields; the
+        lazy field grows its covered rectangle exactly as a scalar
+        ``is_cell_safe`` query would, keeping ``events_scanned`` and
+        ``leaves_scanned`` identical between the two strategies.
+        """
+
 
 class StaticMatchingField(MatchingEventField):
     """A field over an upfront list of matching-event locations."""
@@ -88,13 +117,33 @@ class StaticMatchingField(MatchingEventField):
         return self._counts.get(cell, 0)
 
     def unsafe_cells(self, radius: float) -> FrozenSet[Cell]:
-        """All cells within the radius of some matching event (cached)."""
+        """All cells within the radius of some matching event (cached).
+
+        Large point sets go through the array dilation kernel
+        (:meth:`Grid.dilate_points_mask`), which computes the same closed
+        exact-distance test as :func:`dilate_point` — the resulting set is
+        identical either way.
+        """
         cached = self._unsafe.get(radius)
         if cached is None:
-            unsafe: Set[Cell] = set()
-            for point in self._points:
-                dilate_point(self.grid, point, radius, unsafe)
-            cached = frozenset(unsafe)
+            footprint = len(self._points) * len(
+                self.grid.disk_offsets(radius, inclusive=True)
+            )
+            if footprint >= _UNSAFE_ARRAY_CUTOVER:
+                xs = np.fromiter(
+                    (p.x for p in self._points), dtype=np.float64, count=len(self._points)
+                )
+                ys = np.fromiter(
+                    (p.y for p in self._points), dtype=np.float64, count=len(self._points)
+                )
+                mask = self.grid.dilate_points_mask(xs, ys, radius)
+                ii, jj = np.nonzero(mask)
+                cached = frozenset(zip(ii.tolist(), jj.tolist()))
+            else:
+                unsafe: Set[Cell] = set()
+                for point in self._points:
+                    dilate_point(self.grid, point, radius, unsafe)
+                cached = frozenset(unsafe)
             self._unsafe[radius] = cached
         return cached
 
@@ -105,6 +154,10 @@ class StaticMatchingField(MatchingEventField):
     def all_points(self) -> List[Point]:
         """Every matching-event location (a copy)."""
         return list(self._points)
+
+    def known_points(self) -> List[Point]:
+        """The full point list (static fields know everything upfront)."""
+        return self._points
 
 
 class LazyBEQField(MatchingEventField):
@@ -273,3 +326,11 @@ class LazyBEQField(MatchingEventField):
         n = self.grid.n
         self._cover(0, 0, n - 1, n - 1)
         return list(self._points)
+
+    def known_points(self) -> List[Point]:
+        """Points discovered so far, without growing coverage."""
+        return self._points
+
+    def ensure_cell_neighbourhood(self, cell: Cell, radius: float) -> None:
+        """Cover the cell's radius-neighbourhood (no unsafe-set upkeep)."""
+        self._ensure_neighbourhood(cell, radius)

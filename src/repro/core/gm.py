@@ -33,8 +33,9 @@ class GridMethod(SafeRegionStrategy):
         radius = request.radius
 
         # Unsafe cells: within the radius of some matching event.  The
-        # field collects them by dilating each event's location, so the
-        # cost scales with the matching events, not with the grid area.
+        # field collects them by dilating each event's location (through
+        # the array dilation kernel for large corpora), so the cost scales
+        # with the matching events, not with the grid area.
         unsafe = request.matching_field.unsafe_cells(radius)
 
         safe = SafeRegion(grid, unsafe, complement=True)

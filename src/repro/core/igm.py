@@ -30,7 +30,7 @@ import heapq
 import math
 from typing import List, Optional, Set, Tuple
 
-from ..geometry import Cell
+from ..geometry import Cell, interleave
 from .construction import ConstructionRequest, RegionPair, SafeRegionStrategy
 from .cost_model import CostModel
 from .regions import ImpactRegion, SafeRegion
@@ -51,6 +51,11 @@ class IncrementalGridMethod(SafeRegionStrategy):
         expansion run to the whole space when no matching event exerts
         pressure; pure-Python benches cap it to keep runs tractable
         (documented deviation, see DESIGN.md).
+    record_visits:
+        When True the returned :class:`RegionPair` carries the exact heap
+        pop order in ``visit_order`` — the differential suite asserts the
+        vectorized frontier visits cells in the same order, not just that
+        it lands on the same sets.
     """
 
     name = "iGM"
@@ -61,6 +66,7 @@ class IncrementalGridMethod(SafeRegionStrategy):
         beta: float = 1.0,
         max_cells: Optional[int] = None,
         incremental_impact: bool = True,
+        record_visits: bool = False,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1]: {alpha}")
@@ -72,6 +78,7 @@ class IncrementalGridMethod(SafeRegionStrategy):
         #: ablation switch for the Example 2 strip optimisation; with
         #: False every accepted cell rescans its full dilation disk
         self.incremental_impact = incremental_impact
+        self.record_visits = record_visits
 
     # ------------------------------------------------------------------
     # Expansion order (Equations 8-10, see the module note)
@@ -81,8 +88,19 @@ class IncrementalGridMethod(SafeRegionStrategy):
         distance_preference = dist / d_max if d_max > 0 else 0.0
         if self.alpha == 0.0:
             return distance_preference
-        to_cell = request.grid.cell_center(cell) - request.location
-        cosine = request.velocity.angle_to(to_cell)
+        # Equation 9's cosine with the to-cell norm spelled as
+        # sqrt(tx*tx + ty*ty): the composed form is what the vectorized
+        # frontier can reproduce bit for bit (math.hypot is not).  The
+        # velocity norm stays a per-request scalar shared by both paths.
+        center = request.grid.cell_center(cell)
+        tx = center.x - request.location.x
+        ty = center.y - request.location.y
+        denom = request.velocity.norm() * math.sqrt(tx * tx + ty * ty)
+        if denom == 0.0:
+            cosine = 0.0
+        else:
+            dot = request.velocity.x * tx + request.velocity.y * ty
+            cosine = max(-1.0, min(1.0, dot / denom))
         direction_preference = (1.0 - cosine) / 2.0
         return self.alpha * direction_preference + (1.0 - self.alpha) * distance_preference
 
@@ -100,7 +118,12 @@ class IncrementalGridMethod(SafeRegionStrategy):
         start = grid.cell_of(request.location)
         start_dist = grid.min_distance_point_cell(request.location, start)
 
-        heap: List[Tuple[float, float, Cell]] = []
+        # Heap entries are (priority, dist, z-order key, cell): equal-score
+        # frontier ties break on the cell's Morton code, a spatial order
+        # that is stable across the scalar and vectorized strategies (and
+        # total — the z key is injective — so the pop sequence is unique
+        # regardless of push order).
+        heap: List[Tuple[float, float, int, Cell]] = []
         visited: Set[Cell] = {start}
         region: Set[Cell] = set()
         impact: Set[Cell] = set()
@@ -108,16 +131,22 @@ class IncrementalGridMethod(SafeRegionStrategy):
         cells_examined = 0
         last_accepted_bm: Optional[float] = None
         first_rejected_bm: Optional[float] = None
+        visit_order: Optional[List[Cell]] = [] if self.record_visits else None
 
-        heapq.heappush(heap, (self._priority(request, start, start_dist), start_dist, start))
+        heapq.heappush(
+            heap,
+            (self._priority(request, start, start_dist), start_dist, interleave(*start), start),
+        )
         offsets = grid.disk_offsets(radius)
         strips = grid.dilation_strips(radius)
 
         while heap:
             if self.max_cells is not None and len(region) >= self.max_cells:
                 break
-            _, dist, cell = heapq.heappop(heap)
+            _, dist, _, cell = heapq.heappop(heap)
             cells_examined += 1
+            if visit_order is not None:
+                visit_order.append(cell)
             if not field.is_cell_safe(cell, radius):
                 continue  # B[c'] is false: the cell stays outside (line 10)
 
@@ -174,7 +203,12 @@ class IncrementalGridMethod(SafeRegionStrategy):
                     visited.add(neighbor)
                     heapq.heappush(
                         heap,
-                        (self._priority(request, neighbor, neighbor_dist), neighbor_dist, neighbor),
+                        (
+                            self._priority(request, neighbor, neighbor_dist),
+                            neighbor_dist,
+                            interleave(*neighbor),
+                            neighbor,
+                        ),
                     )
 
         safe = SafeRegion(grid, frozenset(region))
@@ -185,6 +219,7 @@ class IncrementalGridMethod(SafeRegionStrategy):
             last_accepted_bm=last_accepted_bm,
             first_rejected_bm=first_rejected_bm,
             matching_in_impact=matching_in_impact,
+            visit_order=tuple(visit_order) if visit_order is not None else None,
         )
 
 
@@ -198,12 +233,14 @@ class IGM(IncrementalGridMethod):
         beta: float = 1.0,
         max_cells: Optional[int] = None,
         incremental_impact: bool = True,
+        record_visits: bool = False,
     ) -> None:
         super().__init__(
             alpha=0.0,
             beta=beta,
             max_cells=max_cells,
             incremental_impact=incremental_impact,
+            record_visits=record_visits,
         )
 
 
@@ -218,10 +255,12 @@ class IDGM(IncrementalGridMethod):
         beta: float = 1.0,
         max_cells: Optional[int] = None,
         incremental_impact: bool = True,
+        record_visits: bool = False,
     ) -> None:
         super().__init__(
             alpha=alpha,
             beta=beta,
             max_cells=max_cells,
             incremental_impact=incremental_impact,
+            record_visits=record_visits,
         )

@@ -26,6 +26,11 @@ from scipy import ndimage
 
 from ..bitmap import WAHBitmap
 from ..geometry import Cell, Grid, Point, interleave
+from ..geometry.zorder import interleave_array
+
+# Below this many cells the generator + scalar WAH encoder wins; above it
+# the vectorized Morton + scatter-OR kernel takes over (identical output).
+_BITMAP_ARRAY_CUTOVER = 256
 
 
 @dataclass(frozen=True)
@@ -140,6 +145,10 @@ class GridRegion:
         """
         side = 1 << max(self.grid.n - 1, 1).bit_length()
         length = side * side
+        if len(self.cells) >= _BITMAP_ARRAY_CUTOVER:
+            pairs = np.array(sorted(self.cells), dtype=np.int64).reshape(-1, 2)
+            codes = interleave_array(pairs[:, 0], pairs[:, 1]).astype(np.int64)
+            return WAHBitmap.from_positions_array(codes, length)
         positions = (interleave(i, j) for (i, j) in self.cells)
         return WAHBitmap.from_positions(positions, length)
 

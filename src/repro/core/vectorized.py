@@ -1,0 +1,339 @@
+"""Vectorized iGM/idGM: array-form construction, byte-identical to scalar.
+
+The scalar :class:`~repro.core.igm.IncrementalGridMethod` spends its time in
+three places: dilating every discovered event over the disk of offsets (one
+``Rect`` allocation and distance test per offset), probing per-cell event
+counts through dict lookups, and re-deriving cell rectangles for frontier
+distances.  This module keeps Algorithm 1's control flow — a heap-driven
+nearest-first/τ frontier popped one cell at a time, because each acceptance
+changes the state the next decision depends on — but moves every O(offsets)-
+and O(events)-sized inner loop into numpy:
+
+* the matching field is projected into a struct-of-arrays
+  :class:`_FieldArrayView` (``unsafe`` boolean mask + per-cell ``counts``),
+  maintained incrementally with one vectorized dilation pass per batch of
+  newly discovered events (one pass per BEQ leaf probe in on-demand mode);
+* frontier bookkeeping (visited / region / impact membership) lives in flat
+  boolean arrays indexed ``i * n + j``;
+* each acceptance applies the Example 2 strip offsets as array index
+  arithmetic — bounds filter, impact-membership filter and the ``ne`` count
+  are three elementwise operations instead of a Python loop.
+
+The 8-cell neighbour ring stays scalar on purpose: numpy's per-call
+overhead exceeds the loop cost below a few dozen elements, and the scalar
+form reuses the exact arithmetic of ``Rect.min_distance_to_point``.
+
+**Equivalence contract** (enforced by ``tests/test_vectorized_differential``
+and the golden traces): every float compared or returned here is computed
+by the same sequence of correctly-rounded IEEE-754 operations as the scalar
+path — ``sqrt(dx*dx + dy*dy)`` distances, cell edges formed as
+``x_min + (i + 1) * cell_width``, shared per-request scalars (``d_max``,
+the velocity norm) taken from the same ``math`` calls.  Heap keys carry the
+cell's Morton code, which is injective, so the pop order is the unique
+ascending key order for both strategies.  Field coverage grows through
+:meth:`MatchingEventField.ensure_cell_neighbourhood` once per pop — the
+same covered-rectangle growth a scalar ``is_cell_safe`` performs — so
+``events_scanned``/``leaves_scanned`` also match exactly.
+
+The scalar classes remain the *oracle*: they are the reference semantics
+the paper's lemmas were checked against, and the differential suite runs
+them side by side with this module on every randomized workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import Cell, Grid, interleave
+from .construction import ConstructionRequest, RegionPair
+from .cost_model import CostModel
+from .field import MatchingEventField
+from .igm import IncrementalGridMethod
+from .regions import ImpactRegion, SafeRegion
+
+
+class _FieldArrayView:
+    """Struct-of-arrays projection of a matching field at one radius.
+
+    ``unsafe[i, j]`` is True when cell ``(i, j)`` is within ``radius``
+    (closed) of some known matching event; ``counts[i, j]`` is the
+    per-cell event count phi.  The view consumes the field's append-only
+    ``known_points()`` list through a cursor, so a field reused across
+    constructions (repair mode) only pays for events discovered since the
+    last sync — mirroring the scalar field's incremental ``_admit``.
+    """
+
+    __slots__ = ("field", "grid", "radius", "unsafe", "counts", "_cursor")
+
+    def __init__(self, field: MatchingEventField, grid: Grid, radius: float) -> None:
+        self.field = field
+        self.grid = grid
+        self.radius = radius
+        self.unsafe = np.zeros((grid.n, grid.n), dtype=bool)
+        self.counts = np.zeros((grid.n, grid.n), dtype=np.int32)
+        self._cursor = 0
+
+    def ensure_cell(self, cell: Cell) -> None:
+        """Make the arrays authoritative for ``cell`` and its neighbourhood."""
+        self.field.ensure_cell_neighbourhood(cell, self.radius)
+        points = self.field.known_points()
+        if len(points) > self._cursor:
+            self._sync(points)
+
+    def _sync(self, points) -> None:
+        fresh = points[self._cursor :]
+        self._cursor = len(points)
+        count = len(fresh)
+        xs = np.fromiter((p.x for p in fresh), dtype=np.float64, count=count)
+        ys = np.fromiter((p.y for p in fresh), dtype=np.float64, count=count)
+        self.grid.dilate_points_mask(xs, ys, self.radius, out=self.unsafe)
+        ci, cj = self.grid.cells_of_array(xs, ys)
+        np.add.at(self.counts, (ci, cj), 1)
+
+
+class VectorizedIncrementalGridMethod(IncrementalGridMethod):
+    """Array-backed Algorithm 1 returning byte-identical :class:`RegionPair`s.
+
+    Accepts the same parameters as the scalar class.  Not thread-safe
+    across concurrent ``construct`` calls on the *same instance* (the view
+    cache is unsynchronised); sharded fleets already build one strategy
+    per shard via the factory form.
+    """
+
+    name = "iGM-vec"
+
+    def __init__(
+        self,
+        alpha: float = 0.0,
+        beta: float = 1.0,
+        max_cells: Optional[int] = None,
+        incremental_impact: bool = True,
+        record_visits: bool = False,
+    ) -> None:
+        super().__init__(
+            alpha=alpha,
+            beta=beta,
+            max_cells=max_cells,
+            incremental_impact=incremental_impact,
+            record_visits=record_visits,
+        )
+        # field -> {radius: view}; weak keys let retired fields (staleness,
+        # resync, fresh per-construct fields) drop their arrays with them.
+        self._views: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    # Field views
+    # ------------------------------------------------------------------
+    def _view(self, field: MatchingEventField, grid: Grid, radius: float) -> _FieldArrayView:
+        per_field: Optional[Dict[float, _FieldArrayView]] = self._views.get(field)
+        if per_field is None:
+            per_field = {}
+            self._views[field] = per_field
+        view = per_field.get(radius)
+        if view is None or view.grid is not grid:
+            view = _FieldArrayView(field, grid, radius)
+            per_field[radius] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, array form
+    # ------------------------------------------------------------------
+    def construct(self, request: ConstructionRequest) -> RegionPair:
+        """Grid expansion bounded by the balance ratio, SoA state."""
+        grid = request.grid
+        model = CostModel(request.stats)
+        radius = request.radius
+        speed = request.speed
+        n = grid.n
+
+        view = self._view(request.matching_field, grid, radius)
+        unsafe = view.unsafe
+        counts_flat = view.counts.reshape(-1)  # row-major: index i * n + j
+
+        x0, y0 = grid.space.x_min, grid.space.y_min
+        cw, ch = grid.cell_width, grid.cell_height
+        px, py = request.location.x, request.location.y
+        d_max = math.hypot(grid.space.width, grid.space.height)
+        alpha = self.alpha
+        if alpha != 0.0:
+            vx, vy = request.velocity.x, request.velocity.y
+            vnorm = request.velocity.norm()
+
+        start = grid.cell_of(request.location)
+        start_dist = grid.min_distance_point_cell(request.location, start)
+
+        visited = np.zeros((n, n), dtype=bool)
+        in_region = np.zeros(n * n, dtype=bool)
+        in_impact = np.zeros(n * n, dtype=bool)
+        visited[start] = True
+
+        heap: List[Tuple[float, float, int, Cell]] = [
+            (self._priority(request, start, start_dist), start_dist, interleave(*start), start)
+        ]
+        off_i, off_j = grid.disk_offset_arrays(radius)
+        strip_masks = grid.strip_offset_masks(radius) if self.incremental_impact else None
+
+        region_cells: List[Cell] = []
+        matching_in_impact = 0
+        cells_examined = 0
+        last_accepted_bm: Optional[float] = None
+        first_rejected_bm: Optional[float] = None
+        visit_order: Optional[List[Cell]] = [] if self.record_visits else None
+
+        while heap:
+            if self.max_cells is not None and len(region_cells) >= self.max_cells:
+                break
+            _, dist, _, cell = heapq.heappop(heap)
+            cells_examined += 1
+            if visit_order is not None:
+                visit_order.append(cell)
+            view.ensure_cell(cell)
+            i, j = cell
+            if unsafe[i, j]:
+                continue  # B[c'] is false: the cell stays outside (line 10)
+
+            # Unvisited 8-ring with Rect.min_distance_to_point arithmetic
+            # inlined (scalar on purpose — see the module docstring).
+            neighbors: List[Tuple[int, int, float]] = []
+            boundary = math.inf
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    if di == 0 and dj == 0:
+                        continue
+                    ni, nj = i + di, j + dj
+                    if 0 <= ni < n and 0 <= nj < n and not visited[ni, nj]:
+                        dx = max(x0 + ni * cw - px, 0.0, px - (x0 + (ni + 1) * cw))
+                        dy = max(y0 + nj * ch - py, 0.0, py - (y0 + (nj + 1) * ch))
+                        ndist = math.sqrt(dx * dx + dy * dy)
+                        neighbors.append((ni, nj, ndist))
+                        if ndist < boundary:
+                            boundary = ndist
+            # Equation 7: the heap top competes with the adjacent cells.
+            if heap and heap[0][1] < boundary:
+                boundary = heap[0][1]
+
+            # Example 2 strips as mask intersections over the offset arrays.
+            if strip_masks is not None:
+                omask: Optional[np.ndarray] = None
+                for (di, dj), smask in strip_masks.items():
+                    ri, rj = i + di, j + dj
+                    if 0 <= ri < n and 0 <= rj < n and in_region[ri * n + rj]:
+                        omask = smask if omask is None else omask & smask
+                if omask is None:
+                    coff_i, coff_j = off_i, off_j
+                else:
+                    coff_i, coff_j = off_i[omask], off_j[omask]
+            else:
+                coff_i, coff_j = off_i, off_j
+            ci = coff_i + i
+            cj = coff_j + j
+            inb = (ci >= 0) & (ci < n) & (cj >= 0) & (cj < n)
+            idx = ci[inb] * n + cj[inb]
+            new_idx = idx[~in_impact[idx]]
+            candidate_ne = matching_in_impact + int(counts_flat[new_idx].sum())
+
+            bm = model.balance(boundary, speed, candidate_ne)
+            if bm > self.beta and first_rejected_bm is None:
+                first_rejected_bm = bm
+            if bm <= self.beta:
+                last_accepted_bm = bm
+                region_cells.append(cell)
+                in_region[i * n + j] = True
+                in_impact[new_idx] = True
+                matching_in_impact = candidate_ne
+                for ni, nj, ndist in neighbors:
+                    visited[ni, nj] = True
+                    distp = ndist / d_max if d_max > 0 else 0.0
+                    if alpha == 0.0:
+                        prio = distp
+                    else:
+                        tx = x0 + (ni + 0.5) * cw - px
+                        ty = y0 + (nj + 0.5) * ch - py
+                        denom = vnorm * math.sqrt(tx * tx + ty * ty)
+                        if denom == 0.0:
+                            cosine = 0.0
+                        else:
+                            cosine = max(-1.0, min(1.0, (vx * tx + vy * ty) / denom))
+                        prio = alpha * ((1.0 - cosine) / 2.0) + (1.0 - alpha) * distp
+                    heapq.heappush(heap, (prio, ndist, interleave(ni, nj), (ni, nj)))
+
+        ii, jj = np.nonzero(in_impact.reshape(n, n))
+        return RegionPair(
+            safe=SafeRegion(grid, frozenset(region_cells)),
+            impact=ImpactRegion(grid, frozenset(zip(ii.tolist(), jj.tolist()))),
+            cells_examined=cells_examined,
+            last_accepted_bm=last_accepted_bm,
+            first_rejected_bm=first_rejected_bm,
+            matching_in_impact=matching_in_impact,
+            visit_order=tuple(visit_order) if visit_order is not None else None,
+        )
+
+
+class VectorizedIGM(VectorizedIncrementalGridMethod):
+    """iGM with the array-backed core; drop-in for :class:`~repro.core.IGM`."""
+
+    name = "iGM-vec"
+
+    def __init__(
+        self,
+        beta: float = 1.0,
+        max_cells: Optional[int] = None,
+        incremental_impact: bool = True,
+        record_visits: bool = False,
+    ) -> None:
+        super().__init__(
+            alpha=0.0,
+            beta=beta,
+            max_cells=max_cells,
+            incremental_impact=incremental_impact,
+            record_visits=record_visits,
+        )
+
+
+class VectorizedIDGM(VectorizedIncrementalGridMethod):
+    """idGM with the array-backed core; drop-in for :class:`~repro.core.IDGM`."""
+
+    name = "idGM-vec"
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        beta: float = 1.0,
+        max_cells: Optional[int] = None,
+        incremental_impact: bool = True,
+        record_visits: bool = False,
+    ) -> None:
+        super().__init__(
+            alpha=alpha,
+            beta=beta,
+            max_cells=max_cells,
+            incremental_impact=incremental_impact,
+            record_visits=record_visits,
+        )
+
+
+def vectorize_strategy(strategy):
+    """The vectorized twin of an incremental strategy (idempotent).
+
+    ``ServerConfig(vectorized_construction=True)`` routes every
+    construction through here; non-incremental strategies (VM, GM) have no
+    frontier to vectorize and are returned unchanged.
+    """
+    if isinstance(strategy, VectorizedIncrementalGridMethod):
+        return strategy
+    if isinstance(strategy, IncrementalGridMethod):
+        twin = VectorizedIncrementalGridMethod(
+            alpha=strategy.alpha,
+            beta=strategy.beta,
+            max_cells=strategy.max_cells,
+            incremental_impact=strategy.incremental_impact,
+            record_visits=strategy.record_visits,
+        )
+        twin.name = f"{strategy.name}-vec"
+        return twin
+    return strategy

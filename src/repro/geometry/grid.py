@@ -24,11 +24,21 @@ from __future__ import annotations
 import math
 from typing import Dict, FrozenSet, Iterator, List, Tuple
 
+import numpy as np
+
 from .circle import Circle
 from .point import Point
 from .rect import Rect
 
 Cell = Tuple[int, int]
+
+# Cap on the size of (points x offsets) intermediates in the array kernels;
+# larger inputs are processed in chunks of roughly this many elements.
+_ARRAY_CHUNK = 1 << 18
+
+# Below this many (cells x offsets) products the scalar dilation loop beats
+# the numpy kernel's fixed overhead.
+_DILATE_ARRAY_CUTOVER = 4096
 
 
 class Grid:
@@ -43,6 +53,8 @@ class Grid:
         self.cell_height = space.height / n
         self._disk_offsets: Dict[Tuple[float, bool], FrozenSet[Cell]] = {}
         self._strips: Dict[float, Dict[Cell, FrozenSet[Cell]]] = {}
+        self._offset_arrays: Dict[Tuple[float, bool], Tuple[np.ndarray, np.ndarray]] = {}
+        self._strip_masks: Dict[float, Dict[Cell, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Addressing
@@ -52,6 +64,19 @@ class Grid:
         i = int((p.x - self.space.x_min) / self.cell_width)
         j = int((p.y - self.space.y_min) / self.cell_height)
         return (min(max(i, 0), self.n - 1), min(max(j, 0), self.n - 1))
+
+    def cells_of_array(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`cell_of` over coordinate arrays.
+
+        ``int()`` truncation (scalar path) and ``np.floor`` round negatives
+        differently, but clamping to ``[0, n-1]`` erases the difference: both
+        land on 0 for points left of the space.
+        """
+        i = np.floor((xs - self.space.x_min) / self.cell_width).astype(np.int64)
+        j = np.floor((ys - self.space.y_min) / self.cell_height).astype(np.int64)
+        np.clip(i, 0, self.n - 1, out=i)
+        np.clip(j, 0, self.n - 1, out=j)
+        return i, j
 
     def in_bounds(self, cell: Cell) -> bool:
         """True when the cell index lies inside the grid."""
@@ -180,9 +205,96 @@ class Grid:
         self._strips[radius] = strips
         return strips
 
+    def disk_offset_arrays(
+        self, radius: float, inclusive: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`disk_offsets` as a pair of int64 arrays ``(di, dj)``.
+
+        The offsets are sorted lexicographically so every kernel built on the
+        arrays sees a stable, reproducible order; cached per radius like the
+        frozenset form.
+        """
+        key = (radius, inclusive)
+        cached = self._offset_arrays.get(key)
+        if cached is None:
+            offsets = sorted(self.disk_offsets(radius, inclusive=inclusive))
+            arr = np.array(offsets, dtype=np.int64).reshape(-1, 2)
+            cached = (np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1]))
+            self._offset_arrays[key] = cached
+        return cached
+
+    def strip_offset_masks(self, radius: float) -> Dict[Cell, np.ndarray]:
+        """:meth:`dilation_strips` as boolean masks over the offset arrays.
+
+        ``masks[d][k]`` is True when the k-th offset of
+        ``disk_offset_arrays(radius)`` belongs to the direction-``d`` strip,
+        so strip intersections become elementwise ANDs.
+        """
+        cached = self._strip_masks.get(radius)
+        if cached is None:
+            off_i, off_j = self.disk_offset_arrays(radius)
+            pairs = list(zip(off_i.tolist(), off_j.tolist()))
+            cached = {
+                direction: np.array([off in strip for off in pairs], dtype=bool)
+                for direction, strip in self.dilation_strips(radius).items()
+            }
+            self._strip_masks[radius] = cached
+        return cached
+
+    def dilate_points_mask(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        radius: float,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Mark every cell within ``radius`` (closed) of any point into ``out``.
+
+        Array kernel for :func:`repro.core.field.dilate_point`: the resulting
+        ``(n, n)`` boolean mask (indexed ``[i, j]``) equals folding
+        ``dilate_point`` over the points one at a time.  The exact per-cell
+        distance test reproduces ``Rect.min_distance_to_point`` bit for bit:
+        rectangle edges are formed as ``x_min + (i + 1) * cell_width`` exactly
+        as :meth:`cell_rect` does, and the distance as ``sqrt(dx*dx + dy*dy)``.
+        """
+        n = self.n
+        if out is None:
+            out = np.zeros((n, n), dtype=bool)
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.size == 0:
+            return out
+        off_i, off_j = self.disk_offset_arrays(radius, inclusive=True)
+        if off_i.size == 0:
+            return out
+        ci, cj = self.cells_of_array(xs, ys)
+        cw, ch = self.cell_width, self.cell_height
+        x0, y0 = self.space.x_min, self.space.y_min
+        step = max(1, _ARRAY_CHUNK // off_i.size)
+        for lo in range(0, xs.size, step):
+            hi = lo + step
+            I = ci[lo:hi, None] + off_i[None, :]
+            J = cj[lo:hi, None] + off_j[None, :]
+            inb = (I >= 0) & (I < n) & (J >= 0) & (J < n)
+            px = xs[lo:hi, None]
+            py = ys[lo:hi, None]
+            dx = np.maximum(np.maximum(x0 + I * cw - px, 0.0), px - (x0 + (I + 1) * cw))
+            dy = np.maximum(np.maximum(y0 + J * ch - py, 0.0), py - (y0 + (J + 1) * ch))
+            keep = inb & (np.sqrt(dx * dx + dy * dy) <= radius)
+            out[I[keep], J[keep]] = True
+        return out
+
     def dilate(self, cells: FrozenSet[Cell] | set, radius: float) -> set:
         """All in-bounds cells within ``radius`` of the given cell set."""
         offsets = self.disk_offsets(radius)
+        if len(cells) * len(offsets) >= _DILATE_ARRAY_CUTOVER:
+            seeds = np.array(sorted(cells), dtype=np.int64).reshape(-1, 2)
+            # The mask kernel cannot represent out-of-bounds seed cells, whose
+            # dilation the scalar loop still clips into the grid.
+            if seeds.size == 0 or (
+                seeds.min() >= 0 and seeds.max() < self.n
+            ):
+                return self._dilate_array(seeds, radius)
         result = set()
         for (i, j) in cells:
             for (di, dj) in offsets:
@@ -190,6 +302,21 @@ class Grid:
                 if self.in_bounds(candidate):
                     result.add(candidate)
         return result
+
+    def _dilate_array(self, seeds: np.ndarray, radius: float) -> set:
+        """Array form of :meth:`dilate` for in-bounds seed cells."""
+        off_i, off_j = self.disk_offset_arrays(radius)
+        mask = np.zeros((self.n, self.n), dtype=bool)
+        if seeds.size == 0 or off_i.size == 0:
+            return set()
+        step = max(1, _ARRAY_CHUNK // off_i.size)
+        for lo in range(0, len(seeds), step):
+            I = (seeds[lo : lo + step, 0][:, None] + off_i[None, :]).ravel()
+            J = (seeds[lo : lo + step, 1][:, None] + off_j[None, :]).ravel()
+            keep = (I >= 0) & (I < self.n) & (J >= 0) & (J < self.n)
+            mask[I[keep], J[keep]] = True
+        ii, jj = np.nonzero(mask)
+        return set(zip(ii.tolist(), jj.tolist()))
 
     def cells_within_radius(
         self, cell: Cell, radius: float, inclusive: bool = False

@@ -66,10 +66,17 @@ class Rect:
         )
 
     def min_distance_to_point(self, p: Point) -> float:
-        """Distance from ``p`` to the nearest point of the rectangle (0 inside)."""
+        """Distance from ``p`` to the nearest point of the rectangle (0 inside).
+
+        Spelled ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot`` so the
+        vectorized grid kernels (numpy elementwise mul/add/sqrt, each
+        correctly rounded) reproduce this value bit for bit; ``hypot`` uses a
+        different internal algorithm and is not guaranteed to agree with the
+        composed form in the last ulp.
+        """
         dx = max(self.x_min - p.x, 0.0, p.x - self.x_max)
         dy = max(self.y_min - p.y, 0.0, p.y - self.y_max)
-        return math.hypot(dx, dy)
+        return math.sqrt(dx * dx + dy * dy)
 
     def max_distance_to_point(self, p: Point) -> float:
         """Distance from ``p`` to the farthest point of the rectangle."""

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
+import numpy as np
+
 
 def _part1by1(value: int) -> int:
     """Spread the low 32 bits of ``value`` so each lands in an even position."""
@@ -45,3 +47,28 @@ def deinterleave(code: int) -> Tuple[int, int]:
     if code < 0:
         raise ValueError(f"Morton code must be non-negative: {code}")
     return _compact1by1(code), _compact1by1(code >> 1)
+
+
+def _part1by1_array(value: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_part1by1` over a uint64 array."""
+    value = value & np.uint64(0xFFFFFFFF)
+    value = (value | (value << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    value = (value | (value << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    value = (value | (value << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    value = (value | (value << np.uint64(2))) & np.uint64(0x3333333333333333)
+    value = (value | (value << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return value
+
+
+def interleave_array(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`interleave`: Morton codes of ``(i[k], j[k])`` pairs.
+
+    Inputs must be non-negative; returns a uint64 array.
+    """
+    i = np.asarray(i)
+    j = np.asarray(j)
+    if i.size and (i.min() < 0 or j.min() < 0):
+        raise ValueError("cell coordinates must be non-negative")
+    return _part1by1_array(i.astype(np.uint64)) | (
+        _part1by1_array(j.astype(np.uint64)) << np.uint64(1)
+    )

@@ -91,6 +91,12 @@ class ServerConfig:
     #: None keeps the server purely in-memory.  Sharded fleets derive a
     #: per-band spec via :meth:`JournalSpec.for_shard`.
     journal: Optional["JournalSpec"] = None
+    #: route incremental constructions through the array-backed core
+    #: (DESIGN.md §14): an iGM/idGM strategy is upgraded to its
+    #: byte-identical vectorized twin at server build time; VM/GM are
+    #: unaffected.  The scalar strategies remain the oracle the
+    #: differential suite verifies against.
+    vectorized_construction: bool = False
 
     def __post_init__(self) -> None:
         if self.matching_mode not in MATCHING_MODES:

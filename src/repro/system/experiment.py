@@ -19,6 +19,8 @@ from ..core import (
     IGM,
     SafeRegionStrategy,
     SystemStats,
+    VectorizedIDGM,
+    VectorizedIGM,
     VoronoiMethod,
 )
 from ..datasets import FoursquareLikeGenerator, TwitterLikeGenerator
@@ -34,12 +36,24 @@ from .server import ElapsServer
 from .sharding import SerialExecutor, ShardedElapsServer, ThreadedExecutor
 from .simulation import Simulation, SimulationResult
 
-#: strategy factory registry: name -> (max_cells -> strategy)
+#: strategy factory registry: name -> (max_cells -> strategy).  The
+#: ``-vec`` variants run the array-backed construction core (DESIGN.md
+#: §14), byte-identical to their scalar oracles.
 STRATEGIES: Dict[str, Callable[[Optional[int]], SafeRegionStrategy]] = {
     "VM": lambda max_cells: VoronoiMethod(max_cells=max_cells),
     "GM": lambda max_cells: GridMethod(),
     "iGM": lambda max_cells: IGM(max_cells=max_cells),
     "idGM": lambda max_cells: IDGM(max_cells=max_cells),
+    "iGM-vec": lambda max_cells: VectorizedIGM(max_cells=max_cells),
+    "idGM-vec": lambda max_cells: VectorizedIDGM(max_cells=max_cells),
+}
+
+#: the incremental family, scalar and vectorized, for override handling
+_INCREMENTAL_CLASSES = {
+    "iGM": IGM,
+    "idGM": IDGM,
+    "iGM-vec": VectorizedIGM,
+    "idGM-vec": VectorizedIDGM,
 }
 
 
@@ -100,14 +114,15 @@ def build_strategy(config: ExperimentConfig) -> SafeRegionStrategy:
         or config.beta is not None
         or not config.incremental_impact
     )
-    if name in ("iGM", "idGM") and overridden:
-        if name == "iGM":
-            return IGM(
+    if name in _INCREMENTAL_CLASSES and overridden:
+        cls = _INCREMENTAL_CLASSES[name]
+        if name.startswith("iGM"):
+            return cls(
                 beta=config.beta if config.beta is not None else 1.0,
                 max_cells=config.max_cells,
                 incremental_impact=config.incremental_impact,
             )
-        return IDGM(
+        return cls(
             alpha=config.alpha if config.alpha is not None else 0.5,
             beta=config.beta if config.beta is not None else 1.0,
             max_cells=config.max_cells,

@@ -51,6 +51,7 @@ from ..core import (
     SafeRegionStrategy,
     StaticMatchingField,
     SystemStats,
+    vectorize_strategy,
 )
 from ..core.field import dilate_point
 from ..expressions import Event, Subscription
@@ -180,6 +181,8 @@ class ElapsServer:
         #: coordinator hands the same value to every worker
         self.config = config
         self.grid = grid
+        if config.vectorized_construction:
+            strategy = vectorize_strategy(strategy)
         self.strategy = strategy
         # "is None" rather than "or": an empty index is falsy (len 0),
         # and a caller-provided index must never be silently replaced

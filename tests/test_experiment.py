@@ -4,18 +4,34 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import GridMethod, IDGM, IGM, VoronoiMethod
+from repro.core import (
+    GridMethod,
+    IDGM,
+    IGM,
+    VectorizedIDGM,
+    VectorizedIGM,
+    VoronoiMethod,
+)
 from repro.system import CommunicationStats, ExperimentConfig, build_strategy
 from repro.system.experiment import STRATEGIES
 
 
 class TestBuildStrategy:
-    def test_registry_covers_the_four_methods(self):
-        assert set(STRATEGIES) == {"VM", "GM", "iGM", "idGM"}
+    def test_registry_covers_every_method(self):
+        assert set(STRATEGIES) == {
+            "VM", "GM", "iGM", "idGM", "iGM-vec", "idGM-vec"
+        }
 
     @pytest.mark.parametrize(
         "name,cls",
-        [("VM", VoronoiMethod), ("GM", GridMethod), ("iGM", IGM), ("idGM", IDGM)],
+        [
+            ("VM", VoronoiMethod),
+            ("GM", GridMethod),
+            ("iGM", IGM),
+            ("idGM", IDGM),
+            ("iGM-vec", VectorizedIGM),
+            ("idGM-vec", VectorizedIDGM),
+        ],
     )
     def test_builds_the_right_class(self, name, cls):
         strategy = build_strategy(ExperimentConfig(strategy=name))

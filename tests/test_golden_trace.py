@@ -45,20 +45,22 @@ GROUP_SIZE = 10
 GOLDEN = Path(__file__).parent / "golden" / "trace_20sub_200ev_seed7.log"
 
 
-def fresh_server(repair: bool = False) -> ElapsServer:
+def fresh_server(repair: bool = False, vectorized: bool = False) -> ElapsServer:
     return ElapsServer(
         Grid(40, SPACE),
         IGM(max_cells=400),
-        ServerConfig(initial_rate=2.0, repair=repair),
+        ServerConfig(
+            initial_rate=2.0, repair=repair, vectorized_construction=vectorized
+        ),
         event_index=BEQTree(SPACE, emax=32))
 
 
-def run_simulation(batched: bool, repair: bool = False) -> str:
+def run_simulation(batched: bool, repair: bool = False, vectorized: bool = False) -> str:
     """The canonical notification log of the seeded simulation."""
     generator = TwitterLikeGenerator(SPACE, seed=SEED)
     subscriptions = generator.subscriptions(20, size=2, radius=3_000)
     rng = random.Random(SEED * 101)
-    server = fresh_server(repair)
+    server = fresh_server(repair, vectorized)
     lines: List[str] = []
 
     def record(notifications) -> None:
@@ -108,6 +110,16 @@ def test_repair_mode_reproduces_the_golden_trace():
     assert run_simulation(batched=True, repair=True).encode() == frozen
 
 
+def test_vectorized_construction_reproduces_the_golden_trace():
+    """The array-backed construction core (DESIGN.md §14) is byte-identical
+    to the scalar oracle, so flipping ``vectorized_construction`` on must
+    leave the frozen trace untouched — single, batched, and repair paths."""
+    frozen = GOLDEN.read_bytes()
+    assert run_simulation(batched=False, vectorized=True).encode() == frozen
+    assert run_simulation(batched=True, vectorized=True).encode() == frozen
+    assert run_simulation(batched=True, repair=True, vectorized=True).encode() == frozen
+
+
 def test_trace_is_non_trivial():
     """The frozen log must actually exercise delivery, not be empty."""
     content = GOLDEN.read_text().splitlines()
@@ -138,14 +150,16 @@ def record_golden_trace(path) -> None:
             server.publish_batch(events, now)
 
 
-def fresh_fleet(shards: int = 2, repair: bool = False):
+def fresh_fleet(shards: int = 2, repair: bool = False, vectorized: bool = False):
     from repro.index import SubscriptionIndex  # noqa: F401  (parity import)
     from repro.system import SerialExecutor, ShardedElapsServer
 
     return ShardedElapsServer(
         Grid(40, SPACE),
         lambda: IGM(max_cells=400),
-        ServerConfig(initial_rate=2.0, repair=repair),
+        ServerConfig(
+            initial_rate=2.0, repair=repair, vectorized_construction=vectorized
+        ),
         shards=shards,
         executor=SerialExecutor(),
         event_index_factory=lambda: BEQTree(SPACE, emax=32),
@@ -167,6 +181,13 @@ def test_recorded_trace_replays_byte_identically_across_configs(tmp_path):
         ("rebatched", lambda: fresh_server(), 64),       # coalesced bursts
         ("sharded", lambda: fresh_fleet(shards=2), None),
         ("sharded-repair", lambda: fresh_fleet(shards=2, repair=True), 1),
+        # The vectorized construction core, across every server shape:
+        ("vec", lambda: fresh_server(vectorized=True), None),
+        ("vec-repair", lambda: fresh_server(repair=True, vectorized=True), None),
+        ("vec-rebatched", lambda: fresh_server(vectorized=True), 64),
+        ("vec-sharded-1", lambda: fresh_fleet(shards=1, vectorized=True), None),
+        ("vec-sharded-2", lambda: fresh_fleet(shards=2, vectorized=True), None),
+        ("vec-sharded-4", lambda: fresh_fleet(shards=4, vectorized=True), None),
     ]
     for label, build, batch_size in targets:
         result = replay_trace(str(tmp_path), build(), batch_size=batch_size)

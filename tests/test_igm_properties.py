@@ -33,7 +33,14 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import GridMethod, IDGM, IGM, VoronoiMethod
+from repro.core import (
+    GridMethod,
+    IDGM,
+    IGM,
+    VectorizedIDGM,
+    VectorizedIGM,
+    VoronoiMethod,
+)
 from repro.core.construction import ConstructionRequest
 from repro.core.cost_model import CostModel, SystemStats
 from repro.core.field import StaticMatchingField
@@ -41,6 +48,15 @@ from repro.geometry import Grid, Point, Rect
 
 SPACE = Rect(0, 0, 10_000, 10_000)
 GRID = Grid(25, SPACE)
+
+#: every incremental construction core; the metamorphic properties hold for
+#: the scalar oracles and their vectorized twins alike
+INCREMENTAL = {
+    "iGM": IGM,
+    "idGM": IDGM,
+    "iGM-vec": VectorizedIGM,
+    "idGM-vec": VectorizedIDGM,
+}
 
 
 def random_request(seed: int, density: int = 1, event_count: int = None):
@@ -68,14 +84,14 @@ def random_request(seed: int, density: int = 1, event_count: int = None):
 # Soundness
 # ----------------------------------------------------------------------
 @settings(max_examples=60, deadline=None)
-@given(seed=st.integers(0, 2**20), direction_aware=st.booleans())
-def test_impact_is_exact_dilation_of_safe(seed, direction_aware):
+@given(seed=st.integers(0, 2**20), strategy_name=st.sampled_from(sorted(INCREMENTAL)))
+def test_impact_is_exact_dilation_of_safe(seed, strategy_name):
     """Definition 2 on the nose: impact == dilate(safe, r).
 
     The incremental strip optimisation (Example 2) must neither miss a
     dilation cell nor add one the full-disk rescan would not.
     """
-    strategy = (IDGM if direction_aware else IGM)(max_cells=400)
+    strategy = INCREMENTAL[strategy_name](max_cells=400)
     request = random_request(seed)
     pair = strategy.construct(request)
     dilated = frozenset(GRID.dilate(pair.safe.cells, request.radius))
@@ -84,22 +100,24 @@ def test_impact_is_exact_dilation_of_safe(seed, direction_aware):
 
 
 @settings(max_examples=60, deadline=None)
-@given(seed=st.integers(0, 2**20))
-def test_safe_region_avoids_unsafe_cells_and_anchors_at_subscriber(seed):
+@given(seed=st.integers(0, 2**20), strategy_name=st.sampled_from(sorted(INCREMENTAL)))
+def test_safe_region_avoids_unsafe_cells_and_anchors_at_subscriber(seed, strategy_name):
     request = random_request(seed)
-    pair = IGM(max_cells=400).construct(request)
+    pair = INCREMENTAL[strategy_name](max_cells=400).construct(request)
     unsafe = request.matching_field.unsafe_cells(request.radius)
     assert not (pair.safe.cells & unsafe)
     if not pair.safe.is_empty():
         assert pair.safe.covers_cell(GRID.cell_of(request.location))
 
 
-def test_strip_ablation_agrees_with_full_rescan():
+@pytest.mark.parametrize("strategy_name", sorted(INCREMENTAL))
+def test_strip_ablation_agrees_with_full_rescan(strategy_name):
     """incremental_impact=False is the oracle for the Example 2 strips."""
+    cls = INCREMENTAL[strategy_name]
     for seed in range(25):
         request = random_request(seed)
-        fast = IGM(max_cells=300).construct(request)
-        slow = IGM(max_cells=300, incremental_impact=False).construct(request)
+        fast = cls(max_cells=300).construct(request)
+        slow = cls(max_cells=300, incremental_impact=False).construct(request)
         assert fast.safe.cells == slow.safe.cells
         assert fast.impact.cells == slow.impact.cells
 
@@ -111,10 +129,10 @@ def test_strip_ablation_agrees_with_full_rescan():
 @given(
     seed=st.integers(0, 2**20),
     beta=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0]),
-    direction_aware=st.booleans(),
+    strategy_name=st.sampled_from(sorted(INCREMENTAL)),
 )
-def test_bm_straddles_beta_at_the_stopping_cell(seed, beta, direction_aware):
-    strategy = (IDGM if direction_aware else IGM)(beta=beta)
+def test_bm_straddles_beta_at_the_stopping_cell(seed, beta, strategy_name):
+    strategy = INCREMENTAL[strategy_name](beta=beta)
     pair = strategy.construct(random_request(seed))
     if pair.last_accepted_bm is not None:
         assert pair.last_accepted_bm <= beta
@@ -150,19 +168,21 @@ def test_non_incremental_strategies_leave_bm_unset():
 # Density monotonicity
 # ----------------------------------------------------------------------
 @settings(max_examples=50, deadline=None)
-@given(seed=st.integers(0, 2**20))
-def test_emptiness_is_monotone_in_density(seed):
+@given(seed=st.integers(0, 2**20), strategy_name=st.sampled_from(["iGM", "iGM-vec"]))
+def test_emptiness_is_monotone_in_density(seed, strategy_name):
     """Once the expansion cannot start, more density never revives it."""
     was_empty = False
     for density in (1, 2, 4, 8, 16, 64):
-        pair = IGM(max_cells=400).construct(random_request(seed, density=density))
+        pair = INCREMENTAL[strategy_name](max_cells=400).construct(
+            random_request(seed, density=density)
+        )
         if was_empty:
             assert pair.safe.is_empty(), density
         was_empty = pair.safe.is_empty()
 
 
-@pytest.mark.parametrize("direction_aware", [False, True], ids=["iGM", "idGM"])
-def test_mean_area_shrinks_with_density(direction_aware):
+@pytest.mark.parametrize("strategy_name", sorted(INCREMENTAL))
+def test_mean_area_shrinks_with_density(strategy_name):
     """The paper's macroscopic claim, on a fixed 40-workload panel.
 
     Mean safe-region area is non-increasing along a 1x..8x density chain
@@ -192,7 +212,7 @@ def test_mean_area_shrinks_with_density(direction_aware):
                 matching_field=StaticMatchingField(GRID, base * density),
                 stats=SystemStats(event_rate=2.0, total_events=1000),
             )
-            strategy = (IDGM if direction_aware else IGM)(max_cells=400)
+            strategy = INCREMENTAL[strategy_name](max_cells=400)
             total += strategy.construct(request).safe.area_cells()
         means.append(total / 40)
     assert all(a >= b for a, b in zip(means, means[1:])), means

@@ -1,0 +1,558 @@
+"""Strategy-differential suite: the vectorized core vs its scalar oracle.
+
+The array-backed construction core (``repro.core.vectorized``, DESIGN.md
+§14) claims *byte identity* with the scalar iGM/idGM — not approximate
+agreement, not same-multiset-different-order: every field of every
+:class:`RegionPair`, including the exact IEEE-754 bits of the balance-ratio
+diagnostics and the frontier pop order, must match.  This module is the
+enforcement: hypothesis-driven differentials over randomized corpora,
+radii, termination budgets and caps, plus hand-built degenerate cases
+(Lemma 1 empty regions, zero radius, boundary-straddling dilations) and
+kernel-level differentials for every array primitive the core is built on
+(point dilation, cell-set dilation, Morton interleave, WAH encoding).
+
+Floats are compared as *bytes* (``struct.pack``), which is stricter than
+``==``: it distinguishes ``-0.0`` from ``0.0`` and would catch a NaN
+sneaking into one path only.
+
+Every test carries the ``differential`` marker so CI can run this file as
+its own lane with a raised example budget: set ``DIFFERENTIAL_EXAMPLES``
+(default 25) to scale every hypothesis test in the module.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmap.wah import WAHBitmap
+from repro.core import (
+    GridMethod,
+    IDGM,
+    IGM,
+    VectorizedIDGM,
+    VectorizedIGM,
+    VectorizedIncrementalGridMethod,
+    VoronoiMethod,
+    vectorize_strategy,
+)
+from repro.core.construction import ConstructionRequest
+from repro.core.cost_model import SystemStats
+from repro.core.field import LazyBEQField, StaticMatchingField, dilate_point
+from repro.expressions import BooleanExpression, Operator, Predicate
+from repro.geometry import Grid, Point, Rect
+from repro.geometry.zorder import interleave, interleave_array
+from repro.index import BEQTree
+
+from conftest import random_events
+
+pytestmark = pytest.mark.differential
+
+#: per-test hypothesis example budget; the CI differential lane raises it
+EXAMPLES = int(os.environ.get("DIFFERENTIAL_EXAMPLES", "25"))
+DIFF_SETTINGS = settings(max_examples=EXAMPLES, deadline=None)
+
+SPACE = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+GRID = Grid(25, SPACE)
+
+#: (scalar oracle, vectorized twin) per strategy family
+FAMILIES = {
+    "iGM": (IGM, VectorizedIGM),
+    "idGM": (IDGM, VectorizedIDGM),
+}
+
+
+def _float_bytes(value):
+    """The raw IEEE-754 bytes of a float (None passes through)."""
+    if value is None:
+        return None
+    return struct.pack("<d", value)
+
+
+def assert_pairs_identical(scalar, vectorized):
+    """Every RegionPair field equal — floats to the bit, order included."""
+    assert scalar.safe.cells == vectorized.safe.cells
+    assert scalar.impact.cells == vectorized.impact.cells
+    assert scalar.cells_examined == vectorized.cells_examined
+    assert _float_bytes(scalar.last_accepted_bm) == _float_bytes(
+        vectorized.last_accepted_bm
+    )
+    assert _float_bytes(scalar.first_rejected_bm) == _float_bytes(
+        vectorized.first_rejected_bm
+    )
+    assert scalar.matching_in_impact == vectorized.matching_in_impact
+    assert scalar.visit_order == vectorized.visit_order
+    # The wire encoding downstream of the pair must agree too (this also
+    # crosses the WAH array cutover whenever the region is large).
+    assert scalar.safe.to_bitmap() == vectorized.safe.to_bitmap()
+    assert scalar.impact.to_bitmap() == vectorized.impact.to_bitmap()
+
+
+def static_request(seed: int, radius=None, event_count=None) -> ConstructionRequest:
+    """A seeded static-field request; fresh field every call (no sharing)."""
+    rng = random.Random(seed)
+    count = event_count if event_count is not None else rng.randint(0, 80)
+    points = [
+        Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)) for _ in range(count)
+    ]
+    if radius is None:
+        radius = rng.choice(
+            [0.0, rng.uniform(1, 60), rng.uniform(300, 2500), rng.uniform(4000, 9000)]
+        )
+    return ConstructionRequest(
+        location=Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)),
+        velocity=Point(rng.uniform(-40, 40), rng.uniform(-40, 40)),
+        radius=radius,
+        grid=GRID,
+        matching_field=StaticMatchingField(GRID, points),
+        stats=SystemStats(event_rate=rng.uniform(0.5, 8), total_events=200),
+    )
+
+
+# ----------------------------------------------------------------------
+# RegionPair differentials
+# ----------------------------------------------------------------------
+@DIFF_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    family=st.sampled_from(sorted(FAMILIES)),
+    beta=st.sampled_from([0.25, 1.0, 4.0]),
+    max_cells=st.sampled_from([None, 1, 7, 60, 400]),
+    incremental_impact=st.booleans(),
+)
+def test_static_field_pairs_are_byte_identical(
+    seed, family, beta, max_cells, incremental_impact
+):
+    """The core claim over fully materialised fields, all knobs randomized."""
+    scalar_cls, vector_cls = FAMILIES[family]
+    kwargs = dict(
+        beta=beta,
+        max_cells=max_cells,
+        incremental_impact=incremental_impact,
+        record_visits=True,
+    )
+    scalar_pair = scalar_cls(**kwargs).construct(static_request(seed))
+    vector_pair = vector_cls(**kwargs).construct(static_request(seed))
+    assert_pairs_identical(scalar_pair, vector_pair)
+
+
+@DIFF_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    family=st.sampled_from(sorted(FAMILIES)),
+    emax=st.sampled_from([4, 16, 64]),
+)
+def test_lazy_beq_field_pairs_and_scan_counters_are_identical(seed, family, emax):
+    """On-demand (BEQ-Tree) mode: identical pairs AND identical tree work.
+
+    The vectorized path grows field coverage through
+    ``ensure_cell_neighbourhood`` instead of per-cell safety queries; the
+    covered rectangles must evolve identically, so ``events_scanned`` and
+    ``leaves_scanned`` — the Figure 13 server-work counters — must land on
+    the same values, not just the same regions.
+    """
+    rng = random.Random(seed)
+    grid = Grid(40, SPACE)
+    events = random_events(rng, SPACE, rng.randint(20, 250))
+    expression = BooleanExpression(
+        [Predicate(f"a{rng.randint(0, 5)}", Operator.LE, rng.randint(2, 8))]
+    )
+    radius = rng.choice([rng.uniform(100, 900), rng.uniform(1200, 3000)])
+    location = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+    velocity = Point(rng.uniform(-40, 40), rng.uniform(-40, 40))
+    stats = SystemStats(event_rate=rng.uniform(0.5, 6), total_events=len(events))
+
+    def build(strategy_cls):
+        tree = BEQTree(SPACE, emax=emax)
+        tree.insert_all(events)
+        field = LazyBEQField(grid, tree, expression)
+        request = ConstructionRequest(
+            location=location,
+            velocity=velocity,
+            radius=radius,
+            grid=grid,
+            matching_field=field,
+            stats=stats,
+        )
+        pair = strategy_cls(max_cells=120, record_visits=True).construct(request)
+        return pair, field
+
+    scalar_cls, vector_cls = FAMILIES[family]
+    scalar_pair, scalar_field = build(scalar_cls)
+    vector_pair, vector_field = build(vector_cls)
+    assert_pairs_identical(scalar_pair, vector_pair)
+    assert scalar_field.events_scanned == vector_field.events_scanned
+    assert scalar_field.leaves_scanned == vector_field.leaves_scanned
+
+
+@DIFF_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1), family=st.sampled_from(sorted(FAMILIES)))
+def test_field_reuse_across_constructions_stays_identical(seed, family):
+    """Repair-mode shape: one field serves several constructions.
+
+    The vectorized strategy keeps a cursor-backed array view per field;
+    reusing the *same* field (and strategy instance) for a second
+    construction from a different location must stay identical to the
+    scalar oracle doing the same — this is the incremental ``_sync`` path.
+    """
+    rng = random.Random(seed)
+    count = rng.randint(5, 60)
+    points = [
+        Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)) for _ in range(count)
+    ]
+    radius = rng.uniform(300, 2000)
+    stats = SystemStats(event_rate=rng.uniform(0.5, 6), total_events=count)
+    locations = [
+        Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)) for _ in range(3)
+    ]
+    velocity = Point(rng.uniform(-40, 40), rng.uniform(-40, 40))
+
+    scalar_cls, vector_cls = FAMILIES[family]
+    scalar = scalar_cls(max_cells=150, record_visits=True)
+    vector = vector_cls(max_cells=150, record_visits=True)
+    scalar_field = StaticMatchingField(GRID, points)
+    vector_field = StaticMatchingField(GRID, points)
+    for location in locations:
+        def request(field):
+            return ConstructionRequest(
+                location=location,
+                velocity=velocity,
+                radius=radius,
+                grid=GRID,
+                matching_field=field,
+                stats=stats,
+            )
+        assert_pairs_identical(
+            scalar.construct(request(scalar_field)),
+            vector.construct(request(vector_field)),
+        )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_lemma1_empty_region_degenerate_case(family):
+    """Lemma 1's boundary: a subscriber standing inside an unsafe cell.
+
+    The expansion must reject the start cell immediately — empty safe
+    region, empty impact region, one cell examined — identically on both
+    paths, with the rejected ``bm`` byte-equal (it is ``inf`` here:
+    ``ts = 0`` against a positive ``ti``).
+    """
+    scalar_cls, vector_cls = FAMILIES[family]
+    location = Point(5_000.0, 5_000.0)
+    request_for = lambda: ConstructionRequest(  # noqa: E731 - two fresh fields
+        location=location,
+        velocity=Point(10.0, 0.0),
+        radius=1_000.0,
+        grid=GRID,
+        matching_field=StaticMatchingField(GRID, [location]),  # event on top of us
+        stats=SystemStats(event_rate=2.0, total_events=10),
+    )
+    scalar_pair = scalar_cls(record_visits=True).construct(request_for())
+    vector_pair = vector_cls(record_visits=True).construct(request_for())
+    assert scalar_pair.safe.is_empty() and vector_pair.safe.is_empty()
+    assert scalar_pair.impact.is_empty() and vector_pair.impact.is_empty()
+    assert_pairs_identical(scalar_pair, vector_pair)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("radius", [0.0, 15_000.0])
+def test_extreme_radii_degenerate_cases(family, radius):
+    """Zero radius (events only poison their own cell) and a radius larger
+    than the space diagonal (every event poisons everything)."""
+    scalar_cls, vector_cls = FAMILIES[family]
+    scalar_pair = scalar_cls(max_cells=200, record_visits=True).construct(
+        static_request(11, radius=radius, event_count=12)
+    )
+    vector_pair = vector_cls(max_cells=200, record_visits=True).construct(
+        static_request(11, radius=radius, event_count=12)
+    )
+    assert_pairs_identical(scalar_pair, vector_pair)
+
+
+def test_empty_corpus_covers_space_identically():
+    """No events: the uncapped expansion floods the whole grid on both
+    paths, and the resulting 625-cell bitmaps cross the WAH array cutover."""
+    scalar_pair = IGM(record_visits=True).construct(
+        static_request(3, radius=500.0, event_count=0)
+    )
+    vector_pair = VectorizedIGM(record_visits=True).construct(
+        static_request(3, radius=500.0, event_count=0)
+    )
+    assert len(scalar_pair.safe.cells) == GRID.n * GRID.n
+    assert_pairs_identical(scalar_pair, vector_pair)
+
+
+# ----------------------------------------------------------------------
+# Frontier tie-break order
+# ----------------------------------------------------------------------
+def test_tiebreak_visits_equal_score_cells_in_morton_order():
+    """A subscriber at an exact cell centre with zero velocity makes the
+    four edge-adjacent neighbours *exactly* tied (equal priority, equal
+    distance) and the four corner neighbours a second tied group.  The
+    deterministic tie-break must order each group by ascending Morton code
+    — on both paths, in the same order."""
+    grid = Grid(40, SPACE)
+    center = grid.cell_center((10, 10))
+    request_for = lambda: ConstructionRequest(  # noqa: E731
+        location=center,
+        velocity=Point(0.0, 0.0),
+        radius=500.0,
+        grid=grid,
+        matching_field=StaticMatchingField(grid, []),
+        stats=SystemStats(event_rate=2.0, total_events=100),
+    )
+    scalar_pair = IGM(max_cells=9, record_visits=True).construct(request_for())
+    vector_pair = VectorizedIGM(max_cells=9, record_visits=True).construct(
+        request_for()
+    )
+    assert scalar_pair.visit_order == vector_pair.visit_order
+    order = scalar_pair.visit_order
+    assert order[0] == (10, 10)
+    edges = [c for c in order if abs(c[0] - 10) + abs(c[1] - 10) == 1]
+    corners = [c for c in order if abs(c[0] - 10) == 1 and abs(c[1] - 10) == 1]
+    # Edge cells (distance cw/2) all pop before corner cells (distance
+    # cw/sqrt(2)), each group in ascending Morton order.
+    assert list(order[1:5]) == edges and list(order[5:9]) == corners
+    assert edges == sorted(edges, key=lambda c: interleave(*c))
+    assert corners == sorted(corners, key=lambda c: interleave(*c))
+
+
+@DIFF_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    family=st.sampled_from(sorted(FAMILIES)),
+)
+def test_visit_order_is_independent_of_corpus_ordering(seed, family):
+    """The tie-break regression property: the pop order is a function of
+    the *request*, never of incidental iteration order.  Feeding the same
+    corpus in a shuffled order (which permutes every internal dict/list the
+    field builds) must reproduce the identical visit order on both paths."""
+    rng = random.Random(seed)
+    count = rng.randint(0, 60)
+    points = [
+        Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)) for _ in range(count)
+    ]
+    # A cell-centre location with zero velocity maximises exact score ties.
+    location = GRID.cell_center((rng.randint(0, 24), rng.randint(0, 24)))
+    radius = rng.uniform(200, 2000)
+    stats = SystemStats(event_rate=2.0, total_events=max(1, count))
+    shuffled = list(points)
+    rng.shuffle(shuffled)
+
+    def build(strategy_cls, corpus):
+        request = ConstructionRequest(
+            location=location,
+            velocity=Point(0.0, 0.0),
+            radius=radius,
+            grid=GRID,
+            matching_field=StaticMatchingField(GRID, corpus),
+            stats=stats,
+        )
+        return strategy_cls(max_cells=80, record_visits=True).construct(request)
+
+    scalar_cls, vector_cls = FAMILIES[family]
+    reference = build(scalar_cls, points)
+    assert build(scalar_cls, shuffled).visit_order == reference.visit_order
+    assert build(vector_cls, points).visit_order == reference.visit_order
+    assert build(vector_cls, shuffled).visit_order == reference.visit_order
+
+
+# ----------------------------------------------------------------------
+# Kernel differentials
+# ----------------------------------------------------------------------
+@DIFF_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    count=st.integers(0, 40),
+    near_edge=st.booleans(),
+)
+def test_dilate_points_mask_equals_folded_dilate_point(seed, count, near_edge):
+    """The array point-dilation kernel vs the scalar fold, point by point —
+    including points hugging (and outside) the space boundary."""
+    rng = random.Random(seed)
+    grid = Grid(40, SPACE)
+    if near_edge:
+        points = [
+            Point(rng.uniform(-200, 400), rng.uniform(-200, 10_200))
+            for _ in range(count)
+        ]
+    else:
+        points = [
+            Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+            for _ in range(count)
+        ]
+    radius = rng.choice([0.0, rng.uniform(1, 80), rng.uniform(200, 1500)])
+    expected = set()
+    for p in points:
+        dilate_point(grid, p, radius, expected)
+    xs = np.array([p.x for p in points], dtype=np.float64)
+    ys = np.array([p.y for p in points], dtype=np.float64)
+    mask = grid.dilate_points_mask(xs, ys, radius)
+    ii, jj = np.nonzero(mask)
+    assert set(zip(ii.tolist(), jj.tolist())) == expected
+
+
+@DIFF_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1), out_of_bounds=st.booleans())
+def test_grid_dilate_array_and_scalar_paths_agree(seed, out_of_bounds):
+    """``Grid.dilate`` through both implementations on the same cell set.
+
+    Out-of-bounds seed cells (legal input: callers may dilate hypothetical
+    cells) must take the scalar fallback and still clip correctly.
+    """
+    import repro.geometry.grid as grid_module
+
+    rng = random.Random(seed)
+    grid = Grid(30, SPACE)
+    lo, hi = (-5, 34) if out_of_bounds else (0, 29)
+    cells = {
+        (rng.randint(lo, hi), rng.randint(lo, hi))
+        for _ in range(rng.randint(0, 50))
+    }
+    radius = rng.choice([0.0, rng.uniform(1, 400), rng.uniform(600, 2000)])
+    saved = grid_module._DILATE_ARRAY_CUTOVER
+    try:
+        grid_module._DILATE_ARRAY_CUTOVER = 1
+        forced_array = grid.dilate(cells, radius)
+        grid_module._DILATE_ARRAY_CUTOVER = 1 << 60
+        forced_scalar = grid.dilate(cells, radius)
+    finally:
+        grid_module._DILATE_ARRAY_CUTOVER = saved
+    assert forced_array == forced_scalar
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "array"])
+class TestDilationEdgeCases:
+    """Satellite geometry cases, identical through both dilation kernels."""
+
+    def _dilate(self, grid, point, radius, kernel):
+        if kernel == "scalar":
+            cells = set()
+            dilate_point(grid, point, radius, cells)
+            return cells
+        mask = grid.dilate_points_mask(
+            np.array([point.x]), np.array([point.y]), radius
+        )
+        ii, jj = np.nonzero(mask)
+        return set(zip(ii.tolist(), jj.tolist()))
+
+    def test_radius_straddling_the_space_boundary(self, kernel):
+        """A point one cell from the edge with a radius reaching past it:
+        the dilation clips at the boundary, never wraps or throws."""
+        grid = Grid(40, SPACE)  # 250-unit cells
+        point = Point(125.0, 5_125.0)  # centre of cell (0, 20)
+        cells = self._dilate(grid, point, 1_000.0, kernel)
+        assert all(0 <= i < 40 and 0 <= j < 40 for i, j in cells)
+        assert (0, 20) in cells
+        assert min(i for i, _ in cells) == 0  # reached the wall...
+        assert (0, 16) in cells and (0, 24) in cells  # ...and spread along it
+        brute = {
+            c
+            for c in grid.all_cells()
+            if grid.cell_rect(c).min_distance_to_point(point) <= 1_000.0
+        }
+        assert cells == brute
+
+    def test_zero_radius_marks_only_touching_cells(self, kernel):
+        grid = Grid(40, SPACE)
+        inside = Point(5_125.0, 5_125.0)  # strictly inside cell (20, 20)
+        assert self._dilate(grid, inside, 0.0, kernel) == {(20, 20)}
+        on_edge = Point(5_000.0, 5_125.0)  # exactly on the x-edge 20|19
+        assert self._dilate(grid, on_edge, 0.0, kernel) == {(19, 20), (20, 20)}
+
+    def test_cell_exactly_on_the_dilation_circle_is_included(self, kernel):
+        """Closed inclusion at distance == radius, to the last bit: the
+        cell whose nearest edge is exactly ``radius`` away is in; shrink
+        the radius by one ulp and it drops out."""
+        grid = Grid(40, SPACE)
+        point = grid.cell_center((10, 10))  # (2625, 2625); cell width 250
+        exact = 625.0  # distance to the near edge of cells (13, 10)/(7, 10)
+        at = self._dilate(grid, point, exact, kernel)
+        assert {(13, 10), (7, 10), (10, 13), (10, 7)} <= at
+        below = self._dilate(grid, point, float(np.nextafter(exact, 0.0)), kernel)
+        assert not {(13, 10), (7, 10), (10, 13), (10, 7)} & below
+        assert (12, 10) in below  # the next ring in survives
+
+
+@DIFF_SETTINGS
+@given(
+    length=st.integers(0, 400),
+    data=st.data(),
+)
+def test_wah_from_positions_array_is_word_identical(length, data):
+    """The array WAH constructor vs the scalar one: same words, same
+    round-trip — across empty bitmaps, full groups, dense and sparse."""
+    if length == 0:
+        positions = []
+    else:
+        positions = data.draw(
+            st.lists(st.integers(0, length - 1), max_size=length * 2)
+        )
+    scalar = WAHBitmap.from_positions(positions, length)
+    array = WAHBitmap.from_positions_array(
+        np.array(positions, dtype=np.int64), length
+    )
+    assert scalar.words == array.words
+    assert scalar == array
+    assert array.positions() == sorted(set(positions))
+
+
+def test_wah_from_positions_array_full_and_empty_runs():
+    """Long all-ones and all-zero runs exercise the fill-word encoding."""
+    length = 31 * 40 + 5
+    full = list(range(length))
+    assert (
+        WAHBitmap.from_positions_array(np.array(full, dtype=np.int64), length)
+        == WAHBitmap.from_positions(full, length)
+    )
+    empty = WAHBitmap.from_positions_array(np.array([], dtype=np.int64), length)
+    assert empty == WAHBitmap.from_positions([], length)
+    assert empty.positions() == []
+
+
+def test_wah_from_positions_array_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        WAHBitmap.from_positions_array(np.array([5], dtype=np.int64), 5)
+    with pytest.raises(ValueError):
+        WAHBitmap.from_positions_array(np.array([-1], dtype=np.int64), 5)
+
+
+@DIFF_SETTINGS
+@given(
+    coords=st.lists(
+        st.tuples(st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1)),
+        max_size=64,
+    )
+)
+def test_interleave_array_matches_scalar(coords):
+    i = np.array([c[0] for c in coords], dtype=np.int64)
+    j = np.array([c[1] for c in coords], dtype=np.int64)
+    expected = [interleave(a, b) for a, b in coords]
+    assert interleave_array(i, j).tolist() == expected
+
+
+# ----------------------------------------------------------------------
+# Strategy upgrade plumbing
+# ----------------------------------------------------------------------
+def test_vectorize_strategy_copies_parameters_and_is_idempotent():
+    scalar = IDGM(alpha=0.3, beta=2.0, max_cells=99, incremental_impact=False)
+    twin = vectorize_strategy(scalar)
+    assert isinstance(twin, VectorizedIncrementalGridMethod)
+    assert (twin.alpha, twin.beta, twin.max_cells, twin.incremental_impact) == (
+        0.3,
+        2.0,
+        99,
+        False,
+    )
+    assert twin.name == "idGM-vec"
+    assert vectorize_strategy(twin) is twin
+
+
+def test_vectorize_strategy_leaves_non_incremental_methods_alone():
+    for strategy in (VoronoiMethod(), GridMethod()):
+        assert vectorize_strategy(strategy) is strategy
