@@ -23,6 +23,16 @@ reports events/second, two ways:
   constructs safe regions against its own (4x smaller) slice of the
   event corpus and matches arrivals against its own slice of the
   subscriber population, and
+* the **process scaling** series: a Zipf-centered *skewed* burst —
+  four Gaussian city cores planted inside one static band — through
+  process fleets (``ProcessExecutor``) at 1 and 4 shards plus a static
+  ``ThreadedExecutor`` 4-shard fleet.  The static partition stalls
+  (nearly every event lands on one band); the load-adaptive fleet
+  re-cuts its boundaries into the valleys between the cores during
+  warm-up and recovers the per-shard slicing win, and
+* the **rebalance** series: the same skewed stream through static vs
+  adaptive serial fleets, reporting boundary moves and the max/mean
+  band-load imbalance each ends with, and
 * the **recovery sweep**: the batch-64 series with the durable journal
   off vs on (best-of-N each — write-ahead logging must be near-free on
   the publish path), plus a **recovery curve** timing ``recover()``
@@ -36,17 +46,22 @@ reports events/second, two ways:
   vectorized rows report their speedup over scalar.
 
 Besides the human-readable table, the run emits the machine-readable
-``BENCH_throughput.json`` at the repo root (schema v6, documented in
-EXPERIMENTS.md).  Six regression gates are enforced here and
+``BENCH_throughput.json`` at the repo root (schema v7, documented in
+EXPERIMENTS.md).  Seven regression gates are enforced here and
 re-checked by the CI bench-smoke job from the JSON: batched throughput
 at batch size 64 must stay at least 1.5x the single-event baseline,
 repair mode must process at least 2x the always-rebuild events/sec
 while shipping strictly fewer bytes down, enabled span tracing must
 cost at most 5% of batch-64 throughput, the 4-shard fleet must reach
-at least 1.5x the 1-shard batch-64 events/sec, write-ahead journaling
-must cost at most 10% of batch-64 throughput, and the vectorized
-construction core must reach at least 3x the scalar events/sec at the
-construct sweep's largest population.
+at least 1.5x the 1-shard batch-64 events/sec, the load-adaptive
+4-shard process fleet must reach at least 3x the 1-shard events/sec on
+the skewed burst when the host has a core per shard (on smaller hosts,
+where the parallel axis physically cannot contribute, the gate falls
+back to the 1.8x algorithmic floor that load balance alone must
+deliver), write-ahead journaling must cost at most 10% of
+batch-64 throughput, and the vectorized construction core must reach
+at least 3x the scalar events/sec at the construct sweep's largest
+population.
 
 Run with ``--profile`` to additionally dump a cProfile top-20 of the
 benchmark body to ``benchmarks/results/profile_throughput.txt``; run
@@ -58,19 +73,23 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import pathlib
 import tempfile
 import time
 from typing import Dict, List, Optional
 
 from repro.core import IGM, VectorizedIGM
-from repro.datasets import TwitterLikeGenerator
+from repro.datasets import SkewedLocationSampler, TwitterLikeGenerator
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree, SubscriptionIndex
 from repro.system import (
     CallbackTransport,
     ElapsServer,
     JournalSpec,
+    ProcessExecutor,
+    RebalancePolicy,
+    SerialExecutor,
     ServerConfig,
     ShardedElapsServer,
     ThreadedExecutor,
@@ -107,6 +126,67 @@ SHARD_CORPUS = 8_000
 SHARD_BURST = 512
 SHARD_ROUNDS = 5
 REQUIRED_SHARD_SPEEDUP = 1.5
+#: the process-fleet scaling series (DESIGN.md §15): a Zipf-centered
+#: skewed burst — four Gaussian city cores inside one static band — where
+#: a *static* column partition stalls (nearly every event lands on one
+#: shard, so the threaded 4-shard fleet degenerates to the 1-shard
+#: cost), while the load-adaptive process fleet re-cuts the boundaries
+#: into the inter-core valleys and recovers the per-shard corpus/population
+#: slicing win.  The gate compares process fleets at 4 vs 1 shard, so it
+#: measures partitioning, not pipe overhead.
+PROC_SHARDS = 4
+PROC_GRID_N = 600
+PROC_CORPUS = 600
+PROC_SUBSCRIBERS = 3_000
+PROC_RADIUS = 80.0
+PROC_MAX_CELLS = 9
+PROC_WARM = 384
+PROC_BURST = 1_024 if FAST else 1_536
+#: fan-out batch for the fleet series.  Large on purpose: every batch
+#: costs one pipe round-trip per participating worker, and on a busy
+#: single-core host a pipe write can stall for a scheduler quantum —
+#: small batches measure the kernel's wake-up latency, not the fleet.
+PROC_BATCH = 256
+PROC_ROUNDS = 3 if FAST else 4
+#: the multicore contract: with one core per shard, the balanced fleet
+#: must beat the 1-shard process baseline by winning on *both* axes —
+#: real CPU parallelism times the per-shard corpus/population slicing.
+REQUIRED_PROCESS_SPEEDUP = 3.0
+#: on hosts with fewer cores than shards the parallel axis physically
+#: cannot contribute (K workers time-share one CPU), so the gate falls
+#: back to the algorithmic floor: what load balance alone must deliver
+#: while the static partition sits at ~1x.
+REQUIRED_PROCESS_SPEEDUP_UNICORE = 1.8
+
+
+def _process_required_speedup() -> float:
+    cores = os.cpu_count() or 1
+    if cores >= PROC_SHARDS:
+        return REQUIRED_PROCESS_SPEEDUP
+    return REQUIRED_PROCESS_SPEEDUP_UNICORE
+#: four Zipf-weighted urban cores, all inside static band 1 of 4
+#: (12.5–25 km on the 50 km space): the static partition funnels ~96%
+#: of the stream into one shard, while the load-balanced cut lands in
+#: the *valleys* between the cores, so re-cut bands carry one core each
+#: and almost no subscriber sits close enough to a boundary to
+#: multi-home.  Centers are listed in Zipf *rank* order (heaviest
+#: first), interleaved in space so the extra mass of the inner cores
+#: walks each load quarter-mark onto a core's right edge — with equal
+#: weights the 50% and 75% marks would land structurally inside the
+#: next core's left tail (the uniform background accrues too slowly
+#: over the left half of the space to make up the difference).
+PROC_HOT_CENTERS = (
+    Point(17_000.0, 25_000.0),
+    Point(20_000.0, 25_000.0),
+    Point(14_000.0, 25_000.0),
+    Point(23_000.0, 25_000.0),
+)
+PROC_HOT_STD_FRACTION = 0.016  # sigma = 800 m of the 50 km space
+PROC_UNIFORM_FRACTION = 0.04
+PROC_ZIPF_S = 0.12
+#: subscriber cores sit this far off the event cores in y (same columns)
+PROC_ANCHOR_Y_OFFSET = 2_500.0
+PROC_POLICY = RebalancePolicy(check_every=64, min_events=384, max_imbalance=1.5)
 #: write-ahead journaling overhead ceiling on batch-64 throughput
 MAX_JOURNAL_OVERHEAD = 0.10
 #: journal-length fractions of the burst timed by the recovery curve
@@ -402,6 +482,200 @@ def _shard_scaling(generator) -> List[Dict]:
     return rows
 
 
+def _skewed_generator(y_offset: float = 0.0) -> TwitterLikeGenerator:
+    """The spatially skewed workload: ~96% of locations from four tight
+    Gaussian cores pinned inside one static band, plus a thin uniform
+    background.  ``y_offset`` shifts the cores off the column axis —
+    columns (and so shard routing) are unchanged, but the shifted
+    population no longer sits inside the unshifted one's radii."""
+    return TwitterLikeGenerator(
+        SPACE,
+        seed=53,
+        locations=SkewedLocationSampler(
+            SPACE,
+            hotspots=len(PROC_HOT_CENTERS),
+            centers=[
+                Point(center.x, center.y + y_offset)
+                for center in PROC_HOT_CENTERS
+            ],
+            hotspot_std_fraction=PROC_HOT_STD_FRACTION,
+            uniform_fraction=PROC_UNIFORM_FRACTION,
+            zipf_s=PROC_ZIPF_S,
+            seed=53,
+        ),
+    )
+
+
+def _loaded_skewed_fleet(generator, shards, executor, policy=None):
+    """A fleet loaded with the skewed workload: corpus and subscribers
+    both drawn from the hotspot mixture.
+
+    Unlike the shard-scaling series, every shard keeps the same (small)
+    region budget the single server gets: splitting a large budget would
+    hand *any* 4-shard fleet cheaper constructions, balanced or not, and
+    this series isolates the one effect budget can't buy — balance.
+    What partitioning splits is the per-arrival matching bill: each
+    event is matched against its owner shard's registered population.
+    The static fleet funnels nearly every event into the one band owning
+    nearly every subscriber and so repeats the single-server bill; the
+    adaptive cut, landing in the valleys between the hot cores, splits
+    it four ways."""
+    server = ShardedElapsServer(
+        Grid(PROC_GRID_N, SPACE),
+        lambda spec: IGM(max_cells=PROC_MAX_CELLS),
+        ServerConfig(initial_rate=20.0),
+        shards=shards,
+        executor=executor,
+        event_index_factory=lambda: BEQTree(SPACE, emax=512),
+        subscription_index_factory=lambda: SubscriptionIndex(
+            generator.frequency_hint()
+        ),
+        rebalance=policy,
+    )
+    server.bootstrap(generator.events(PROC_CORPUS))
+    subscriptions = generator.subscriptions(
+        PROC_SUBSCRIBERS, size=3, radius=PROC_RADIUS
+    )
+    # Subscribers live in the same four hot *columns* as the stream (so
+    # the static partition funnels them onto one shard) but sit a couple
+    # of kilometres off the event cores in y: arrivals pay the full
+    # content-matching bill against the owner shard's population without
+    # constantly invalidating the nearby safe regions — which would add
+    # reconstruction work that no partition, balanced or not, can split.
+    anchors = _skewed_generator(y_offset=PROC_ANCHOR_Y_OFFSET).events(
+        PROC_SUBSCRIBERS, seed_offset=3
+    )
+    for subscription, anchor in zip(subscriptions, anchors):
+        server.subscribe(subscription, anchor.location, Point(60, 10), now=0)
+    positions = {s.sub_id: a.location for s, a in zip(subscriptions, anchors)}
+    server.transport = CallbackTransport(
+        locate=lambda sub_id: (positions[sub_id], Point(60, 10)))
+    return server
+
+
+#: the three process-scaling configurations: (executor kind, K, adaptive)
+PROC_CONFIGS = (
+    ("process", 1, False),
+    ("process", PROC_SHARDS, True),
+    ("threaded", PROC_SHARDS, False),
+)
+
+
+def _process_executor_for(kind: str, shards: int):
+    if kind == "process":
+        return ProcessExecutor()
+    return ThreadedExecutor(max_workers=shards)
+
+
+def _process_scaling(generator) -> List[Dict]:
+    """The skewed burst through each process-scaling configuration.
+
+    Every configuration processes the identical warm-up (during which
+    the adaptive fleet's policy fires) and the identical timed burst
+    from an identically loaded state; the delivered (sub, event) pair
+    sets must agree across configurations and rounds before the timing
+    numbers mean anything — partitioning must never change a delivery.
+    Best-of-``PROC_ROUNDS``, rounds interleaved across configurations.
+    """
+    warm = generator.events(PROC_WARM, start_id=30_000_000, seed_offset=13)
+    burst = generator.events(PROC_BURST, start_id=31_000_000, seed_offset=17)
+    best: Dict[tuple, float] = {}
+    rebalances: Dict[tuple, int] = {}
+    multi_homed: Dict[tuple, int] = {}
+    delivered: Dict[tuple, set] = {}
+    for _ in range(PROC_ROUNDS):
+        for key in PROC_CONFIGS:
+            kind, shards, adaptive = key
+            server = _loaded_skewed_fleet(
+                generator,
+                shards,
+                _process_executor_for(kind, shards),
+                policy=PROC_POLICY if adaptive else None,
+            )
+            pairs = set()
+            for i in range(0, len(warm), PROC_BATCH):
+                now = i // PROC_BATCH + 1
+                for n in server.publish_batch(warm[i : i + PROC_BATCH], now):
+                    pairs.add((n.sub_id, n.event.event_id))
+            if adaptive:
+                assert server.rebalances >= 1, (
+                    "the rebalance policy never fired on the skewed stream"
+                )
+            rebalances[key] = server.rebalances
+            multi_homed[key] = sum(
+                1 for record in server.subscribers.values()
+                if len(record.homes) > 1
+            )
+            gc.collect()
+            started = time.perf_counter()
+            for i in range(0, len(burst), PROC_BATCH):
+                now = 100 + i // PROC_BATCH
+                for n in server.publish_batch(burst[i : i + PROC_BATCH], now):
+                    pairs.add((n.sub_id, n.event.event_id))
+            elapsed = time.perf_counter() - started
+            server.close()
+            best[key] = max(best.get(key, 0.0), len(burst) / elapsed)
+            previous = delivered.setdefault(key, pairs)
+            assert previous == pairs, "process-fleet delivery is unstable"
+    baseline_pairs = delivered[PROC_CONFIGS[0]]
+    rows: List[Dict] = []
+    for key in PROC_CONFIGS:
+        assert delivered[key] == baseline_pairs, (
+            "partitioning changed deliveries"
+        )
+        kind, shards, adaptive = key
+        rows.append(
+            {
+                "executor": kind,
+                "shards": shards,
+                "rebalance": adaptive,
+                "rebalances": rebalances[key],
+                "batch_size": PROC_BATCH,
+                "events": len(burst),
+                "rounds": PROC_ROUNDS,
+                "subscribers": PROC_SUBSCRIBERS,
+                "multi_homed": multi_homed[key],
+                "notifications": len(delivered[key]),
+                "events_per_second": best[key],
+            }
+        )
+    baseline = rows[0]["events_per_second"]
+    for row in rows:
+        row["speedup_vs_one_shard"] = row["events_per_second"] / baseline
+    return rows
+
+
+def _rebalance_series(generator) -> List[Dict]:
+    """Policy behaviour on the skewed stream: a static fleet ends with
+    one band owning most of the load; the adaptive fleet must have moved
+    its boundaries and ended measurably flatter."""
+    stream = generator.events(
+        PROC_WARM + PROC_BURST, start_id=32_000_000, seed_offset=19
+    )
+    rows: List[Dict] = []
+    for mode, policy in (("static", None), ("adaptive", PROC_POLICY)):
+        server = _loaded_skewed_fleet(
+            generator, PROC_SHARDS, SerialExecutor(), policy=policy
+        )
+        for i in range(0, len(stream), PROC_BATCH):
+            server.publish_batch(stream[i : i + PROC_BATCH], i // PROC_BATCH + 1)
+        loads = server.shard_loads()
+        mean = sum(loads) / len(loads)
+        rows.append(
+            {
+                "mode": mode,
+                "shards": PROC_SHARDS,
+                "events": len(stream),
+                "rebalances": server.rebalances,
+                "bounds": [spec.col_lo for spec in server.specs]
+                + [server.grid.n],
+                "imbalance": (max(loads) / mean) if mean else 0.0,
+            }
+        )
+        server.close()
+    return rows
+
+
 def _run_journaled_burst(generator, burst, batch_size, journal):
     """One batch-``batch_size`` pass of ``burst``; returns events/sec."""
     server = _loaded_server(generator, BATCH_SUBSCRIBERS, journal=journal)
@@ -581,6 +855,8 @@ def _emit_json(
     tracing_overhead: float,
     span_summaries: Dict[str, Dict[str, float]],
     shard_rows: List[Dict],
+    process_rows: List[Dict],
+    rebalance_rows: List[Dict],
     recovery_rows: List[Dict],
     journal_overhead: float,
     recovery_curve_rows: List[Dict],
@@ -590,6 +866,14 @@ def _emit_json(
     rebuild = next(r for r in repair_rows if r["mode"] == "rebuild")
     repair = next(r for r in repair_rows if r["mode"] == "repair")
     sharded = next(r for r in shard_rows if r["shards"] == max(SHARD_COUNTS))
+    adaptive = next(
+        r for r in process_rows
+        if r["executor"] == "process" and r["shards"] == PROC_SHARDS
+    )
+    static_threaded = next(
+        r for r in process_rows
+        if r["executor"] == "threaded" and r["shards"] == PROC_SHARDS
+    )
     vec_at_top = next(
         r
         for r in construct_rows
@@ -598,7 +882,7 @@ def _emit_json(
     )
     payload = {
         "benchmark": "throughput",
-        "schema_version": 6,
+        "schema_version": 7,
         "fast_mode": FAST,
         "config": {
             "space": [SPACE.x_min, SPACE.y_min, SPACE.x_max, SPACE.y_max],
@@ -611,6 +895,16 @@ def _emit_json(
             "shard_subscribers": SHARD_SUBSCRIBERS,
             "shard_radius": SHARD_RADIUS,
             "shard_corpus": SHARD_CORPUS,
+            "process_shards": PROC_SHARDS,
+            "process_grid": PROC_GRID_N,
+            "process_corpus": PROC_CORPUS,
+            "process_subscribers": PROC_SUBSCRIBERS,
+            "process_radius": PROC_RADIUS,
+            "process_warm": PROC_WARM,
+            "process_burst": PROC_BURST,
+            "process_hot_centers": [
+                [center.x, center.y] for center in PROC_HOT_CENTERS
+            ],
             "construct_subscribers": list(CONSTRUCT_SUBSCRIBERS),
             "construct_corpus": CONSTRUCT_CORPUS,
             "construct_burst": CONSTRUCT_BURST,
@@ -623,6 +917,8 @@ def _emit_json(
             "repair_sweep": repair_rows,
             "tracing_overhead": tracing_rows,
             "shard_scaling": shard_rows,
+            "process_scaling": process_rows,
+            "rebalance": rebalance_rows,
             "recovery_sweep": recovery_rows,
             "recovery_curve": recovery_curve_rows,
             "construct_sweep": construct_rows,
@@ -658,6 +954,19 @@ def _emit_json(
                 sharded["speedup_vs_one_shard"] >= REQUIRED_SHARD_SPEEDUP
             ),
         },
+        "process_gate": {
+            "shards": PROC_SHARDS,
+            "cores": os.cpu_count() or 1,
+            "required_speedup_multicore": REQUIRED_PROCESS_SPEEDUP,
+            "required_speedup_vs_one_shard": _process_required_speedup(),
+            "measured_speedup_vs_one_shard": adaptive["speedup_vs_one_shard"],
+            "rebalances": adaptive["rebalances"],
+            "static_threaded_speedup": static_threaded["speedup_vs_one_shard"],
+            "passed": (
+                adaptive["speedup_vs_one_shard"]
+                >= _process_required_speedup()
+            ),
+        },
         "recovery_gate": {
             "max_overhead": MAX_JOURNAL_OVERHEAD,
             "measured_overhead": journal_overhead,
@@ -686,6 +995,9 @@ def _run(slow_threshold=None):
         generator, burst, slow_threshold
     )
     shard_rows = _shard_scaling(generator)
+    skewed = _skewed_generator()
+    process_rows = _process_scaling(skewed)
+    rebalance_rows = _rebalance_series(skewed)
     with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
         workdir = pathlib.Path(tmp)
         recovery_rows, journal_overhead = _journal_overhead(
@@ -701,6 +1013,8 @@ def _run(slow_threshold=None):
         tracing_overhead,
         span_summaries,
         shard_rows,
+        process_rows,
+        rebalance_rows,
         recovery_rows,
         journal_overhead,
         recovery_curve_rows,
@@ -718,6 +1032,8 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         tracing_overhead,
         span_summaries,
         shard_rows,
+        process_rows,
+        rebalance_rows,
         recovery_rows,
         journal_overhead,
         recovery_curve_rows,
@@ -736,6 +1052,8 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         tracing_overhead,
         span_summaries,
         shard_rows,
+        process_rows,
+        rebalance_rows,
         recovery_rows,
         journal_overhead,
         recovery_curve_rows,
@@ -803,6 +1121,28 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
         )
         + "\n"
         + format_table(
+            process_rows,
+            (
+                "executor",
+                "shards",
+                "rebalance",
+                "rebalances",
+                "events_per_second",
+                "speedup_vs_one_shard",
+                "multi_homed",
+            ),
+            f"Process-fleet scaling on the skewed burst "
+            f"({PROC_SUBSCRIBERS} subscribers, radius {PROC_RADIUS:.0f}, "
+            f"best of {PROC_ROUNDS} rounds)",
+        )
+        + "\n"
+        + format_table(
+            rebalance_rows,
+            ("mode", "rebalances", "imbalance", "bounds"),
+            "Load-adaptive repartitioning on the skewed stream",
+        )
+        + "\n"
+        + format_table(
             recovery_rows,
             (
                 "mode",
@@ -859,6 +1199,14 @@ def test_publish_throughput(benchmark, report, profiled, stats_options):
     assert payload["tracing_gate"]["passed"], payload["tracing_gate"]
     # spatial partitioning must pay for itself even without real threads
     assert payload["shard_gate"]["passed"], payload["shard_gate"]
+    # the load-adaptive process fleet must recover the slicing win on the
+    # skewed burst that stalls the static partition
+    assert payload["process_gate"]["passed"], payload["process_gate"]
+    # the policy must have actually fired and flattened the band loads
+    adaptive_row = next(r for r in rebalance_rows if r["mode"] == "adaptive")
+    static_row = next(r for r in rebalance_rows if r["mode"] == "static")
+    assert adaptive_row["rebalances"] >= 1, adaptive_row
+    assert adaptive_row["imbalance"] < static_row["imbalance"], rebalance_rows
     # durability must be near-free on the publish hot path, and the
     # recovery curve must have actually replayed real records
     assert payload["recovery_gate"]["passed"], payload["recovery_gate"]

@@ -64,11 +64,17 @@ def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shards", type=int, default=1,
                         help="spatial shards; > 1 runs a ShardedElapsServer "
                              "fleet (column-band grid partitioning)")
-    parser.add_argument("--shard-executor", choices=("serial", "threaded"),
+    parser.add_argument("--shard-executor",
+                        choices=("serial", "threaded", "process"),
                         default="serial",
                         help="how shard work runs: 'serial' is deterministic, "
                              "'threaded' fans out over a pool with one lock "
-                             "per shard")
+                             "per shard, 'process' gives every shard its own "
+                             "worker process (true parallel matching)")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="load-adaptive repartitioning: move the column "
+                             "boundaries when one band draws a dominant "
+                             "share of the event stream")
     parser.add_argument("--stats", action="store_true",
                         help="print the per-stage latency summary (span "
                              "histograms: count, p50/p95/p99, total) after "
@@ -96,6 +102,7 @@ def _config_from(args: argparse.Namespace, strategy: str, mode: str) -> Experime
         seed=args.seed,
         shards=args.shards,
         shard_executor=args.shard_executor,
+        rebalance=getattr(args, "rebalance", False),
         slow_span_seconds=(
             None if args.slow_span_ms is None else args.slow_span_ms / 1000.0
         ),
@@ -232,7 +239,7 @@ _TRACE_META_FIELDS = (
     "strategy", "dataset", "movement", "event_rate", "speed", "radius",
     "initial_events", "subscription_size", "subscribers", "timestamps",
     "grid_n", "space_size", "emax", "event_ttl", "matching_mode", "seed",
-    "shards", "shard_executor", "repair",
+    "shards", "shard_executor", "rebalance", "repair",
 )
 
 
@@ -283,6 +290,7 @@ def _command_replay(args: argparse.Namespace) -> int:
             ("matching_mode", args.matching_mode),
             ("shards", args.shards),
             ("shard_executor", args.shard_executor),
+            ("rebalance", args.rebalance),
             ("repair", args.repair),
         )
         if value is not None
@@ -374,8 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, help="override the matching mode")
     replay.add_argument("--shards", type=int, default=None,
                         help="replay through a sharded fleet of this size")
-    replay.add_argument("--shard-executor", choices=("serial", "threaded"),
+    replay.add_argument("--shard-executor",
+                        choices=("serial", "threaded", "process"),
                         default=None)
+    replay.add_argument("--rebalance", dest="rebalance", action="store_true",
+                        default=None,
+                        help="replay with load-adaptive repartitioning on")
     replay.add_argument("--repair", dest="repair", action="store_true",
                         default=None, help="replay with incremental repair on")
     replay.add_argument("--no-repair", dest="repair", action="store_false",

@@ -59,13 +59,22 @@ class TwitterLikeConfig:
 class TwitterLikeGenerator:
     """Seeded generator of Twitter-like events and subscriptions."""
 
-    def __init__(self, space: Rect, config: Optional[TwitterLikeConfig] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        space: Rect,
+        config: Optional[TwitterLikeConfig] = None,
+        seed: int = 0,
+        locations: Optional[LocationSampler] = None,
+    ) -> None:
         self.space = space
         self.config = config or TwitterLikeConfig()
         self.seed = seed
         self.vocabulary = Vocabulary(self.config.vocabulary_size, self.config.zipf_skew)
         self._subscription_vocabulary = self.vocabulary.top(self.config.subscription_pool)
-        self._locations = LocationSampler(
+        # ``locations`` swaps the spatial mixture — e.g. a
+        # SkewedLocationSampler for hotspot-concentrated streams — while
+        # keeping the attribute workload identical.
+        self._locations = locations if locations is not None else LocationSampler(
             space,
             hotspots=self.config.hotspots,
             uniform_fraction=self.config.uniform_fraction,

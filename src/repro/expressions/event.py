@@ -37,6 +37,26 @@ class Event:
                 f"before arriving at {self.arrived_at}"
             )
 
+    def __reduce__(self):
+        """Pickle support for cross-process shipping (the frozen
+        ``MappingProxyType`` cannot pickle itself).
+
+        Rebuilding through the constructor re-freezes the mapping; the
+        plain-dict copy preserves attribute *insertion order*, which is
+        load-bearing — index probes iterate attributes in mapping order,
+        so reordering would change notification order under replay.
+        """
+        return (
+            Event,
+            (
+                self.event_id,
+                dict(self.attributes),
+                self.location,
+                self.arrived_at,
+                self.expires_at,
+            ),
+        )
+
     def __len__(self) -> int:
         """The event size |e|: the number of attribute tuples."""
         return len(self.attributes)

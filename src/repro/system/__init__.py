@@ -2,7 +2,7 @@
 simulation, the experiment runner, and the metrics they report."""
 
 from .client import MobileClient
-from .config import CallbackTransport, ServerConfig, Transport
+from .config import CallbackTransport, RebalancePolicy, ServerConfig, Transport
 from .experiment import (
     ExperimentConfig,
     STRATEGIES,
@@ -37,11 +37,14 @@ from .observability import (
 )
 from .server import ElapsServer, Notification, SubscriberRecord
 from .sharding import (
+    ProcessExecutor,
     SerialExecutor,
+    ShardCall,
     ShardExecutor,
     ShardSpec,
     ShardedElapsServer,
     ThreadedExecutor,
+    WorkerCrashed,
     partition_columns,
 )
 from .simulation import Simulation, SimulationResult, SimulationTransport
@@ -71,11 +74,14 @@ __all__ = [
     "MobileClient",
     "ExperimentConfig",
     "Notification",
+    "ProcessExecutor",
+    "RebalancePolicy",
     "ReconnectPolicy",
     "ResilientElapsClient",
     "STRATEGIES",
     "SerialExecutor",
     "ServerConfig",
+    "ShardCall",
     "ShardExecutor",
     "ShardSpec",
     "ShardedElapsServer",
@@ -86,6 +92,7 @@ __all__ = [
     "ThreadedExecutor",
     "Transport",
     "TruncatedFrameError",
+    "WorkerCrashed",
     "build_server",
     "build_simulation",
     "build_strategy",

@@ -43,12 +43,51 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "CallbackTransport",
+    "RebalancePolicy",
     "ServerConfig",
     "Transport",
 ]
 
 #: the matching modes the server understands (DESIGN.md §6)
 MATCHING_MODES = ("ondemand", "full", "cached")
+
+#: the shard-executor kinds a fleet can run under (DESIGN.md §12, §15)
+SHARD_EXECUTORS = ("serial", "threaded", "process")
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """When and how aggressively a sharded fleet moves its band
+    boundaries (DESIGN.md §15).
+
+    The coordinator tracks per-column event load; every ``check_every``
+    published events (once ``min_events`` have been seen) it compares the
+    hottest band's share against the mean, and when the ratio exceeds
+    ``max_imbalance`` it re-cuts the column boundaries so each band
+    carries an equal share of the observed load — splitting hot bands and
+    merging cold ones in one move.  ``decay`` ages the load counters
+    after each rebalance so the policy follows a moving hotspot instead
+    of averaging over all history.
+    """
+
+    #: published events between imbalance checks
+    check_every: int = 256
+    #: trigger when (hottest band load) / (mean band load) exceeds this
+    max_imbalance: float = 2.0
+    #: observed events required before the first check
+    min_events: int = 512
+    #: multiplier applied to every column-load counter after a rebalance
+    decay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.check_every < 1:
+            raise ValueError(f"check_every must be positive: {self.check_every}")
+        if self.max_imbalance < 1.0:
+            raise ValueError(
+                f"max_imbalance must be at least 1.0: {self.max_imbalance}"
+            )
+        if not 0.0 <= self.decay <= 1.0:
+            raise ValueError(f"decay must be in [0, 1]: {self.decay}")
 
 
 @dataclass(frozen=True)
@@ -97,12 +136,29 @@ class ServerConfig:
     #: unaffected.  The scalar strategies remain the oracle the
     #: differential suite verifies against.
     vectorized_construction: bool = False
+    #: how a :class:`~repro.system.sharding.ShardedElapsServer` runs its
+    #: shard fan-outs when no executor instance is passed explicitly:
+    #: ``serial`` (deterministic), ``threaded`` (thread pool, per-shard
+    #: locks), or ``process`` (one worker process per shard — DESIGN.md
+    #: §15).  ``None`` keeps the fleet's default (serial).  Single
+    #: servers ignore the knob.
+    shard_executor: Optional[str] = None
+    #: load-adaptive repartitioning for sharded fleets: a
+    #: :class:`RebalancePolicy` turns on boundary moves driven by the
+    #: observed per-column event load; ``None`` keeps the bands static.
+    #: Single servers ignore the knob.
+    rebalance: Optional[RebalancePolicy] = None
 
     def __post_init__(self) -> None:
         if self.matching_mode not in MATCHING_MODES:
             raise ValueError(
                 f"unknown matching mode: {self.matching_mode!r}; "
                 f"pick one of {MATCHING_MODES}"
+            )
+        if self.shard_executor is not None and self.shard_executor not in SHARD_EXECUTORS:
+            raise ValueError(
+                f"unknown shard executor: {self.shard_executor!r}; "
+                f"pick one of {SHARD_EXECUTORS}"
             )
 
     def with_(self, **changes) -> "ServerConfig":

@@ -33,7 +33,13 @@ from ..trajectories import (
 )
 from .config import ServerConfig
 from .server import ElapsServer
-from .sharding import SerialExecutor, ShardedElapsServer, ThreadedExecutor
+from .config import RebalancePolicy
+from .sharding import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedElapsServer,
+    ThreadedExecutor,
+)
 from .simulation import Simulation, SimulationResult
 
 #: strategy factory registry: name -> (max_cells -> strategy).  The
@@ -97,7 +103,8 @@ class ExperimentConfig:
     trace_spans: bool = True  # span tracer on the server's hot stages
     slow_span_seconds: Optional[float] = None  # log spans at/above this
     shards: int = 1  # spatial shards; > 1 builds a ShardedElapsServer
-    shard_executor: str = "serial"  # "serial" (deterministic) or "threaded"
+    shard_executor: str = "serial"  # "serial", "threaded", or "process"
+    rebalance: bool = False  # load-adaptive boundary moves (DESIGN.md §15)
 
     def with_(self, **changes) -> "ExperimentConfig":
         """A copy of this configuration with fields replaced."""
@@ -165,10 +172,12 @@ def build_server(config: ExperimentConfig, journal=None):
             executor = SerialExecutor()
         elif config.shard_executor == "threaded":
             executor = ThreadedExecutor(max_workers=config.shards)
+        elif config.shard_executor == "process":
+            executor = ProcessExecutor()
         else:
             raise ValueError(
                 f"unknown shard executor {config.shard_executor!r}; "
-                "pick 'serial' or 'threaded'"
+                "pick 'serial', 'threaded', or 'process'"
             )
         server = ShardedElapsServer(
             grid,
@@ -180,6 +189,7 @@ def build_server(config: ExperimentConfig, journal=None):
             subscription_index_factory=lambda: SubscriptionIndex(
                 generator.frequency_hint()
             ),
+            rebalance=RebalancePolicy() if config.rebalance else None,
         )
         tracers = [server.tracer] + [w.tracer for w in server.shard_servers]
     else:

@@ -90,6 +90,11 @@ PUBLISH = 5
 PUBLISH_BATCH = 6
 EXPIRE = 7
 BOOTSTRAP = 8
+#: band migration (DESIGN.md §15): events in the recorded column ranges
+#: were extracted from this shard's corpus.  ``received`` carries the
+#: ranges flattened as ``(lo0, hi0, lo1, hi1, ...)``; extraction is
+#: deterministic given the corpus, so replay reproduces the removal.
+EXTRACT = 9
 
 _RECORD_HEADER = ">II"  # length, crc32
 _RECORD_HEADER_SIZE = struct.calcsize(_RECORD_HEADER)
@@ -263,6 +268,10 @@ def _encode_record_body(record: JournalRecord) -> bytes:
         return struct.pack(">q", record.now) + _encode_events(record.events)
     if kind == EXPIRE:
         return struct.pack(">q", record.now)
+    if kind == EXTRACT:
+        return struct.pack(
+            f">I{len(record.received)}Q", len(record.received), *record.received
+        )
     raise JournalError(f"unknown journal record kind: {kind}")
 
 
@@ -314,6 +323,11 @@ def _decode_record(payload: bytes) -> JournalRecord:
     if kind == EXPIRE:
         (now,) = struct.unpack_from(">q", payload, offset)
         return JournalRecord(kind, seq, now=now)
+    if kind == EXTRACT:
+        (count,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        flat = struct.unpack_from(f">{count}Q", payload, offset)
+        return JournalRecord(kind, seq, received=tuple(flat))
     raise JournalCorruptionError(f"unknown journal record kind: {kind}")
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import itertools
 import time
 import warnings
 from dataclasses import dataclass, field as dataclass_field
@@ -61,6 +62,7 @@ from .config import CallbackTransport, ServerConfig, Transport
 from .journal import (
     BOOTSTRAP,
     EXPIRE,
+    EXTRACT,
     LOCATION,
     PUBLISH,
     PUBLISH_BATCH,
@@ -698,6 +700,70 @@ class ElapsServer:
         return removed
 
     # ------------------------------------------------------------------
+    # Band migration (DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def extract_events_in_columns(self, ranges) -> List[Event]:
+        """Remove and return the live events in the given grid-column
+        ranges (each ``(lo, hi)`` half-open), in corpus insertion order.
+
+        The fleet coordinator calls this on the *donor* shard of a band
+        move; the returned events are re-:meth:`bootstrap`-ped into the
+        new owner.  Removal reuses the expiry machinery — the event
+        leaves the BEQ-Tree and every lazy matching field learns the
+        exclusion — so cached safe regions stay conservative (removing an
+        event can only *grow* the true safe region, never shrink it:
+        Definition 1 is a conjunction over events).  Stale expiry-heap
+        entries for the removed events are skipped by the sweep, exactly
+        as after a normal expiry.
+        """
+        ranges = [(int(lo), int(hi)) for lo, hi in ranges]
+        for lo, hi in ranges:
+            if lo < 0 or hi < lo:
+                raise ValueError(f"bad column range ({lo}, {hi})")
+        flat = tuple(itertools.chain.from_iterable(ranges))
+        self._journal_append(JournalRecord(EXTRACT, 0, received=flat))
+        extracted: List[Event] = []
+        for event in list(self._events_by_id.values()):
+            column = self.grid.cell_of(event.location)[0]
+            if any(lo <= column < hi for lo, hi in ranges):
+                extracted.append(event)
+        for event in extracted:
+            del self._events_by_id[event.event_id]
+            self.event_index.delete(event)
+            for field in self._lazy_fields.values():
+                field.note_exclusion(event.event_id)
+        if extracted:
+            self._maybe_snapshot()
+        return extracted
+
+    def resequence_subscriptions(self, order) -> None:
+        """Rebuild the subscription index with subscriptions inserted in
+        the given ``sub_id`` order (unknown ids are ignored; local
+        subscribers missing from ``order`` keep their relative order at
+        the end).
+
+        Event-arrival notification order follows the index's internal
+        insertion order, so a shard that gains a subscriber mid-life
+        (band rebalance re-homing) would report that subscriber *after*
+        everyone already present — diverging from a single server that
+        saw all subscribes in client order.  Re-sequencing to the
+        coordinator's subscribe order restores the single-server order.
+        Pure re-indexing: no safe region, delivered set, or journal
+        state changes (recovery replays subscribes in journal order,
+        which only affects notification order, never delivery sets).
+        """
+        known = [sub_id for sub_id in order if sub_id in self.subscribers]
+        tail = [
+            sub_id for sub_id in self.subscribers
+            if sub_id not in set(known)
+        ]
+        sequence = known + tail
+        for sub_id in sequence:
+            self.subscription_index.delete(self.subscribers[sub_id].subscription)
+        for sub_id in sequence:
+            self.subscription_index.insert(self.subscribers[sub_id].subscription)
+
+    # ------------------------------------------------------------------
     # Location update
     # ------------------------------------------------------------------
     def report_location(
@@ -967,6 +1033,11 @@ class ElapsServer:
             self.expire_due_events(record.now)
         elif kind == BOOTSTRAP:
             self.bootstrap(record.events)
+        elif kind == EXTRACT:
+            flat = record.received
+            self.extract_events_in_columns(
+                list(zip(flat[0::2], flat[1::2]))
+            )
         else:
             raise JournalCorruptionError(f"unknown journal record kind {kind}")
 

@@ -39,16 +39,36 @@ Execution is pluggable through :class:`ShardExecutor`:
 calling thread (deterministic — the golden-trace differential runs under
 it), :class:`ThreadedExecutor` fans them out over a thread pool with one
 lock per shard (workers share no state, so per-shard locking is the only
-synchronisation the fleet needs).
+synchronisation the fleet needs), and :class:`ProcessExecutor` hosts each
+worker in its own OS process (DESIGN.md §15) — the coordinator ships
+:class:`ShardCall` command messages over pipes, the workers reply with
+results plus any buffered region shipments, and location pings travel
+back up the same pipe synchronously.
+
+Bands need not stay static: with a
+:class:`~repro.system.config.RebalancePolicy` the coordinator tracks
+per-column event load and moves the column boundaries when one band runs
+hot (``partition_columns`` accepts explicit boundaries).  A rebalance
+migrates events between shards through
+:meth:`ElapsServer.extract_events_in_columns` + ``bootstrap`` and
+re-homes subscribers through the ordinary sticky multi-homing machinery,
+so client-visible deliveries are unchanged — byte-identical under
+:class:`SerialExecutor`.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import inspect
 import itertools
+import json
 import math
+import multiprocessing
+import multiprocessing.connection
+import os
 import threading
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field as dataclass_field
 from typing import (
@@ -62,22 +82,27 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from ..core import SafeRegion, SafeRegionStrategy, SystemStats
 from ..expressions import Event, Subscription
 from ..geometry import Cell, Grid, Point, Rect
-from .config import ServerConfig, Transport
+from .config import RebalancePolicy, ServerConfig, Transport
 from .metrics import CommunicationStats
-from .observability import MetricsRegistry
+from .observability import LatencyHistogram, MetricsRegistry
 from .server import ElapsServer, Notification
 
 __all__ = [
+    "ProcessExecutor",
+    "RebalancePolicy",
     "SerialExecutor",
+    "ShardCall",
     "ShardExecutor",
     "ShardSpec",
     "ShardedElapsServer",
     "ThreadedExecutor",
+    "WorkerCrashed",
     "partition_columns",
 ]
 
@@ -97,22 +122,41 @@ class ShardSpec:
     rect: Rect
 
 
-def partition_columns(grid: Grid, shards: int) -> List[ShardSpec]:
-    """Split ``grid.space`` into ``shards`` near-equal column bands.
+def partition_columns(
+    grid: Grid, shards: Union[int, Sequence[int]]
+) -> List[ShardSpec]:
+    """Split ``grid.space`` into contiguous column bands.
 
-    Bands are maximally even (sizes differ by at most one column), cover
-    every column exactly once, and are never empty — which caps the shard
-    count at the grid resolution.
+    ``shards`` is either a band count — the split is then maximally even
+    (sizes differ by at most one column) — or an explicit boundary
+    sequence ``[0, c1, ..., grid.n]``, strictly increasing, which is how
+    load-adaptive repartitioning expresses uneven bands.  Either way
+    bands cover every column exactly once and are never empty — which
+    caps the band count at the grid resolution.
     """
-    if shards < 1:
-        raise ValueError(f"shard count must be positive, got {shards}")
-    if shards > grid.n:
-        raise ValueError(
-            f"cannot split {grid.n} grid columns into {shards} shards"
-        )
-    bounds = [round(k * grid.n / shards) for k in range(shards + 1)]
+    if isinstance(shards, int):
+        if shards < 1:
+            raise ValueError(f"shard count must be positive, got {shards}")
+        if shards > grid.n:
+            raise ValueError(
+                f"cannot split {grid.n} grid columns into {shards} shards"
+            )
+        bounds = [round(k * grid.n / shards) for k in range(shards + 1)]
+    else:
+        bounds = [int(b) for b in shards]
+        if len(bounds) < 2:
+            raise ValueError(f"need at least two boundaries, got {bounds}")
+        if bounds[0] != 0 or bounds[-1] != grid.n:
+            raise ValueError(
+                f"boundaries must run from 0 to {grid.n}, got {bounds}"
+            )
+        if any(hi <= lo for lo, hi in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"boundaries must be strictly increasing (no empty bands): "
+                f"{bounds}"
+            )
     specs = []
-    for shard_id in range(shards):
+    for shard_id in range(len(bounds) - 1):
         lo, hi = bounds[shard_id], bounds[shard_id + 1]
         rect = Rect(
             grid.space.x_min + lo * grid.cell_width,
@@ -127,17 +171,71 @@ def partition_columns(grid: Grid, shards: int) -> List[ShardSpec]:
 # ----------------------------------------------------------------------
 # Executors
 # ----------------------------------------------------------------------
+class ShardCall:
+    """A thunk-equivalent command message: ``method(*args)`` on one
+    shard's worker.
+
+    The coordinator issues every piece of shard work as a ``ShardCall``.
+    In-process executors simply *call* it (the bound thunk runs against
+    the local :class:`ElapsServer`); :class:`ProcessExecutor` instead
+    reads ``method``/``args`` and ships them over the worker's pipe —
+    same contract, different transport.
+    """
+
+    __slots__ = ("method", "args", "_local")
+
+    def __init__(
+        self,
+        method: str,
+        args: Sequence[object] = (),
+        local: Optional[Callable[[], object]] = None,
+    ) -> None:
+        self.method = method
+        self.args = tuple(args)
+        self._local = local
+
+    def __call__(self) -> object:
+        if self._local is None:
+            raise TypeError(
+                f"ShardCall({self.method!r}) has no local binding; "
+                "run it through a ProcessExecutor"
+            )
+        return self._local()
+
+    def __repr__(self) -> str:
+        return f"ShardCall({self.method!r}, {len(self.args)} args)"
+
+
+class WorkerCrashed(RuntimeError):
+    """A shard worker process died mid-fleet (DESIGN.md §15).
+
+    Raised by :meth:`ProcessExecutor.run` when a worker's pipe hits EOF
+    or its process is found dead; the fleet is unusable afterwards (a
+    shard's corpus slice is gone) and should be closed and recovered
+    from its band journals.
+    """
+
+    def __init__(self, shard_id: int, exitcode: Optional[int]) -> None:
+        super().__init__(
+            f"shard worker {shard_id} died (exit code {exitcode})"
+        )
+        self.shard_id = shard_id
+        self.exitcode = exitcode
+
+
 class ShardExecutor:
     """How the coordinator runs work on its shards.
 
-    ``run`` takes ``{shard_id: thunk}`` and returns ``{shard_id:
-    result}``.  Implementations decide *where* the thunks run; the
-    coordinator never assumes more than "every thunk ran to completion
-    before ``run`` returns".
+    ``run`` takes ``{shard_id: task}`` and returns ``{shard_id:
+    result}``; tasks are :class:`ShardCall` command messages (plain
+    zero-argument thunks are accepted by the in-process executors).
+    Implementations decide *where* the tasks run; the coordinator never
+    assumes more than "every task ran to completion before ``run``
+    returns".
     """
 
     def run(self, tasks: Mapping[int, Callable[[], object]]) -> Dict[int, object]:
-        """Run every thunk; return its result keyed by shard id."""
+        """Run every task; return its result keyed by shard id."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -170,13 +268,18 @@ class ThreadedExecutor(ShardExecutor):
     outright), so the per-shard lock is the only synchronisation needed:
     it serialises tasks that target the *same* shard while tasks for
     different shards run concurrently.  The pool is created lazily on
-    first use and sized to ``max_workers`` (default: the first call's
-    fan-out width).
+    first use, sized to ``max_workers`` when given; without a cap it is
+    sized to the widest fan-out seen so far and *grows by replacement*
+    when a wider one arrives — a pool sized to the first call's width
+    would silently queue the extra shards of a later, wider fan-out
+    (e.g. after a band split raises K).
     """
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self.max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_width = 0
+        self._retired: List[ThreadPoolExecutor] = []
         self._locks: Dict[int, threading.Lock] = {}
         self._admin = threading.Lock()
 
@@ -189,9 +292,19 @@ class ThreadedExecutor(ShardExecutor):
 
     def _ensure_pool(self, width: int) -> ThreadPoolExecutor:
         with self._admin:
+            target = self.max_workers or max(width, 1)
+            if self._pool is not None and target > self._pool_width:
+                # Grow by replacement: the old pool drains its in-flight
+                # work on its own threads while new submissions get the
+                # full width.  (ThreadPoolExecutor cannot be resized.)
+                retired = self._pool
+                self._retired.append(retired)
+                retired.shutdown(wait=False)
+                self._pool = None
             if self._pool is None:
+                self._pool_width = max(target, self._pool_width)
                 self._pool = ThreadPoolExecutor(
-                    max_workers=self.max_workers or max(width, 1),
+                    max_workers=self._pool_width,
                     thread_name_prefix="elaps-shard",
                 )
             return self._pool
@@ -217,11 +330,467 @@ class ThreadedExecutor(ShardExecutor):
         return {shard_id: future.result() for shard_id, future in futures.items()}
 
     def close(self) -> None:
-        """Shut the pool down and wait for in-flight shard work."""
+        """Shut the pools down and wait for in-flight shard work."""
         with self._admin:
             pool, self._pool = self._pool, None
+            retired, self._retired = self._retired, []
+            self._pool_width = 0
+        for stale in retired:
+            stale.shutdown(wait=True)
         if pool is not None:
             pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# Process-parallel execution (DESIGN.md §15)
+# ----------------------------------------------------------------------
+class _WorkerTransport(Transport):
+    """The transport a worker-process server is built with.
+
+    Region and delta ships are *buffered* and returned with the command
+    reply — the coordinator replays them into its usual callbacks after
+    the fan-out — while ``locate`` is a synchronous upcall over the
+    worker's pipe: the parent services ``("locate", sub_id)`` requests
+    while it waits for command replies, so an event-arrival ping inside
+    a worker blocks only that worker.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._shipments: List[Tuple] = []
+
+    def ship_region(self, sub_id: int, region: SafeRegion) -> None:
+        """Buffer a full region ship for replay with the next reply."""
+        self._shipments.append(("region", sub_id, region))
+
+    def ship_delta(
+        self, sub_id: int, removed: FrozenSet[Cell], region: SafeRegion
+    ) -> None:
+        """Buffer a delta ship for replay with the next reply."""
+        self._shipments.append(("delta", sub_id, removed, region))
+
+    def locate(self, sub_id: int) -> Optional[Tuple[Point, Point]]:
+        """Ask the coordinator (synchronously, over the pipe) where a
+        subscriber is; blocks only this worker."""
+        self._conn.send(("locate", sub_id))
+        return self._conn.recv()
+
+    def drain(self) -> List[Tuple]:
+        """Return and clear the buffered shipments (sent with replies)."""
+        shipments, self._shipments = self._shipments, []
+        return shipments
+
+
+@dataclass(frozen=True)
+class _ShardSubscriberView:
+    """A picklable snapshot of one worker-side subscriber record — the
+    fields fleet recovery reads (same attribute names as the live
+    :class:`~repro.system.server.SubscriberRecord`)."""
+
+    subscription: Subscription
+    location: Point
+    velocity: Point
+    delivered: FrozenSet[int]
+    safe: Optional[SafeRegion]
+
+
+def _dispatch_command(server: ElapsServer, method: str, args: Tuple) -> object:
+    """Run one command message against the worker-owned server.
+
+    Plain names call the public surface directly; the dunder commands
+    marshal state that is an *attribute* (not a method) on a local
+    server, or that needs a picklable projection.
+    """
+    if method == "__metrics__":
+        return server.metrics
+    if method == "__registry__":
+        return (
+            server.metrics,
+            {
+                stage: histogram.as_dict()
+                for stage, histogram in server.registry.tracer.histograms.items()
+            },
+        )
+    if method == "__describe__":
+        return {
+            sub_id: _ShardSubscriberView(
+                subscription=record.subscription,
+                location=record.location,
+                velocity=record.velocity,
+                delivered=frozenset(record.delivered),
+                safe=record.safe,
+            )
+            for sub_id, record in server.subscribers.items()
+        }
+    if method == "__corpus__":
+        return list(server.corpus_matches(args[0]))
+    if method == "__tracer_set__":
+        setattr(server.tracer, args[0], args[1])
+        return None
+    if method == "__tracer_get__":
+        return getattr(server.tracer, args[0])
+    return getattr(server, method)(*args)
+
+
+def _shard_worker_main(builder, conn) -> None:
+    """The worker-process loop: build the shard's server, then serve
+    command messages until EOF or the ``None`` close sentinel."""
+    transport = _WorkerTransport(conn)
+    server = builder(transport)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message is None:
+                server.close()
+                conn.send(("closed",))
+                break
+            method, args = message
+            try:
+                result = _dispatch_command(server, method, args)
+            except BaseException as exc:  # noqa: BLE001 — marshal everything
+                shipped = transport.drain()
+                remote_tb = traceback.format_exc()
+                try:
+                    conn.send(("error", exc, remote_tb, shipped))
+                except Exception:
+                    # The exception itself would not pickle; ship a
+                    # faithful stand-in so the parent still raises.
+                    conn.send(
+                        ("error", RuntimeError(repr(exc)), remote_tb, shipped)
+                    )
+            else:
+                try:
+                    conn.send(("done", result, transport.drain()))
+                except Exception as exc:
+                    conn.send(
+                        (
+                            "error",
+                            RuntimeError(
+                                f"unpicklable result from {method!r}: {exc!r}"
+                            ),
+                            "",
+                            [],
+                        )
+                    )
+    finally:
+        conn.close()
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side handle on one worker process and its pipe end."""
+
+    shard_id: int
+    process: multiprocessing.process.BaseProcess
+    conn: multiprocessing.connection.Connection
+
+
+class ProcessExecutor(ShardExecutor):
+    """Run each shard in its own OS process — K shards, K cores.
+
+    The fleet constructor calls :meth:`launch` with one builder per
+    shard; each worker process builds its :class:`ElapsServer` *inside
+    the child* (the default ``fork`` start method inherits the grid,
+    strategy factory, and config without pickling them) and then serves
+    :class:`ShardCall` command messages over its pipe.  Only the command
+    arguments, results, and buffered region shipments cross the pipes.
+
+    ``run`` dispatches every task before collecting any reply, so the
+    fan-out genuinely overlaps; while collecting, the parent services
+    the workers' synchronous ``locate`` upcalls.  A dead worker surfaces
+    as :class:`WorkerCrashed`.  ``close`` sends every worker a close
+    sentinel (each closes its server — and journal — cleanly), joins the
+    processes, and is idempotent.
+    """
+
+    #: the fleet builds its workers inside this executor's processes
+    hosts_workers = True
+
+    def __init__(self, mp_context: str = "fork") -> None:
+        if mp_context not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {mp_context!r} unavailable on this platform"
+            )
+        if mp_context != "fork":
+            raise ValueError(
+                "ProcessExecutor requires the 'fork' start method: worker "
+                "builders close over unpicklable factories by design"
+            )
+        self._context = multiprocessing.get_context(mp_context)
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._locate: Optional[Callable] = None
+        self._on_region: Optional[Callable] = None
+        self._on_delta: Optional[Callable] = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has torn the workers down."""
+        return self._closed
+
+    def launch(
+        self,
+        builders: Sequence[Callable[[Transport], ElapsServer]],
+        *,
+        locate: Callable[[int], Optional[Tuple[Point, Point]]],
+        on_region: Callable[[int, int, SafeRegion], None],
+        on_delta: Callable[[int, int, FrozenSet[Cell], SafeRegion], None],
+    ) -> None:
+        """Fork one worker per builder and wire the coordinator hooks."""
+        if self._workers:
+            raise RuntimeError("this ProcessExecutor already hosts a fleet")
+        if self._closed:
+            raise RuntimeError("cannot launch on a closed ProcessExecutor")
+        self._locate = locate
+        self._on_region = on_region
+        self._on_delta = on_delta
+        for shard_id, builder in enumerate(builders):
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(
+                target=_shard_worker_main,
+                args=(builder, child_conn),
+                name=f"elaps-shard-{shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers[shard_id] = _WorkerHandle(shard_id, process, parent_conn)
+
+    def _crashed(self, handle: _WorkerHandle) -> WorkerCrashed:
+        handle.process.join(timeout=5.0)
+        return WorkerCrashed(handle.shard_id, handle.process.exitcode)
+
+    def call(self, shard_id: int, method: str, *args) -> object:
+        """One synchronous command against one worker."""
+        return self.run({shard_id: ShardCall(method, args)})[shard_id]
+
+    def run(self, tasks: Mapping[int, Callable[[], object]]) -> Dict[int, object]:
+        """Dispatch every command, then collect; service locate upcalls."""
+        if self._closed:
+            raise RuntimeError("ProcessExecutor is closed")
+        if not self._workers:
+            raise RuntimeError("ProcessExecutor.run before launch()")
+        pending: Dict[object, _WorkerHandle] = {}
+        for shard_id in sorted(tasks):
+            task = tasks[shard_id]
+            if not isinstance(task, ShardCall):
+                raise TypeError(
+                    f"ProcessExecutor needs ShardCall tasks, got {task!r} "
+                    f"for shard {shard_id}"
+                )
+            handle = self._workers[shard_id]
+            if not handle.process.is_alive():
+                raise self._crashed(handle)
+            try:
+                handle.conn.send((task.method, task.args))
+            except (BrokenPipeError, OSError):
+                raise self._crashed(handle) from None
+            pending[handle.conn] = handle
+        results: Dict[int, object] = {}
+        errors: List[Tuple[int, BaseException, str]] = []
+        shipments: List[Tuple[int, List[Tuple]]] = []
+        while pending:
+            ready = multiprocessing.connection.wait(list(pending))
+            for conn in ready:
+                handle = pending[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    raise self._crashed(handle) from None
+                kind = message[0]
+                if kind == "locate":
+                    conn.send(self._locate(message[1]))
+                elif kind == "done":
+                    _, result, shipped = message
+                    results[handle.shard_id] = result
+                    shipments.append((handle.shard_id, shipped))
+                    del pending[conn]
+                else:  # "error"
+                    _, exc, remote_tb, shipped = message
+                    errors.append((handle.shard_id, exc, remote_tb))
+                    shipments.append((handle.shard_id, shipped))
+                    del pending[conn]
+        # Replay region traffic in shard order — shipments that happened
+        # before a failure are real worker state and must land.
+        for shard_id, shipped in sorted(shipments):
+            for item in shipped:
+                if item[0] == "region":
+                    self._on_region(shard_id, item[1], item[2])
+                else:
+                    self._on_delta(shard_id, item[1], item[2], item[3])
+        if errors:
+            errors.sort(key=lambda entry: entry[0])
+            _, exc, remote_tb = errors[0]
+            exc._remote_traceback = remote_tb
+            raise exc
+        return results
+
+    def close(self) -> None:
+        """Send every worker the close sentinel, then join (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            if handle.process.is_alive():
+                try:
+                    handle.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self._workers.values():
+            try:
+                if handle.conn.poll(5.0):
+                    handle.conn.recv()  # the ("closed",) ack
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            handle.conn.close()
+
+
+def _registry_from_parts(
+    stats: CommunicationStats, spans: Dict[str, Dict]
+) -> MetricsRegistry:
+    """Rebuild a registry from the parts a worker marshals back."""
+    registry = MetricsRegistry(dataclasses.replace(stats))
+    for stage, digest in spans.items():
+        registry.tracer.histograms[stage] = LatencyHistogram.from_dict(digest)
+    return registry
+
+
+class _RemoteTracer:
+    """Attribute proxy for a worker-process tracer: assignments and
+    reads travel over the worker's pipe (``tracer.enabled = True`` on a
+    fleet works identically for local and process workers)."""
+
+    __slots__ = ("_shard",)
+
+    def __init__(self, shard: "_RemoteShard") -> None:
+        object.__setattr__(self, "_shard", shard)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__getattribute__(self, "_shard")._invoke(
+            "__tracer_set__", name, value
+        )
+
+    def __getattr__(self, name: str) -> object:
+        return object.__getattribute__(self, "_shard")._invoke(
+            "__tracer_get__", name
+        )
+
+
+class _RemoteShard:
+    """Coordinator-side stand-in for a worker living in another process.
+
+    Implements the slice of the :class:`ElapsServer` surface the
+    coordinator touches *directly* (outside :meth:`ShardExecutor.run`
+    fan-outs): each method is one synchronous command round-trip.
+    ``metrics``/``registry``/``subscribers`` — attributes on a local
+    worker — marshal picklable snapshots back.
+    """
+
+    def __init__(self, executor: ProcessExecutor, shard_id: int) -> None:
+        self._executor = executor
+        self.shard_id = shard_id
+
+    def _invoke(self, method: str, *args) -> object:
+        return self._executor.call(self.shard_id, method, *args)
+
+    def bootstrap(self, events) -> None:
+        """Load events into the worker without notifying anyone."""
+        self._invoke("bootstrap", list(events))
+
+    def subscribe(self, subscription, location, velocity, now=0):
+        """Register the subscription on the worker; returns (matches, region)."""
+        return self._invoke("subscribe", subscription, location, velocity, now)
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Drop the subscriber from the worker."""
+        self._invoke("unsubscribe", sub_id)
+
+    def publish(self, event, now):
+        """Publish one event on the worker; returns its notifications."""
+        return self._invoke("publish", event, now)
+
+    def publish_batch(self, events, now):
+        """Publish an event batch on the worker; returns its notifications."""
+        return self._invoke("publish_batch", list(events), now)
+
+    def report_location(self, sub_id, location, velocity, now):
+        """Forward a location update; returns (deliveries, region)."""
+        return self._invoke("report_location", sub_id, location, velocity, now)
+
+    def resync(self, sub_id, location, velocity, received, now):
+        """Replay a client resync on the worker (exactly-once dedup)."""
+        return self._invoke("resync", sub_id, location, velocity, received, now)
+
+    def expire_due_events(self, now: int) -> int:
+        """Expire due events on the worker; returns how many left."""
+        return self._invoke("expire_due_events", now)
+
+    def rebuild_all(self, now: int) -> None:
+        """Rebuild every cached safe region on the worker."""
+        self._invoke("rebuild_all", now)
+
+    def system_stats(self, now: int) -> SystemStats:
+        """The worker's :class:`SystemStats` snapshot."""
+        return self._invoke("system_stats", now)
+
+    def extract_events_in_columns(self, ranges) -> List[Event]:
+        """Remove and return the worker's events in the column ranges
+        (the donor half of a band move)."""
+        return self._invoke("extract_events_in_columns", tuple(ranges))
+
+    def resequence_subscriptions(self, order) -> None:
+        """Re-insert the worker's subscriptions in coordinator order."""
+        self._invoke("resequence_subscriptions", list(order))
+
+    def snapshot(self) -> None:
+        """Force a journal snapshot on the worker."""
+        self._invoke("snapshot")
+
+    def recover(self) -> int:
+        """Replay the worker's journal; returns the records applied."""
+        return self._invoke("recover")
+
+    def corpus_matches(self, expression) -> Iterator[Event]:
+        """Iterate the worker's live events matching the expression."""
+        return iter(self._invoke("__corpus__", expression))
+
+    @property
+    def metrics(self) -> CommunicationStats:
+        """A picklable snapshot of the worker's communication stats."""
+        return self._invoke("__metrics__")
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The worker's metrics registry, rebuilt from marshalled parts."""
+        stats, spans = self._invoke("__registry__")
+        return _registry_from_parts(stats, spans)
+
+    @property
+    def subscribers(self) -> Dict[int, _ShardSubscriberView]:
+        """Lightweight views of the worker's subscriber records."""
+        return self._invoke("__describe__")
+
+    @property
+    def tracer(self) -> _RemoteTracer:
+        """A proxy forwarding tracer toggles over the pipe."""
+        return _RemoteTracer(self)
+
+    def close(self) -> None:
+        """A no-op once the executor shut the worker down (the close
+        sentinel already closed the remote server and its journal)."""
+        if not self._executor.closed and self._workers_alive():
+            self._invoke("close")
+
+    def _workers_alive(self) -> bool:
+        handle = self._executor._workers.get(self.shard_id)
+        return handle is not None and handle.process.is_alive()
 
 
 # ----------------------------------------------------------------------
@@ -313,13 +882,22 @@ class ShardedElapsServer:
         transport: Optional[Transport] = None,
         event_index_factory: Optional[Callable[[], object]] = None,
         subscription_index_factory: Optional[Callable[[], object]] = None,
+        rebalance: Optional[RebalancePolicy] = None,
     ) -> None:
         self.grid = grid
         self.config = config or ServerConfig()
         self.specs = partition_columns(grid, shards)
-        self.executor = executor or SerialExecutor()
+        if executor is None:
+            executor = self._executor_from_config(
+                self.config.shard_executor, len(self.specs)
+            )
+        self.executor = executor
         #: the client-facing seam, exactly as on a single server
         self.transport: Optional[Transport] = transport
+        #: boundary-move policy; ``None`` keeps the bands static
+        self.rebalance_policy = (
+            rebalance if rebalance is not None else self.config.rebalance
+        )
 
         if isinstance(strategy, SafeRegionStrategy):
             factory: Callable[[ShardSpec], SafeRegionStrategy] = (
@@ -342,19 +920,57 @@ class ShardedElapsServer:
                 return self.config
             return self.config.with_(journal=self.config.journal.for_shard(spec.shard_id))
 
-        self.shard_servers: List[ElapsServer] = [
-            ElapsServer(
-                grid,
-                factory(spec),
-                worker_config(spec),
-                event_index=event_index_factory() if event_index_factory else None,
-                subscription_index=(
-                    subscription_index_factory() if subscription_index_factory else None
-                ),
-                transport=_ShardTransport(self, spec.shard_id),
+        if getattr(self.executor, "hosts_workers", False):
+            # Process fleet: each worker server is built *inside* its
+            # forked child (the builder closure carries the grid, the
+            # strategy factory and the config across the fork without
+            # pickling); the coordinator keeps pipe-backed proxies.
+            def make_builder(spec: ShardSpec) -> Callable[[Transport], ElapsServer]:
+                """A builder closure for this band, run inside the fork."""
+                band_config = worker_config(spec)
+
+                def build(worker_transport: Transport) -> ElapsServer:
+                    """Construct the band's server around the worker pipe."""
+                    return ElapsServer(
+                        grid,
+                        factory(spec),
+                        band_config,
+                        event_index=(
+                            event_index_factory() if event_index_factory else None
+                        ),
+                        subscription_index=(
+                            subscription_index_factory()
+                            if subscription_index_factory
+                            else None
+                        ),
+                        transport=worker_transport,
+                    )
+
+                return build
+
+            self.executor.launch(
+                [make_builder(spec) for spec in self.specs],
+                locate=self._locate_subscriber,
+                on_region=self._on_shard_region,
+                on_delta=self._on_shard_delta,
             )
-            for spec in self.specs
-        ]
+            self.shard_servers: List[ElapsServer] = [
+                _RemoteShard(self.executor, spec.shard_id) for spec in self.specs
+            ]
+        else:
+            self.shard_servers = [
+                ElapsServer(
+                    grid,
+                    factory(spec),
+                    worker_config(spec),
+                    event_index=event_index_factory() if event_index_factory else None,
+                    subscription_index=(
+                        subscription_index_factory() if subscription_index_factory else None
+                    ),
+                    transport=_ShardTransport(self, spec.shard_id),
+                )
+                for spec in self.specs
+            ]
         #: column index → owning shard id
         self._shard_by_column: List[int] = [0] * grid.n
         for spec in self.specs:
@@ -373,6 +989,31 @@ class ShardedElapsServer:
         self.tracer = self.registry.tracer
         self._dirty: Dict[int, _Dirty] = {}
         self._mutex = threading.Lock()
+        #: per-column published-event counters — the load signal the
+        #: rebalance policy cuts new boundaries from
+        self._column_load: List[float] = [0.0] * grid.n
+        self._events_seen = 0
+        self._events_since_check = 0
+        #: boundary moves performed so far
+        self.rebalances = 0
+
+    @staticmethod
+    def _executor_from_config(kind: Optional[str], shards: int) -> ShardExecutor:
+        """The executor the config's ``shard_executor`` knob names."""
+        if kind is None or kind == "serial":
+            return SerialExecutor()
+        if kind == "threaded":
+            return ThreadedExecutor(max_workers=shards)
+        if kind == "process":
+            return ProcessExecutor()
+        raise ValueError(f"unknown shard executor kind {kind!r}")
+
+    def _call(self, shard_id: int, method: str, *args) -> ShardCall:
+        """One unit of shard work, in command-message form."""
+        worker = self.shard_servers[shard_id]
+        return ShardCall(
+            method, args, local=lambda: getattr(worker, method)(*args)
+        )
 
     # ------------------------------------------------------------------
     # Routing
@@ -518,10 +1159,9 @@ class ShardedElapsServer:
             subscription = record.subscription
             results = self.executor.run(
                 {
-                    shard_id: (
-                        lambda worker=self.shard_servers[shard_id]: worker.subscribe(
-                            subscription, record.location, record.velocity, now
-                        )
+                    shard_id: self._call(
+                        shard_id, "subscribe",
+                        subscription, record.location, record.velocity, now,
                     )
                     for shard_id in new
                 }
@@ -530,6 +1170,44 @@ class ShardedElapsServer:
                 shard_notifications, _ = results[shard_id]
                 notifications.extend(self._absorb(shard_notifications))
             self._recompute_held(record)
+
+    def _prune_homes(
+        self,
+        record: ShardedSubscriberRecord,
+        now: int,
+        notifications: List[Notification],
+    ) -> None:
+        """Drop every home the invariant no longer requires.
+
+        Homes are sticky across ordinary movement (re-subscribing on
+        return would re-run a corpus match), but across a *rebalance*
+        stale homes are pure erosion: a migrated subscriber would stay
+        registered on its pre-move owner forever, and after a few
+        boundary moves every shard would hold every subscriber — exactly
+        the load the repartition exists to split.  Dropping a
+        non-required home only removes duplicate candidate matches; the
+        required set still covers the owner, the notification circle and
+        the held region's dilation, which is what makes sharding
+        lossless.  Removing a region from the held intersection can only
+        grow it, so the grown span may demand homes back — re-home to
+        the fixpoint afterwards.
+        """
+        stale = record.homes - self._desired_homes(record)
+        if not stale:
+            return
+        record.homes -= stale
+        for shard_id in stale:
+            record.shard_regions.pop(shard_id, None)
+        self.executor.run(
+            {
+                shard_id: self._call(
+                    shard_id, "unsubscribe", record.subscription.sub_id
+                )
+                for shard_id in stale
+            }
+        )
+        self._recompute_held(record)
+        self._rehome(record, now, notifications)
 
     def _settle(self, now: int, notifications: List[Notification]) -> None:
         """Drain pending region changes: merge, re-home, ship once.
@@ -603,6 +1281,12 @@ class ShardedElapsServer:
             owner=self.shard_of_point(location),
             delivered=existing.delivered if existing is not None else set(),
         )
+        # Pop-then-insert so a resubscriber moves to the *end* of the
+        # coordinator's subscribe order — exactly where a single server's
+        # subscription index puts it (delete + insert).  The order is
+        # what :meth:`ElapsServer.resequence_subscriptions` restores on
+        # shards that gain members during a rebalance.
+        self.subscribers.pop(subscription.sub_id, None)
         self.subscribers[subscription.sub_id] = record
         notifications: List[Notification] = []
         if existing is not None and existing.homes:
@@ -612,10 +1296,8 @@ class ShardedElapsServer:
             record.homes = set(existing.homes)
             results = self.executor.run(
                 {
-                    shard_id: (
-                        lambda worker=self.shard_servers[shard_id]: worker.subscribe(
-                            subscription, location, velocity, now
-                        )
+                    shard_id: self._call(
+                        shard_id, "subscribe", subscription, location, velocity, now
                     )
                     for shard_id in record.homes
                 }
@@ -638,11 +1320,7 @@ class ShardedElapsServer:
         if record.homes:
             self.executor.run(
                 {
-                    shard_id: (
-                        lambda worker=self.shard_servers[
-                            shard_id
-                        ]: worker.unsubscribe(sub_id)
-                    )
+                    shard_id: self._call(shard_id, "unsubscribe", sub_id)
                     for shard_id in record.homes
                 }
             )
@@ -650,10 +1328,13 @@ class ShardedElapsServer:
     def publish(self, event: Event, now: int) -> List[Notification]:
         """Route one event to its owning shard; settle region changes."""
         shard_id = self.shard_of_point(event.location)
-        worker = self.shard_servers[shard_id]
-        results = self.executor.run({shard_id: lambda: worker.publish(event, now)})
+        results = self.executor.run(
+            {shard_id: self._call(shard_id, "publish", event, now)}
+        )
         notifications = self._absorb(results[shard_id])
+        self._note_load([event])
         self._settle(now, notifications)
+        self._maybe_rebalance(now, notifications)
         return notifications
 
     def publish_batch(self, events: List[Event], now: int) -> List[Notification]:
@@ -673,22 +1354,21 @@ class ShardedElapsServer:
             groups.setdefault(self.shard_of_point(event.location), []).append(event)
         results = self.executor.run(
             {
-                shard_id: (
-                    lambda worker=self.shard_servers[shard_id],
-                    shard_events=shard_events: worker.publish_batch(
-                        shard_events, now
-                    )
-                )
+                shard_id: self._call(shard_id, "publish_batch", shard_events, now)
                 for shard_id, shard_events in groups.items()
             }
         )
-        position = {id(event): index for index, event in enumerate(events)}
+        position = {
+            event.event_id: index for index, event in enumerate(events)
+        }
         merged: List[Notification] = []
         for shard_id in sorted(results):
             merged.extend(results[shard_id])
-        merged.sort(key=lambda n: position.get(id(n.event), len(events)))
+        merged.sort(key=lambda n: position.get(n.event.event_id, len(events)))
         notifications = self._absorb(merged)
+        self._note_load(events)
         self._settle(now, notifications)
+        self._maybe_rebalance(now, notifications)
         return notifications
 
     def report_location(
@@ -700,10 +1380,8 @@ class ShardedElapsServer:
         record.velocity = velocity
         results = self.executor.run(
             {
-                shard_id: (
-                    lambda worker=self.shard_servers[
-                        shard_id
-                    ]: worker.report_location(sub_id, location, velocity, now)
+                shard_id: self._call(
+                    shard_id, "report_location", sub_id, location, velocity, now
                 )
                 for shard_id in record.homes
             }
@@ -730,10 +1408,8 @@ class ShardedElapsServer:
         record.delivered = set(received)
         results = self.executor.run(
             {
-                shard_id: (
-                    lambda worker=self.shard_servers[shard_id]: worker.resync(
-                        sub_id, location, velocity, received, now
-                    )
+                shard_id: self._call(
+                    shard_id, "resync", sub_id, location, velocity, received, now
                 )
                 for shard_id in record.homes
             }
@@ -749,11 +1425,7 @@ class ShardedElapsServer:
         """Expire on every shard; Lemma 4 — still no client traffic."""
         results = self.executor.run(
             {
-                spec.shard_id: (
-                    lambda worker=self.shard_servers[
-                        spec.shard_id
-                    ]: worker.expire_due_events(now)
-                )
+                spec.shard_id: self._call(spec.shard_id, "expire_due_events", now)
                 for spec in self.specs
             }
         )
@@ -763,15 +1435,253 @@ class ShardedElapsServer:
         """Rebuild every record on every shard with fresh statistics."""
         self.executor.run(
             {
-                spec.shard_id: (
-                    lambda worker=self.shard_servers[
-                        spec.shard_id
-                    ]: worker.rebuild_all(now)
-                )
+                spec.shard_id: self._call(spec.shard_id, "rebuild_all", now)
                 for spec in self.specs
             }
         )
         self._settle(now, [])
+
+    # ------------------------------------------------------------------
+    # Load-adaptive repartitioning (DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def _bounds(self) -> List[int]:
+        """The current column boundaries ``[0, c1, ..., grid.n]``."""
+        return [spec.col_lo for spec in self.specs] + [self.grid.n]
+
+    def _note_load(self, events: Sequence[Event]) -> None:
+        """Record published events in the per-column load counters."""
+        cell_of = self.grid.cell_of
+        load = self._column_load
+        for event in events:
+            load[cell_of(event.location)[0]] += 1.0
+        self._events_seen += len(events)
+        self._events_since_check += len(events)
+
+    def _band_loads(self) -> List[float]:
+        """Observed load per current band (sum of its column counters)."""
+        return [
+            sum(self._column_load[spec.col_lo : spec.col_hi])
+            for spec in self.specs
+        ]
+
+    def shard_loads(self) -> List[float]:
+        """The rebalance signal: observed event load per band."""
+        return self._band_loads()
+
+    def _balanced_bounds(self) -> List[int]:
+        """Column boundaries giving every band an equal share of the
+        observed load — the equi-depth cut over the column histogram.
+
+        Each cut lands where the load prefix sum crosses ``k/K`` of the
+        total, clamped so no band goes empty (every band keeps at least
+        one column, matching :func:`partition_columns`'s contract).
+        """
+        n = self.grid.n
+        shards = len(self.specs)
+        prefix = [0.0]
+        for value in self._column_load:
+            prefix.append(prefix[-1] + value)
+        total = prefix[-1]
+        bounds = [0]
+        for k in range(1, shards):
+            lo = bounds[-1] + 1
+            hi = n - (shards - k)
+            cut = bisect.bisect_left(prefix, total * k / shards, lo=lo, hi=hi)
+            bounds.append(cut)
+        bounds.append(n)
+        return bounds
+
+    def _maybe_rebalance(self, now: int, notifications: List[Notification]) -> None:
+        """Policy-driven check after a publish: move the boundaries when
+        the hottest band's load share crosses the imbalance threshold."""
+        policy = self.rebalance_policy
+        if policy is None or len(self.specs) < 2:
+            return
+        if self._events_seen < policy.min_events:
+            return
+        if self._events_since_check < policy.check_every:
+            return
+        self._events_since_check = 0
+        loads = self._band_loads()
+        total = sum(loads)
+        if total <= 0.0:
+            return
+        if max(loads) <= policy.max_imbalance * (total / len(loads)):
+            return
+        bounds = self._balanced_bounds()
+        if bounds == self._bounds():
+            return
+        self._rebalance_to(bounds, now, notifications)
+
+    def rebalance_now(self, now: int = 0, bounds: Optional[Sequence[int]] = None) -> bool:
+        """Force one boundary move, policy or no policy.
+
+        With ``bounds`` the fleet re-cuts to exactly those column
+        boundaries; without, it cuts to :meth:`_balanced_bounds` over the
+        load observed so far (a no-op before any publish).  Returns True
+        when the boundaries actually changed.  Useful for tests and for
+        operators pre-warming a known hotspot.
+        """
+        if bounds is None:
+            if not any(self._column_load):
+                return False
+            bounds = self._balanced_bounds()
+        bounds = [int(b) for b in bounds]
+        if bounds == self._bounds():
+            return False
+        self._rebalance_to(bounds, now, [])
+        return True
+
+    def _rebalance_to(
+        self, bounds: Sequence[int], now: int, notifications: List[Notification]
+    ) -> None:
+        """Move the band boundaries to ``bounds``: migrate events,
+        re-home subscribers, restore notification order, persist.
+
+        The move emits no fresh client deliveries by construction: every
+        live event within a subscriber's radius was already delivered
+        under the homing invariant, so the corpus matches produced by
+        re-homing are all absorbed as duplicates, and migration itself
+        (extract + bootstrap) never runs arrival processing (Def. 1 is a
+        conjunction over events — removing one can only grow true safe
+        regions, and the receiving shard's regions are rebuilt through
+        the normal re-home flow).
+        """
+        n = self.grid.n
+        old_map = self._shard_by_column
+        new_specs = partition_columns(self.grid, bounds)
+        new_map = [0] * n
+        for spec in new_specs:
+            for column in range(spec.col_lo, spec.col_hi):
+                new_map[column] = spec.shard_id
+        if new_map == old_map:
+            return
+        pre_members: List[Set[int]] = [
+            {
+                sub_id
+                for sub_id, record in self.subscribers.items()
+                if shard_id in record.homes
+            }
+            for shard_id in range(len(self.specs))
+        ]
+        # 1. Extract every moving column's events from its donor shard,
+        #    as contiguous half-open ranges (journaled on the donor).
+        donor_ranges: Dict[int, List[Tuple[int, int]]] = {}
+        column = 0
+        while column < n:
+            donor = old_map[column]
+            if new_map[column] == donor:
+                column += 1
+                continue
+            start = column
+            while (
+                column < n
+                and old_map[column] == donor
+                and new_map[column] != donor
+            ):
+                column += 1
+            donor_ranges.setdefault(donor, []).append((start, column))
+        extracted = self.executor.run(
+            {
+                donor: self._call(
+                    donor, "extract_events_in_columns", tuple(ranges)
+                )
+                for donor, ranges in donor_ranges.items()
+            }
+        )
+        # 2. Switch the routing map; from here on new operations land on
+        #    the new owners.
+        self.specs = new_specs
+        self._shard_by_column = new_map
+        # 3. Hand the moved events to their new owners (journaled there
+        #    as a bootstrap), in deterministic arrival order.
+        regroup: Dict[int, List[Event]] = {}
+        for donor in sorted(extracted):
+            for event in extracted[donor]:
+                regroup.setdefault(
+                    self.shard_of_point(event.location), []
+                ).append(event)
+        for group in regroup.values():
+            group.sort(key=lambda e: (e.arrived_at, e.event_id))
+        if regroup:
+            self.executor.run(
+                {
+                    shard_id: self._call(shard_id, "bootstrap", group)
+                    for shard_id, group in regroup.items()
+                }
+            )
+        # 4. Re-home every subscriber under the new map (owners may have
+        #    changed; new homes run the full subscribe flow, their corpus
+        #    matches deduped to nothing by _absorb), then prune the homes
+        #    the invariant no longer requires under the new boundaries.
+        for record in list(self.subscribers.values()):
+            record.owner = self.shard_of_point(record.location)
+            self._rehome(record, now, notifications)
+            self._prune_homes(record, now, notifications)
+        # 5. Restore single-server notification order on every shard
+        #    that gained members: re-homed subscribers were appended at
+        #    the end of the shard's index, out of subscribe order.
+        order = tuple(self.subscribers)
+        gaining = [
+            shard_id
+            for shard_id in range(len(self.specs))
+            if {
+                sub_id
+                for sub_id, record in self.subscribers.items()
+                if shard_id in record.homes
+            }
+            - pre_members[shard_id]
+        ]
+        if gaining:
+            self.executor.run(
+                {
+                    shard_id: self._call(
+                        shard_id, "resequence_subscriptions", order
+                    )
+                    for shard_id in gaining
+                }
+            )
+        self._settle(now, notifications)
+        # 6. Age the load signal so the policy tracks a moving hotspot.
+        decay = (
+            self.rebalance_policy.decay
+            if self.rebalance_policy is not None
+            else RebalancePolicy().decay
+        )
+        self._column_load = [value * decay for value in self._column_load]
+        self.rebalances += 1
+        self._persist_bounds()
+
+    def _persist_bounds(self) -> None:
+        """Write the live boundaries next to the band journals.
+
+        The workers journal the migration itself (EXTRACT on the donor,
+        BOOTSTRAP on the receiver), but the *routing map* lives only in
+        the coordinator — without it a recovered fleet would route new
+        events by the original even split and break the homing
+        invariant.  A tiny ``fleet.json`` under the journal root closes
+        the gap; fleets without a journal skip it (nothing to recover).
+        """
+        if self.config.journal is None:
+            return
+        os.makedirs(self.config.journal.path, exist_ok=True)
+        path = os.path.join(self.config.journal.path, "fleet.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"bounds": self._bounds(), "rebalances": self.rebalances}, fh
+            )
+        os.replace(tmp, path)
+
+    def _load_bounds(self) -> Optional[Dict[str, object]]:
+        if self.config.journal is None:
+            return None
+        path = os.path.join(self.config.journal.path, "fleet.json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
 
     def system_stats(self, now: int) -> SystemStats:
         """Fleet-wide cost-model inputs: summed rate, summed corpus."""
@@ -805,7 +1715,22 @@ class ShardedElapsServer:
         client tracks ``max(seen, new)`` anyway, so a conservative
         restart cannot corrupt gap detection.  Returns the total number
         of tail records the workers applied.
+
+        When the fleet rebalanced before the crash, the persisted
+        ``fleet.json`` boundary map is restored *first*, so the routing
+        the coordinator rebuilds (owners, homes) matches the column
+        ownership the band journals replay into the workers.
         """
+        fleet_meta = self._load_bounds()
+        if fleet_meta is not None:
+            self.specs = partition_columns(
+                self.grid, [int(b) for b in fleet_meta["bounds"]]
+            )
+            self._shard_by_column = [0] * self.grid.n
+            for spec in self.specs:
+                for column in range(spec.col_lo, spec.col_hi):
+                    self._shard_by_column[column] = spec.shard_id
+            self.rebalances = int(fleet_meta.get("rebalances", 0))
         applied = 0
         for worker in self.shard_servers:
             applied += worker.recover()

@@ -1,0 +1,230 @@
+"""Process-parallel shard fleet (DESIGN.md §15): worker processes each
+owning a full per-shard ElapsServer behind pipe-shipped command messages.
+
+Two layers of coverage:
+
+* plumbing — command round-trips, locate upcalls, metrics/histogram
+  marshalling, tracer proxying, crash surfacing, close idempotency;
+* the differential — the golden 20-subscriber/200-event trace must stay
+  **byte-identical** to the frozen single-server log through a process
+  fleet, including across a forced mid-run rebalance (marked ``fleet``:
+  these spawn worker processes and dominate the file's runtime).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import IGM
+from repro.expressions import BooleanExpression, Event, Operator, Predicate, Subscription
+from repro.geometry import Grid, Point, Rect
+from repro.index import BEQTree
+from repro.system import (
+    CallbackTransport,
+    ProcessExecutor,
+    ServerConfig,
+    SerialExecutor,
+    ShardCall,
+    ShardedElapsServer,
+    WorkerCrashed,
+)
+
+from test_golden_trace import GOLDEN, GROUPS, SPACE
+from test_sharding import make_sharded, make_sub, run_sharded_simulation, sale
+
+
+def make_process_fleet(shards=2, **kwargs):
+    return make_sharded(shards, executor=ProcessExecutor(), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Command-message plumbing
+# ----------------------------------------------------------------------
+class TestProcessPlumbing:
+    def test_publish_round_trip_delivers(self):
+        with make_process_fleet(2) as server:
+            notes, region = server.subscribe(
+                make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0
+            )
+            assert notes == []
+            assert region is not None and not region.is_empty()
+            notes = server.publish(sale(10, 5_100, 5_000), now=1)
+            assert [n.event.event_id for n in notes] == [10]
+            assert server.delivered_ids(1) == frozenset({10})
+
+    def test_delivered_sets_match_serial_fleet(self):
+        def drive(server):
+            rng = random.Random(3)
+            pairs = []
+            for sub_id in range(1, 6):
+                server.subscribe(
+                    make_sub(sub_id=sub_id, radius=2_500.0),
+                    Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)),
+                    Point(0, 0),
+                    0,
+                )
+            for event_id in range(60):
+                notes = server.publish(
+                    sale(event_id, rng.uniform(0, 10_000), rng.uniform(0, 10_000)),
+                    now=1 + event_id,
+                )
+                pairs += [(n.sub_id, n.event.event_id, n.seq) for n in notes]
+            server.close()
+            return pairs
+
+        serial = drive(make_sharded(2, executor=SerialExecutor()))
+        process = drive(make_process_fleet(2))
+        assert process == serial
+
+    def test_locate_upcall_reaches_the_coordinator_transport(self):
+        asked = []
+
+        def locate(sub_id):
+            asked.append(sub_id)
+            return Point(5_000, 5_000), Point(0, 0)
+
+        with make_process_fleet(
+            2, transport=CallbackTransport(locate=locate)
+        ) as server:
+            server.subscribe(
+                make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0
+            )
+            server.publish(sale(10, 5_100, 5_000), now=1)
+        assert asked  # the worker's arrival ping crossed the pipe
+
+    def test_metrics_and_registry_marshalled_from_workers(self):
+        with make_process_fleet(2) as server:
+            server.subscribe(
+                make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0
+            )
+            server.publish(sale(10, 5_100, 5_000), now=1)
+            merged = server.merged_metrics()
+            assert merged.notifications == 1
+            assert merged.constructions >= 1
+            registry = server.merged_registry()
+            assert registry.tracer.histogram("publish").count >= 1
+
+    def test_tracer_attributes_proxy_across_the_pipe(self):
+        with make_process_fleet(2) as server:
+            worker = server.shard_servers[0]
+            worker.tracer.enabled = False
+            assert worker.tracer.enabled is False
+            worker.tracer.enabled = True
+            assert worker.tracer.enabled is True
+
+    def test_remote_corpus_and_subscriber_views(self):
+        with make_process_fleet(2) as server:
+            server.bootstrap([sale(1, 2_000, 5_000, arrived_at=0)])
+            server.subscribe(
+                make_sub(radius=3_000.0), Point(2_000, 5_000), Point(0, 0), 0
+            )
+            matches = list(server.corpus_matches(make_sub().expression))
+            assert [e.event_id for e in matches] == [1]
+            views = server.shard_servers[0].subscribers
+            assert 1 in views and views[1].delivered == frozenset({1})
+
+    def test_worker_errors_carry_type_and_remote_traceback(self):
+        with make_process_fleet(2) as server:
+            with pytest.raises(KeyError) as info:
+                server.shard_servers[0].report_location(
+                    999, Point(0, 0), Point(0, 0), 1
+                )
+            assert "extract_events_in_columns" not in str(info.value)
+            assert hasattr(info.value, "_remote_traceback")
+            # the fleet survives a failed command
+            server.publish(sale(5, 1_000, 5_000), now=1)
+
+    def test_run_rejects_plain_thunks(self):
+        with make_process_fleet(2) as server:
+            with pytest.raises(TypeError):
+                server.executor.run({0: lambda: 1})
+
+    def test_shardcall_without_local_binding_rejects_local_call(self):
+        call = ShardCall("publish", (None, 1))
+        with pytest.raises(TypeError):
+            call()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and crash surfacing
+# ----------------------------------------------------------------------
+class TestProcessLifecycle:
+    def test_close_is_idempotent_and_joins_workers(self):
+        server = make_process_fleet(2)
+        handles = list(server.executor._workers.values())
+        server.publish(sale(1, 5_000, 5_000), now=1)
+        server.close()
+        server.close()
+        assert all(not h.process.is_alive() for h in handles)
+
+    def test_context_manager_shuts_the_fleet_down(self):
+        with make_process_fleet(2) as server:
+            handles = list(server.executor._workers.values())
+            server.publish(sale(1, 5_000, 5_000), now=1)
+        assert all(not h.process.is_alive() for h in handles)
+
+    def test_run_after_close_raises(self):
+        server = make_process_fleet(2)
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.executor.call(0, "expire_due_events", 1)
+
+    def test_worker_crash_surfaces_as_workercrashed(self):
+        server = make_process_fleet(2)
+        server.publish(sale(1, 2_000, 5_000), now=1)
+        # murder shard 1, then route an event into its band
+        server.executor._workers[1].process.kill()
+        with pytest.raises(WorkerCrashed) as info:
+            for event_id in range(2, 6):
+                server.publish(sale(event_id, 8_000, 5_000), now=2)
+        assert info.value.shard_id == 1
+        server.close()  # close after a crash must not hang
+
+    def test_crash_detected_even_mid_wait(self):
+        server = make_process_fleet(2)
+        server.subscribe(
+            make_sub(radius=3_000.0), Point(8_000, 5_000), Point(0, 0), 0
+        )
+        server.executor._workers[1].process.kill()
+        with pytest.raises(WorkerCrashed):
+            for event_id in range(40):
+                server.publish(sale(event_id, 8_000, 5_000), now=1)
+        server.close()
+
+    def test_launch_twice_rejected(self):
+        server = make_process_fleet(2)
+        with pytest.raises(RuntimeError):
+            server.executor.launch(
+                [lambda t: None], locate=lambda s: None,
+                on_region=lambda *a: None, on_delta=lambda *a: None,
+            )
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# The golden differential through worker processes
+# ----------------------------------------------------------------------
+@pytest.mark.fleet
+class TestProcessGoldenDifferential:
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_process_fleet_trace_is_byte_identical(self, batched):
+        """run() collects every reply before merging, and merges in
+        shard order — so even the batched fan-out is deterministic."""
+        frozen = GOLDEN.read_bytes()
+        trace = run_sharded_simulation(
+            4, batched=batched, executor=ProcessExecutor()
+        )
+        assert trace.encode() == frozen
+
+    def test_process_fleet_survives_a_forced_rebalance(self):
+        """Band migration over pipes — extract on the donor, bootstrap
+        on the receiver, re-homed subscribers re-sequenced — without
+        changing one byte of the delivered trace."""
+        frozen = GOLDEN.read_bytes()
+        trace = run_sharded_simulation(
+            4, batched=False, executor=ProcessExecutor(),
+            rebalance_at=GROUPS // 2, bounds=[0, 5, 12, 30, 40],
+        )
+        assert trace.encode() == frozen

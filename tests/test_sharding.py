@@ -15,6 +15,7 @@ subscriber whose circle its band can touch.
 from __future__ import annotations
 
 import random
+import threading
 from typing import List
 
 import pytest
@@ -27,6 +28,7 @@ from repro.index import BEQTree, SubscriptionIndex
 from repro.system import (
     CallbackTransport,
     ElapsServer,
+    RebalancePolicy,
     SerialExecutor,
     ServerConfig,
     ShardedElapsServer,
@@ -92,6 +94,35 @@ class TestPartitionColumns:
             partition_columns(grid, 0)
         with pytest.raises(ValueError):
             partition_columns(grid, grid.n + 1)
+
+    def test_explicit_uneven_boundaries(self):
+        grid = Grid(40, SPACE)
+        specs = partition_columns(grid, [0, 3, 5, 30, 40])
+        assert [(s.col_lo, s.col_hi) for s in specs] == [
+            (0, 3), (3, 5), (5, 30), (30, 40),
+        ]
+        assert specs[0].rect.x_min == SPACE.x_min
+        assert specs[-1].rect.x_max == pytest.approx(SPACE.x_max)
+        for left, right in zip(specs, specs[1:]):
+            assert left.rect.x_max == pytest.approx(right.rect.x_min)
+
+    def test_explicit_boundaries_validated(self):
+        grid = Grid(40, SPACE)
+        with pytest.raises(ValueError):
+            partition_columns(grid, [0])  # too short
+        with pytest.raises(ValueError):
+            partition_columns(grid, [1, 40])  # must start at 0
+        with pytest.raises(ValueError):
+            partition_columns(grid, [0, 39])  # must end at grid.n
+        with pytest.raises(ValueError):
+            partition_columns(grid, [0, 10, 10, 40])  # empty band
+        with pytest.raises(ValueError):
+            partition_columns(grid, [0, 20, 10, 40])  # decreasing
+
+    def test_single_band_boundaries_allowed(self):
+        grid = Grid(40, SPACE)
+        specs = partition_columns(grid, [0, 40])
+        assert [(s.col_lo, s.col_hi) for s in specs] == [(0, 40)]
 
 
 # ----------------------------------------------------------------------
@@ -238,8 +269,15 @@ class TestCoordinatorTransport:
 # ----------------------------------------------------------------------
 # The golden sharded-vs-single differential
 # ----------------------------------------------------------------------
-def run_sharded_simulation(shards: int, batched: bool, executor=None) -> str:
-    """The golden-trace workload against a sharded fleet."""
+def run_sharded_simulation(
+    shards: int, batched: bool, executor=None, rebalance_at=None, bounds=None
+) -> str:
+    """The golden-trace workload against a sharded fleet.
+
+    ``rebalance_at`` forces one boundary move (to ``bounds``, or to the
+    load-balanced cut) after that publish group — the frozen trace must
+    survive it byte-for-byte.
+    """
     generator = TwitterLikeGenerator(SPACE, seed=SEED)
     subscriptions = generator.subscriptions(20, size=2, radius=3_000)
     rng = random.Random(SEED * 101)
@@ -274,6 +312,9 @@ def run_sharded_simulation(shards: int, batched: bool, executor=None) -> str:
         else:
             for event in events:
                 record(server.publish(event, now))
+        if rebalance_at == group:
+            assert server.rebalance_now(now=now, bounds=bounds)
+            assert server.rebalances == 1
     server.close()
     return "\n".join(lines) + "\n"
 
@@ -302,6 +343,25 @@ class TestGoldenDifferential:
         frozen_lines = sorted(GOLDEN.read_text().splitlines())
         trace = run_sharded_simulation(4, batched=True, executor=ThreadedExecutor())
         assert sorted(trace.splitlines()) == frozen_lines
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_forced_rebalance_keeps_the_trace_byte_identical(self, batched):
+        """A mid-run boundary move (events migrated, subscribers
+        re-homed, indexes re-sequenced) must not change a single byte of
+        the delivered trace — the safety contract of DESIGN.md §15."""
+        frozen = GOLDEN.read_bytes()
+        trace = run_sharded_simulation(
+            4, batched=batched, rebalance_at=GROUPS // 2,
+            bounds=[0, 5, 12, 30, 40],
+        )
+        assert trace.encode() == frozen
+
+    def test_load_balanced_cut_keeps_the_trace_byte_identical(self):
+        """Same differential, but the new boundaries come from the
+        observed load histogram instead of being pinned by the test."""
+        frozen = GOLDEN.read_bytes()
+        trace = run_sharded_simulation(4, batched=False, rebalance_at=GROUPS // 2)
+        assert trace.encode() == frozen
 
 
 # ----------------------------------------------------------------------
@@ -410,3 +470,166 @@ class TestAggregates:
         server.subscribe(sub, Point(5_000, 5_000), Point(20, 0), now=0)
         notes = server.publish(sale(2, 5_200, 5_000, arrived_at=1), now=1)
         assert [n.event.event_id for n in notes] == [2]
+
+
+# ----------------------------------------------------------------------
+# Executor lifecycle
+# ----------------------------------------------------------------------
+class TestExecutorLifecycle:
+    @pytest.mark.parametrize(
+        "make",
+        [SerialExecutor, ThreadedExecutor],
+        ids=["serial", "threaded"],
+    )
+    def test_close_is_idempotent(self, make):
+        executor = make()
+        executor.run({0: lambda: 1})
+        executor.close()
+        executor.close()  # a second close must be a no-op
+
+    def test_context_manager_closes_on_exit(self):
+        with ThreadedExecutor() as executor:
+            assert executor.run({0: lambda: 7, 1: lambda: 8}) == {0: 7, 1: 8}
+        executor.close()  # already closed; still a no-op
+
+    def test_threaded_pool_grows_to_later_wider_fanouts(self):
+        """Regression: the pool used to be sized by the *first* call's
+        fan-out, so a width-1 warm-up left every later K-way fan-out
+        dribbling through one thread.  A barrier only K simultaneous
+        threads can pass proves the pool really widened."""
+        executor = ThreadedExecutor()  # no explicit width: sized on demand
+        assert executor.run({0: lambda: "warm"}) == {0: "warm"}
+        barrier = threading.Barrier(4, timeout=5.0)
+
+        def rendezvous():
+            barrier.wait()  # BrokenBarrierError unless 4 threads arrive
+            return True
+
+        results = executor.run({k: rendezvous for k in range(4)})
+        assert results == {k: True for k in range(4)}
+        executor.close()
+
+    def test_threaded_explicit_width_still_respected(self):
+        executor = ThreadedExecutor(max_workers=2)
+        assert executor.run({k: (lambda k=k: k) for k in range(6)}) == {
+            k: k for k in range(6)
+        }
+        executor.close()
+
+    def test_fleet_close_then_second_close_is_safe(self):
+        server = make_sharded(2)
+        server.publish(sale(1, 5_000, 5_000), now=1)
+        server.close()
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# Load-adaptive repartitioning (serial executor; process fleet coverage
+# lives in test_process_fleet.py)
+# ----------------------------------------------------------------------
+class TestRebalance:
+    def hot_event(self, event_id, rng):
+        # concentrate the stream on columns 12..17 of the 40-column grid
+        return sale(event_id, rng.uniform(3_100, 4_400), rng.uniform(0, 10_000))
+
+    def test_policy_fires_and_recuts_around_the_hotspot(self):
+        policy = RebalancePolicy(check_every=16, min_events=64, max_imbalance=1.5)
+        server = make_sharded(4, rebalance=policy)
+        rng = random.Random(11)
+        for event_id in range(160):
+            server.publish(self.hot_event(event_id, rng), now=1 + event_id)
+        assert server.rebalances >= 1
+        bounds = [spec.col_lo for spec in server.specs] + [server.grid.n]
+        assert bounds != [0, 10, 20, 30, 40]
+        # the hot column range is now split across several bands
+        hot_shards = {server._shard_by_column[c] for c in range(12, 18)}
+        assert len(hot_shards) >= 2
+        # load accounting observes every publish
+        assert sum(server.shard_loads()) > 0
+        server.close()
+
+    def test_policy_quiet_below_min_events(self):
+        policy = RebalancePolicy(check_every=8, min_events=10_000)
+        server = make_sharded(4, rebalance=policy)
+        rng = random.Random(11)
+        for event_id in range(64):
+            server.publish(self.hot_event(event_id, rng), now=1)
+        assert server.rebalances == 0
+        server.close()
+
+    def test_balanced_stream_never_triggers(self):
+        policy = RebalancePolicy(check_every=16, min_events=32, max_imbalance=2.0)
+        server = make_sharded(4, rebalance=policy)
+        rng = random.Random(11)
+        for event_id in range(128):
+            server.publish(
+                sale(event_id, rng.uniform(0, 10_000), rng.uniform(0, 10_000)),
+                now=1,
+            )
+        assert server.rebalances == 0
+        server.close()
+
+    def test_config_carries_the_policy(self):
+        config = ServerConfig(
+            initial_rate=2.0,
+            rebalance=RebalancePolicy(check_every=16, min_events=32,
+                                      max_imbalance=1.2),
+        )
+        server = make_sharded(4, config=config)
+        assert server.rebalance_policy is config.rebalance
+        server.close()
+
+    def test_rebalance_now_is_a_noop_without_load_or_change(self):
+        server = make_sharded(4)
+        assert not server.rebalance_now()  # nothing observed yet
+        assert not server.rebalance_now(bounds=[0, 10, 20, 30, 40])  # same cut
+        assert server.rebalances == 0
+        server.close()
+
+    def test_deliveries_survive_a_forced_move_with_live_subscribers(self):
+        server = make_sharded(4)
+        sub = make_sub(radius=3_000.0)
+        server.bootstrap([sale(1, 3_300, 5_000, arrived_at=0)])
+        notes, _ = server.subscribe(sub, Point(3_500, 5_000), Point(0, 0), now=0)
+        assert [n.event.event_id for n in notes] == [1]
+        assert server.rebalance_now(now=1, bounds=[0, 5, 13, 30, 40])
+        # the corpus slice moved with the boundary: no duplicate, no loss
+        notes = server.publish(sale(2, 3_400, 5_000, arrived_at=2), now=2)
+        assert [n.event.event_id for n in notes] == [2]
+        assert server.delivered_ids(sub.sub_id) == frozenset({1, 2})
+        # the migrated event lives on exactly one shard
+        total = sum(
+            len(list(w.corpus_matches(sub.expression)))
+            for w in server.shard_servers
+        )
+        assert total == 2
+        server.close()
+
+    def test_recovery_restores_moved_boundaries(self, tmp_path):
+        """fleet.json closes the routing gap: a fleet recovered from its
+        band journals must route by the *rebalanced* boundaries, or the
+        homing invariant breaks for every post-recovery event."""
+        from repro.system import JournalSpec
+
+        config = ServerConfig(
+            initial_rate=2.0, journal=JournalSpec(str(tmp_path))
+        )
+        server = make_sharded(4, config=config)
+        sub = make_sub(radius=3_000.0)
+        server.subscribe(sub, Point(3_500, 5_000), Point(0, 0), now=0)
+        server.publish(sale(1, 3_300, 5_000), now=1)
+        assert server.rebalance_now(now=2, bounds=[0, 5, 13, 30, 40])
+        server.publish(sale(2, 3_400, 5_000), now=3)
+        expected = server.delivered_ids(sub.sub_id)
+        server.close()
+
+        revived = make_sharded(4, config=config)
+        revived.recover()
+        assert [s.col_lo for s in revived.specs] == [0, 5, 13, 30]
+        assert revived.rebalances == 1
+        assert revived.delivered_ids(sub.sub_id) == expected
+        # routing agrees with the recovered map: a fresh hot-band event
+        # lands on the shard that owns column 13 now, and is delivered
+        notes = revived.publish(sale(3, 3_400, 5_000, arrived_at=4), now=4)
+        assert [n.event.event_id for n in notes] == [3]
+        revived.close()
