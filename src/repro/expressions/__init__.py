@@ -3,7 +3,7 @@
 from .boolean import BooleanExpression
 from .dnf import DnfExpression, clauses_of
 from .event import Event
-from .predicate import Operator, Predicate
+from .predicate import Operator, Predicate, operand_key, type_group
 from .subscription import Subscription
 
 __all__ = [
@@ -14,4 +14,6 @@ __all__ = [
     "Predicate",
     "Subscription",
     "clauses_of",
+    "operand_key",
+    "type_group",
 ]

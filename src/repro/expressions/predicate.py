@@ -38,6 +38,38 @@ class Operator(enum.Enum):
 _RANGE_OPERATORS = frozenset({Operator.LT, Operator.LE, Operator.GT, Operator.GE})
 
 
+def type_group(value: Any) -> str:
+    """The comparison group a value belongs to under :func:`operand_key`.
+
+    Booleans share the ``"num"`` group with ints and floats because
+    Python compares them as numbers (``True == 1``) — the indexes must
+    agree with :meth:`Predicate.matches` on that aliasing.  Values from
+    different groups are never ``<``/``>`` comparable, and range
+    predicates across groups are unsatisfiable.
+    """
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        return "num"
+    return type(value).__name__
+
+
+def operand_key(value: Any) -> Tuple[str, Any]:
+    """A total order over mixed operand/value types.
+
+    Keys sort first by :func:`type_group`, then by value within the
+    group, so a list of mixed-type values still has one well-defined
+    sorted order (numbers before strings, alphabetical group names in
+    between) while homogeneous data keeps its natural order — the
+    property the golden traces rely on.
+    """
+    if isinstance(value, bool):
+        # Alias to the integer so ("num", True) == ("num", 1) sorts and
+        # compares exactly like the int, matching Predicate.matches.
+        return ("num", int(value))
+    if isinstance(value, (int, float)):
+        return ("num", value)
+    return (type(value).__name__, value)
+
+
 @dataclass(frozen=True)
 class Predicate:
     """A single constraint ``attribute operator operand``."""
@@ -67,23 +99,32 @@ class Predicate:
             )
 
     def matches(self, value: Any) -> bool:
-        """True if ``value`` satisfies this predicate."""
+        """True if ``value`` satisfies this predicate.
+
+        Total over mixed types: a value from a different comparison
+        group than a range/interval operand (``"x"`` vs ``3``) simply
+        fails the predicate instead of raising — the contract the
+        sorted-index probes implement with group-bounded range scans.
+        """
         op = self.operator
         if op is Operator.EQ:
             return value == self.operand
         if op is Operator.NE:
             return value != self.operand
-        if op is Operator.LT:
-            return value < self.operand
-        if op is Operator.LE:
-            return value <= self.operand
-        if op is Operator.GT:
-            return value > self.operand
-        if op is Operator.GE:
-            return value >= self.operand
-        if op is Operator.BETWEEN:
-            low, high = self.operand
-            return low <= value <= high
+        try:
+            if op is Operator.LT:
+                return value < self.operand
+            if op is Operator.LE:
+                return value <= self.operand
+            if op is Operator.GT:
+                return value > self.operand
+            if op is Operator.GE:
+                return value >= self.operand
+            if op is Operator.BETWEEN:
+                low, high = self.operand
+                return low <= value <= high
+        except TypeError:
+            return False
         if op is Operator.IN:
             return value in self.operand
         if op is Operator.NOT_IN:

@@ -11,6 +11,15 @@ reaches the subscription size |s|.
 The sort order makes each relational operator a contiguous range scan
 (binary search for the endpoints); only ``!=`` and ``not in`` degenerate
 to full scans with a skipped range, exactly as the paper describes.
+
+Entries are ordered by :func:`repro.expressions.operand_key`, the same
+total order the subscription index sorts its operator groups by: within
+one type group it is the natural value order (so homogeneous data sorts
+exactly as before), and across groups it is well-defined instead of a
+``TypeError`` — an attribute carrying ``3`` and ``"x"`` no longer kills
+the publish path.  Range scans are bounded to the probe value's group,
+because values from different groups never satisfy a ``<``/``>``
+constraint (see :meth:`Predicate.matches`).
 """
 
 from __future__ import annotations
@@ -19,9 +28,14 @@ import bisect
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Tuple, TypeVar
 
-from ..expressions import Operator, Predicate
+from ..expressions import Operator, Predicate, operand_key
 
 Payload = TypeVar("Payload")
+
+
+def _group_of(key: Tuple[str, object]) -> Tuple[str]:
+    """Projection of an operand key onto its type group, for bisect."""
+    return (key[0],)
 
 
 class SortedTupleList:
@@ -31,11 +45,14 @@ class SortedTupleList:
     allowed; delete removes one matching ``(value, payload)`` entry.
     """
 
-    __slots__ = ("_values", "_payloads")
+    __slots__ = ("_values", "_payloads", "_keys")
 
     def __init__(self) -> None:
         self._values: List = []
         self._payloads: List = []
+        # operand_key(value) per entry: the list the bisects run over,
+        # so mixed-type values stay totally ordered.
+        self._keys: List[Tuple[str, object]] = []
 
     def __len__(self) -> int:
         return len(self._values)
@@ -44,21 +61,33 @@ class SortedTupleList:
         return zip(self._values, self._payloads)
 
     def insert(self, value, payload) -> None:
-        """Insert keeping the value order (O(log n) search, O(n) shift)."""
-        index = bisect.bisect_right(self._values, value)
+        """Insert keeping the key order (O(log n) search, O(n) shift)."""
+        key = operand_key(value)
+        index = bisect.bisect_right(self._keys, key)
+        self._keys.insert(index, key)
         self._values.insert(index, value)
         self._payloads.insert(index, payload)
 
     def delete(self, value, payload) -> bool:
         """Remove one ``(value, payload)`` entry; False if absent."""
-        index = bisect.bisect_left(self._values, value)
-        while index < len(self._values) and self._values[index] == value:
-            if self._payloads[index] == payload:
+        key = operand_key(value)
+        index = bisect.bisect_left(self._keys, key)
+        while index < len(self._keys) and self._keys[index] == key:
+            if self._values[index] == value and self._payloads[index] == payload:
+                del self._keys[index]
                 del self._values[index]
                 del self._payloads[index]
                 return True
             index += 1
         return False
+
+    def _group_bounds(self, group: str) -> Tuple[int, int]:
+        """The half-open index range holding the group's entries."""
+        # (group,) sorts before every (group, value) and the projected
+        # bisect finds the end of the group's run.
+        lo = bisect.bisect_left(self._keys, (group,))
+        hi = bisect.bisect_right(self._keys, (group,), key=_group_of)
+        return lo, hi
 
     # ------------------------------------------------------------------
     # Range scans per operator
@@ -70,25 +99,29 @@ class SortedTupleList:
         satisfying values form one contiguous run in the sorted order.
         """
         op, operand = predicate.operator, predicate.operand
-        if op is Operator.EQ:
-            return (
-                bisect.bisect_left(self._values, operand),
-                bisect.bisect_right(self._values, operand),
-            )
-        if op is Operator.LT:
-            return 0, bisect.bisect_left(self._values, operand)
-        if op is Operator.LE:
-            return 0, bisect.bisect_right(self._values, operand)
-        if op is Operator.GT:
-            return bisect.bisect_right(self._values, operand), len(self._values)
-        if op is Operator.GE:
-            return bisect.bisect_left(self._values, operand), len(self._values)
         if op is Operator.BETWEEN:
             low, high = operand
             return (
-                bisect.bisect_left(self._values, low),
-                bisect.bisect_right(self._values, high),
+                bisect.bisect_left(self._keys, operand_key(low)),
+                bisect.bisect_right(self._keys, operand_key(high)),
             )
+        key = operand_key(operand)
+        if op is Operator.EQ:
+            return (
+                bisect.bisect_left(self._keys, key),
+                bisect.bisect_right(self._keys, key),
+            )
+        # <, <=, >, >= are bounded to the operand's type group: a value
+        # from another group never satisfies a range constraint.
+        if op in (Operator.LT, Operator.LE, Operator.GT, Operator.GE):
+            group_lo, group_hi = self._group_bounds(key[0])
+            if op is Operator.LT:
+                return group_lo, bisect.bisect_left(self._keys, key)
+            if op is Operator.LE:
+                return group_lo, bisect.bisect_right(self._keys, key)
+            if op is Operator.GT:
+                return bisect.bisect_right(self._keys, key), group_hi
+            return bisect.bisect_left(self._keys, key), group_hi
         raise ValueError(f"operator {op.value!r} does not select a contiguous range")
 
     def iter_matching(self, predicate: Predicate) -> Iterator:
@@ -102,23 +135,33 @@ class SortedTupleList:
                     yield payload
             return
         if op is Operator.IN:
-            for member in sorted(predicate.operand):
-                lo = bisect.bisect_left(self._values, member)
-                hi = bisect.bisect_right(self._values, member)
-                yield from self._payloads[lo:hi]
+            # Each entry must be yielded at most once per predicate —
+            # duplicate members (a raw ``(3, 3)`` operand) or key-equal
+            # members with overlapping runs would double-increment the
+            # counting algorithm and fake a full |s| count.  Deduplicate
+            # and clamp each run past the previous one.
+            last_hi = 0
+            for member in sorted(set(predicate.operand), key=operand_key):
+                member_key = operand_key(member)
+                lo = bisect.bisect_left(self._keys, member_key)
+                hi = bisect.bisect_right(self._keys, member_key)
+                if hi <= last_hi:
+                    continue
+                yield from self._payloads[max(lo, last_hi) : hi]
+                last_hi = hi
             return
         lo, hi = self.range_for(predicate)
         yield from self._payloads[lo:hi]
 
     def iter_value_range(self, low, high) -> Iterator[Tuple[object, object]]:
         """``(value, payload)`` entries with ``low <= value <= high``."""
-        lo = bisect.bisect_left(self._values, low)
-        hi = bisect.bisect_right(self._values, high)
+        lo = bisect.bisect_left(self._keys, operand_key(low))
+        hi = bisect.bisect_right(self._keys, operand_key(high))
         return iter(list(zip(self._values[lo:hi], self._payloads[lo:hi])))
 
     def iter_value_from(self, low) -> Iterator[Tuple[object, object]]:
         """``(value, payload)`` entries with ``value >= low``."""
-        lo = bisect.bisect_left(self._values, low)
+        lo = bisect.bisect_left(self._keys, operand_key(low))
         return iter(list(zip(self._values[lo:], self._payloads[lo:])))
 
     def values(self) -> List:

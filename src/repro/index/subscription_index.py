@@ -18,62 +18,94 @@ implements that index natively:
 
 The counting algorithm then reports every subscription whose satisfied-
 predicate counter reaches its size |s|.
+
+Two accelerations sit on top (DESIGN.md §16):
+
+* an **attribute-bitmap prefilter** — every partition keeps the
+  intersection of its clauses' required-attribute bitmasks; an event
+  whose own attribute bitmask is not a superset cannot complete any
+  clause there, so the partition is skipped without a single probe;
+* a **batched matcher** (:meth:`SubscriptionIndex.match_batch`) — one
+  pass over the pivot partitions for a whole ``publish_batch``, probing
+  each operator group once per distinct (attribute, value) across the
+  batch and counting with flat per-slot arrays instead of per-event
+  dicts.  Its output is byte-identical, per event, to
+  :meth:`SubscriptionIndex.match_event`.
 """
 
 from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from ..expressions import Event, Operator, Predicate, Subscription
+from ..expressions import Event, Operator, Predicate, Subscription, operand_key
 from ..expressions.dnf import clauses_of
+
+#: (sub_id, clause index): one counting unit of the algorithm.
+_ClauseKey = Tuple[int, int]
 
 
 class _AttributePredicates:
     """All predicates on one attribute within one pivot partition."""
 
-    __slots__ = ("equals", "less", "greater", "linear")
+    __slots__ = ("equals", "less", "less_keys", "greater", "greater_keys", "linear")
 
     def __init__(self) -> None:
-        # operand -> subscription ids (EQ probes are hash lookups)
-        self.equals: Dict[object, List[int]] = defaultdict(list)
-        # (operand, strict, sub_id) for < / <= : satisfied when value < operand
-        # (or <=); kept sorted by operand so a probe is a suffix scan.
-        self.less: List[Tuple[object, bool, int]] = []
-        # (operand, strict, sub_id) for > / >= : prefix scan.
-        self.greater: List[Tuple[object, bool, int]] = []
+        # operand -> clause keys (EQ probes are hash lookups; dict
+        # hashing already aliases True == 1 exactly like Predicate.matches)
+        self.equals: Dict[object, List[_ClauseKey]] = defaultdict(list)
+        # (operand, strict, clause key) for < / <= : satisfied when value
+        # < operand (or <=); kept sorted by operand so a probe is a
+        # suffix scan.  ``less_keys`` mirrors the list with each entry's
+        # operand_key so scans and pointer advances never recompute it.
+        self.less: List[Tuple[object, bool, _ClauseKey]] = []
+        self.less_keys: List[Tuple[str, object]] = []
+        # (operand, strict, clause key) for > / >= : prefix scan.
+        self.greater: List[Tuple[object, bool, _ClauseKey]] = []
+        self.greater_keys: List[Tuple[str, object]] = []
         # everything else (BETWEEN, NE, IN, NOT_IN): linear probe.
-        self.linear: List[Tuple[Predicate, int]] = []
+        self.linear: List[Tuple[Predicate, _ClauseKey]] = []
 
-    def add(self, predicate: Predicate, sub_id: int) -> None:
+    def add(self, predicate: Predicate, key: _ClauseKey) -> None:
         """Register one predicate under its operator group."""
         op = predicate.operator
         if op is Operator.EQ:
-            self.equals[predicate.operand].append(sub_id)
+            self.equals[predicate.operand].append(key)
         elif op in (Operator.LT, Operator.LE):
-            entry = (predicate.operand, op is Operator.LT, sub_id)
-            bisect.insort(self.less, entry, key=lambda e: _operand_key(e[0]))
+            self._insort(self.less, self.less_keys,
+                         (predicate.operand, op is Operator.LT, key))
         elif op in (Operator.GT, Operator.GE):
-            entry = (predicate.operand, op is Operator.GT, sub_id)
-            bisect.insort(self.greater, entry, key=lambda e: _operand_key(e[0]))
+            self._insort(self.greater, self.greater_keys,
+                         (predicate.operand, op is Operator.GT, key))
         else:
-            self.linear.append((predicate, sub_id))
+            self.linear.append((predicate, key))
 
-    def remove(self, predicate: Predicate, sub_id: int) -> None:
+    @staticmethod
+    def _insort(entries, keys, entry) -> None:
+        entry_key = operand_key(entry[0])
+        position = bisect.bisect_right(keys, entry_key)
+        entries.insert(position, entry)
+        keys.insert(position, entry_key)
+
+    def remove(self, predicate: Predicate, key: _ClauseKey) -> None:
         """Remove one registered predicate."""
         op = predicate.operator
         if op is Operator.EQ:
             bucket = self.equals[predicate.operand]
-            bucket.remove(sub_id)
+            bucket.remove(key)
             if not bucket:
                 del self.equals[predicate.operand]
         elif op in (Operator.LT, Operator.LE):
-            self.less.remove((predicate.operand, op is Operator.LT, sub_id))
+            position = self.less.index((predicate.operand, op is Operator.LT, key))
+            del self.less[position]
+            del self.less_keys[position]
         elif op in (Operator.GT, Operator.GE):
-            self.greater.remove((predicate.operand, op is Operator.GT, sub_id))
+            position = self.greater.index((predicate.operand, op is Operator.GT, key))
+            del self.greater[position]
+            del self.greater_keys[position]
         else:
-            self.linear.remove((predicate, sub_id))
+            self.linear.remove((predicate, key))
 
     def __len__(self) -> int:
         return (
@@ -83,36 +115,135 @@ class _AttributePredicates:
             + len(self.linear)
         )
 
-    def probe(self, value, counters: Dict[int, int]) -> None:
-        """Count every predicate on this attribute that ``value`` satisfies."""
-        for sub_id in self.equals.get(value, ()):
-            counters[sub_id] += 1
-        # A < o is satisfied iff o > value: the suffix of the operand-sorted
-        # list starting just above value (plus the o == value run for <=).
-        key = _operand_key(value)
-        start = bisect.bisect_left(self.less, key, key=lambda e: _operand_key(e[0]))
-        for operand, strict, sub_id in self.less[start:]:
+    def hits_for(self, value) -> List[_ClauseKey]:
+        """Clause keys of every predicate ``value`` satisfies, in the
+        canonical probe order: equality bucket, ``<``/``<=`` suffix,
+        ``>``/``>=`` prefix, then the linear group.
+
+        The inequality scans are bounded to the value's type group —
+        operands from another group are never ``<``/``>`` comparable, so
+        a range predicate across groups fails, exactly as
+        :meth:`Predicate.matches` answers.
+        """
+        value_key = operand_key(value)
+        group = value_key[0]
+        out: List[_ClauseKey] = list(self.equals.get(value, ()))
+        # A < o is satisfied iff o > value: the suffix of the operand-
+        # sorted list starting at value (minus the strict o == value run).
+        less, less_keys = self.less, self.less_keys
+        index = bisect.bisect_left(less_keys, value_key)
+        while index < len(less) and less_keys[index][0] == group:
+            operand, strict, key = less[index]
             # operand >= value here; a strict < with operand == value fails.
             if not strict or operand != value:
-                counters[sub_id] += 1
-        # A > o is satisfied iff o < value: the prefix strictly below value
-        # (plus the o == value run for >=).
-        stop = bisect.bisect_right(self.greater, key, key=lambda e: _operand_key(e[0]))
-        for operand, strict, sub_id in self.greater[:stop]:
+                out.append(key)
+            index += 1
+        # A > o is satisfied iff o < value: the in-group prefix below
+        # value (plus the o == value run for >=).
+        group_lo = bisect.bisect_left(self.greater_keys, (group,))
+        stop = bisect.bisect_right(self.greater_keys, value_key)
+        for operand, strict, key in self.greater[group_lo:stop]:
             if not strict or operand != value:
-                counters[sub_id] += 1
-        for predicate, sub_id in self.linear:
+                out.append(key)
+        for predicate, key in self.linear:
             if predicate.matches(value):
-                counters[sub_id] += 1
+                out.append(key)
+        return out
+
+    def probe(self, value, counters: Dict[_ClauseKey, int]) -> None:
+        """Count every predicate on this attribute that ``value`` satisfies."""
+        for key in self.hits_for(value):
+            counters[key] += 1
+
+    def batch_hits(self, ordered_column) -> Dict[Tuple[str, object], List[_ClauseKey]]:
+        """One probe per distinct value of a batch's sorted value column.
+
+        ``ordered_column`` holds ``(value_key, value)`` pairs, one
+        representative per distinct :func:`operand_key`, sorted by that
+        key.  Because the column is sorted, the suffix/prefix endpoints
+        of the inequality scans only move forward — monotone pointers
+        over the cached key arrays replace the per-value bisects.  Each
+        returned hit list is exactly ``hits_for(value)``.
+        """
+        hits: Dict[Tuple[str, object], List[_ClauseKey]] = {}
+        less, less_keys = self.less, self.less_keys
+        greater, greater_keys = self.greater, self.greater_keys
+        linear = self.linear
+        n_less, n_greater = len(less), len(greater)
+        li = 0  # first less-entry with operand key >= the current value
+        glo = 0  # first greater-entry inside the current type group
+        ghi = 0  # first greater-entry with operand key > the current value
+        for value_key, value in ordered_column:
+            group = value_key[0]
+            group_key = (group,)
+            out: List[_ClauseKey] = list(self.equals.get(value, ()))
+            while li < n_less and less_keys[li] < value_key:
+                li += 1
+            index = li
+            while index < n_less and less_keys[index][0] == group:
+                operand, strict, key = less[index]
+                if not strict or operand != value:
+                    out.append(key)
+                index += 1
+            while glo < n_greater and greater_keys[glo] < group_key:
+                glo += 1
+            while ghi < n_greater and greater_keys[ghi] <= value_key:
+                ghi += 1
+            for operand, strict, key in greater[glo:ghi]:
+                if not strict or operand != value:
+                    out.append(key)
+            for predicate, key in linear:
+                if predicate.matches(value):
+                    out.append(key)
+            hits[value_key] = out
+        return hits
 
 
-def _operand_key(value) -> Tuple[str, object]:
-    """A total order across mixed operand types (numbers vs strings)."""
-    if isinstance(value, bool):
-        return ("bool", value)
-    if isinstance(value, (int, float)):
-        return ("num", value)
-    return (type(value).__name__, value)
+class _Partition:
+    """One pivot partition: per-attribute operator groups plus the
+    attribute-bitmap prefilter state."""
+
+    __slots__ = ("layers", "clause_masks", "common_mask")
+
+    def __init__(self) -> None:
+        self.layers: Dict[str, _AttributePredicates] = {}
+        # clause key -> bitmask of the attributes the clause requires
+        self.clause_masks: Dict[_ClauseKey, int] = {}
+        # intersection of all clause masks: attributes *every* clause
+        # here requires.  An event not carrying all of them cannot
+        # complete any clause in this partition (each attribute layer
+        # contributes at most the clause's predicate count on that
+        # attribute, so a missing required attribute keeps every counter
+        # short of |s|) — the partition is skippable without probing.
+        self.common_mask: int = 0
+
+    def recompute_common(self) -> None:
+        """Rebuild the required-attribute intersection after a delete."""
+        common = -1  # all-ones: identity of the intersection
+        for mask in self.clause_masks.values():
+            common &= mask
+        self.common_mask = common if common != -1 else 0
+
+
+class _BatchPlan:
+    """Per-partition probe results for one ``match_batch`` call.
+
+    Clause keys are interned into dense slots so per-event counting runs
+    over flat integer arrays.  ``event_cells`` maps each member event to
+    its row of probe cells, one per (attribute, value) the event carries
+    into this partition, in the event's attribute order; each cell is
+    the shared slot list its distinct-value probe produced (filled in
+    place after the column probe), so replaying an event is pure list
+    iteration — no dict lookups."""
+
+    __slots__ = ("slot_of", "keys", "sizes", "counts", "event_cells")
+
+    def __init__(self) -> None:
+        self.slot_of: Dict[_ClauseKey, int] = {}
+        self.keys: List[_ClauseKey] = []
+        self.sizes: List[int] = []
+        self.counts: List[int] = []
+        self.event_cells: Dict[int, List[List[int]]] = {}
 
 
 class SubscriptionIndex:
@@ -120,11 +251,17 @@ class SubscriptionIndex:
 
     def __init__(self, frequency_hint: Optional[Mapping[str, int]] = None) -> None:
         self._order: Dict[str, int] = dict(frequency_hint or {})
-        self._partitions: Dict[str, Dict[str, _AttributePredicates]] = {}
+        self._partitions: Dict[str, _Partition] = {}
         # sub_id -> (subscription, per-clause pivots in clause order)
         self._subscriptions: Dict[int, Tuple[Subscription, Tuple[str, ...]]] = {}
         # (sub_id, clause index) -> number of predicates in the clause
-        self._clause_sizes: Dict[Tuple[int, int], int] = {}
+        self._clause_sizes: Dict[_ClauseKey, int] = {}
+        # attribute name -> bit in the prefilter masks, assigned on first use
+        self._attr_bits: Dict[str, int] = {}
+        #: distinct (operator group, value) probes the batched matcher ran
+        self.match_batch_probes: int = 0
+        #: (event, partition) pairs the bitmap prefilter skipped entirely
+        self.partitions_pruned: int = 0
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -138,6 +275,27 @@ class SubscriptionIndex:
             key=lambda a: (self._order.get(a, 0), a),
         )
 
+    def _bit_of(self, attribute: str) -> int:
+        bit = self._attr_bits.get(attribute)
+        if bit is None:
+            bit = 1 << len(self._attr_bits)
+            self._attr_bits[attribute] = bit
+        return bit
+
+    def _event_mask(self, attributes: Mapping[str, object]) -> int:
+        """Bitmask of the event's attributes the index has bits for.
+
+        Attributes no subscription ever mentioned have no bit — they
+        cannot appear in any clause mask either, so omitting them keeps
+        the subset test exact."""
+        bits = self._attr_bits
+        mask = 0
+        for attribute in attributes:
+            bit = bits.get(attribute)
+            if bit is not None:
+                mask |= bit
+        return mask
+
     def insert(self, subscription: Subscription) -> None:
         """Register a subscription; a DNF registers one entry per clause."""
         if subscription.sub_id in self._subscriptions:
@@ -147,13 +305,24 @@ class SubscriptionIndex:
             key = (subscription.sub_id, clause_index)
             pivot = self._pivot_of(clause)
             pivots.append(pivot)
-            partition = self._partitions.setdefault(pivot, {})
+            partition = self._partitions.get(pivot)
+            if partition is None:
+                partition = _Partition()
+                self._partitions[pivot] = partition
+            clause_mask = 0
             for predicate in clause:
-                layer = partition.get(predicate.attribute)
+                attribute = predicate.attribute
+                layer = partition.layers.get(attribute)
                 if layer is None:
                     layer = _AttributePredicates()
-                    partition[predicate.attribute] = layer
+                    partition.layers[attribute] = layer
                 layer.add(predicate, key)
+                clause_mask |= self._bit_of(attribute)
+            partition.clause_masks[key] = clause_mask
+            if len(partition.clause_masks) == 1:
+                partition.common_mask = clause_mask
+            else:
+                partition.common_mask &= clause_mask
             self._clause_sizes[key] = len(clause.predicates)
         self._subscriptions[subscription.sub_id] = (subscription, tuple(pivots))
 
@@ -169,12 +338,15 @@ class SubscriptionIndex:
             key = (stored_sub.sub_id, clause_index)
             partition = self._partitions[pivot]
             for predicate in clause:
-                layer = partition[predicate.attribute]
+                layer = partition.layers[predicate.attribute]
                 layer.remove(predicate, key)
                 if not len(layer):
-                    del partition[predicate.attribute]
-            if not partition:
+                    del partition.layers[predicate.attribute]
+            del partition.clause_masks[key]
+            if not partition.layers:
                 del self._partitions[pivot]
+            else:
+                partition.recompute_common()
             del self._clause_sizes[key]
 
     def match_event(self, event: Event) -> List[Subscription]:
@@ -184,14 +356,19 @@ class SubscriptionIndex:
         each subscription is reported once.
         """
         matched: List[Subscription] = []
-        matched_ids: set = set()
+        matched_ids: Set[int] = set()
+        event_mask = self._event_mask(event.attributes)
         for attribute in event.attributes:
             partition = self._partitions.get(attribute)
             if partition is None:
                 continue
-            counters: Dict[Tuple[int, int], int] = defaultdict(int)
+            if partition.common_mask & ~event_mask:
+                # Some attribute every clause here requires is missing.
+                self.partitions_pruned += 1
+                continue
+            counters: Dict[_ClauseKey, int] = defaultdict(int)
             for event_attribute, value in event.attributes.items():
-                layer = partition.get(event_attribute)
+                layer = partition.layers.get(event_attribute)
                 if layer is not None:
                     layer.probe(value, counters)
             for key, count in counters.items():
@@ -202,3 +379,131 @@ class SubscriptionIndex:
                     matched_ids.add(sub_id)
                     matched.append(self._subscriptions[sub_id][0])
         return matched
+
+    def match_batch(self, events: List[Event]) -> List[List[Subscription]]:
+        """Per-event be-matches for a whole batch, in one partition pass.
+
+        Byte-identical to ``[self.match_event(e) for e in events]`` —
+        same subscriptions, same order — but amortised three ways:
+
+        * the bitmap prefilter drops (event, partition) pairs up front;
+        * each surviving partition's operator groups are probed once per
+          *distinct* (attribute, value) across the batch, over the
+          column sorted by :func:`operand_key` with monotone scan
+          pointers (:meth:`_AttributePredicates.batch_hits`), instead of
+          once per event;
+        * counters live in flat per-slot arrays reused across the
+          batch's events, not per-event dicts.
+
+        The per-event reporting order is reproduced exactly: slots are
+        replayed in first-increment order, which is the per-attribute
+        probe order ``match_event`` counts in.
+        """
+        events = list(events)
+        if not events:
+            return []
+        masks = [self._event_mask(event.attributes) for event in events]
+        # Value keys computed once per (event, attribute) — every touched
+        # partition below reuses them (insertion order == attribute order,
+        # so iterating a row replays the event's probe order exactly).
+        key_rows: List[Dict[str, Tuple[str, object]]] = [
+            {
+                attribute: operand_key(value)
+                for attribute, value in event.attributes.items()
+            }
+            for event in events
+        ]
+        # Phase 1 — prefilter: which events probe which partitions.
+        touched: Dict[str, List[int]] = {}
+        for index, event in enumerate(events):
+            mask = masks[index]
+            for attribute in event.attributes:
+                partition = self._partitions.get(attribute)
+                if partition is None:
+                    continue
+                if partition.common_mask & ~mask:
+                    self.partitions_pruned += 1
+                    continue
+                touched.setdefault(attribute, []).append(index)
+        # Phase 2 — one pass over the touched partitions: probe each
+        # layer's operator groups once per distinct value carried by the
+        # partition's member events.  Restricting the column to members
+        # matters: a layer whose attribute only appears in non-member
+        # events would otherwise be probed for values no event here
+        # counts.
+        plans: Dict[str, _BatchPlan] = {}
+        for pivot, indices in touched.items():
+            partition = self._partitions[pivot]
+            layers = partition.layers
+            plan = _BatchPlan()
+            event_cells = plan.event_cells
+            # Each column entry is (shared slot-list cell, representative
+            # value); member rows reference the cells, so filling a cell
+            # after the probe fills every row that carries the value.
+            columns: Dict[str, Dict[Tuple[str, object], tuple]] = {}
+            for index in indices:
+                key_row = key_rows[index]
+                row: List[List[int]] = []
+                for attribute, value in events[index].attributes.items():
+                    if attribute in layers:
+                        column = columns.get(attribute)
+                        if column is None:
+                            column = columns[attribute] = {}
+                        value_key = key_row[attribute]
+                        entry = column.get(value_key)
+                        if entry is None:
+                            entry = column[value_key] = ([], value)
+                        row.append(entry[0])
+                event_cells[index] = row
+            slot_of, keys, sizes = plan.slot_of, plan.keys, plan.sizes
+            for attribute, column in columns.items():
+                ordered = sorted(column.items())
+                layer_hits = layers[attribute].batch_hits(
+                    [(value_key, entry[1]) for value_key, entry in ordered]
+                )
+                self.match_batch_probes += len(ordered)
+                for value_key, (cell, _) in ordered:
+                    for key in layer_hits[value_key]:
+                        slot = slot_of.get(key)
+                        if slot is None:
+                            slot = len(keys)
+                            slot_of[key] = slot
+                            keys.append(key)
+                            sizes.append(self._clause_sizes[key])
+                        cell.append(slot)
+            plan.counts = [0] * len(keys)
+            plans[pivot] = plan
+        # Phase 3 — per-event counting over the flat slot arrays,
+        # replaying match_event's partition and probe order exactly:
+        # each row's cells sit in the event's attribute order, each
+        # cell's slots in the canonical per-layer probe order.
+        subscriptions = self._subscriptions
+        results: List[List[Subscription]] = []
+        for index, event in enumerate(events):
+            matched: List[Subscription] = []
+            matched_ids: Set[int] = set()
+            for attribute in event.attributes:
+                plan = plans.get(attribute)
+                if plan is None:
+                    continue
+                row = plan.event_cells.get(index)
+                if row is None:
+                    continue
+                counts = plan.counts
+                order: List[int] = []
+                for cell in row:
+                    for slot in cell:
+                        count = counts[slot]
+                        if not count:
+                            order.append(slot)
+                        counts[slot] = count + 1
+                sizes, keys = plan.sizes, plan.keys
+                for slot in order:
+                    if counts[slot] == sizes[slot]:
+                        sub_id = keys[slot][0]
+                        if sub_id not in matched_ids:
+                            matched_ids.add(sub_id)
+                            matched.append(subscriptions[sub_id][0])
+                    counts[slot] = 0
+            results.append(matched)
+        return results

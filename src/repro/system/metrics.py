@@ -58,6 +58,14 @@ class CommunicationStats:
     #: batched processing (each hit skips an inverted-list counting run
     #: or a complement-table scan)
     cache_hits: int = 0
+    #: distinct (operator group, value) probes the batched subscription
+    #: matcher ran — ``match_batch`` probes once per distinct value per
+    #: attribute layer, so this divided by ``batch_events`` shows the
+    #: per-event probe amortisation
+    match_batch_probes: int = 0
+    #: (event, partition) pairs the attribute-bitmap prefilter skipped
+    #: without probing (both the single-event and the batched matcher)
+    partitions_pruned: int = 0
     # ------------------------------------------------------------------
     # Network-hardening counters (TCP layer only; the in-process
     # simulation never touches them).  These are the observable half of

@@ -496,8 +496,13 @@ class ElapsServer:
         self._arrival_times.append(now)
         notifications: List[Notification] = []
         event_cell = self.grid.cell_of(event.location)
+        index = self.subscription_index
+        pruned_before = getattr(index, "partitions_pruned", 0)
         with self.tracer.span("match"):
-            matched = self.subscription_index.match_event(event)
+            matched = index.match_event(event)
+        self.metrics.partitions_pruned += (
+            getattr(index, "partitions_pruned", 0) - pruned_before
+        )
         for subscription in matched:
             record = self.subscribers.get(subscription.sub_id)
             if record is None or event.event_id in record.delivered:
@@ -609,10 +614,24 @@ class ElapsServer:
         pending_repair: Dict[int, List[Point]] = {}
         # One span covers the whole batch's matching pass: a per-event
         # span here would cost more than the (sub-10us) matches it times.
+        # The OpIndex-style default index matches the whole batch in one
+        # partition pass (byte-identical per event to match_event); the
+        # alternative subscription indexes fall back to the scalar loop.
+        index = self.subscription_index
+        batch_matcher = getattr(index, "match_batch", None)
+        match_probes_before = getattr(index, "match_batch_probes", 0)
+        match_pruned_before = getattr(index, "partitions_pruned", 0)
         with self.tracer.span("match"):
-            matched_per_event = [
-                self.subscription_index.match_event(event) for event in events
-            ]
+            if batch_matcher is not None:
+                matched_per_event = batch_matcher(events)
+            else:
+                matched_per_event = [index.match_event(event) for event in events]
+        self.metrics.match_batch_probes += (
+            getattr(index, "match_batch_probes", 0) - match_probes_before
+        )
+        self.metrics.partitions_pruned += (
+            getattr(index, "partitions_pruned", 0) - match_pruned_before
+        )
         for event, matched in zip(events, matched_per_event):
             event_cell = self.grid.cell_of(event.location)
             for subscription in matched:

@@ -1345,6 +1345,13 @@ class ShardedElapsServer:
         reproduces the single server's order: within one event the
         notified subscribers all came from that event's shard, already in
         subscription-index order.
+
+        Every worker runs the batched subscription matcher on its slice
+        (``SubscriptionIndex.match_batch`` via ``_publish_batch``), so
+        the per-event matching residual that does not split with K is
+        amortised *within* each shard too; the ``match_batch_probes`` /
+        ``partitions_pruned`` counters it accumulates merge through
+        :meth:`merged_metrics` like every other field.
         """
         events = list(events)
         if not events:

@@ -268,3 +268,5 @@ def test_batched_path_populates_batch_counters():
     assert stats["batches"] == GROUPS
     assert stats["batch_events"] == GROUPS * GROUP_SIZE
     assert stats["leaf_probes_saved"] > 0
+    assert stats["match_batch_probes"] > 0
+    assert "partitions_pruned" in stats

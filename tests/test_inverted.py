@@ -80,6 +80,90 @@ class TestSortedTupleList:
         assert set(lst.iter_matching(predicate)) == expected
 
 
+def raw_in(attribute, members):
+    """An IN predicate whose operand bypasses frozenset normalisation.
+
+    Models operands carrying literal duplicates (e.g. ``(3, 3)``) — the
+    pre-fix bug surface: ``iter_matching`` ran one range scan per member
+    and double-yielded the shared run."""
+    predicate = Predicate(attribute, Operator.IN, frozenset(members))
+    object.__setattr__(predicate, "operand", tuple(members))
+    return predicate
+
+
+class TestInDeduplication:
+    def test_duplicate_member_yields_once(self):
+        lst = SortedTupleList()
+        lst.insert(3, "e1")
+        assert list(lst.iter_matching(raw_in("x", (3, 3)))) == ["e1"]
+
+    def test_aliased_members_yield_once(self):
+        # True and 1 are equal, so their runs overlap completely; the
+        # overlap must not double-yield either entry.
+        lst = SortedTupleList()
+        lst.insert(1, "e1")
+        lst.insert(True, "e2")
+        assert sorted(lst.iter_matching(raw_in("x", (True, 1)))) == ["e1", "e2"]
+
+    def test_duplicate_in_member_cannot_fake_full_count(self):
+        # Regression (PR 9 satellite 1): the duplicate-member IN counted
+        # e1 twice, reaching |s| = 2 although the b-predicate fails — a
+        # false-positive be-match.
+        lists = AttributeLists()
+        lists.insert_tuples([("a", 3), ("b", 9)], "e1")
+        predicates = [raw_in("a", (3, 3)), Predicate("b", Operator.EQ, 2)]
+        assert lists.matching_payloads(predicates) == []
+
+
+class TestMixedTypeValues:
+    def test_mixed_insert_does_not_raise(self):
+        lst = SortedTupleList()
+        lst.insert(3, "e1")
+        lst.insert("x", "e2")  # pre-fix: TypeError from the raw bisect
+        lst.insert(1, "e3")
+        assert [v for v, _ in lst] == [1, 3, "x"]
+
+    def test_range_scans_stay_in_group(self):
+        lst = SortedTupleList()
+        for value, payload in [(3, "e1"), ("x", "e2"), (1, "e3"), ("a", "e4")]:
+            lst.insert(value, payload)
+        assert set(lst.iter_matching(Predicate("k", Operator.LT, 5))) == {"e1", "e3"}
+        assert set(lst.iter_matching(Predicate("k", Operator.GT, 0))) == {"e1", "e3"}
+        assert set(lst.iter_matching(Predicate("k", Operator.LE, "x"))) == {"e2", "e4"}
+        assert set(lst.iter_matching(Predicate("k", Operator.GE, "b"))) == {"e2"}
+        assert set(lst.iter_matching(Predicate("k", Operator.EQ, "x"))) == {"e2"}
+        assert set(lst.iter_matching(Predicate("k", Operator.NE, 3))) == {"e2", "e3", "e4"}
+
+    def test_mixed_in_members(self):
+        lst = SortedTupleList()
+        for value, payload in [(3, "e1"), ("x", "e2")]:
+            lst.insert(value, payload)
+        predicate = Predicate("k", Operator.IN, frozenset({3, "x", 7}))
+        assert set(lst.iter_matching(predicate)) == {"e1", "e2"}
+
+    def test_matches_is_total_across_groups(self):
+        assert not Predicate("k", Operator.LT, 5).matches("x")
+        assert not Predicate("k", Operator.BETWEEN, (2, 5)).matches("x")
+        assert Predicate("k", Operator.NE, 5).matches("x")
+        assert Predicate("k", Operator.NOT_IN, frozenset({5})).matches("x")
+
+    def test_delete_across_mixed_groups(self):
+        lst = SortedTupleList()
+        lst.insert(3, "e1")
+        lst.insert("x", "e2")
+        assert lst.delete("x", "e2")
+        assert list(lst) == [(3, "e1")]
+
+    def test_bool_aliases_int_in_order(self):
+        lst = SortedTupleList()
+        lst.insert(True, "e1")
+        lst.insert(0, "e2")
+        lst.insert(2, "e3")
+        assert set(lst.iter_matching(Predicate("k", Operator.LE, 1))) == {"e1", "e2"}
+        assert set(lst.iter_matching(Predicate("k", Operator.EQ, 1))) == {"e1"}
+        assert lst.delete(1, "e1")  # 1 == True finds the aliased entry
+
+
 class TestAttributeLists:
     def _loaded(self):
         lists = AttributeLists()

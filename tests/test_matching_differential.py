@@ -1,0 +1,183 @@
+"""Differential suite: index matching vs the brute-force predicate oracle.
+
+Pits ``SubscriptionIndex.match_event`` and ``match_batch`` against a
+total, per-clause reimplementation of BE-match built directly on
+``Predicate.matches``.  The strategies deliberately generate the
+adversarial shapes behind the PR 9 bugfixes: duplicate IN members
+(bypassing frozenset normalisation), mixed-type operands, bool/int/float
+aliases, multi-clause DNF, and multiple predicates per attribute.
+
+Runs under the ``differential`` marker; ``DIFFERENTIAL_EXAMPLES``
+controls the per-test example budget (default 25).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Sequence
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expressions import (
+    BooleanExpression,
+    DnfExpression,
+    Event,
+    Operator,
+    Predicate,
+    Subscription,
+    clauses_of,
+)
+from repro.geometry import Point
+from repro.index import SubscriptionIndex
+
+pytestmark = pytest.mark.differential
+
+EXAMPLES = int(os.environ.get("DIFFERENTIAL_EXAMPLES", "25"))
+DIFF_SETTINGS = settings(max_examples=EXAMPLES, deadline=None)
+
+ATTRIBUTES = ("a", "b", "c", "d")
+# Aliased numerics, floats between ints, strings, and the empty string.
+VALUES = (0, 1, 2, 3, True, False, 0.5, 1.0, 2.5, "x", "y", "")
+NUMERIC = tuple(v for v in VALUES if isinstance(v, (int, float)))
+STRINGS = tuple(v for v in VALUES if isinstance(v, str))
+
+SCALAR_OPS = (
+    Operator.EQ,
+    Operator.NE,
+    Operator.LT,
+    Operator.LE,
+    Operator.GT,
+    Operator.GE,
+)
+
+
+@st.composite
+def predicates(draw):
+    attribute = draw(st.sampled_from(ATTRIBUTES))
+    kind = draw(st.sampled_from(("scalar", "between", "in", "not_in", "raw_in")))
+    if kind == "scalar":
+        return Predicate(attribute, draw(st.sampled_from(SCALAR_OPS)), draw(st.sampled_from(VALUES)))
+    if kind == "between":
+        pool = draw(st.sampled_from((NUMERIC, STRINGS)))
+        low, high = sorted(draw(st.lists(st.sampled_from(pool), min_size=2, max_size=2)))
+        return Predicate(attribute, Operator.BETWEEN, (low, high))
+    members = tuple(draw(st.lists(st.sampled_from(VALUES), min_size=1, max_size=4)))
+    if kind == "not_in":
+        return Predicate(attribute, Operator.NOT_IN, frozenset(members))
+    predicate = Predicate(attribute, Operator.IN, frozenset(members))
+    if kind == "raw_in":
+        # Operand kept as a literal tuple — duplicates and aliased
+        # members (True vs 1) survive, the satellite-1 bug surface.
+        object.__setattr__(predicate, "operand", members)
+    return predicate
+
+
+@st.composite
+def subscriptions(draw, sub_id):
+    clause_count = draw(st.integers(min_value=1, max_value=3))
+    clauses = [
+        # Repeated attributes allowed: multiple predicates per attribute.
+        BooleanExpression(tuple(draw(st.lists(predicates(), min_size=1, max_size=3))))
+        for _ in range(clause_count)
+    ]
+    if clause_count == 1:
+        expression = clauses[0]
+    else:
+        expression = DnfExpression(clauses)
+    return Subscription(sub_id, expression, 1000.0)
+
+
+@st.composite
+def events(draw, event_id):
+    attrs = draw(
+        st.dictionaries(
+            st.sampled_from(ATTRIBUTES),
+            st.sampled_from(VALUES),
+            min_size=1,
+            max_size=len(ATTRIBUTES),
+        )
+    )
+    return Event(event_id, attrs, Point(0.0, 0.0))
+
+
+def _clause_satisfied(clause: Sequence[Predicate], attributes: Dict[str, object]) -> bool:
+    return all(
+        predicate.attribute in attributes
+        and predicate.matches(attributes[predicate.attribute])
+        for predicate in clause
+    )
+
+
+def oracle_matches(subscription: Subscription, event: Event) -> bool:
+    return any(
+        _clause_satisfied(clause, event.attributes)
+        for clause in clauses_of(subscription.expression)
+    )
+
+
+@DIFF_SETTINGS
+@given(data=st.data())
+def test_match_event_agrees_with_oracle(data):
+    subs = [data.draw(subscriptions(sub_id)) for sub_id in range(data.draw(st.integers(1, 12)))]
+    index = SubscriptionIndex()
+    for sub in subs:
+        index.insert(sub)
+    for event_id in range(data.draw(st.integers(1, 8))):
+        event = data.draw(events(event_id))
+        got = {s.sub_id for s in index.match_event(event)}
+        expected = {s.sub_id for s in subs if oracle_matches(s, event)}
+        assert got == expected, event.attributes
+
+
+@DIFF_SETTINGS
+@given(data=st.data())
+def test_match_batch_is_byte_identical_to_match_event(data):
+    subs = [data.draw(subscriptions(sub_id)) for sub_id in range(data.draw(st.integers(1, 12)))]
+    index = SubscriptionIndex()
+    for sub in subs:
+        index.insert(sub)
+    batch = [data.draw(events(event_id)) for event_id in range(data.draw(st.integers(1, 10)))]
+    per_event = [index.match_event(event) for event in batch]
+    batched = index.match_batch(batch)
+    # Exact list equality: same subscriptions in the same order.
+    assert [[s.sub_id for s in row] for row in batched] == [
+        [s.sub_id for s in row] for row in per_event
+    ]
+
+
+@DIFF_SETTINGS
+@given(data=st.data())
+def test_match_survives_churn(data):
+    subs = [data.draw(subscriptions(sub_id)) for sub_id in range(data.draw(st.integers(2, 12)))]
+    index = SubscriptionIndex()
+    for sub in subs:
+        index.insert(sub)
+    removed = set()
+    for sub in subs[:: 2]:
+        index.delete(sub)
+        removed.add(sub.sub_id)
+    remaining = [s for s in subs if s.sub_id not in removed]
+    for event_id in range(data.draw(st.integers(1, 6))):
+        event = data.draw(events(event_id))
+        got = {s.sub_id for s in index.match_event(event)}
+        expected = {s.sub_id for s in remaining if oracle_matches(s, event)}
+        assert got == expected
+
+
+@DIFF_SETTINGS
+@given(data=st.data())
+def test_batch_sizes_do_not_change_results(data):
+    subs = [data.draw(subscriptions(sub_id)) for sub_id in range(6)]
+    index = SubscriptionIndex()
+    for sub in subs:
+        index.insert(sub)
+    batch = [data.draw(events(event_id)) for event_id in range(12)]
+    whole = [[s.sub_id for s in row] for row in index.match_batch(batch)]
+    chunk = data.draw(st.sampled_from((1, 3, 5)))
+    chunked = []
+    for start in range(0, len(batch), chunk):
+        chunked.extend(
+            [s.sub_id for s in row] for row in index.match_batch(batch[start : start + chunk])
+        )
+    assert chunked == whole

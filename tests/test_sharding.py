@@ -379,6 +379,18 @@ class TestAggregates:
         assert merged.notifications == worker_notifications
         assert merged.constructions >= len(server.subscribers[1].homes)
 
+    def test_merged_metrics_carry_batch_matching_counters(self):
+        # Every worker's _publish_batch runs SubscriptionIndex.match_batch;
+        # the probe counter must survive the cross-process metrics merge.
+        server = make_sharded(2)
+        server.subscribe(make_sub(radius=3_000.0), Point(5_000, 5_000), Point(0, 0), 0)
+        server.publish_batch([sale(10, 5_100, 5_000), sale(11, 4_900, 5_000)], now=1)
+        merged = server.merged_metrics()
+        assert merged.match_batch_probes > 0
+        assert merged.match_batch_probes == sum(
+            worker.metrics.match_batch_probes for worker in server.shard_servers
+        )
+
     def test_merged_registry_histograms(self):
         server = make_sharded(2)
         server.subscribe(make_sub(radius=1_000.0), Point(5_000, 5_000), Point(0, 0), 0)

@@ -90,6 +90,200 @@ class TestSubscriptionIndex:
         assert {s.sub_id for s in index.match_event(event_with_rare)} == {1, 2}
 
 
+class TestBoolIntAliasing:
+    """Probe semantics must equal Predicate.matches on the alias matrix.
+
+    Python compares bools as their integer values (``True == 1``), so the
+    operator-group scans must too — pre-fix, ``_operand_key`` sorted
+    bools into their own group and the inequality scans disagreed with
+    :meth:`Predicate.matches` (PR 9 satellite 3)."""
+
+    ALIAS_VALUES = [True, False, 0, 1, 2, 0.0, 1.0, 0.5]
+
+    @pytest.mark.parametrize(
+        "op",
+        [Operator.EQ, Operator.NE, Operator.LT, Operator.LE, Operator.GT, Operator.GE],
+    )
+    @pytest.mark.parametrize("operand", ALIAS_VALUES)
+    def test_probe_agrees_with_predicate_matches(self, op, operand):
+        index = SubscriptionIndex()
+        predicate = Predicate("a", op, operand)
+        index.insert(make_sub(1, predicate))
+        for value in self.ALIAS_VALUES:
+            got = bool(index.match_event(Event(1, {"a": value}, Point(0, 0))))
+            assert got is predicate.matches(value), (op, operand, value)
+
+    def test_equality_one_matches_true(self):
+        index = SubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.EQ, 1)))
+        assert index.match_event(Event(1, {"a": True}, Point(0, 0)))
+
+    def test_less_than_true_aliases_one(self):
+        # Pre-fix: operand True lived in a separate ("bool", ...) group,
+        # so the suffix scan for the numeric value 0 skipped it entirely.
+        index = SubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.LT, True)))
+        assert index.match_event(Event(1, {"a": 0}, Point(0, 0)))
+        assert not index.match_event(Event(2, {"a": 1}, Point(0, 0)))
+
+    def test_between_and_set_operators_alias(self):
+        between = Predicate("a", Operator.BETWEEN, (0, 1))
+        member = Predicate("a", Operator.IN, frozenset({1, 3}))
+        index = SubscriptionIndex()
+        index.insert(make_sub(1, between))
+        index.insert(make_sub(2, member))
+        for value in self.ALIAS_VALUES:
+            got = {s.sub_id for s in index.match_event(Event(1, {"a": value}, Point(0, 0)))}
+            expected = {
+                sub_id
+                for sub_id, predicate in ((1, between), (2, member))
+                if predicate.matches(value)
+            }
+            assert got == expected, value
+
+    def test_mixed_type_operands_do_not_crash_matching(self):
+        index = SubscriptionIndex()
+        index.insert(make_sub(1, Predicate("a", Operator.LT, "m")))
+        index.insert(make_sub(2, Predicate("a", Operator.GE, 5)))
+        assert {s.sub_id for s in index.match_event(Event(1, {"a": 7}, Point(0, 0)))} == {2}
+        assert {s.sub_id for s in index.match_event(Event(2, {"a": "b"}, Point(0, 0)))} == {1}
+
+
+class TestBitmapPrefilter:
+    def test_partition_skipped_without_required_attribute(self):
+        index = SubscriptionIndex()
+        index.insert(
+            make_sub(1, Predicate("a", Operator.GE, 0), Predicate("b", Operator.GE, 0))
+        )
+        before = index.partitions_pruned
+        assert not index.match_event(Event(1, {"a": 1}, Point(0, 0)))
+        assert index.partitions_pruned == before + 1
+
+    def test_common_mask_is_the_per_partition_intersection(self):
+        index = SubscriptionIndex()
+        index.insert(
+            make_sub(1, Predicate("a", Operator.GE, 0), Predicate("b", Operator.GE, 0))
+        )
+        index.insert(make_sub(2, Predicate("a", Operator.GE, 0)))
+        # sub 2 needs only "a", so the partition stays probeable for
+        # b-less events — and sub 1 correctly stays unmatched.
+        before = index.partitions_pruned
+        assert {s.sub_id for s in index.match_event(Event(1, {"a": 1}, Point(0, 0)))} == {2}
+        assert index.partitions_pruned == before
+
+    def test_delete_restores_prunability(self):
+        index = SubscriptionIndex()
+        wide = make_sub(1, Predicate("a", Operator.GE, 0), Predicate("b", Operator.GE, 0))
+        narrow = make_sub(2, Predicate("a", Operator.GE, 0))
+        index.insert(wide)
+        index.insert(narrow)
+        index.delete(narrow)
+        before = index.partitions_pruned
+        assert not index.match_event(Event(1, {"a": 1}, Point(0, 0)))
+        assert index.partitions_pruned == before + 1
+
+    def test_prefilter_changes_no_results(self):
+        # Correlated attribute pairs keep each partition's intersection
+        # mask multi-bit, so the sweep actually exercises the skip path.
+        rng = random.Random(11)
+        index = SubscriptionIndex()
+        subs = []
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        for sub_id in range(30):
+            first, second = rng.choice(pairs)
+            predicates = [
+                Predicate(f"a{first}", Operator.GE, rng.randint(0, 9)),
+                Predicate(f"a{second}", Operator.GE, rng.randint(0, 9)),
+            ]
+            sub = Subscription(sub_id, BooleanExpression(predicates), 1000.0)
+            subs.append(sub)
+            index.insert(sub)
+        for event_id in range(40):
+            attrs = {
+                f"a{a}": rng.randint(0, 9) for a in rng.sample(range(6), rng.randint(1, 4))
+            }
+            event = Event(event_id, attrs, Point(0, 0))
+            expected = {s.sub_id for s in subs if s.be_matches(event)}
+            assert {s.sub_id for s in index.match_event(event)} == expected
+        assert index.partitions_pruned > 0  # the sweep must exercise the skip
+
+
+class TestMatchBatch:
+    def _random_pool(self, rng, sub_count=25):
+        index = SubscriptionIndex()
+        for sub_id in range(sub_count):
+            predicates = []
+            for _ in range(rng.randint(1, 3)):
+                attr = f"a{rng.randint(0, 4)}"
+                op = rng.choice(
+                    [Operator.EQ, Operator.NE, Operator.LT, Operator.LE,
+                     Operator.GT, Operator.GE, Operator.BETWEEN, Operator.IN]
+                )
+                if op is Operator.BETWEEN:
+                    low = rng.randint(0, 8)
+                    operand = (low, low + rng.randint(0, 4))
+                elif op is Operator.IN:
+                    operand = frozenset(rng.sample(range(10), rng.randint(1, 3)))
+                else:
+                    operand = rng.randint(0, 9)
+                predicates.append(Predicate(attr, op, operand))
+            index.insert(Subscription(sub_id, BooleanExpression(predicates), 1000.0))
+        return index
+
+    def _random_events(self, rng, count=64):
+        return [
+            Event(
+                event_id,
+                {f"a{a}": rng.randint(0, 9) for a in rng.sample(range(5), rng.randint(1, 4))},
+                Point(0, 0),
+            )
+            for event_id in range(count)
+        ]
+
+    def test_empty_batch(self):
+        assert SubscriptionIndex().match_batch([]) == []
+
+    def test_batch_is_byte_identical_to_per_event(self):
+        rng = random.Random(23)
+        index = self._random_pool(rng)
+        events = self._random_events(rng)
+        per_event = [index.match_event(event) for event in events]
+        batched = index.match_batch(events)
+        # identical subscriptions in identical order, per event
+        assert [[s.sub_id for s in row] for row in batched] == [
+            [s.sub_id for s in row] for row in per_event
+        ]
+
+    def test_batch_counters_populate(self):
+        rng = random.Random(5)
+        index = self._random_pool(rng)
+        events = self._random_events(rng, count=16)
+        index.match_batch(events)
+        assert index.match_batch_probes > 0
+        # Fewer distinct probes than the scalar path's one-per-event
+        # probing is the whole point of the batch.
+        scalar_probes = sum(
+            1
+            for event in events
+            for attribute in event.attributes
+            if attribute in index._partitions
+            for event_attribute in event.attributes
+            if event_attribute in index._partitions[attribute].layers
+        )
+        assert index.match_batch_probes < scalar_probes
+
+    def test_batch_with_churn(self):
+        rng = random.Random(31)
+        index = self._random_pool(rng)
+        events = self._random_events(rng, count=20)
+        victims = [index._subscriptions[sub_id][0] for sub_id in range(0, 25, 2)]
+        for sub in victims:
+            index.delete(sub)
+        per_event = [[s.sub_id for s in index.match_event(e)] for e in events]
+        batched = [[s.sub_id for s in row] for row in index.match_batch(events)]
+        assert batched == per_event
+
+
 @settings(max_examples=40, deadline=None)
 @given(data=st.data())
 def test_property_match_event_agrees_with_brute_force(data):
