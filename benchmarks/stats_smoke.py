@@ -56,11 +56,12 @@ def _check_prometheus(text: str, counters: dict, stages: dict) -> None:
     duplicates = {i for i in identities if identities.count(i) > 1}
     assert not duplicates, f"duplicate samples: {sorted(duplicates)}"
     # every counter field surfaces under its canonical metric name
+    # (high-water marks and bytes_measured render as gauges, no _total)
     for name in counters:
-        metric = (
-            "elaps_bytes_measured" if name == "bytes_measured"
-            else f"elaps_{name}_total"
-        )
+        if name == "bytes_measured" or name.endswith("_high_water"):
+            metric = f"elaps_{name}"
+        else:
+            metric = f"elaps_{name}_total"
         assert any(i == metric for i in identities), f"missing {metric}"
         assert f"# TYPE {metric} " in text, f"missing TYPE for {metric}"
     # HELP/TYPE are emitted once per family, never per series

@@ -80,12 +80,16 @@ from .index import (
 )
 from .system import (
     CallbackTransport,
+    ClientConfig,
     CommunicationStats,
     ElapsNetworkClient,
     ElapsServer,
     ElapsTCPServer,
     ExperimentConfig,
+    NetworkConfig,
     Notification,
+    ReconnectPolicy,
+    ResilientElapsClient,
     SerialExecutor,
     ServerConfig,
     ShardedElapsServer,
@@ -112,6 +116,7 @@ __all__ = [
     "CallbackTransport",
     "Cell",
     "Circle",
+    "ClientConfig",
     "CommunicationStats",
     "ConstructionRequest",
     "CostModel",
@@ -134,14 +139,17 @@ __all__ = [
     "KIndex",
     "KSubscriptionIndex",
     "LazyBEQField",
+    "NetworkConfig",
     "Notification",
     "OpIndex",
     "Operator",
     "Point",
     "Predicate",
     "QuadTree",
+    "ReconnectPolicy",
     "Rect",
     "RegionPair",
+    "ResilientElapsClient",
     "RoadNetwork",
     "SafeRegion",
     "SafeRegionStrategy",

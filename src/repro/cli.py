@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows:
+Six commands cover the common workflows:
 
 * ``simulate`` — run one pub/sub simulation (a strategy, a workload, a
   movement model) and print the per-subscriber communication figures;
@@ -12,7 +12,10 @@ Five commands cover the common workflows:
   trace directory (DESIGN.md §13);
 * ``replay``   — re-run a recorded trace through a fresh server (any
   configuration: repair on/off, shards, batch size) and print/diff the
-  delivered-notification log.
+  delivered-notification log;
+* ``serve``    — serve an Elaps core on a real TCP port behind the
+  backpressure-aware front-end, every
+  :class:`~repro.system.config.NetworkConfig` knob exposed.
 
 Every run is deterministic under ``--seed``.
 """
@@ -324,6 +327,73 @@ def _command_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .system import ElapsTCPServer, ExperimentConfig, NetworkConfig
+    from .system.experiment import build_server
+
+    world = ExperimentConfig(
+        strategy=args.strategy,
+        grid_n=args.grid,
+        initial_events=args.events,
+        event_ttl=args.ttl,
+        seed=args.seed,
+        repair=args.repair,
+    )
+    network = NetworkConfig(
+        read_timeout=args.read_timeout,
+        write_timeout=args.write_timeout,
+        retain_subscribers=args.retain_subscribers,
+        ingress_queue=args.ingress_queue,
+        send_queue=args.send_queue,
+        send_queue_hard=args.send_queue_hard,
+        shed_policy=args.shed_policy,
+        slow_consumer_grace=args.slow_consumer_grace,
+        max_connections=args.max_connections,
+        dispatch_offload=args.dispatch_offload,
+        write_buffer_limit=args.write_buffer_limit,
+    )
+
+    async def run() -> None:
+        core = build_server(world)
+        tcp = ElapsTCPServer(
+            core,
+            host=args.host,
+            port=args.port,
+            timestamp_seconds=args.timestamp_seconds,
+            config=network,
+        )
+        await tcp.start()
+        print(
+            f"serving {world.strategy} core on {tcp.host}:{tcp.port} "
+            f"(E={world.initial_events}, send_queue={network.send_queue}/"
+            f"{network.hard_cap}, shed={network.shed_policy})",
+            flush=True,
+        )
+        try:
+            if args.runtime is not None:
+                await asyncio.sleep(args.runtime)
+            else:
+                await asyncio.Event().wait()  # serve until interrupted
+        finally:
+            await tcp.stop()
+            stats = core.merged_registry().stats
+            print(
+                f"served: {stats.notifications} notifications, "
+                f"{stats.heartbeats} heartbeats, {stats.frames_shed} frames "
+                f"shed, {stats.slow_consumer_disconnects} slow-consumer "
+                f"disconnects",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for `python -m repro`."""
     parser = argparse.ArgumentParser(
@@ -402,6 +472,56 @@ def build_parser() -> argparse.ArgumentParser:
                         help="diff the log against this file; non-zero exit "
                              "on any byte difference")
     replay.set_defaults(handler=_command_replay)
+
+    serve = commands.add_parser(
+        "serve", help="serve an Elaps core on a TCP port behind the "
+                      "backpressure-aware front-end"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick a free one)")
+    serve.add_argument("--strategy", choices=_STRATEGY_CHOICES, default="iGM")
+    serve.add_argument("--grid", type=int, default=120, help="N: grid resolution")
+    serve.add_argument("--events", type=int, default=0,
+                       help="E: initial event corpus size (default 0: empty)")
+    serve.add_argument("--ttl", type=int, default=None,
+                       help="event validity in timestamps (default: no expiry)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--repair", action="store_true",
+                       help="incremental safe-region repair (ships deltas)")
+    serve.add_argument("--timestamp-seconds", type=float, default=5.0,
+                       help="wall seconds per server timestamp (default 5)")
+    serve.add_argument("--runtime", type=float, default=None,
+                       help="serve for this many seconds then exit "
+                            "(default: until interrupted)")
+    # NetworkConfig knobs (defaults match NetworkConfig's)
+    serve.add_argument("--read-timeout", type=float, default=30.0)
+    serve.add_argument("--write-timeout", type=float, default=10.0)
+    serve.add_argument("--retain-subscribers", action="store_true",
+                       help="keep subscriber state across disconnects")
+    serve.add_argument("--ingress-queue", type=int, default=1024,
+                       help="bounded ingress depth; full = stop reading "
+                            "(TCP backpressure)")
+    serve.add_argument("--send-queue", type=int, default=256,
+                       help="per-connection egress soft cap (frames)")
+    serve.add_argument("--send-queue-hard", type=int, default=None,
+                       help="egress hard cap (default: 2x the soft cap)")
+    serve.add_argument("--shed-policy", choices=("stale", "none"),
+                       default="stale",
+                       help="'stale' sheds superseded region state from "
+                            "over-cap queues; 'none' never drops a frame")
+    serve.add_argument("--slow-consumer-grace", type=float, default=2.0,
+                       help="seconds a queue may stay over cap before the "
+                            "consumer is disconnected")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="admission control: refuse accepts beyond this")
+    serve.add_argument("--dispatch-offload", action="store_true",
+                       help="run core work on a worker thread behind a lock "
+                            "so the event loop stays responsive")
+    serve.add_argument("--write-buffer-limit", type=int, default=None,
+                       help="cap kernel+transport write buffering (bytes) so "
+                            "slow consumers surface in the send queue")
+    serve.set_defaults(handler=_command_serve)
 
     figure = commands.add_parser(
         "figure", help="print a regenerated figure table (run the benchmarks first)"

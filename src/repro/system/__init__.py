@@ -2,7 +2,14 @@
 simulation, the experiment runner, and the metrics they report."""
 
 from .client import MobileClient
-from .config import CallbackTransport, RebalancePolicy, ServerConfig, Transport
+from .config import (
+    CallbackTransport,
+    ClientConfig,
+    NetworkConfig,
+    RebalancePolicy,
+    ServerConfig,
+    Transport,
+)
 from .experiment import (
     ExperimentConfig,
     STRATEGIES,
@@ -24,8 +31,11 @@ from .network import (
     ElapsNetworkClient,
     ElapsTCPServer,
     FrameError,
+    FrameKind,
     ReconnectPolicy,
     ResilientElapsClient,
+    SendQueue,
+    SendVerdict,
     TruncatedFrameError,
 )
 from .observability import (
@@ -53,6 +63,7 @@ __all__ = [
     "BUCKET_BOUNDS",
     "CallbackTransport",
     "ChaosProxy",
+    "ClientConfig",
     "CommunicationStats",
     "LatencyHistogram",
     "MetricsRegistry",
@@ -66,6 +77,7 @@ __all__ = [
     "FaultKind",
     "FaultStats",
     "FrameError",
+    "FrameKind",
     "Journal",
     "JournalCorruptionError",
     "JournalError",
@@ -73,12 +85,15 @@ __all__ = [
     "JournalSpec",
     "MobileClient",
     "ExperimentConfig",
+    "NetworkConfig",
     "Notification",
     "ProcessExecutor",
     "RebalancePolicy",
     "ReconnectPolicy",
     "ResilientElapsClient",
     "STRATEGIES",
+    "SendQueue",
+    "SendVerdict",
     "SerialExecutor",
     "ServerConfig",
     "ShardCall",

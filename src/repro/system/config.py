@@ -32,7 +32,8 @@ This module replaces both:
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, FrozenSet, Optional, Tuple
 
 from ..geometry import Cell, Point
@@ -43,10 +44,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "CallbackTransport",
+    "ClientConfig",
+    "MAX_FRAME_LENGTH",
+    "NetworkConfig",
     "RebalancePolicy",
+    "ReconnectPolicy",
     "ServerConfig",
     "Transport",
 ]
+
+#: upper bound on a frame's declared payload length; anything larger is
+#: treated as a framing error (a corrupted length field would otherwise
+#: stall the reader for gigabytes)
+MAX_FRAME_LENGTH = 1 << 24
+
+#: the egress shed policies :class:`NetworkConfig` understands
+SHED_POLICIES = ("stale", "none")
 
 #: the matching modes the server understands (DESIGN.md §6)
 MATCHING_MODES = ("ondemand", "full", "cached")
@@ -162,6 +175,201 @@ class ServerConfig:
             )
 
     def with_(self, **changes) -> "ServerConfig":
+        """A copy of this configuration with fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Every knob of the TCP front-end, in one immutable value.
+
+    Mirrors :class:`ServerConfig`: ``ElapsTCPServer(core,
+    config=NetworkConfig(...))`` is the primary construction form, the
+    old per-knob keywords still work but emit ``DeprecationWarning``,
+    and being frozen the same value can configure a whole fleet of
+    listeners without drift.
+
+    The data path behind these knobs (DESIGN.md §17): connection
+    handlers feed a bounded **ingress** queue drained by one dispatcher
+    (a full queue stops the reads — natural TCP backpressure), and every
+    connection owns a bounded **send queue** drained by a dedicated
+    writer task (a full queue sheds stale region frames, and a consumer
+    that stays over cap is disconnected and healed by resync).
+    """
+
+    #: a connection silent for longer than this is presumed dead and
+    #: reaped (clients heartbeat well inside it); None disables
+    read_timeout: Optional[float] = 30.0
+    #: a frame that cannot be flushed within this budget marks a stalled
+    #: peer and drops the connection; None disables
+    write_timeout: Optional[float] = 10.0
+    #: frames declaring a payload beyond this are framing errors
+    max_frame_length: int = MAX_FRAME_LENGTH
+    #: with True, a dropped connection keeps its subscriber records so a
+    #: reconnecting client can resubscribe/resync into them; the default
+    #: preserves the original semantics (disconnect means unsubscribe)
+    retain_subscribers: bool = False
+    #: decoded frames buffered between the sockets and the core; when
+    #: full, connection handlers stop reading (TCP backpressure)
+    ingress_queue: int = 1024
+    #: soft cap on frames queued per connection; crossing it triggers
+    #: shedding (per ``shed_policy``) and starts the slow-consumer clock
+    send_queue: int = 256
+    #: hard cap on frames queued per connection — reaching it disconnects
+    #: the consumer immediately; None defaults to ``2 * send_queue``
+    send_queue_hard: Optional[int] = None
+    #: ``"stale"`` sheds region pushes/deltas and ephemeral frames from
+    #: an over-cap queue (notifications are never shed — a consumer that
+    #: cannot drain them is disconnected and healed by resync);
+    #: ``"none"`` disables shedding and supersede-coalescing entirely
+    shed_policy: str = "stale"
+    #: seconds a send queue may sit over ``send_queue`` before the
+    #: consumer is declared slow and disconnected
+    slow_consumer_grace: float = 2.0
+    #: admission control: connections beyond this are closed at accept
+    #: time (counted in ``connections_refused``); None admits everyone
+    max_connections: Optional[int] = None
+    #: run core dispatch (subscribe/publish/report) on a worker thread
+    #: behind a core lock so heartbeats and accepts stay responsive
+    #: while a long safe-region construction runs; the default keeps
+    #: dispatch inline on the event loop (deterministic)
+    dispatch_offload: bool = False
+    #: seconds ``stop()`` waits for connection handlers before
+    #: cancelling the survivors (and logging them)
+    stop_timeout: float = 5.0
+    #: when set, each accepted connection's transport write buffer (and
+    #: its socket ``SO_SNDBUF``) is capped at this many bytes, so a slow
+    #: consumer backs the writer task up into the send queue instead of
+    #: hiding megabytes in kernel buffers; None keeps platform defaults
+    write_buffer_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.read_timeout is not None and self.read_timeout < 0:
+            raise ValueError(f"read_timeout must be >= 0: {self.read_timeout}")
+        if self.write_timeout is not None and self.write_timeout < 0:
+            raise ValueError(f"write_timeout must be >= 0: {self.write_timeout}")
+        if self.max_frame_length < 1:
+            raise ValueError(
+                f"max_frame_length must be positive: {self.max_frame_length}"
+            )
+        if self.ingress_queue < 1:
+            raise ValueError(f"ingress_queue must be positive: {self.ingress_queue}")
+        if self.send_queue < 1:
+            raise ValueError(f"send_queue must be positive: {self.send_queue}")
+        if self.send_queue_hard is not None and self.send_queue_hard < self.send_queue:
+            raise ValueError(
+                f"send_queue_hard ({self.send_queue_hard}) must be at least "
+                f"send_queue ({self.send_queue})"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy: {self.shed_policy!r}; "
+                f"pick one of {SHED_POLICIES}"
+            )
+        if self.slow_consumer_grace < 0:
+            raise ValueError(
+                f"slow_consumer_grace must be >= 0: {self.slow_consumer_grace}"
+            )
+        if self.max_connections is not None and self.max_connections < 1:
+            raise ValueError(
+                f"max_connections must be positive: {self.max_connections}"
+            )
+        if self.stop_timeout < 0:
+            raise ValueError(f"stop_timeout must be >= 0: {self.stop_timeout}")
+        if self.write_buffer_limit is not None and self.write_buffer_limit < 1:
+            raise ValueError(
+                f"write_buffer_limit must be positive: {self.write_buffer_limit}"
+            )
+
+    @property
+    def hard_cap(self) -> int:
+        """The effective hard send-queue bound (frames)."""
+        return (
+            self.send_queue_hard
+            if self.send_queue_hard is not None
+            else 2 * self.send_queue
+        )
+
+    def with_(self, **changes) -> "NetworkConfig":
+        """A copy of this configuration with fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Exponential backoff with jitter for a client reconnect loop."""
+
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: extra uniform fraction of the delay, decorrelating client herds
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base_delay must be positive: {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must be at least "
+                f"base_delay ({self.base_delay})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter}")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """The sleep before reconnect ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """The shared configuration of both Elaps network clients.
+
+    :class:`~repro.system.network.ElapsNetworkClient` (the minimal
+    scripted client) and
+    :class:`~repro.system.network.ResilientElapsClient` (the supervised
+    subscriber) take the same value, so one config describes a client
+    fleet regardless of which wrapper it runs under; the resilient
+    client's old per-knob keywords layer onto it with
+    ``DeprecationWarning``.
+    """
+
+    #: seconds between keepalive frames (resilient client only)
+    heartbeat_interval: float = 1.0
+    #: a session with no frame inside this window is declared dead and
+    #: redialled; None derives ``4 * heartbeat_interval``
+    read_timeout: Optional[float] = None
+    #: default wait for a single pushed frame (``receive`` /
+    #: ``request_stats`` on either client)
+    receive_timeout: float = 5.0
+    #: the backoff schedule of the resilient client's reconnect loop
+    reconnect: ReconnectPolicy = field(default_factory=ReconnectPolicy)
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive: {self.heartbeat_interval}"
+            )
+        if self.read_timeout is not None and self.read_timeout <= 0:
+            raise ValueError(f"read_timeout must be positive: {self.read_timeout}")
+        if self.receive_timeout <= 0:
+            raise ValueError(
+                f"receive_timeout must be positive: {self.receive_timeout}"
+            )
+
+    @property
+    def effective_read_timeout(self) -> float:
+        """The session read timeout with the heartbeat-derived default."""
+        return (
+            self.read_timeout
+            if self.read_timeout is not None
+            else self.heartbeat_interval * 4
+        )
+
+    def with_(self, **changes) -> "ClientConfig":
         """A copy of this configuration with fields replaced."""
         return dataclasses.replace(self, **changes)
 

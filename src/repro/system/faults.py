@@ -36,6 +36,7 @@ import contextlib
 import enum
 import itertools
 import random
+import socket
 from dataclasses import dataclass
 from typing import Optional, Set, Tuple
 
@@ -195,6 +196,19 @@ class ChaosProxy:
         self.host = host
         self.port = port
         self.enabled = True
+        #: seconds slept before each server->client frame is read — a
+        #: throttled *reader*: the proxy stops pulling from the server
+        #: socket, the kernel window closes, and the server experiences
+        #: a slow consumer (its send queue backs up).  Mutable mid-run,
+        #: like :attr:`enabled`; 0 disables the throttle.
+        self.throttle_downstream = 0.0
+        #: ``SO_RCVBUF`` clamp for the proxy's server-facing socket.
+        #: Without it the kernel auto-tunes the receive buffer up and
+        #: silently absorbs megabytes on behalf of a throttled reader —
+        #: set a small value so backpressure actually reaches the
+        #: server's send queue.  Applies to connections opened after
+        #: the change; ``None`` leaves the kernel default.
+        self.upstream_rcvbuf: Optional[int] = None
         self.stats = FaultStats()
         self._server: Optional[asyncio.base_events.Server] = None
         self._stream_ids = itertools.count(0)
@@ -229,9 +243,24 @@ class ChaosProxy:
         if task is not None:
             self._handlers.add(task)
         try:
-            server_reader, server_writer = await asyncio.open_connection(
-                self.target_host, self.target_port
-            )
+            if self.upstream_rcvbuf is not None:
+                # clamp before connecting so the advertised window never
+                # grows past the configured buffer
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_RCVBUF, self.upstream_rcvbuf
+                )
+                sock.setblocking(False)
+                await asyncio.get_running_loop().sock_connect(
+                    sock, (self.target_host, self.target_port)
+                )
+                server_reader, server_writer = await asyncio.open_connection(
+                    sock=sock
+                )
+            else:
+                server_reader, server_writer = await asyncio.open_connection(
+                    self.target_host, self.target_port
+                )
         except OSError:
             client_writer.close()
             return
@@ -258,6 +287,7 @@ class ChaosProxy:
                     if self.config.downstream
                     else None,
                     pair,
+                    downstream=True,
                 )
             ),
         ]
@@ -288,9 +318,12 @@ class ChaosProxy:
         writer: asyncio.StreamWriter,
         injector: Optional[FaultInjector],
         pair: Tuple[asyncio.StreamWriter, ...],
+        downstream: bool = False,
     ) -> None:
         try:
             while True:
+                if downstream and self.throttle_downstream > 0:
+                    await asyncio.sleep(self.throttle_downstream)
                 frame = await read_frame(reader)
                 if frame is None:
                     return

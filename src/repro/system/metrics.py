@@ -97,6 +97,32 @@ class CommunicationStats:
     #: reported it never received them
     redeliveries: int = 0
     # ------------------------------------------------------------------
+    # Backpressure counters (the queued connection front-end of
+    # DESIGN.md §17; a server built before it, or an in-process
+    # simulation, leaves them all at 0).
+    # ------------------------------------------------------------------
+    #: frames a subscriber's live connection could not be written
+    #: (dying transport under the writer task); the loss is healed by
+    #: the client's next resync — but it is no longer silent
+    push_errors: int = 0
+    #: stale frames dropped from over-cap send queues (region pushes,
+    #: deltas, ephemeral echoes — never notifications)
+    frames_shed: int = 0
+    #: queued region pushes/deltas removed because a newer full
+    #: SafeRegionPush for the same subscriber entered the queue
+    superseded_region_ships: int = 0
+    #: connections dropped because their send queue stayed over cap past
+    #: the grace window (or hit the hard cap); healed by resync
+    slow_consumer_disconnects: int = 0
+    #: connections closed at accept time by ``max_connections``
+    connections_refused: int = 0
+    #: deepest any per-connection send queue ever got (frames); a gauge
+    #: — merges take the max, not the sum
+    send_queue_high_water: int = 0
+    #: deepest the shared ingress queue ever got (frames); gauge, merged
+    #: by max
+    ingress_queue_high_water: int = 0
+    # ------------------------------------------------------------------
     # Incremental-repair counters (the server's ``repair=True`` mode; the
     # always-rebuild configuration leaves them all at 0).  A repair carves
     # the new event's dilation out of the cached safe region instead of
@@ -162,16 +188,25 @@ class CommunicationStats:
         """
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    #: gauge-like fields: a merge takes the max of the two sides (a
+    #: fleet's high-water mark is its deepest queue, not their sum)
+    MAX_MERGED = frozenset({"send_queue_high_water", "ingress_queue_high_water"})
+
     def merged_with(self, other: "CommunicationStats") -> "CommunicationStats":
         """Field-wise sum with another accumulator (inputs untouched).
 
         Counters add; the ``bytes_measured`` flag ORs (a merged report
-        contains measured bytes if either side measured them).
+        contains measured bytes if either side measured them); the
+        high-water gauges in :data:`MAX_MERGED` take the max.
         """
         merged = CommunicationStats()
         for f in fields(CommunicationStats):
             if f.name == "bytes_measured":
                 merged.bytes_measured = self.bytes_measured or other.bytes_measured
+            elif f.name in self.MAX_MERGED:
+                setattr(
+                    merged, f.name, max(getattr(self, f.name), getattr(other, f.name))
+                )
             else:
                 setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
         return merged

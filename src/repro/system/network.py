@@ -32,27 +32,65 @@ the subscriber built for that network: heartbeat keepalive, reconnect
 with exponential backoff + jitter, and resubscribe + resync after every
 reconnect so deliveries stay exactly-once end to end.
 
-The implementation is a single-threaded ``asyncio`` server; the wrapped
-:class:`~repro.system.ElapsServer` is not thread-safe and all handling
-runs on the event loop.
+The data path is built around explicit bounded queues (DESIGN.md §17),
+configured by one frozen :class:`~repro.system.config.NetworkConfig`:
+
+* **ingress** — connection handlers read and decode frames, then feed a
+  bounded queue drained by a single dispatcher task.  When the queue is
+  full the handlers stop reading, which is natural TCP backpressure:
+  the kernel window closes and well-behaved publishers slow down
+  instead of ballooning server memory.  Heartbeats are answered inline,
+  off the ingress path, so keepalives survive a busy core; with
+  ``dispatch_offload`` the core work itself moves to a worker thread
+  behind a core lock, keeping the event loop free for accepts, echoes
+  and flushes during a long safe-region construction.
+* **egress** — every connection owns a bounded :class:`SendQueue`
+  drained by a dedicated writer task; nothing writes to a socket
+  directly.  An over-cap queue sheds *stale* frames (a newer
+  ``SafeRegionPush`` supersedes any queued older push or delta; a delta
+  whose base push was shed is dropped and forces the full-push
+  fallback; notifications are never shed), and a consumer that stays
+  over cap past the grace window — or hits the hard cap — is counted in
+  ``slow_consumer_disconnects`` and dropped: no further frames are
+  accepted (bounding memory at the hard cap), the queued backlog is
+  flushed, and the socket closes cleanly, so the subscribe+resync path
+  heals the remainder exactly like any other dead connection.
+
+The wrapped :class:`~repro.system.ElapsServer` is not thread-safe; all
+core access runs on the dispatcher (or, offloaded, on its single worker
+thread behind the core lock).
 """
 
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import contextlib
+import enum
 import itertools
 import logging
 import math
 import random
+import socket
 import struct
+import threading
 import time
+import warnings
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..expressions import Event, Subscription
 from ..geometry import Grid, Point
 from .client import MobileClient
+from .config import (
+    MAX_FRAME_LENGTH,
+    ClientConfig,
+    NetworkConfig,
+    ReconnectPolicy,
+    Transport,
+)
+from .metrics import CommunicationStats
 from .protocol import (
     EventPublishBatchMessage,
     EventPublishMessage,
@@ -71,23 +109,20 @@ from .protocol import (
     decode_message,
     encode_message,
     notification_for,
+    publish_batch_message_for,
+    publish_message_for,
     region_delta_for,
     region_from_push,
     region_push_for,
     stats_snapshot_for,
+    subscribe_message_for,
 )
-from .config import Transport
 from .server import ElapsServer
 
 logger = logging.getLogger(__name__)
 
 _FRAME_HEADER = ">BI"
 _HEADER_SIZE = struct.calcsize(_FRAME_HEADER)
-
-#: upper bound on a frame's declared payload length; anything larger is
-#: treated as a framing error (a corrupted length field would otherwise
-#: stall the reader for gigabytes)
-MAX_FRAME_LENGTH = 1 << 24
 
 
 class FrameError(Exception):
@@ -131,24 +166,255 @@ async def read_frame(
     return header + payload
 
 
+# ----------------------------------------------------------------------
+# Egress: the bounded per-connection send queue
+# ----------------------------------------------------------------------
+class FrameKind(enum.Enum):
+    """What a queued egress frame carries, for shed eligibility.
+
+    The shed-eligibility table (DESIGN.md §17): ``REGION``/``DELTA``
+    frames are *state* — latest wins, older ones may be coalesced away
+    and a shed is healed by the full-push fallback; ``EPHEMERAL`` frames
+    (heartbeat echoes) carry no durable meaning; ``NOTIFICATION`` and
+    ``CONTROL`` frames are deliveries the client is owed and are never
+    shed — a consumer that cannot drain them is disconnected instead,
+    which triggers the resync path that redelivers exactly-once.
+    """
+
+    NOTIFICATION = "notification"
+    REGION = "region"
+    DELTA = "delta"
+    EPHEMERAL = "ephemeral"
+    CONTROL = "control"
+
+
+#: frame kinds an over-cap queue may drop (healed by fallback/next echo)
+SHEDDABLE_KINDS = frozenset(
+    {FrameKind.REGION, FrameKind.DELTA, FrameKind.EPHEMERAL}
+)
+
+#: frame kinds that carry region state for one subscriber
+_REGION_KINDS = frozenset({FrameKind.REGION, FrameKind.DELTA})
+
+
+class SendVerdict(enum.Enum):
+    """What :meth:`SendQueue.offer` concluded about the consumer."""
+
+    #: queue at or under the soft cap
+    OK = "ok"
+    #: over the soft cap but inside the grace window — keep serving
+    OVER = "over"
+    #: hard cap reached, or over cap past the grace window — drop the
+    #: consumer (it will heal through reconnect + resync)
+    DISCONNECT = "disconnect"
+
+
+@dataclass
+class QueuedFrame:
+    """One frame waiting in a :class:`SendQueue`."""
+
+    kind: FrameKind
+    sub_id: Optional[int]
+    frame: bytes
+
+
+class SendQueue:
+    """A bounded egress queue with stale-frame shedding.
+
+    Pure synchronous state (offers and pops happen on the event loop;
+    the property suite drives it directly).  Counters go to the
+    :class:`~repro.system.metrics.CommunicationStats` handed in —
+    ``frames_shed``, ``superseded_region_ships`` and the
+    ``send_queue_high_water`` gauge.
+
+    Invariants the property tests pin:
+
+    * depth never exceeds ``hard_cap``, provided the caller stops
+      offering once it sees :data:`SendVerdict.DISCONNECT` — which the
+      server does by marking the connection draining;
+    * no ``DELTA`` frame for a subscriber survives (or enters) the queue
+      after a region frame for that subscriber was shed, until a fresh
+      full push re-syncs the chain (``region_state_dirty``);
+    * ``NOTIFICATION``/``CONTROL`` frames are never dropped;
+    * the relative order of surviving frames is preserved.
+    """
+
+    def __init__(
+        self,
+        soft_cap: int,
+        hard_cap: Optional[int] = None,
+        *,
+        grace: float = 2.0,
+        shed: bool = True,
+        stats: Optional[CommunicationStats] = None,
+    ) -> None:
+        if soft_cap < 1:
+            raise ValueError(f"soft_cap must be positive: {soft_cap}")
+        self.soft_cap = soft_cap
+        self.hard_cap = hard_cap if hard_cap is not None else 2 * soft_cap
+        if self.hard_cap < soft_cap:
+            raise ValueError(
+                f"hard_cap ({self.hard_cap}) must be at least soft_cap ({soft_cap})"
+            )
+        self.grace = grace
+        self.shed_enabled = shed
+        self.stats = stats if stats is not None else CommunicationStats()
+        self.high_water = 0
+        self._entries: Deque[QueuedFrame] = deque()
+        self._sheddable = 0
+        self._dirty: Set[int] = set()
+        self._over_since: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def region_state_dirty(self, sub_id: int) -> bool:
+        """True if a region frame for ``sub_id`` was shed and no full
+        push has re-synced the chain since — the server must fall back
+        to a full push instead of shipping a delta."""
+        return sub_id in self._dirty
+
+    def offer(
+        self, kind: FrameKind, sub_id: Optional[int], frame: bytes, now: float
+    ) -> SendVerdict:
+        """Enqueue one frame and judge the consumer's health."""
+        if kind is FrameKind.REGION:
+            if self.shed_enabled:
+                self._supersede(sub_id)
+            # a full push is self-contained: it re-syncs a broken chain
+            self._dirty.discard(sub_id)
+        elif kind is FrameKind.DELTA and sub_id in self._dirty:
+            # the base region this delta applies to was shed off this
+            # queue; applying it would corrupt the client's region, so
+            # it is dropped here and the sub stays dirty — the server's
+            # next ship for it becomes a full push
+            self.stats.frames_shed += 1
+            return self._verdict(now)
+        self._entries.append(QueuedFrame(kind, sub_id, frame))
+        if kind in SHEDDABLE_KINDS:
+            self._sheddable += 1
+        depth = len(self._entries)
+        if depth > self.high_water:
+            self.high_water = depth
+        if depth > self.stats.send_queue_high_water:
+            self.stats.send_queue_high_water = depth
+        if depth > self.soft_cap and self.shed_enabled and self._sheddable:
+            self._shed()
+        return self._verdict(now)
+
+    def pop(self) -> Optional[QueuedFrame]:
+        """The oldest queued frame, or None when empty."""
+        if not self._entries:
+            return None
+        entry = self._entries.popleft()
+        if entry.kind in SHEDDABLE_KINDS:
+            self._sheddable -= 1
+        if len(self._entries) <= self.soft_cap:
+            self._over_since = None
+        return entry
+
+    # internals --------------------------------------------------------
+    def _supersede(self, sub_id: Optional[int]) -> None:
+        """A newer full push makes queued region state for the sub moot."""
+        if sub_id is None or not self._entries:
+            return
+        removed = 0
+        kept: Deque[QueuedFrame] = deque()
+        for entry in self._entries:
+            if entry.sub_id == sub_id and entry.kind in _REGION_KINDS:
+                removed += 1
+                self._sheddable -= 1
+            else:
+                kept.append(entry)
+        if removed:
+            self._entries = kept
+            self.stats.superseded_region_ships += removed
+
+    def _shed(self) -> None:
+        """Drop stale frames, oldest first, until back under the cap.
+
+        Dropping any region frame for a subscriber breaks its delta
+        chain: every queued region frame for that subscriber goes with
+        it and the subscriber is marked dirty until a fresh full push.
+        """
+        need = len(self._entries) - self.soft_cap
+        broken: Set[int] = set()
+        kept: Deque[QueuedFrame] = deque()
+        for entry in self._entries:
+            region_frame = entry.kind in _REGION_KINDS
+            if region_frame and entry.sub_id in broken:
+                self.stats.frames_shed += 1
+                self._sheddable -= 1
+                need -= 1
+                continue
+            if need > 0 and entry.kind in SHEDDABLE_KINDS:
+                self.stats.frames_shed += 1
+                self._sheddable -= 1
+                need -= 1
+                if region_frame and entry.sub_id is not None:
+                    broken.add(entry.sub_id)
+                    self._dirty.add(entry.sub_id)
+                continue
+            kept.append(entry)
+        self._entries = kept
+
+    def _verdict(self, now: float) -> SendVerdict:
+        depth = len(self._entries)
+        if depth <= self.soft_cap:
+            self._over_since = None
+            return SendVerdict.OK
+        if depth >= self.hard_cap:
+            return SendVerdict.DISCONNECT
+        if self._over_since is None:
+            self._over_since = now
+            return SendVerdict.OVER
+        if now - self._over_since > self.grace:
+            return SendVerdict.DISCONNECT
+        return SendVerdict.OVER
+
+
+class _Connection:
+    """One accepted socket: its writer, send queue, and writer task."""
+
+    __slots__ = (
+        "writer", "queue", "ready", "sub_ids", "closed", "draining",
+        "writer_task",
+    )
+
+    def __init__(self, writer: asyncio.StreamWriter, queue: SendQueue) -> None:
+        self.writer = writer
+        self.queue = queue
+        self.ready = asyncio.Event()
+        self.sub_ids: Set[int] = set()
+        self.closed = False
+        #: a slow-consumer verdict landed: no new frames are accepted
+        #: (bounding memory at the hard cap) but the queued backlog is
+        #: still flushed before the close, so the client keeps every
+        #: frame it was already owed and its next resync only has to
+        #: cover the remainder — a backlog larger than the hard cap
+        #: heals geometrically instead of livelocking on resets
+        self.draining = False
+        self.writer_task: Optional[asyncio.Task] = None
+
+
 class TCPTransport(Transport):
     """The TCP layer's client-facing seam: frames over the sockets.
 
-    Regions and deltas are encoded and pushed best-effort to the
-    subscriber's live connection; the location ping is answered from the
-    last reported position (a TCP client is not synchronously pingable —
-    it reports when it leaves its region, exactly the paper's protocol).
+    Regions and deltas are encoded and queued on the subscriber's live
+    connection; the location ping is answered from the last reported
+    position (a TCP client is not synchronously pingable — it reports
+    when it leaves its region, exactly the paper's protocol).
     """
 
     def __init__(self, tcp_server: "ElapsTCPServer") -> None:
         self._tcp = tcp_server
 
     def ship_region(self, sub_id, region) -> None:
-        """Frame and push a full safe region to the live connection."""
+        """Frame and queue a full safe region for the live connection."""
         self._tcp._push_region(sub_id, region)
 
     def ship_delta(self, sub_id, removed, region) -> None:
-        """Frame and push a repair delta to the live connection."""
+        """Frame and queue a repair delta for the live connection."""
         self._tcp._push_delta(sub_id, removed, region)
 
     def locate(self, sub_id):
@@ -156,9 +422,20 @@ class TCPTransport(Transport):
         return self._tcp._last_known_location(sub_id)
 
 
+#: the ElapsTCPServer keywords that now live on NetworkConfig
+_LEGACY_NETWORK_KWARGS = frozenset(
+    {"read_timeout", "write_timeout", "max_frame_length", "retain_subscribers"}
+)
+
+
 class ElapsTCPServer:
     """Serve an :class:`ElapsServer` (or a
-    :class:`~repro.system.sharding.ShardedElapsServer`) on a TCP port."""
+    :class:`~repro.system.sharding.ShardedElapsServer`) on a TCP port.
+
+    ``ElapsTCPServer(core, config=NetworkConfig(...))`` is the primary
+    construction form; the pre-§17 per-knob keywords still work but emit
+    ``DeprecationWarning`` and layer onto the config.
+    """
 
     def __init__(
         self,
@@ -166,42 +443,83 @@ class ElapsTCPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         timestamp_seconds: float = 5.0,
-        *,
-        read_timeout: Optional[float] = 30.0,
-        write_timeout: Optional[float] = 10.0,
-        max_frame_length: int = MAX_FRAME_LENGTH,
-        retain_subscribers: bool = False,
+        config: Optional[NetworkConfig] = None,
+        **legacy,
     ) -> None:
         if timestamp_seconds <= 0:
             raise ValueError(f"timestamp length must be positive: {timestamp_seconds}")
+        unknown = set(legacy) - _LEGACY_NETWORK_KWARGS
+        if unknown:
+            raise TypeError(
+                f"ElapsTCPServer got unexpected keyword arguments {sorted(unknown)}"
+            )
+        if legacy:
+            warnings.warn(
+                f"ElapsTCPServer keyword arguments {sorted(legacy)} are "
+                "deprecated; pass config=NetworkConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = (config or NetworkConfig()).with_(**legacy)
+        elif config is None:
+            config = NetworkConfig()
+        #: the immutable knob set this front-end was built from
+        self.config = config
         self.server = server
         self.host = host
         self.port = port
         self.timestamp_seconds = timestamp_seconds
-        #: a connection silent for longer than this is presumed dead and
-        #: reaped (clients heartbeat well inside it); None disables
-        self.read_timeout = read_timeout
-        self.write_timeout = write_timeout
-        self.max_frame_length = max_frame_length
-        #: with True, a dropped connection keeps its subscriber records
-        #: so a reconnecting client can resubscribe/resync into them; the
-        #: default preserves the original semantics (disconnect means
-        #: unsubscribe)
-        self.retain_subscribers = retain_subscribers
-        self._writers: Dict[int, asyncio.StreamWriter] = {}
-        self._connections: set = set()
-        self._connection_tasks: set = set()
+        self._subscriber_conns: Dict[int, _Connection] = {}
+        self._connections: Set[_Connection] = set()
+        self._connection_tasks: Set[asyncio.Task] = set()
+        self._writer_tasks: Set[asyncio.Task] = set()
         self._event_ids = itertools.count(1)
         self._started_at = time.monotonic()
         self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self._ingress: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[int] = None
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._core_lock: Optional[asyncio.Lock] = None
         # everything the wrapped server ships goes out over the sockets
         server.transport = TCPTransport(self)
+
+    # legacy attribute views (the knobs moved onto ``config``) ---------
+    @property
+    def read_timeout(self) -> Optional[float]:
+        """Compat view of :attr:`NetworkConfig.read_timeout`."""
+        return self.config.read_timeout
+
+    @property
+    def write_timeout(self) -> Optional[float]:
+        """Compat view of :attr:`NetworkConfig.write_timeout`."""
+        return self.config.write_timeout
+
+    @property
+    def max_frame_length(self) -> int:
+        """Compat view of :attr:`NetworkConfig.max_frame_length`."""
+        return self.config.max_frame_length
+
+    @property
+    def retain_subscribers(self) -> bool:
+        """Compat view of :attr:`NetworkConfig.retain_subscribers`."""
+        return self.config.retain_subscribers
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind and start accepting connections."""
+        """Bind, start the dispatcher, and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._loop_thread = threading.get_ident()
+        self._ingress = asyncio.Queue(maxsize=self.config.ingress_queue)
+        if self.config.dispatch_offload:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="elaps-core"
+            )
+            self._core_lock = asyncio.Lock()
+        self._dispatcher = asyncio.ensure_future(self._dispatcher_loop())
         self._tcp_server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -210,54 +528,102 @@ class ElapsTCPServer:
     async def stop(self) -> None:
         """Stop accepting, close every connection, wait for handlers.
 
-        Handlers are unblocked by closing their transports rather than
-        cancelled: an externally cancelled client_connected task trips
-        the asyncio-streams done callback (which surfaces the
-        cancellation to the loop exception handler on some Pythons), and
-        a clean EOF exercises exactly the disconnect path the handlers
-        already own.
+        Handlers are unblocked by closing their transports first: a
+        clean EOF exercises exactly the disconnect path they already
+        own.  Any handler still alive after ``config.stop_timeout`` is
+        cancelled and logged instead of leaked; the dispatcher then
+        drains the remaining ingress work (including the handlers' close
+        markers) before it is stopped.
         """
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
-        for writer in list(self._connections):
+            self._tcp_server = None
+        for conn in list(self._connections):
+            conn.closed = True
+            conn.ready.set()
             with contextlib.suppress(Exception):
-                writer.close()
-        self._writers.clear()
+                conn.writer.close()
         pending = [task for task in self._connection_tasks if not task.done()]
         if pending:
-            await asyncio.wait(pending, timeout=5)
+            _, survivors = await asyncio.wait(
+                pending, timeout=self.config.stop_timeout
+            )
+            if survivors:
+                logger.warning(
+                    "stop(): cancelling %d connection handler(s) still "
+                    "alive after %.1fs",
+                    len(survivors),
+                    self.config.stop_timeout,
+                )
+                for task in survivors:
+                    task.cancel()
+                await asyncio.gather(*survivors, return_exceptions=True)
+        if self._dispatcher is not None:
+            if self._ingress is not None:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._ingress.join(), self.config.stop_timeout
+                    )
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+        for task in list(self._writer_tasks):
+            task.cancel()
+        if self._writer_tasks:
+            await asyncio.gather(*self._writer_tasks, return_exceptions=True)
+            self._writer_tasks.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self._subscriber_conns.clear()
+        self._connections.clear()
 
     def now(self) -> int:
         """The server clock in timestamps since start."""
         return int((time.monotonic() - self._started_at) / self.timestamp_seconds)
 
     # ------------------------------------------------------------------
-    # Server-transport plumbing
+    # Server-transport plumbing (egress)
     # ------------------------------------------------------------------
     def _last_known_location(self, sub_id: int):
         record = self.server.subscribers[sub_id]
         return record.location, record.velocity
 
     def _push_region(self, sub_id: int, region) -> None:
-        self._push_to(sub_id, encode_message(region_push_for(sub_id, region)))
+        self._ship(
+            sub_id, FrameKind.REGION, encode_message(region_push_for(sub_id, region))
+        )
 
     def _push_delta(self, sub_id: int, removed, region) -> None:
-        """Ship a repair as a delta frame (the full region stays home).
+        """Queue a repair as a delta frame (the full region stays home).
 
         The delta only makes sense against the region the client already
-        holds; with no live connection the frame is dropped, exactly like
-        a full push would be, and the client's reconnect resync ships a
-        fresh full region anyway.
+        holds.  With no live connection the frame is dropped, exactly
+        like a full push would be, and the client's reconnect resync
+        ships a fresh full region anyway.  If the queue shed the base
+        region this delta builds on, the delta would poison the client's
+        state — the ship falls back to the full post-repair region
+        instead (the PR 3 delta contract).
         """
-        self._push_to(
-            sub_id, encode_message(region_delta_for(sub_id, self.server.grid, removed))
+        conn = self._subscriber_conns.get(sub_id)
+        if conn is None:
+            return
+        if conn.queue.region_state_dirty(sub_id):
+            self._push_region(sub_id, region)
+            return
+        self._ship(
+            sub_id,
+            FrameKind.DELTA,
+            encode_message(region_delta_for(sub_id, self.server.grid, removed)),
         )
 
     def _push_notifications(self, notifications) -> None:
         for notification in notifications:
-            self._push_to(
+            self._ship(
                 notification.sub_id,
+                FrameKind.NOTIFICATION,
                 encode_message(
                     notification_for(
                         notification.sub_id, notification.event, notification.seq
@@ -265,33 +631,166 @@ class ElapsTCPServer:
                 ),
             )
 
-    def _push_to(self, sub_id: int, frame: bytes) -> None:
-        """Best-effort write to a subscriber's connection.
+    def _ship(self, sub_id: int, kind: FrameKind, frame: bytes) -> None:
+        """Queue a frame for a subscriber's connection.
 
-        A dying transport must not take the publish path down with it;
-        the loss is healed by the client's next resync.
+        Offloaded dispatch ships from the worker thread; queue state is
+        only ever touched on the event loop, so those ships marshal over
+        (``call_soon_threadsafe`` preserves submission order).
         """
-        writer = self._writers.get(sub_id)
-        if writer is None:
+        if self._loop is not None and threading.get_ident() != self._loop_thread:
+            self._loop.call_soon_threadsafe(self._ship_on_loop, sub_id, kind, frame)
+        else:
+            self._ship_on_loop(sub_id, kind, frame)
+
+    def _ship_on_loop(self, sub_id: int, kind: FrameKind, frame: bytes) -> None:
+        conn = self._subscriber_conns.get(sub_id)
+        if conn is None:
+            # no live connection: the loss is healed by the client's
+            # next resync, exactly like the pre-queue direct write
             return
-        try:
-            writer.write(frame)
-        except Exception:  # pragma: no cover - transport-dependent
-            logger.debug("push to subscriber %d failed", sub_id, exc_info=True)
+        self._offer(conn, kind, sub_id, frame)
+
+    def _offer(
+        self, conn: _Connection, kind: FrameKind, sub_id: Optional[int], frame: bytes
+    ) -> None:
+        """Enqueue one frame and act on the queue's verdict."""
+        if conn.closed or conn.draining:
+            return
+        verdict = conn.queue.offer(kind, sub_id, frame, time.monotonic())
+        conn.ready.set()
+        if verdict is SendVerdict.DISCONNECT:
+            self.server.metrics.slow_consumer_disconnects += 1
+            logger.warning(
+                "slow consumer: send queue depth %d (cap %d/%d); "
+                "disconnecting after flush",
+                len(conn.queue),
+                self.config.send_queue,
+                self.config.hard_cap,
+            )
+            conn.draining = True
+
+    def _abort_connection(self, conn: _Connection) -> None:
+        """Server-initiated teardown; counters guard on ``conn.closed``."""
+        if conn.closed:
+            return
+        conn.closed = True
+        conn.ready.set()
+        with contextlib.suppress(Exception):
+            conn.writer.transport.abort()
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        """Drain one connection's send queue onto its socket.
+
+        The only place this connection's socket is written.  A stalled
+        drain lands in ``write_timeouts``; any other write failure on a
+        live connection lands in ``push_errors`` (the counter the old
+        silent ``_push_to`` except-pass was hiding).
+        """
+        metrics = self.server.metrics
+        tracer = self.server.tracer
+        writer = conn.writer
+        write_timeout = self.config.write_timeout
+        while True:
+            entry = conn.queue.pop()
+            if entry is None:
+                if conn.closed:
+                    return
+                if conn.draining:
+                    # backlog flushed: finish the slow-consumer
+                    # disconnect with a clean FIN so every written
+                    # frame survives (an abort's RST could discard
+                    # them in flight)
+                    conn.closed = True
+                    with contextlib.suppress(Exception):
+                        writer.close()
+                    return
+                conn.ready.clear()
+                await conn.ready.wait()
+                continue
+            # coalesce a burst into one write; drain once for the batch
+            frames = [entry.frame]
+            while len(frames) < 64:
+                nxt = conn.queue.pop()
+                if nxt is None:
+                    break
+                frames.append(nxt.frame)
+            try:
+                writer.write(frames[0] if len(frames) == 1 else b"".join(frames))
+                with tracer.span("drain"):
+                    if write_timeout is None:
+                        await writer.drain()
+                    else:
+                        await asyncio.wait_for(writer.drain(), write_timeout)
+            except asyncio.TimeoutError:
+                # a drain that cannot flush is a stalled *peer*, not a
+                # silent one; counting it as a read timeout hid every
+                # backpressure incident inside the idle-connection tally
+                if not conn.closed:
+                    metrics.write_timeouts += 1
+                    self._abort_connection(conn)
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                if not conn.closed:
+                    metrics.push_errors += 1
+                    logger.debug(
+                        "write to connection failed; dropping it", exc_info=True
+                    )
+                    self._abort_connection(conn)
+                return
 
     # ------------------------------------------------------------------
-    # Connection handling
+    # Connection handling (ingress)
     # ------------------------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        connection_subs: set = set()
         metrics = self.server.metrics
         tracer = self.server.tracer
+        config = self.config
         task = asyncio.current_task()
         if task is not None:
             self._connection_tasks.add(task)
-        self._connections.add(writer)
+        if (
+            config.max_connections is not None
+            and len(self._connections) >= config.max_connections
+        ):
+            metrics.connections_refused += 1
+            self._connection_tasks.discard(task)
+            writer.close()
+            return
+        if config.write_buffer_limit is not None:
+            # cap the kernel+transport buffering so a slow consumer
+            # backs up into the (observable, bounded) send queue instead
+            # of hiding megabytes of frames below the metrics
+            with contextlib.suppress(Exception):
+                writer.transport.set_write_buffer_limits(
+                    high=config.write_buffer_limit
+                )
+                sock = writer.get_extra_info("socket")
+                if sock is not None:
+                    sock.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_SNDBUF,
+                        config.write_buffer_limit,
+                    )
+        conn = _Connection(
+            writer,
+            SendQueue(
+                config.send_queue,
+                config.hard_cap,
+                grace=config.slow_consumer_grace,
+                shed=config.shed_policy == "stale",
+                stats=metrics,
+            ),
+        )
+        conn.writer_task = asyncio.ensure_future(self._writer_loop(conn))
+        self._writer_tasks.add(conn.writer_task)
+        conn.writer_task.add_done_callback(self._writer_tasks.discard)
+        self._connections.add(conn)
+        assert self._ingress is not None, "start() first"
         try:
             while True:
                 try:
@@ -300,14 +799,16 @@ class ElapsTCPServer:
                     # arrival picture, not pure parsing cost
                     with tracer.span("read"):
                         frame = await asyncio.wait_for(
-                            read_frame(reader, self.max_frame_length),
-                            self.read_timeout,
+                            read_frame(reader, config.max_frame_length),
+                            config.read_timeout,
                         )
                 except asyncio.TimeoutError:
-                    metrics.read_timeouts += 1
+                    if not conn.closed:
+                        metrics.read_timeouts += 1
                     break
                 except ConnectionResetError:
-                    metrics.connection_resets += 1
+                    if not conn.closed:
+                        metrics.connection_resets += 1
                     break
                 except FrameError:
                     metrics.malformed_frames += 1
@@ -326,34 +827,171 @@ class ElapsTCPServer:
                 if not self._message_sane(message):
                     metrics.malformed_frames += 1
                     break
-                try:
-                    with tracer.span("dispatch"):
-                        self._dispatch(message, writer, connection_subs)
-                    with tracer.span("drain"):
-                        await asyncio.wait_for(writer.drain(), self.write_timeout)
-                except (ConnectionResetError, BrokenPipeError):
-                    metrics.connection_resets += 1
-                    break
-                except asyncio.TimeoutError:
-                    # a drain that cannot flush is a stalled *peer*, not a
-                    # silent one; counting it as a read timeout hid every
-                    # backpressure incident inside the idle-connection tally
-                    metrics.write_timeouts += 1
-                    break
+                if isinstance(message, HeartbeatMessage):
+                    # answered inline, off the ingress path: keepalives
+                    # stay responsive however busy the dispatcher is
+                    metrics.heartbeats += 1
+                    self._offer(
+                        conn, FrameKind.EPHEMERAL, None, encode_message(message)
+                    )
+                    continue
+                # a full ingress queue blocks here, which stops this
+                # read loop: the kernel window closes and the peer
+                # experiences ordinary TCP backpressure
+                await self._ingress.put((conn, message))
+                depth = self._ingress.qsize()
+                if depth > metrics.ingress_queue_high_water:
+                    metrics.ingress_queue_high_water = depth
         except Exception:  # graceful degradation: never crash the loop
             logger.exception("connection handler failed; dropping connection")
         finally:
-            for sub_id in connection_subs:
-                # a reconnected client may already own a fresh connection;
-                # only tear down state that still belongs to this one
-                if self._writers.get(sub_id) is not writer:
-                    continue
-                self._writers.pop(sub_id, None)
-                if not self.retain_subscribers and sub_id in self.server.subscribers:
-                    self.server.unsubscribe(sub_id)
-            self._connections.discard(writer)
+            conn.closed = True
+            conn.ready.set()
+            self._connections.discard(conn)
             self._connection_tasks.discard(task)
-            writer.close()
+            with contextlib.suppress(Exception):
+                writer.close()
+            # the dispatcher owns subscriber-state cleanup, via a close
+            # marker that queues FIFO *behind* this connection's
+            # still-pending messages — no teardown/dispatch races
+            try:
+                self._ingress.put_nowait((conn, None))
+            except asyncio.QueueFull:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._ingress.put((conn, None))
+
+    # ------------------------------------------------------------------
+    # Dispatch (the core side of the ingress queue)
+    # ------------------------------------------------------------------
+    async def _dispatcher_loop(self) -> None:
+        """Drain the ingress queue into the wrapped server, in order."""
+        assert self._ingress is not None
+        tracer = self.server.tracer
+        while True:
+            conn, message = await self._ingress.get()
+            try:
+                if message is None:
+                    await self._cleanup_connection(conn)
+                else:
+                    with tracer.span("dispatch"):
+                        await self._dispatch(conn, message)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # graceful degradation: a poisoned message costs its
+                # connection, never the dispatcher
+                logger.exception("dispatch failed; dropping connection")
+                self._abort_connection(conn)
+            finally:
+                self._ingress.task_done()
+
+    async def _run_core(self, fn):
+        """Run one core operation, optionally on the offload thread.
+
+        The wrapped server is not thread-safe: offloaded operations
+        serialise behind the core lock, and everything they ship
+        marshals back to the event loop (see :meth:`_ship`).
+        """
+        if self._executor is None:
+            return fn()
+        assert self._core_lock is not None and self._loop is not None
+        async with self._core_lock:
+            return await self._loop.run_in_executor(self._executor, fn)
+
+    async def _cleanup_connection(self, conn: _Connection) -> None:
+        """Tear down the subscriber state a dead connection owned."""
+        for sub_id in list(conn.sub_ids):
+            # a reconnected client may already own a fresh connection;
+            # only tear down state that still belongs to this one
+            if self._subscriber_conns.get(sub_id) is not conn:
+                continue
+            self._subscriber_conns.pop(sub_id, None)
+            if (
+                not self.config.retain_subscribers
+                and sub_id in self.server.subscribers
+            ):
+                await self._run_core(
+                    lambda sid=sub_id: self.server.unsubscribe(sid)
+                )
+
+    async def _dispatch(self, conn: _Connection, message) -> None:
+        """Apply one decoded frame to the wrapped server."""
+        if isinstance(message, SubscribeMessage):
+            self._subscriber_conns[message.sub_id] = conn
+            conn.sub_ids.add(message.sub_id)
+            subscription = Subscription(
+                message.sub_id, message.expression, message.radius
+            )
+            now = self.now()
+            notifications, _ = await self._run_core(
+                lambda: self.server.subscribe(
+                    subscription, message.location, message.velocity, now
+                )
+            )
+            # the initial region push went out via the region sink;
+            # deliver the already-matching events
+            self._push_notifications(notifications)
+        elif isinstance(message, LocationReport):
+            if message.sub_id in self.server.subscribers:
+                now = self.now()
+                notifications, _ = await self._run_core(
+                    lambda: self.server.report_location(
+                        message.sub_id, message.location, message.velocity, now
+                    )
+                )
+                self._push_notifications(notifications)
+        elif isinstance(message, ResyncMessage):
+            if message.sub_id in self.server.subscribers:
+                self._subscriber_conns[message.sub_id] = conn
+                conn.sub_ids.add(message.sub_id)
+                now = self.now()
+                notifications, _ = await self._run_core(
+                    lambda: self.server.resync(
+                        message.sub_id,
+                        message.location,
+                        message.velocity,
+                        message.received,
+                        now,
+                    )
+                )
+                self._push_notifications(notifications)
+        elif isinstance(message, StatsRequest):
+            # observability pull: answer with a point-in-time copy of the
+            # whole registry on the requesting connection
+            registry = await self._run_core(self.server.merged_registry)
+            self._offer(
+                conn,
+                FrameKind.CONTROL,
+                None,
+                encode_message(stats_snapshot_for(registry)),
+            )
+        elif isinstance(message, UnsubscribeMessage):
+            if message.sub_id in self.server.subscribers:
+                await self._run_core(
+                    lambda: self.server.unsubscribe(message.sub_id)
+                )
+            self._subscriber_conns.pop(message.sub_id, None)
+            conn.sub_ids.discard(message.sub_id)
+        elif isinstance(message, EventPublishMessage):
+            now = self.now()
+            event = self._event_from(message, now)
+            notifications = await self._run_core(
+                lambda: (
+                    self.server.expire_due_events(now),
+                    self.server.publish(event, now),
+                )[1]
+            )
+            self._push_notifications(notifications)
+        elif isinstance(message, EventPublishBatchMessage):
+            now = self.now()
+            events = [self._event_from(item, now) for item in message.events]
+            notifications = await self._run_core(
+                lambda: (
+                    self.server.expire_due_events(now),
+                    self.server.publish_batch(events, now),
+                )[1]
+            )
+            self._push_notifications(notifications)
 
     def _message_sane(self, message) -> bool:
         """Semantic bounds on network input.
@@ -386,65 +1024,6 @@ class ElapsTCPServer:
             return all(sane_point(event.location) for event in message.events)
         return True
 
-    def _dispatch(
-        self, message, writer: asyncio.StreamWriter, connection_subs: set
-    ) -> None:
-        """Apply one decoded frame to the wrapped server."""
-        metrics = self.server.metrics
-        if isinstance(message, SubscribeMessage):
-            self._writers[message.sub_id] = writer
-            connection_subs.add(message.sub_id)
-            subscription = Subscription(
-                message.sub_id, message.expression, message.radius
-            )
-            notifications, _ = self.server.subscribe(
-                subscription, message.location, message.velocity, self.now()
-            )
-            # the initial region push went out via the region sink;
-            # deliver the already-matching events
-            self._push_notifications(notifications)
-        elif isinstance(message, LocationReport):
-            if message.sub_id in self.server.subscribers:
-                notifications, _ = self.server.report_location(
-                    message.sub_id, message.location, message.velocity, self.now()
-                )
-                self._push_notifications(notifications)
-        elif isinstance(message, ResyncMessage):
-            if message.sub_id in self.server.subscribers:
-                self._writers[message.sub_id] = writer
-                connection_subs.add(message.sub_id)
-                notifications, _ = self.server.resync(
-                    message.sub_id,
-                    message.location,
-                    message.velocity,
-                    message.received,
-                    self.now(),
-                )
-                self._push_notifications(notifications)
-        elif isinstance(message, HeartbeatMessage):
-            metrics.heartbeats += 1
-            writer.write(encode_message(message))
-        elif isinstance(message, StatsRequest):
-            # observability pull: answer with a point-in-time copy of the
-            # whole registry on the requesting connection
-            writer.write(encode_message(stats_snapshot_for(self.server.merged_registry())))
-        elif isinstance(message, UnsubscribeMessage):
-            if message.sub_id in self.server.subscribers:
-                self.server.unsubscribe(message.sub_id)
-            self._writers.pop(message.sub_id, None)
-            connection_subs.discard(message.sub_id)
-        elif isinstance(message, EventPublishMessage):
-            now = self.now()
-            self.server.expire_due_events(now)
-            notifications = self.server.publish(self._event_from(message, now), now)
-            self._push_notifications(notifications)
-        elif isinstance(message, EventPublishBatchMessage):
-            now = self.now()
-            self.server.expire_due_events(now)
-            events = [self._event_from(item, now) for item in message.events]
-            notifications = self.server.publish_batch(events, now)
-            self._push_notifications(notifications)
-
     def _event_from(self, message: EventPublishMessage, now: int) -> Event:
         """A server-side event for one publish, with a collision-free id."""
         return Event(
@@ -459,9 +1038,12 @@ class ElapsTCPServer:
 class ElapsNetworkClient:
     """A minimal subscriber/publisher client for :class:`ElapsTCPServer`."""
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self, host: str, port: int, config: Optional[ClientConfig] = None
+    ) -> None:
         self.host = host
         self.port = port
+        self.config = config or ClientConfig()
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
 
@@ -484,9 +1066,14 @@ class ElapsNetworkClient:
         self.writer.write(encode_message(message))
         await self.writer.drain()
 
-    async def receive(self, timeout: float = 5.0):
-        """Receive one pushed message (decoded), or None on EOF."""
+    async def receive(self, timeout: Optional[float] = None):
+        """Receive one pushed message (decoded), or None on EOF.
+
+        ``timeout`` defaults to ``config.receive_timeout``.
+        """
         assert self.reader is not None, "connect() first"
+        if timeout is None:
+            timeout = self.config.receive_timeout
         frame = await asyncio.wait_for(read_frame(self.reader), timeout)
         if frame is None:
             return None
@@ -495,32 +1082,22 @@ class ElapsNetworkClient:
     # convenience wrappers ------------------------------------------------
     async def subscribe(self, subscription, location: Point, velocity: Point):
         """Subscribe and collect the pushes until the first region arrives."""
-        await self.send(
-            SubscribeMessage(
-                subscription.sub_id,
-                subscription.radius,
-                subscription.expression,
-                location,
-                velocity,
-            )
-        )
+        await self.send(subscribe_message_for(subscription, location, velocity))
         received = []
         while True:
             message = await self.receive()
             received.append(message)
-            if message is None or message.TYPE == 5:  # SafeRegionPush
+            if message is None or message.TYPE == SafeRegionPush.TYPE:
                 return received
 
     async def publish(self, event_id: int, attributes: dict, location: Point,
                       ttl: int = 0) -> None:
         """Publish one event."""
-        await self.send(
-            EventPublishMessage(
-                event_id, location, tuple(sorted(attributes.items())), ttl
-            )
-        )
+        await self.send(publish_message_for(event_id, attributes, location, ttl))
 
-    async def request_stats(self, timeout: float = 5.0) -> Optional[StatsSnapshot]:
+    async def request_stats(
+        self, timeout: Optional[float] = None
+    ) -> Optional[StatsSnapshot]:
         """Request a :class:`StatsSnapshot`, skipping unrelated pushes.
 
         Notifications or region pushes already in flight on this
@@ -540,35 +1117,18 @@ class ElapsNetworkClient:
         ``events`` is an iterable of ``(event_id, attributes, location)``
         or ``(event_id, attributes, location, ttl)`` tuples.
         """
-        items = []
-        for entry in events:
-            event_id, attributes, location = entry[:3]
-            ttl = entry[3] if len(entry) > 3 else 0
-            items.append(
-                EventPublishMessage(
-                    event_id, location, tuple(sorted(attributes.items())), ttl
-                )
-            )
-        await self.send(EventPublishBatchMessage(tuple(items)))
+        await self.send(publish_batch_message_for(events))
 
 
 # ----------------------------------------------------------------------
 # Resilient subscriber
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class ReconnectPolicy:
-    """Exponential backoff with jitter for the reconnect loop."""
-
-    base_delay: float = 0.05
-    max_delay: float = 2.0
-    multiplier: float = 2.0
-    #: extra uniform fraction of the delay, decorrelating client herds
-    jitter: float = 0.5
-
-    def delay_for(self, attempt: int, rng: random.Random) -> float:
-        """The sleep before reconnect ``attempt`` (0-based)."""
-        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
-        return raw * (1.0 + self.jitter * rng.random())
+#: the ResilientElapsClient keywords that now live on ClientConfig
+_LEGACY_CLIENT_KWARGS = {
+    "policy": "reconnect",
+    "heartbeat_interval": "heartbeat_interval",
+    "read_timeout": "read_timeout",
+}
 
 
 class ResilientElapsClient:
@@ -591,6 +1151,13 @@ class ResilientElapsClient:
       tries again; delivered events are deduped by id, so the
       application sees each event at most once no matter how the
       network behaves.
+
+    Configured by the same :class:`~repro.system.config.ClientConfig`
+    as :class:`ElapsNetworkClient`, and exposing the same convenience
+    surface (``subscribe``/``publish``/``publish_batch``/
+    ``request_stats``); the pre-config keywords (``policy``,
+    ``heartbeat_interval``, ``read_timeout``) still work but emit
+    ``DeprecationWarning``.
     """
 
     def __init__(
@@ -602,24 +1169,43 @@ class ResilientElapsClient:
         velocity: Optional[Point] = None,
         *,
         grid: Optional[Grid] = None,
-        policy: Optional[ReconnectPolicy] = None,
-        heartbeat_interval: float = 1.0,
-        read_timeout: Optional[float] = None,
+        config: Optional[ClientConfig] = None,
         rng: Optional[random.Random] = None,
+        **legacy,
     ) -> None:
+        unknown = set(legacy) - set(_LEGACY_CLIENT_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"ResilientElapsClient got unexpected keyword arguments "
+                f"{sorted(unknown)}"
+            )
+        if legacy:
+            warnings.warn(
+                f"ResilientElapsClient keyword arguments {sorted(legacy)} are "
+                "deprecated; pass config=ClientConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            changes = {
+                _LEGACY_CLIENT_KWARGS[name]: value
+                for name, value in legacy.items()
+                if value is not None
+            }
+            config = (config or ClientConfig()).with_(**changes)
+        elif config is None:
+            config = ClientConfig()
         self.host = host
         self.port = port
+        self.config = config
         self.mobile = MobileClient(
             subscription, location, velocity or Point(0.0, 0.0)
         )
         #: with a grid, safe-region pushes are decoded into real regions
         #: so ``mobile.must_report`` works; without one they are counted
         self.grid = grid
-        self.policy = policy or ReconnectPolicy()
-        self.heartbeat_interval = heartbeat_interval
-        self.read_timeout = (
-            read_timeout if read_timeout is not None else heartbeat_interval * 4
-        )
+        self.policy = config.reconnect
+        self.heartbeat_interval = config.heartbeat_interval
+        self.read_timeout = config.effective_read_timeout
         self.rng = rng or random.Random()
         self.connections = 0
         self.reconnects = 0
@@ -630,6 +1216,8 @@ class ResilientElapsClient:
         self._task: Optional[asyncio.Task] = None
         self._stopping = False
         self._connected = asyncio.Event()
+        self._region_received = asyncio.Event()
+        self._stats_waiters: List[asyncio.Future] = []
         self._session_ok = False
 
     # ------------------------------------------------------------------
@@ -667,8 +1255,55 @@ class ResilientElapsClient:
         await asyncio.wait_for(self._connected.wait(), timeout)
 
     # ------------------------------------------------------------------
-    # Application actions
+    # Application actions (the shared client surface)
     # ------------------------------------------------------------------
+    async def subscribe(self, timeout: Optional[float] = None) -> int:
+        """Ensure the subscription is live: start the supervisor if
+        needed and wait until the current session holds a safe region.
+
+        The resilient twin of :meth:`ElapsNetworkClient.subscribe` — the
+        subscription itself was fixed at construction, so this waits for
+        the session's :class:`SafeRegionPush` instead of sending one.
+        Returns the total number of regions received so far.
+        """
+        if timeout is None:
+            timeout = self.config.receive_timeout
+        if self._task is None:
+            await self.start()
+        await asyncio.wait_for(self._region_received.wait(), timeout)
+        return self.regions_received
+
+    async def publish(self, event_id: int, attributes: dict, location: Point,
+                      ttl: int = 0) -> None:
+        """Publish one event on the live connection (best effort —
+        a publish raced by a reconnect is not replayed)."""
+        await self.wait_connected()
+        await self._send_quietly(
+            publish_message_for(event_id, attributes, location, ttl)
+        )
+
+    async def publish_batch(self, events) -> None:
+        """Publish a burst as one frame (best effort, like
+        :meth:`publish`)."""
+        await self.wait_connected()
+        await self._send_quietly(publish_batch_message_for(events))
+
+    async def request_stats(
+        self, timeout: Optional[float] = None
+    ) -> Optional[StatsSnapshot]:
+        """Request a :class:`StatsSnapshot` over the live connection."""
+        if timeout is None:
+            timeout = self.config.receive_timeout
+        await self.wait_connected(timeout)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._stats_waiters.append(future)
+        try:
+            await self._send_quietly(StatsRequest())
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            if future in self._stats_waiters:
+                self._stats_waiters.remove(future)
+
     async def report(self, location: Point, velocity: Point) -> None:
         """Move the subscriber and (best-effort) report the position."""
         self.mobile.location = location
@@ -734,6 +1369,7 @@ class ResilientElapsClient:
                 logger.debug("subscriber session failed; reconnecting", exc_info=True)
             finally:
                 self._connected.clear()
+                self._region_received.clear()
                 self._close_writer()
                 self.mobile.reset_connection()
             if self._stopping:
@@ -748,14 +1384,10 @@ class ResilientElapsClient:
         reader, writer = await asyncio.open_connection(self.host, self.port)
         self._writer = writer
         self.connections += 1
-        subscription = self.mobile.subscription
         writer.write(
             encode_message(
-                SubscribeMessage(
-                    subscription.sub_id,
-                    subscription.radius,
-                    subscription.expression,
-                    self.mobile.location,
+                subscribe_message_for(
+                    self.mobile.subscription, self.mobile.location,
                     self.mobile.velocity,
                 )
             )
@@ -766,7 +1398,7 @@ class ResilientElapsClient:
             writer.write(
                 encode_message(
                     ResyncMessage(
-                        subscription.sub_id,
+                        self.mobile.subscription.sub_id,
                         self.mobile.location,
                         self.mobile.velocity,
                         self.mobile.received_ids(),
@@ -808,6 +1440,7 @@ class ResilientElapsClient:
         elif isinstance(message, SafeRegionPush):
             self.regions_received += 1
             self._session_ok = True
+            self._region_received.set()
             if self.grid is not None:
                 self.mobile.receive_region(region_from_push(message, self.grid))
         elif isinstance(message, SafeRegionDelta):
@@ -819,6 +1452,11 @@ class ResilientElapsClient:
                 self.mobile.apply_region_delta(cells_from_delta(message, self.grid))
         elif isinstance(message, HeartbeatMessage):
             self.heartbeats_acked += 1
+        elif isinstance(message, StatsSnapshot):
+            for future in self._stats_waiters:
+                if not future.done():
+                    future.set_result(message)
+                    break
         elif isinstance(message, LocationPing):
             writer = self._writer
             if writer is not None:

@@ -397,8 +397,9 @@ def render_prometheus(
     """Counters and histograms as Prometheus text exposition format.
 
     Counter fields become ``<prefix>_<name>_total`` counters (the
-    ``bytes_measured`` flag becomes a 0/1 gauge, ``server_seconds``
-    keeps its unit in the name); every span stage becomes one labelled
+    ``bytes_measured`` flag and the ``*_high_water`` queue-depth marks
+    become gauges, ``server_seconds`` keeps its unit in the name); every
+    span stage becomes one labelled
     series of the single ``<prefix>_stage_duration_seconds`` histogram
     family, with the cumulative ``le`` buckets the format requires.
     """
@@ -408,6 +409,14 @@ def render_prometheus(
         if name == "bytes_measured":
             metric = f"{prefix}_bytes_measured"
             lines.append(f"# HELP {metric} Whether wire-byte measurement was on.")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(value)}")
+            continue
+        if name.endswith("_high_water"):
+            # queue-depth high-water marks are level gauges, not
+            # monotone accumulators; a _total suffix would invite rate()
+            metric = f"{prefix}_{name}"
+            lines.append(f"# HELP {metric} CommunicationStats.{name} gauge.")
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {_format_value(value)}")
             continue

@@ -716,6 +716,53 @@ def message_bytes(message: Message) -> int:
     return len(encode_message(message))
 
 
+def frame_type(frame: bytes) -> int:
+    """The type byte of an encoded frame, without decoding the payload.
+
+    The egress queue classifies frames by kind (is this a region push?
+    a notification?) and tests assert on raw captures; both need the
+    type without paying for a full decode.
+    """
+    if not frame:
+        raise ValueError("empty frame has no type byte")
+    return frame[0]
+
+
+def subscribe_message_for(subscription, location, velocity) -> SubscribeMessage:
+    """The wire message registering ``subscription`` at a position.
+
+    The one way both network clients phrase a subscribe, so their
+    convenience wrappers cannot drift apart.
+    """
+    return SubscribeMessage(
+        subscription.sub_id,
+        subscription.radius,
+        subscription.expression,
+        location,
+        velocity,
+    )
+
+
+def publish_message_for(
+    event_id: int, attributes, location, ttl: int = 0
+) -> EventPublishMessage:
+    """The wire message publishing one event."""
+    return EventPublishMessage(
+        event_id, location, tuple(sorted(dict(attributes).items())), ttl
+    )
+
+
+def publish_batch_message_for(events) -> EventPublishBatchMessage:
+    """The batched publish frame for ``(event_id, attributes, location
+    [, ttl])`` tuples."""
+    items = []
+    for entry in events:
+        event_id, attributes, location = entry[:3]
+        ttl = entry[3] if len(entry) > 3 else 0
+        items.append(publish_message_for(event_id, attributes, location, ttl))
+    return EventPublishBatchMessage(tuple(items))
+
+
 def notification_for(sub_id: int, event, seq: int = 0) -> NotificationMessage:
     """The wire message delivering ``event`` to ``sub_id``."""
     return NotificationMessage(

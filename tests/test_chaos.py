@@ -19,7 +19,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ServerConfig, ElapsServer
+from repro.system import ClientConfig, NetworkConfig, ServerConfig, ElapsServer
 from repro.system.network import (
     ElapsNetworkClient,
     ElapsTCPServer,
@@ -45,7 +45,8 @@ def make_tcp_server(**kwargs) -> ElapsTCPServer:
         event_index=BEQTree(SPACE, emax=64))
     kwargs.setdefault("read_timeout", 2.0)
     kwargs.setdefault("retain_subscribers", True)
-    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
+    config = NetworkConfig().with_(**kwargs)
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, config=config)
 
 
 def topic_subscription(sub_id: int, topic: str, radius: float = 2_500.0):
@@ -78,8 +79,10 @@ class TestResilientClient:
                 tcp.port,
                 topic_subscription(1, "sale"),
                 Point(5_000, 5_000),
-                heartbeat_interval=0.1,
-                policy=ReconnectPolicy(base_delay=0.02, max_delay=0.1),
+                config=ClientConfig(
+                    heartbeat_interval=0.1,
+                    reconnect=ReconnectPolicy(base_delay=0.02, max_delay=0.1),
+                ),
                 rng=random.Random(7),
             )
             await client.start()
@@ -190,9 +193,13 @@ class TestChaosAcceptance:
                         proxy.port,
                         topic_subscription(i + 1, topic),
                         location,
-                        heartbeat_interval=0.2,
-                        read_timeout=1.0,
-                        policy=ReconnectPolicy(base_delay=0.05, max_delay=0.4),
+                        config=ClientConfig(
+                            heartbeat_interval=0.2,
+                            read_timeout=1.0,
+                            reconnect=ReconnectPolicy(
+                                base_delay=0.05, max_delay=0.4
+                            ),
+                        ),
                         rng=random.Random(CHAOS_SEED + i),
                     )
                     for i, (location, topic) in enumerate(placements)

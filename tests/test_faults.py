@@ -11,7 +11,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ServerConfig, ElapsServer
+from repro.system import NetworkConfig, ServerConfig, ElapsServer
 from repro.system.network import ElapsNetworkClient, ElapsTCPServer
 from repro.system.protocol import SafeRegionPush, SubscribeMessage
 from repro.testing import ChaosProxy, FaultConfig, FaultInjector, FaultKind, chaos_proxy
@@ -26,7 +26,8 @@ def make_tcp_server(**kwargs) -> ElapsTCPServer:
         ServerConfig(initial_rate=1.0),
         event_index=BEQTree(SPACE, emax=32))
     kwargs.setdefault("read_timeout", 1.0)
-    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
+    config = NetworkConfig().with_(**kwargs)
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, config=config)
 
 
 def make_sub(sub_id=1):

@@ -18,7 +18,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ServerConfig, ElapsServer
+from repro.system import NetworkConfig, ServerConfig, ElapsServer
 from repro.system.network import ElapsNetworkClient, ElapsTCPServer
 from repro.system.protocol import SafeRegionPush, SubscribeMessage, encode_message
 
@@ -33,7 +33,8 @@ def make_tcp_server(**kwargs) -> ElapsTCPServer:
         ServerConfig(initial_rate=1.0),
         event_index=BEQTree(SPACE, emax=32))
     kwargs.setdefault("read_timeout", 0.3)
-    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
+    config = NetworkConfig().with_(**kwargs)
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, config=config)
 
 
 def make_sub(sub_id=1):

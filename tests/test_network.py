@@ -12,7 +12,7 @@ from repro.core import IGM
 from repro.expressions import BooleanExpression, Operator, Predicate, Subscription
 from repro.geometry import Grid, Point, Rect
 from repro.index import BEQTree
-from repro.system import ServerConfig, ElapsServer
+from repro.system import NetworkConfig, ServerConfig, ElapsServer
 from repro.system.network import (
     ElapsNetworkClient,
     ElapsTCPServer,
@@ -44,7 +44,8 @@ def make_tcp_server(repair: bool = False, **kwargs) -> ElapsTCPServer:
         IGM(max_cells=400),
         ServerConfig(initial_rate=1.0, repair=repair),
         event_index=BEQTree(SPACE, emax=32))
-    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, **kwargs)
+    config = NetworkConfig().with_(**kwargs)
+    return ElapsTCPServer(server, port=0, timestamp_seconds=0.05, config=config)
 
 
 def make_sub(sub_id=1):

@@ -266,13 +266,21 @@ class TestPrometheusExport:
         assert "# TYPE elaps_notifications_total counter" in text
         assert "# TYPE elaps_bytes_measured gauge" in text
 
+    def test_high_water_fields_exported_as_gauges(self):
+        registry = MetricsRegistry()
+        registry.stats.send_queue_high_water = 7
+        text = registry.render_prometheus()
+        assert "# TYPE elaps_send_queue_high_water gauge" in text
+        assert "\nelaps_send_queue_high_water 7" in text
+        assert "elaps_send_queue_high_water_total" not in text
+
     def test_every_counter_field_present(self):
         registry, text = self._exposition()
         for name in registry.stats.as_dict():
-            metric = (
-                "elaps_bytes_measured" if name == "bytes_measured"
-                else f"elaps_{name}_total"
-            )
+            if name == "bytes_measured" or name.endswith("_high_water"):
+                metric = f"elaps_{name}"  # gauges: no _total suffix
+            else:
+                metric = f"elaps_{name}_total"
             assert f"\n{metric} " in f"\n{text}", metric
 
     def test_no_duplicate_sample_identities(self):
